@@ -1,0 +1,197 @@
+(* OPERON command-line driver.
+
+   Subcommands:
+     run      - full flow on a named case (I1..I5, small, tiny)
+     stats    - signal-processing statistics (#Net/#HNet/#HPin)
+     splitter - Y-branch cascade table (the Fig. 3b simulation)
+     wdm      - WDM placement + assignment summary (Fig. 8 datapoint) *)
+
+open Cmdliner
+open Operon
+open Operon_benchgen
+
+let design_of_case name seed =
+  match Cases.by_name name with
+  | Some spec -> Some (Gen.generate { spec with Gen.seed = (match seed with Some s -> s | None -> spec.Gen.seed) })
+  | None -> (
+      match String.lowercase_ascii name with
+      | "small" -> Some (Cases.small ?seed ())
+      | "tiny" -> Some (Cases.tiny ?seed ())
+      | _ -> None)
+
+let case_arg =
+  let doc = "Benchmark case: I1..I5, small, or tiny." in
+  Arg.(value & opt string "small" & info [ "case"; "c" ] ~docv:"CASE" ~doc)
+
+let seed_arg =
+  let doc = "Override the case's deterministic seed." in
+  Arg.(value & opt (some int) None & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let mode_arg =
+  let doc = "Candidate selection engine: lr (fast, default) or ilp (exact)." in
+  Arg.(value & opt (enum [ ("lr", Flow.Lr); ("ilp", Flow.Ilp) ]) Flow.Lr
+       & info [ "mode"; "m" ] ~docv:"MODE" ~doc)
+
+let budget_arg =
+  let doc = "ILP wall-clock budget in seconds." in
+  Arg.(value & opt float 60.0 & info [ "ilp-budget" ] ~docv:"SECONDS" ~doc)
+
+let with_design name seed f =
+  match design_of_case name seed with
+  | None ->
+      Printf.eprintf "unknown case %S (try I1..I5, small, tiny)\n" name;
+      exit 2
+  | Some design -> f design
+
+let run_cmd =
+  let run case seed mode budget =
+    with_design case seed (fun design ->
+        let params = Operon_optical.Params.default in
+        let rng = Operon_util.Prng.create 42 in
+        let result = Flow.run ~mode ~ilp_budget:budget rng params design in
+        let nets, hnets, hpins = Processing.stats result.Flow.hnets in
+        Printf.printf "case %s: #Net=%d #HNet=%d #HPin=%d\n" case nets hnets hpins;
+        Printf.printf "electrical baseline power: %.2f\n"
+          (Baseline.electrical_power params design);
+        let g = Baseline.glow result.Flow.ctx.Selection.params result.Flow.hnets in
+        Printf.printf
+          "GLOW-like optical power:   %.2f (optical %d, fallback %d, undetectable %d)\n"
+          g.Baseline.power g.Baseline.optical_nets g.Baseline.electrical_nets
+          g.Baseline.underestimated;
+        Printf.printf "OPERON power:              %.2f (%s, %.2fs select)\n"
+          result.Flow.power
+          (match mode with Flow.Lr -> "LR" | Flow.Ilp -> "ILP")
+          result.Flow.select_seconds;
+        (match result.Flow.ilp with
+         | Some r ->
+             Printf.printf
+               "  ILP: components=%d timed_out=%d nodes=%d proven=%b\n"
+               r.Ilp_select.components r.Ilp_select.timed_out r.Ilp_select.nodes
+               r.Ilp_select.proven
+         | None -> ());
+        (match result.Flow.lr with
+         | Some r ->
+             Printf.printf "  LR: iterations=%d demoted=%d violation=%.3f dB\n"
+               r.Lr_select.iterations r.Lr_select.demoted r.Lr_select.final_violation
+         | None -> ());
+        Printf.printf "WDM: connections=%d placed=%d final=%d (-%.1f%%)\n"
+          (Array.length result.Flow.placement.Wdm_place.conns)
+          result.Flow.assignment.Assign.initial_count
+          result.Flow.assignment.Assign.final_count
+          (100.0 *. Assign.reduction_ratio result.Flow.assignment);
+        let s =
+          Signoff.run result.Flow.ctx.Selection.params result.Flow.ctx
+            result.Flow.choice result.Flow.placement result.Flow.assignment
+        in
+        Printf.printf
+          "signoff: %d paths, worst loss %.2f dB, %d violations, detour x%.2f, \
+           %d waveguide crossings\n"
+          s.Signoff.paths_checked s.Signoff.worst_loss_db s.Signoff.violations
+          s.Signoff.mean_detour_ratio s.Signoff.waveguide_crossings)
+  in
+  let doc = "Run the full OPERON flow on a case." in
+  Cmd.v (Cmd.info "run" ~doc) Term.(const run $ case_arg $ seed_arg $ mode_arg $ budget_arg)
+
+let stats_cmd =
+  let run case seed =
+    with_design case seed (fun design ->
+        let params = Operon_optical.Params.default in
+        let rng = Operon_util.Prng.create 42 in
+        let hnets = Processing.run rng params design in
+        let nets, hn, hp = Processing.stats hnets in
+        Printf.printf "#Net=%d #HNet=%d #HPin=%d groups=%d pins=%d\n" nets hn hp
+          (Array.length design.Signal.groups)
+          (Signal.pin_count design))
+  in
+  let doc = "Signal-processing statistics for a case." in
+  Cmd.v (Cmd.info "stats" ~doc) Term.(const run $ case_arg $ seed_arg)
+
+let splitter_cmd =
+  let stages_arg =
+    Arg.(value & opt int 2 & info [ "stages" ] ~docv:"N" ~doc:"Cascade depth.")
+  in
+  let run stages =
+    let params = Operon_optical.Params.default in
+    let reports = Operon_optical.Splitter.cascade params ~stages in
+    List.iter
+      (fun r ->
+        Printf.printf "stage %d: %3d outputs, %.4f of input each (%.2f dB)\n"
+          r.Operon_optical.Splitter.stage r.Operon_optical.Splitter.outputs
+          r.Operon_optical.Splitter.power_fraction r.Operon_optical.Splitter.loss_db)
+      reports
+  in
+  let doc = "Cascaded Y-branch splitter power distribution (paper Fig. 3b)." in
+  Cmd.v (Cmd.info "splitter" ~doc) Term.(const run $ stages_arg)
+
+let wdm_cmd =
+  let run case seed =
+    with_design case seed (fun design ->
+        let params = Operon_optical.Params.default in
+        let rng = Operon_util.Prng.create 42 in
+        let result = Flow.run ~mode:Flow.Lr rng params design in
+        let a = result.Flow.assignment in
+        Printf.printf "connections:   %d\n" (Array.length result.Flow.placement.Wdm_place.conns);
+        Printf.printf "initial WDMs:  %d\n" a.Assign.initial_count;
+        Printf.printf "final WDMs:    %d\n" a.Assign.final_count;
+        Printf.printf "reduction:     %.1f%%\n" (100.0 *. Assign.reduction_ratio a);
+        Printf.printf "displacement:  %.4f cm-bits\n" a.Assign.displacement_cost)
+  in
+  let doc = "WDM placement and network-flow assignment summary (Fig. 8)." in
+  Cmd.v (Cmd.info "wdm" ~doc) Term.(const run $ case_arg $ seed_arg)
+
+let export_cmd =
+  let out_arg =
+    let doc = "Output file (default: stdout)." in
+    Arg.(value & opt (some string) None & info [ "output"; "o" ] ~docv:"FILE" ~doc)
+  in
+  let run case seed mode budget out =
+    with_design case seed (fun design ->
+        let params = Operon_optical.Params.default in
+        let rng = Operon_util.Prng.create 42 in
+        let result = Flow.run ~mode ~ilp_budget:budget rng params design in
+        let conns = result.Flow.placement.Wdm_place.conns in
+        let plan =
+          Channels.assign result.Flow.ctx.Selection.params conns result.Flow.assignment
+        in
+        let json = Export.flow_to_json ~channels:plan result in
+        match out with
+        | None -> print_endline json
+        | Some path ->
+            Export.write_file path json;
+            Printf.printf "wrote %s (%d bytes)\n" path (String.length json))
+  in
+  let doc = "Run the flow and export the synthesized design as JSON." in
+  Cmd.v (Cmd.info "export" ~doc)
+    Term.(const run $ case_arg $ seed_arg $ mode_arg $ budget_arg $ out_arg)
+
+let timing_cmd =
+  let run case seed mode budget =
+    with_design case seed (fun design ->
+        let params = Operon_optical.Params.default in
+        let rng = Operon_util.Prng.create 42 in
+        let result = Flow.run ~mode ~ilp_budget:budget rng params design in
+        let d = Operon_optical.Delay.default in
+        let sel = Timing.selection d result.Flow.ctx result.Flow.choice in
+        let reference = Timing.electrical_reference d result.Flow.ctx in
+        Printf.printf "worst source-to-sink delay (ps):\n";
+        Printf.printf "  all-electrical reference: mean %8.1f  max %8.1f\n"
+          reference.Timing.mean_worst_ps reference.Timing.max_worst_ps;
+        Printf.printf "  OPERON selection:         mean %8.1f  max %8.1f\n"
+          sel.Timing.mean_worst_ps sel.Timing.max_worst_ps;
+        Printf.printf "  speedup:                  mean %7.2fx  max %7.2fx\n"
+          (reference.Timing.mean_worst_ps /. Float.max 1e-9 sel.Timing.mean_worst_ps)
+          (reference.Timing.max_worst_ps /. Float.max 1e-9 sel.Timing.max_worst_ps);
+        Printf.printf "  (optical/copper delay crossover: %.2f cm)\n"
+          (Operon_optical.Delay.crossover_cm d))
+  in
+  let doc = "Delay analysis of the synthesized routes (extension)." in
+  Cmd.v (Cmd.info "timing" ~doc)
+    Term.(const run $ case_arg $ seed_arg $ mode_arg $ budget_arg)
+
+let () =
+  let doc = "OPERON: optical-electrical power-efficient route synthesis" in
+  let info = Cmd.info "operon" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ run_cmd; stats_cmd; splitter_cmd; wdm_cmd; export_cmd; timing_cmd ]))

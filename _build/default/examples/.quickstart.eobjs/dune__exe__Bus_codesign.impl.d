@@ -1,0 +1,1 @@
+examples/bus_codesign.ml: Array Bi1s Candidate Codesign Format Hypernet List Operon Operon_geom Operon_optical Operon_steiner Params Point Printf Topology

@@ -1,0 +1,1 @@
+examples/hotspot_map.ml: Baseline Cases Flow Gen Hotspot Operon Operon_benchgen Operon_geom Operon_optical Operon_util Params Printf Prng Selection Signal

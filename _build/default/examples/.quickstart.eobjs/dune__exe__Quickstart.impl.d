@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Assign Baseline Candidate Flow Hypernet Operon Operon_geom Operon_optical Operon_util Params Point Printf Processing Rect Selection Signal

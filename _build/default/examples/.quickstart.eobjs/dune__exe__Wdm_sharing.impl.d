@@ -1,0 +1,1 @@
+examples/wdm_sharing.ml: Array Assign List Operon Operon_geom Operon_optical Operon_util Params Point Printf Segment String Wdm Wdm_place

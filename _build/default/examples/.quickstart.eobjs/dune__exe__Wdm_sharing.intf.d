@@ -1,0 +1,1 @@
+examples/wdm_sharing.mli:

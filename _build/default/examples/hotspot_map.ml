@@ -1,0 +1,45 @@
+(* Power hotspot maps (the paper's Figure 9), rendered as ASCII heat
+   maps for a shrunken I1-style floorplan.
+
+     dune exec examples/hotspot_map.exe
+
+   Left-to-right reading order follows the paper: GLOW's optical and
+   electrical layers first, then OPERON's. OPERON's electrical layer
+   should be visibly cooler while the optical layers look alike. *)
+
+open Operon_util
+open Operon_optical
+open Operon
+open Operon_benchgen
+
+let () =
+  let params = Params.default in
+  let design = Gen.generate { Cases.i1 with Gen.n_groups = 120; seed = 42 } in
+  let result = Flow.run ~mode:Flow.Lr (Prng.create 42) params design in
+  let adjusted = result.Flow.ctx.Selection.params in
+  let glow = Baseline.glow adjusted result.Flow.hnets in
+
+  let die = design.Signal.die in
+  let operon_maps = Hotspot.of_selection ~nx:32 ~ny:16 ~die result.Flow.ctx result.Flow.choice in
+  let glow_maps =
+    Hotspot.of_selection ~nx:32 ~ny:16 ~die glow.Baseline.ctx glow.Baseline.choice
+  in
+
+  Printf.printf "GLOW   total power %.1f (optical nets %d, electrical %d)\n"
+    glow.Baseline.power glow.Baseline.optical_nets glow.Baseline.electrical_nets;
+  Printf.printf "OPERON total power %.1f\n\n" result.Flow.power;
+
+  Printf.printf "GLOW optical layer (EO/OE conversion energy):\n%s\n"
+    (Operon_geom.Gridmap.render glow_maps.Hotspot.optical);
+  Printf.printf "OPERON optical layer:\n%s\n"
+    (Operon_geom.Gridmap.render operon_maps.Hotspot.optical);
+  Printf.printf "GLOW electrical layer (copper dissipation):\n%s\n"
+    (Operon_geom.Gridmap.render glow_maps.Hotspot.electrical);
+  Printf.printf "OPERON electrical layer:\n%s\n"
+    (Operon_geom.Gridmap.render operon_maps.Hotspot.electrical);
+
+  Printf.printf "optical-layer correlation GLOW vs OPERON: %.3f\n"
+    (Operon_geom.Gridmap.correlation glow_maps.Hotspot.optical operon_maps.Hotspot.optical);
+  Printf.printf "electrical totals: GLOW %.2f vs OPERON %.2f\n"
+    (Operon_geom.Gridmap.total glow_maps.Hotspot.electrical)
+    (Operon_geom.Gridmap.total operon_maps.Hotspot.electrical)

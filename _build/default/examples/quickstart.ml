@@ -1,0 +1,70 @@
+(* Quickstart: build a tiny design by hand, run the full OPERON flow, and
+   inspect the result.
+
+     dune exec examples/quickstart.exe
+
+   The design has three signal groups on a 3x3 cm die: a wide 24-bit bus
+   crossing the chip (optical territory), a short 2-bit control pair
+   (electrical territory), and an 8-bit bus with two destinations (where
+   hybrid routes shine). *)
+
+open Operon_geom
+open Operon_optical
+open Operon
+
+let pt = Point.make
+
+(* A bus: [bits] parallel bits from [src] to each destination, pins at a
+   2 um pitch. *)
+let bus name ~src ~dsts ~bits =
+  let make_bits =
+    Array.init bits (fun b ->
+        let off = pt (0.002 *. float_of_int b) 0.0 in
+        Signal.bit
+          ~source:(Point.add src off)
+          ~sinks:(Array.map (fun d -> Point.add d off) (Array.of_list dsts)))
+  in
+  Signal.group ~name ~bits:make_bits
+
+let () =
+  let die = Rect.make ~xmin:0.0 ~ymin:0.0 ~xmax:3.0 ~ymax:3.0 in
+  let design =
+    Signal.design ~die
+      ~groups:
+        [| bus "ddr_data" ~src:(pt 0.2 0.2) ~dsts:[ pt 2.6 2.6 ] ~bits:24;
+           bus "ctrl" ~src:(pt 1.0 1.0) ~dsts:[ pt 1.2 1.1 ] ~bits:2;
+           bus "noc_flit" ~src:(pt 0.3 2.5) ~dsts:[ pt 2.5 0.4; pt 2.7 1.8 ] ~bits:8 |]
+  in
+  let params = Params.default in
+  let rng = Operon_util.Prng.create 2024 in
+
+  (* One call runs the whole paper flow: clustering, baseline topologies,
+     co-design DP, Lagrangian selection, WDM placement + assignment. *)
+  let result = Flow.run ~mode:Flow.Lr rng params design in
+
+  let nets, hnets, hpins = Processing.stats result.Flow.hnets in
+  Printf.printf "design: %d bits -> %d hyper nets, %d hyper pins\n\n" nets hnets hpins;
+
+  Printf.printf "%-10s %5s %8s  %s\n" "group" "bits" "power" "route";
+  Array.iteri
+    (fun i j ->
+      let c = result.Flow.ctx.Selection.cands.(i).(j) in
+      let h = c.Candidate.hnet in
+      let group = design.Signal.groups.(h.Hypernet.group).Signal.name in
+      let route =
+        if c.Candidate.pure_electrical then "electrical"
+        else if c.Candidate.elec_wirelength > 1e-9 then
+          Printf.sprintf "hybrid (%d mod, %d det, %.2f cm copper)"
+            c.Candidate.n_mod c.Candidate.n_det c.Candidate.elec_wirelength
+        else Printf.sprintf "optical (%d mod, %d det)" c.Candidate.n_mod c.Candidate.n_det
+      in
+      Printf.printf "%-10s %5d %8.3f  %s\n" group h.Hypernet.bits c.Candidate.power route)
+    result.Flow.choice;
+
+  let electrical = Baseline.electrical_power params design in
+  Printf.printf "\ntotal OPERON power:     %8.3f pJ/bit-units\n" result.Flow.power;
+  Printf.printf "all-electrical power:   %8.3f  (%.1fx more)\n" electrical
+    (electrical /. result.Flow.power);
+  Printf.printf "WDM waveguides:         %d placed, %d after assignment\n"
+    result.Flow.assignment.Assign.initial_count
+    result.Flow.assignment.Assign.final_count

@@ -1,0 +1,1 @@
+lib/benchgen/cases.ml: Gen List Operon_geom Rect String

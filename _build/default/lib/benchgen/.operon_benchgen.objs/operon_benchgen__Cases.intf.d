@@ -1,0 +1,1 @@
+lib/benchgen/cases.mli: Gen Operon

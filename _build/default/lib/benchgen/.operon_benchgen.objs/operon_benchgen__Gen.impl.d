@@ -1,0 +1,1 @@
+lib/benchgen/gen.ml: Array Float Fun List Operon Operon_geom Operon_util Point Printf Prng Rect Stdlib

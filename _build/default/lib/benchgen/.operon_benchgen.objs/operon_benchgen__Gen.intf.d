@@ -1,0 +1,1 @@
+lib/benchgen/gen.mli: Operon Operon_geom Rect

@@ -1,0 +1,126 @@
+open Operon_geom
+
+let die_large = Rect.make ~xmin:0.0 ~ymin:0.0 ~xmax:6.0 ~ymax:6.0
+let die_small = Rect.make ~xmin:0.0 ~ymin:0.0 ~xmax:3.0 ~ymax:3.0
+
+let i1 =
+  { Gen.name = "I1";
+    seed = 101;
+    die = die_large;
+    n_blocks = 36;
+    partners_near = 4;
+    far_partner_prob = 1.0;
+    block_size = 0.3;
+    n_groups = 356;
+    bits_min = 3;
+    bits_max = 12;
+    sink_blocks_min = 1;
+    sink_blocks_max = 4;
+    pitch = 0.002;
+    local_fraction = 0.65 }
+
+let i2 =
+  { Gen.name = "I2";
+    seed = 102;
+    die = die_large;
+    n_blocks = 36;
+    partners_near = 4;
+    far_partner_prob = 1.0;
+    block_size = 0.3;
+    n_groups = 837;
+    bits_min = 1;
+    bits_max = 3;
+    sink_blocks_min = 1;
+    sink_blocks_max = 1;
+    pitch = 0.002;
+    local_fraction = 0.10 }
+
+let die_i3 = Rect.make ~xmin:0.0 ~ymin:0.0 ~xmax:2.2 ~ymax:2.2
+
+let i3 =
+  { Gen.name = "I3";
+    seed = 103;
+    die = die_i3;
+    n_blocks = 49;
+    partners_near = 4;
+    far_partner_prob = 0.1;
+    block_size = 0.15;
+    n_groups = 84;
+    bits_min = 55;
+    bits_max = 65;
+    sink_blocks_min = 1;
+    sink_blocks_max = 1;
+    pitch = 0.002;
+    local_fraction = 1.0 }
+
+let i4 =
+  { Gen.name = "I4";
+    seed = 104;
+    die = die_large;
+    n_blocks = 36;
+    partners_near = 4;
+    far_partner_prob = 1.0;
+    block_size = 0.3;
+    n_groups = 403;
+    bits_min = 4;
+    bits_max = 12;
+    sink_blocks_min = 1;
+    sink_blocks_max = 4;
+    pitch = 0.002;
+    local_fraction = 0.78 }
+
+let i5 =
+  { Gen.name = "I5";
+    seed = 105;
+    die = die_large;
+    n_blocks = 36;
+    partners_near = 4;
+    far_partner_prob = 1.0;
+    block_size = 0.3;
+    n_groups = 933;
+    bits_min = 1;
+    bits_max = 3;
+    sink_blocks_min = 1;
+    sink_blocks_max = 1;
+    pitch = 0.002;
+    local_fraction = 0.30 }
+
+let all = [ i1; i2; i3; i4; i5 ]
+
+let by_name name =
+  let target = String.lowercase_ascii name in
+  List.find_opt (fun s -> String.lowercase_ascii s.Gen.name = target) all
+
+let small ?(seed = 7) () =
+  Gen.generate
+    { Gen.name = "small";
+      seed;
+      die = die_small;
+      n_blocks = 9;
+      partners_near = 3;
+      far_partner_prob = 0.5;
+      block_size = 0.2;
+      n_groups = 12;
+      bits_min = 2;
+      bits_max = 8;
+      sink_blocks_min = 1;
+      sink_blocks_max = 3;
+      pitch = 0.002;
+      local_fraction = 0.5 }
+
+let tiny ?(seed = 11) () =
+  Gen.generate
+    { Gen.name = "tiny";
+      seed;
+      die = die_small;
+      n_blocks = 4;
+      partners_near = 2;
+      far_partner_prob = 0.0;
+      block_size = 0.2;
+      n_groups = 4;
+      bits_min = 2;
+      bits_max = 4;
+      sink_blocks_min = 1;
+      sink_blocks_max = 2;
+      pitch = 0.002;
+      local_fraction = 0.5 }

@@ -1,0 +1,34 @@
+(** The five synthetic industrial cases standing in for the paper's I1-I5.
+
+    Each spec is tuned so that the generated design reproduces the
+    published #Net count and, after processing, lands near the published
+    #HNet/#HPin statistics (Table 1 left columns):
+
+    {v
+      case   #Net   #HNet  #HPin   character
+      I1     2660    356   1306    medium buses, 1-4 sink blocks, mixed reach
+      I2     1782    837   1701    many tiny nets, chip-crossing, point-to-point
+      I3     5072    168    336    few wide buses (~60 bits), short local links
+      I4     3224    403   1474    medium buses, multi-sink, moderate locality
+      I5     1994    933   1897    many tiny nets, chip-crossing (largest power)
+    v} *)
+
+val i1 : Gen.spec
+val i2 : Gen.spec
+val i3 : Gen.spec
+val i4 : Gen.spec
+val i5 : Gen.spec
+
+val all : Gen.spec list
+(** I1..I5 in order. *)
+
+val by_name : string -> Gen.spec option
+(** Case lookup by (case-insensitive) name. *)
+
+val small : ?seed:int -> unit -> Operon.Signal.design
+(** A miniature design (a few dozen nets) for unit tests, examples and
+    quick smoke runs. *)
+
+val tiny : ?seed:int -> unit -> Operon.Signal.design
+(** An even smaller design (a handful of groups) whose ILP is solvable
+    exactly within milliseconds. *)

@@ -1,0 +1,128 @@
+open Operon_util
+open Operon_geom
+
+type spec = {
+  name : string;
+  seed : int;
+  die : Rect.t;
+  n_blocks : int;
+  partners_near : int;
+  far_partner_prob : float;
+  block_size : float;
+  n_groups : int;
+  bits_min : int;
+  bits_max : int;
+  sink_blocks_min : int;
+  sink_blocks_max : int;
+  pitch : float;
+  local_fraction : float;
+}
+
+let clamp_point (die : Rect.t) { Point.x; y } =
+  let cx = Float.max die.Rect.xmin (Float.min die.Rect.xmax x) in
+  let cy = Float.max die.Rect.ymin (Float.min die.Rect.ymax y) in
+  Point.make cx cy
+
+let uniform_in rng lo hi = if hi <= lo then lo else lo + Prng.int rng (hi - lo + 1)
+
+(* Macro blocks on a jittered grid — the floorplan the buses run between. *)
+let block_centers rng spec =
+  let cols = int_of_float (Float.ceil (sqrt (float_of_int spec.n_blocks))) in
+  let rows = (spec.n_blocks + cols - 1) / cols in
+  let w = Rect.width spec.die and h = Rect.height spec.die in
+  let dx = w /. float_of_int cols and dy = h /. float_of_int rows in
+  Array.init spec.n_blocks (fun b ->
+      let c = b mod cols and r = b / cols in
+      let jitter extent = Prng.float_range rng (-0.25 *. extent) (0.25 *. extent) in
+      clamp_point spec.die
+        (Point.make
+           (spec.die.Rect.xmin +. ((float_of_int c +. 0.5) *. dx) +. jitter dx)
+           (spec.die.Rect.ymin +. ((float_of_int r +. 0.5) *. dy) +. jitter dy)))
+
+(* Sparse connectivity: each block talks to its nearest neighbours plus
+   the occasional chip-crossing partner — quasi-planar corridors keep
+   waveguide crossing counts realistic. *)
+let partner_lists rng spec centers =
+  let n = Array.length centers in
+  Array.init n (fun b ->
+      let by_distance =
+        Array.init n Fun.id |> Array.to_list
+        |> List.filter (fun o -> o <> b)
+        |> List.sort (fun p q ->
+               Float.compare
+                 (Point.l2_sq centers.(b) centers.(p))
+                 (Point.l2_sq centers.(b) centers.(q)))
+      in
+      let near = List.filteri (fun i _ -> i < spec.partners_near) by_distance in
+      let far =
+        if n > spec.partners_near + 1 && Prng.float rng 1.0 < spec.far_partner_prob
+        then begin
+          (* a partner from the far half of the distance ranking *)
+          let tail = List.filteri (fun i _ -> i >= List.length by_distance / 2) by_distance in
+          match tail with [] -> [] | l -> [ List.nth l (Prng.int rng (List.length l)) ]
+        end
+        else []
+      in
+      Array.of_list (near @ far))
+
+(* Bus pins fan out from an anchor at a regular pitch; rows wrap every 32
+   bits so wide buses stay compact. *)
+let bus_pin die anchor pitch bit =
+  let row = bit / 32 and col = bit mod 32 in
+  clamp_point die
+    (Point.add anchor
+       (Point.make (float_of_int col *. pitch) (float_of_int row *. pitch)))
+
+let generate spec =
+  if spec.n_groups <= 0 then invalid_arg "Gen.generate: need at least one group";
+  if spec.n_blocks < 2 then invalid_arg "Gen.generate: need at least two blocks";
+  if spec.bits_min < 1 || spec.bits_max < spec.bits_min then
+    invalid_arg "Gen.generate: bad bits range";
+  let rng = Prng.create spec.seed in
+  let centers = block_centers rng spec in
+  let partners = partner_lists rng spec centers in
+  let anchor_in_block rng b =
+    let off () = Prng.float_range rng (-0.5 *. spec.block_size) (0.5 *. spec.block_size) in
+    clamp_point spec.die (Point.add centers.(b) (Point.make (off ()) (off ())))
+  in
+  let groups =
+    Array.init spec.n_groups (fun gi ->
+        let bits_count = uniform_in rng spec.bits_min spec.bits_max in
+        let src_block = Prng.int rng spec.n_blocks in
+        let n_sink_blocks = uniform_in rng spec.sink_blocks_min spec.sink_blocks_max in
+        let choices = partners.(src_block) in
+        let pick_sink_block () =
+          if Array.length choices = 0 then (src_block + 1) mod spec.n_blocks
+          else begin
+            let near_count = Stdlib.min spec.partners_near (Array.length choices) in
+            if Prng.float rng 1.0 < spec.local_fraction
+               || near_count = Array.length choices
+            then choices.(Prng.int rng near_count)
+            else
+              (* a chip-crossing corridor *)
+              choices.(near_count + Prng.int rng (Array.length choices - near_count))
+          end
+        in
+        let sink_blocks = Array.init n_sink_blocks (fun _ -> pick_sink_block ()) in
+        let src_anchor = anchor_in_block rng src_block in
+        let sink_anchors = Array.map (fun b -> anchor_in_block rng b) sink_blocks in
+        let bits =
+          Array.init bits_count (fun b ->
+              let source = bus_pin spec.die src_anchor spec.pitch b in
+              let sinks =
+                Array.map (fun anchor -> bus_pin spec.die anchor spec.pitch b) sink_anchors
+              in
+              Operon.Signal.bit ~source ~sinks)
+        in
+        Operon.Signal.group ~name:(Printf.sprintf "%s_g%d" spec.name gi) ~bits)
+  in
+  Operon.Signal.design ~die:spec.die ~groups
+
+let describe spec =
+  Printf.sprintf
+    "%s: %d groups over %d blocks (%d near partners, %.0f%% far), %d-%d bits, \
+     %d-%d sink blocks, die %.1fx%.1f cm"
+    spec.name spec.n_groups spec.n_blocks spec.partners_near
+    (100.0 *. spec.far_partner_prob) spec.bits_min spec.bits_max
+    spec.sink_blocks_min spec.sink_blocks_max (Rect.width spec.die)
+    (Rect.height spec.die)

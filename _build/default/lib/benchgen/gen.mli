@@ -1,0 +1,38 @@
+(** Synthetic industrial-style benchmark generation.
+
+    The paper's I1-I5 cases are proprietary industrial designs up-scaled
+    to centimetre dimensions; only their #Net statistics are published.
+    This generator reproduces their structure: a floorplan of macro
+    blocks on a jittered grid, a {e sparse corridor graph} connecting
+    each block to its nearest neighbours (plus occasional chip-crossing
+    partners — real bus traffic is not all-to-all, and quasi-planar
+    corridors keep waveguide crossing counts at realistic levels), and
+    signal groups as parallel buses running from a source block to one or
+    more partner blocks with pins at a regular pitch. All randomness
+    flows through the seeded {!Operon_util.Prng}, so every case is
+    reproducible. *)
+
+open Operon_geom
+
+type spec = {
+  name : string;
+  seed : int;
+  die : Rect.t;  (** placement area, cm *)
+  n_blocks : int;  (** macro blocks on the floorplan grid *)
+  partners_near : int;  (** nearest-neighbour corridors per block *)
+  far_partner_prob : float;  (** chance of one extra chip-crossing corridor *)
+  block_size : float;  (** anchor scatter within a block, cm *)
+  n_groups : int;
+  bits_min : int;
+  bits_max : int;  (** bits per group, uniform *)
+  sink_blocks_min : int;
+  sink_blocks_max : int;  (** destination blocks per group *)
+  pitch : float;  (** pin pitch inside a bus row, cm *)
+  local_fraction : float;
+      (** share of sink picks restricted to the nearest partners *)
+}
+
+val generate : spec -> Operon.Signal.design
+(** Deterministic in [spec.seed]. Pins are clamped inside the die. *)
+
+val describe : spec -> string

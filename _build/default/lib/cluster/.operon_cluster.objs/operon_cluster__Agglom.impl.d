@@ -1,0 +1,1 @@
+lib/cluster/agglom.ml: Array List Operon_geom Point

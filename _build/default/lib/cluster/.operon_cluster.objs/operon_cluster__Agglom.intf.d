@@ -1,0 +1,1 @@
+lib/cluster/agglom.mli: Operon_geom Point

@@ -1,0 +1,1 @@
+lib/cluster/kmeans.ml: Array Float Fun List Operon_geom Operon_util Point Prng Stdlib

@@ -1,0 +1,1 @@
+lib/cluster/kmeans.mli: Operon_geom Operon_util Point Prng

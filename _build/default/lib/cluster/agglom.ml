@@ -1,0 +1,64 @@
+open Operon_geom
+
+type hyper_pin = { members : int array; center : Point.t }
+
+type cluster = { mutable pts : int list; mutable ctr : Point.t; mutable size : int }
+
+let merge pins ~threshold =
+  let n = Array.length pins in
+  if n = 0 then [||]
+  else if threshold <= 0.0 then
+    Array.mapi (fun i p -> { members = [| i |]; center = p }) pins
+  else begin
+    let clusters =
+      Array.init n (fun i -> Some { pts = [ i ]; ctr = pins.(i); size = 1 })
+    in
+    let merged_ref = ref true in
+    while !merged_ref do
+      merged_ref := false;
+      (* Find the globally closest pair of live clusters. *)
+      let best = ref infinity and bi = ref (-1) and bj = ref (-1) in
+      for i = 0 to n - 1 do
+        match clusters.(i) with
+        | None -> ()
+        | Some ci ->
+            for j = i + 1 to n - 1 do
+              match clusters.(j) with
+              | None -> ()
+              | Some cj ->
+                  let d = Point.l2 ci.ctr cj.ctr in
+                  if d < !best then begin
+                    best := d;
+                    bi := i;
+                    bj := j
+                  end
+            done
+      done;
+      if !bi >= 0 && !best < threshold then begin
+        match (clusters.(!bi), clusters.(!bj)) with
+        | Some ci, Some cj ->
+            (* Weighted gravity centre keeps the running mean exact. *)
+            let total = ci.size + cj.size in
+            let w1 = float_of_int ci.size /. float_of_int total in
+            let w2 = float_of_int cj.size /. float_of_int total in
+            ci.ctr <-
+              Point.add (Point.scale w1 ci.ctr) (Point.scale w2 cj.ctr);
+            ci.pts <- cj.pts @ ci.pts;
+            ci.size <- total;
+            clusters.(!bj) <- None;
+            merged_ref := true
+        | _ -> assert false
+      end
+    done;
+    let out = ref [] in
+    for i = n - 1 downto 0 do
+      match clusters.(i) with
+      | None -> ()
+      | Some c ->
+          let members = Array.of_list (List.sort compare c.pts) in
+          out := { members; center = c.ctr } :: !out
+    done;
+    (* Order hyper pins by their smallest member pin. *)
+    List.sort (fun a b -> compare a.members.(0) b.members.(0)) !out
+    |> Array.of_list
+  end

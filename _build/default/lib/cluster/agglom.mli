@@ -1,0 +1,19 @@
+(** Bottom-up hyper-pin construction (paper Section 3.1.2).
+
+    Within one hyper net, every electrical pin starts as its own hyper pin;
+    the closest pair of hyper pins (Euclidean distance between gravity
+    centres) merges while that distance stays below the threshold. The
+    result maps each surviving hyper pin to its member pins and gravity
+    centre. *)
+
+open Operon_geom
+
+type hyper_pin = {
+  members : int array;  (** indices into the input pin array *)
+  center : Point.t;  (** gravity centre of the members *)
+}
+
+val merge : Point.t array -> threshold:float -> hyper_pin array
+(** Cluster pins under the merge-distance threshold. A non-positive
+    threshold returns one singleton hyper pin per pin. Results are ordered
+    by smallest member index. *)

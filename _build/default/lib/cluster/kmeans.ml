@@ -1,0 +1,150 @@
+open Operon_util
+open Operon_geom
+
+type result = {
+  clusters : int array array;
+  centroids : Point.t array;
+  iterations : int;
+}
+
+(* K-Means++ seeding: each next centre is drawn with probability
+   proportional to the squared distance from the nearest chosen centre. *)
+let seed_centroids rng points k =
+  let n = Array.length points in
+  let centroids = Array.make k points.(Prng.int rng n) in
+  let d2 = Array.make n infinity in
+  for c = 1 to k - 1 do
+    let prev = centroids.(c - 1) in
+    for i = 0 to n - 1 do
+      d2.(i) <- Float.min d2.(i) (Point.l2_sq points.(i) prev)
+    done;
+    let total = Array.fold_left ( +. ) 0.0 d2 in
+    if total <= 0.0 then centroids.(c) <- points.(Prng.int rng n)
+    else begin
+      let target = Prng.float rng total in
+      let acc = ref 0.0 and chosen = ref (n - 1) in
+      (try
+         for i = 0 to n - 1 do
+           acc := !acc +. d2.(i);
+           if !acc >= target then begin
+             chosen := i;
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      centroids.(c) <- points.(!chosen)
+    end
+  done;
+  centroids
+
+(* Capacity-aware assignment: points are processed by increasing distance
+   to their closest centroid; each takes the nearest centroid that still
+   has room, spilling to the second closest and so on. *)
+let assign points centroids capacity =
+  let n = Array.length points and k = Array.length centroids in
+  let order =
+    let keyed =
+      Array.init n (fun i ->
+          let best = ref infinity in
+          Array.iter
+            (fun c -> best := Float.min !best (Point.l2_sq points.(i) c))
+            centroids;
+          (!best, i))
+    in
+    Array.sort (fun (a, _) (b, _) -> Float.compare a b) keyed;
+    Array.map snd keyed
+  in
+  let load = Array.make k 0 in
+  let assignment = Array.make n (-1) in
+  Array.iter
+    (fun i ->
+      let prefs = Array.init k (fun c -> (Point.l2_sq points.(i) centroids.(c), c)) in
+      Array.sort (fun (a, _) (b, _) -> Float.compare a b) prefs;
+      let rec place r =
+        if r >= k then
+          (* All clusters full: only possible when k*capacity < n, which the
+             caller rules out. *)
+          invalid_arg "Kmeans.assign: no capacity left"
+        else begin
+          let _, c = prefs.(r) in
+          if load.(c) < capacity then begin
+            assignment.(i) <- c;
+            load.(c) <- load.(c) + 1
+          end
+          else place (r + 1)
+        end
+      in
+      place 0)
+    order;
+  assignment
+
+let variance points assignment centroids =
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun i c -> acc := !acc +. Point.l2_sq points.(i) centroids.(c))
+    assignment;
+  !acc /. float_of_int (Stdlib.max 1 (Array.length points))
+
+let recompute_centroids points assignment k old =
+  let sums = Array.make k (0.0, 0.0, 0) in
+  Array.iteri
+    (fun i c ->
+      let sx, sy, cnt = sums.(c) in
+      sums.(c) <- (sx +. points.(i).Point.x, sy +. points.(i).Point.y, cnt + 1))
+    assignment;
+  Array.mapi
+    (fun c (sx, sy, cnt) ->
+      if cnt = 0 then old.(c)
+      else Point.make (sx /. float_of_int cnt) (sy /. float_of_int cnt))
+    sums
+
+let run ?(max_iter = 50) ?(threshold = 1e-3) rng points ~k ~capacity =
+  let n = Array.length points in
+  if n = 0 then invalid_arg "Kmeans.run: no points";
+  if k <= 0 then invalid_arg "Kmeans.run: k must be positive";
+  if capacity <= 0 then invalid_arg "Kmeans.run: capacity must be positive";
+  if k * capacity < n then invalid_arg "Kmeans.run: k * capacity < n";
+  let centroids = ref (seed_centroids rng points k) in
+  let assignment = ref (assign points !centroids capacity) in
+  let prev_var = ref (variance points !assignment !centroids) in
+  let iterations = ref 1 in
+  let converged = ref false in
+  while (not !converged) && !iterations < max_iter do
+    incr iterations;
+    centroids := recompute_centroids points !assignment k !centroids;
+    assignment := assign points !centroids capacity;
+    let var = variance points !assignment !centroids in
+    (* Stop when the variance improvement becomes negligible. *)
+    if !prev_var -. var <= threshold *. Float.max !prev_var 1e-12 then
+      converged := true;
+    prev_var := var
+  done;
+  (* Gather clusters, dropping empty ones (the paper removes them too). *)
+  let buckets = Array.make k [] in
+  Array.iteri (fun i c -> buckets.(c) <- i :: buckets.(c)) !assignment;
+  let survivors =
+    Array.to_list buckets
+    |> List.mapi (fun c members -> (c, members))
+    |> List.filter (fun (_, members) -> members <> [])
+  in
+  let clusters =
+    survivors |> List.map (fun (_, members) -> Array.of_list (List.rev members))
+  in
+  let centroids_out =
+    survivors
+    |> List.map (fun (c, _) -> !centroids.(c))
+  in
+  { clusters = Array.of_list clusters;
+    centroids = Array.of_list centroids_out;
+    iterations = !iterations }
+
+let partition rng points ~capacity =
+  let n = Array.length points in
+  if n <= capacity then
+    { clusters = [| Array.init n Fun.id |];
+      centroids = [| Point.centroid points |];
+      iterations = 0 }
+  else begin
+    let k = (n + capacity - 1) / capacity in
+    run rng points ~k ~capacity
+  end

@@ -1,0 +1,36 @@
+(** Capacity-constrained K-Means (paper Section 3.1.1).
+
+    Signal groups whose bit count exceeds the WDM channel capacity are
+    partitioned top-down into K = ceil(bits / capacity) clusters. Plain
+    Lloyd iterations cannot bound cluster sizes, so the assignment step is
+    extended exactly as the paper describes: a point that would overflow its
+    closest centroid spills to the second closest, and so on. Empty
+    clusters are removed from the result. *)
+
+open Operon_util
+open Operon_geom
+
+type result = {
+  clusters : int array array;
+      (** Point indices per surviving (non-empty) cluster. *)
+  centroids : Point.t array;  (** Gravity centre per surviving cluster. *)
+  iterations : int;  (** Lloyd iterations executed. *)
+}
+
+val run :
+  ?max_iter:int ->
+  ?threshold:float ->
+  Prng.t ->
+  Point.t array ->
+  k:int ->
+  capacity:int ->
+  result
+(** [run rng points ~k ~capacity] clusters with at most [capacity] points
+    per cluster. Requires [k * capacity >= Array.length points] (checked).
+    Iteration stops when the relative decrease of within-cluster variance
+    falls below [threshold] (default 1e-3) or after [max_iter] (default 50)
+    rounds. K-Means++ seeding. *)
+
+val partition : Prng.t -> Point.t array -> capacity:int -> result
+(** Convenience wrapper choosing K = ceil(n / capacity), the paper's choice;
+    returns a single cluster untouched when the points already fit. *)

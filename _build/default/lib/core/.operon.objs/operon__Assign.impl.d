@@ -1,0 +1,1 @@
+lib/core/assign.ml: Array List Maxflow Mcmf Operon_flow Operon_optical Params Wdm Wdm_place

@@ -1,0 +1,1 @@
+lib/core/assign.mli: Operon_optical Params Wdm Wdm_place

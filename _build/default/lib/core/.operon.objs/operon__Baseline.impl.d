@@ -1,0 +1,1 @@
+lib/core/baseline.ml: Array Bi1s Candidate Float Hypernet List Loss Operon_geom Operon_optical Operon_steiner Params Rsmt Segment Selection Signal Topology

@@ -1,0 +1,1 @@
+lib/core/baseline.mli: Hypernet Operon_optical Params Selection Signal

@@ -1,0 +1,1 @@
+lib/core/candidate.ml: Array Float Hypernet List Loss Operon_geom Operon_optical Operon_steiner Power Printf Segment String Topology

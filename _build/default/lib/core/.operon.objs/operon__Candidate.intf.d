@@ -1,0 +1,1 @@
+lib/core/candidate.mli: Hypernet Operon_geom Operon_optical Operon_steiner Params Segment Topology

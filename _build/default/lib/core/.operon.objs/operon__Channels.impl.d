@@ -1,0 +1,1 @@
+lib/core/channels.ml: Array Assign Float Hashtbl List Operon_optical Params Printf Wdm

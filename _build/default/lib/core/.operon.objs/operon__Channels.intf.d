@@ -1,0 +1,1 @@
+lib/core/channels.mli: Assign Operon_optical Params Wdm

@@ -1,0 +1,1 @@
+lib/core/codesign.ml: Array Bi1s Buffer Candidate Float Hashtbl Hypernet List Loss Operon_optical Operon_steiner Params Printf Rsmt Topology

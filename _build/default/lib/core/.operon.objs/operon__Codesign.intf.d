@@ -1,0 +1,1 @@
+lib/core/codesign.mli: Candidate Hypernet Operon_geom Operon_optical Operon_steiner Params Segment Topology

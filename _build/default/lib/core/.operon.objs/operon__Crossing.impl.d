@@ -1,0 +1,1 @@
+lib/core/crossing.ml: Array Dsu Hashtbl List Operon_geom Operon_graph Point Rect Segment Stdlib

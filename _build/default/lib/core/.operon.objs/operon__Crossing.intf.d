@@ -1,0 +1,1 @@
+lib/core/crossing.mli: Operon_geom Rect Segment

@@ -1,0 +1,1 @@
+lib/core/flow.ml: Array Assign Bi1s Codesign Crossing Hypernet Ilp_select List Lr_select Operon_optical Operon_steiner Processing Selection Signal Topology Wdm_place

@@ -1,0 +1,1 @@
+lib/core/flow.mli: Assign Hypernet Ilp_select Lr_select Operon_optical Operon_util Params Prng Processing Selection Signal Wdm_place

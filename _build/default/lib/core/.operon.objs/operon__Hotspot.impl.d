@@ -1,0 +1,1 @@
+lib/core/hotspot.ml: Array Candidate Gridmap Hypernet Operon_geom Operon_optical Operon_steiner Params Printf Rsmt Segment Selection Signal Topology

@@ -1,0 +1,1 @@
+lib/core/hotspot.mli: Gridmap Operon_geom Operon_optical Rect Selection Signal

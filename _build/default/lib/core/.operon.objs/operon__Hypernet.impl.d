@@ -1,0 +1,1 @@
+lib/core/hypernet.ml: Array Operon_geom Point Rect

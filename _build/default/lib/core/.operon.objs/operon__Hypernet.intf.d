@@ -1,0 +1,1 @@
+lib/core/hypernet.mli: Operon_geom Point Rect

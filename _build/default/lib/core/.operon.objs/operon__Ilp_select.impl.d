@@ -1,0 +1,1 @@
+lib/core/ilp_select.ml: Array Candidate Crossing Float Hashtbl Ilp List Loss Lp Operon_geom Operon_optical Operon_solver Operon_util Params Point Rect Segment Selection Stdlib Timer

@@ -1,0 +1,1 @@
+lib/core/ilp_select.mli: Selection

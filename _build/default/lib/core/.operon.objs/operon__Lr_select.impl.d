@@ -1,0 +1,1 @@
+lib/core/lr_select.ml: Array Candidate Float Hashtbl Operon_optical Operon_util Params Selection Timer

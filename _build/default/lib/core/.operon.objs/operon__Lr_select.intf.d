@@ -1,0 +1,1 @@
+lib/core/lr_select.mli: Selection

@@ -1,0 +1,1 @@
+lib/core/processing.ml: Agglom Array Hypernet Kmeans List Operon_cluster Operon_geom Operon_optical Params Point Signal

@@ -1,0 +1,1 @@
+lib/core/processing.mli: Hypernet Operon_optical Operon_util Params Prng Signal

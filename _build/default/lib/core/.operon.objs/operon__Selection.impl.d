@@ -1,0 +1,1 @@
+lib/core/selection.ml: Array Candidate List Operon_geom Operon_optical Params Printf Rect Segment

@@ -1,0 +1,1 @@
+lib/core/selection.mli: Candidate Operon_geom Operon_optical Params Rect

@@ -1,0 +1,1 @@
+lib/core/signal.ml: Array Operon_geom Point Printf Rect

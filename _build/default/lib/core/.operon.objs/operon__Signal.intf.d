@@ -1,0 +1,1 @@
+lib/core/signal.mli: Operon_geom Point Rect

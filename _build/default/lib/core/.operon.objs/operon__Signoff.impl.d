@@ -1,0 +1,1 @@
+lib/core/signoff.ml: Array Assign Candidate Float Hashtbl Hypernet List Operon_geom Operon_optical Operon_util Params Point Segment Selection Wdm Wdm_place

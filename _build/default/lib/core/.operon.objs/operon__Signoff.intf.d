@@ -1,0 +1,1 @@
+lib/core/signoff.mli: Assign Operon_optical Selection Wdm_place

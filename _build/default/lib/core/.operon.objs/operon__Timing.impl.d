@@ -1,0 +1,1 @@
+lib/core/timing.ml: Array Candidate Delay Float List Operon_optical Operon_steiner Operon_util Selection Topology

@@ -1,0 +1,1 @@
+lib/core/wdm_place.ml: Array Candidate Float Hypernet List Operon_optical Params Selection Wdm

@@ -1,0 +1,1 @@
+lib/core/wdm_place.mli: Operon_optical Params Selection Wdm

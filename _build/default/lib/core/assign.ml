@@ -1,0 +1,154 @@
+open Operon_optical
+open Operon_flow
+
+type result = {
+  tracks : Wdm.track array;
+  flows : (int * int) list array;
+  initial_count : int;
+  final_count : int;
+  displacement_cost : float;
+}
+
+(* Total bits that must be carried for one orientation. *)
+let demand conns orient =
+  Array.fold_left
+    (fun acc c -> if Wdm.orientation_of c.Wdm.seg = orient then acc + c.Wdm.bits else acc)
+    0 conns
+
+(* Can [live] (a track subset, same orientation) carry every connection? *)
+let feasible params conns orient live =
+  let nc = Array.length conns and nw = Array.length live in
+  let total = demand conns orient in
+  if total = 0 then true
+  else begin
+    let source = 0 and sink = nc + nw + 1 in
+    let g = Maxflow.create (nc + nw + 2) in
+    Array.iteri
+      (fun ci c ->
+        if Wdm.orientation_of c.Wdm.seg = orient then begin
+          ignore (Maxflow.add_edge g ~src:source ~dst:(1 + ci) ~cap:c.Wdm.bits);
+          Array.iteri
+            (fun wi t ->
+              if Wdm.track_distance t c <= params.Params.dis_u then
+                ignore
+                  (Maxflow.add_edge g ~src:(1 + ci) ~dst:(1 + nc + wi) ~cap:c.Wdm.bits))
+            live
+        end)
+      conns;
+    Array.iteri
+      (fun wi t ->
+        ignore (Maxflow.add_edge g ~src:(1 + nc + wi) ~dst:sink ~cap:t.Wdm.capacity))
+      live;
+    Maxflow.max_flow g ~source ~sink = total
+  end
+
+(* Min-cost assignment of one orientation's connections onto the
+   surviving tracks. [live] are that orientation's surviving tracks and
+   [positions.(wi)] is the index of [live.(wi)] in the final track array.
+   Returns per-connection flows and the total displacement cost. *)
+let assign params conns orient live positions =
+  let nc = Array.length conns and nw = Array.length live in
+  let flows = Array.make nc [] in
+  let total = demand conns orient in
+  if total = 0 then (flows, 0.0)
+  else begin
+    let source = 0 and sink = nc + nw + 1 in
+    let g = Mcmf.create (nc + nw + 2) in
+    (* Usage cost per channel on the sink arcs: proportional to track
+       length so packed short waveguides are preferred; scaled small so
+       displacement dominates tie-breaks only. *)
+    let handles = ref [] in
+    Array.iteri
+      (fun ci c ->
+        if Wdm.orientation_of c.Wdm.seg = orient then begin
+          ignore (Mcmf.add_edge g ~src:source ~dst:(1 + ci) ~cap:c.Wdm.bits ~cost:0.0);
+          Array.iteri
+            (fun wi t ->
+              let dist = Wdm.track_distance t c in
+              if dist <= params.Params.dis_u then begin
+                let h =
+                  Mcmf.add_edge g ~src:(1 + ci) ~dst:(1 + nc + wi) ~cap:c.Wdm.bits
+                    ~cost:dist
+                in
+                handles := (h, ci, wi, dist) :: !handles
+              end)
+            live
+        end)
+      conns;
+    Array.iteri
+      (fun wi t ->
+        let usage = 1e-3 *. (1.0 +. Wdm.track_length t) in
+        ignore (Mcmf.add_edge g ~src:(1 + nc + wi) ~dst:sink ~cap:t.Wdm.capacity ~cost:usage))
+      live;
+    let flow, _cost = Mcmf.solve g ~source ~sink in
+    assert (flow = total);
+    let displacement = ref 0.0 in
+    List.iter
+      (fun (h, ci, wi, dist) ->
+        let f = Mcmf.flow_on g h in
+        if f > 0 then begin
+          flows.(ci) <- (positions.(wi), f) :: flows.(ci);
+          displacement := !displacement +. (dist *. float_of_int f)
+        end)
+      !handles;
+    (flows, !displacement)
+  end
+
+let run params (placement : Wdm_place.placement) =
+  let conns = placement.Wdm_place.conns in
+  let all = placement.Wdm_place.tracks in
+  let initial_count = Array.length all in
+  (* Retire tracks lightest-first while a max-flow certificate shows the
+     rest still carries everything. Orientations are independent. Tracks
+     are handled by index so identical-looking tracks stay distinct. *)
+  let survivors orient =
+    let mine = ref [] in
+    for i = Array.length all - 1 downto 0 do
+      if all.(i).Wdm.orient = orient then mine := i :: !mine
+    done;
+    let ordered =
+      List.sort (fun a b -> compare all.(a).Wdm.used all.(b).Wdm.used) !mine
+    in
+    List.fold_left
+      (fun keep i ->
+        let without = List.filter (fun j -> j <> i) keep in
+        let live = List.map (fun j -> all.(j)) without in
+        if feasible params conns orient (Array.of_list live) then without else keep)
+      ordered ordered
+  in
+  let kept_h = survivors Wdm.Horizontal in
+  let kept_v = survivors Wdm.Vertical in
+  let final_idx = Array.of_list (kept_h @ kept_v) in
+  let final_tracks = Array.map (fun i -> all.(i)) final_idx in
+  let positions_of kept offset =
+    Array.init (List.length kept) (fun k -> offset + k)
+  in
+  let live_h = Array.map (fun i -> all.(i)) (Array.of_list kept_h) in
+  let live_v = Array.map (fun i -> all.(i)) (Array.of_list kept_v) in
+  let flows_h, cost_h =
+    assign params conns Wdm.Horizontal live_h (positions_of kept_h 0)
+  in
+  let flows_v, cost_v =
+    assign params conns Wdm.Vertical live_v (positions_of kept_v (List.length kept_h))
+  in
+  let flows =
+    Array.init (Array.length conns) (fun i ->
+        match flows_h.(i) with [] -> flows_v.(i) | l -> l)
+  in
+  (* Refresh usage counters on the surviving tracks. *)
+  Array.iter (fun t -> t.Wdm.used <- 0) final_tracks;
+  Array.iteri
+    (fun _ assigned ->
+      List.iter
+        (fun (wi, bits) -> final_tracks.(wi).Wdm.used <- final_tracks.(wi).Wdm.used + bits)
+        assigned)
+    flows;
+  { tracks = final_tracks;
+    flows;
+    initial_count;
+    final_count = Array.length final_tracks;
+    displacement_cost = cost_h +. cost_v }
+
+let reduction_ratio r =
+  if r.initial_count = 0 then 0.0
+  else float_of_int (r.initial_count - r.final_count) /. float_of_int r.initial_count

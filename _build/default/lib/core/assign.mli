@@ -1,0 +1,36 @@
+(** Network-flow WDM re-assignment (paper Section 4.2, Figs. 6-7).
+
+    The sweep placement is sequential and leaves sharable capacity on the
+    table; re-assigning connections {e concurrently} through a min-cost
+    max-flow network retires idle waveguides. The network is the paper's:
+    source -> connections -> nearby WDMs (within [dis_u]) -> sink, with
+    connection bit counts as capacities, perpendicular displacement as
+    connection-to-WDM cost and a WDM usage cost on the sink arcs. Because
+    the network is a transportation network the optimum is integral (the
+    paper's uni-modularity remark).
+
+    Waveguide retirement works by feasibility probing: tracks are visited
+    lightest-loaded first, and a track is removed whenever a max-flow
+    check proves the remaining tracks still carry every connection bit.
+    The final min-cost max-flow computes the cheapest concurrent
+    assignment onto the surviving tracks. *)
+
+open Operon_optical
+
+type result = {
+  tracks : Wdm.track array;  (** surviving tracks, usage updated *)
+  flows : (int * int) list array;
+      (** per connection id: (surviving-track index, bits) — a connection
+          may split across parallel waveguides *)
+  initial_count : int;
+  final_count : int;
+  displacement_cost : float;  (** total perpendicular movement, cm-bits *)
+}
+
+val run : Params.t -> Wdm_place.placement -> result
+(** Raises nothing on well-formed placements; a placement is always a
+    feasible assignment, so [final_count <= initial_count]. *)
+
+val reduction_ratio : result -> float
+(** [(initial - final) / initial]; 0 when no track could be removed. The
+    paper reports 8.9 % on average (Fig. 8). *)

@@ -1,0 +1,127 @@
+open Operon_geom
+open Operon_optical
+open Operon_steiner
+
+let electrical_wirelength _params (design : Signal.design) =
+  Array.fold_left
+    (fun acc (g : Signal.group) ->
+      Array.fold_left
+        (fun acc b -> acc +. Rsmt.wirelength (Signal.bit_pins b))
+        acc g.Signal.bits)
+    0.0 design.Signal.groups
+
+let electrical_power params design =
+  Params.electrical_unit_energy params *. electrical_wirelength params design
+
+type glow_result = {
+  ctx : Selection.ctx;
+  choice : int array;
+  power : float;
+  optical_nets : int;
+  electrical_nets : int;
+  underestimated : int;
+}
+
+(* Fully-optical candidate on the Euclidean BI1S baseline. *)
+let all_optical params hnet =
+  let terminals = Hypernet.centers hnet in
+  if Array.length terminals <= 1 then None
+  else begin
+    let topo = Bi1s.build Topology.L2 terminals ~root:0 in
+    let labels = Array.make (Topology.node_count topo) Candidate.Optical in
+    Some (Candidate.of_labels params hnet topo labels)
+  end
+
+(* GLOW's loss view of one path: propagation plus crossing against the
+   other currently-optical nets — but no splitting loss, GLOW's blind
+   spot. *)
+let glow_path_loss params (c : Candidate.t) p coupled =
+  let path = c.Candidate.paths.(p) in
+  let wl =
+    Array.fold_left (fun acc s -> acc +. Segment.length s) 0.0 path.Candidate.segments
+  in
+  let crossing =
+    List.fold_left
+      (fun acc other -> acc +. Candidate.crossing_loss_on_path params c p other)
+      0.0 coupled
+  in
+  Loss.propagation params wl +. crossing
+
+let glow_net_loss params c coupled =
+  let worst = ref 0.0 in
+  Array.iteri
+    (fun p _ -> worst := Float.max !worst (glow_path_loss params c p coupled))
+    c.Candidate.paths;
+  !worst
+
+let glow params hnets =
+  let n = Array.length hnets in
+  let optical = Array.map (all_optical params) hnets in
+  let cand_lists =
+    Array.mapi
+      (fun i hnet ->
+        let terminals = Hypernet.centers hnet in
+        let elec =
+          if Array.length terminals <= 1 then
+            Candidate.electrical params hnet (Bi1s.mst_tree Topology.L2 terminals ~root:0)
+          else Candidate.electrical params hnet (Rsmt.tree terminals ~root:0)
+        in
+        match optical.(i) with None -> [ elec ] | Some o -> [ o; elec ])
+      hnets
+  in
+  let ctx = Selection.make_ctx params cand_lists in
+  (* Start everything on the optical layer, then iterate to a fixed point
+     of GLOW's own (splitting-blind) loss model: a net whose propagation +
+     crossing loss against the other currently-optical nets exceeds the
+     budget falls back to copper. Demoting nets only removes crossings,
+     so the iteration is monotone and terminates. *)
+  let is_optical = Array.map (fun o -> o <> None) optical in
+  let l_max = params.Params.l_max in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for i = 0 to n - 1 do
+      if is_optical.(i) then begin
+        match optical.(i) with
+        | None -> ()
+        | Some o ->
+            let coupled =
+              Array.to_list ctx.Selection.neighbors.(i)
+              |> List.filter_map (fun m ->
+                     if is_optical.(m) then
+                       match optical.(m) with
+                       | Some om -> Some om
+                       | None -> None
+                     else None)
+            in
+            if glow_net_loss params o coupled > l_max then begin
+              is_optical.(i) <- false;
+              changed := true
+            end
+      end
+    done
+  done;
+  let choice = Array.make n 0 in
+  let optical_nets = ref 0 and electrical_nets = ref 0 and under = ref 0 in
+  Array.iteri
+    (fun i _ ->
+      if is_optical.(i) then begin
+        choice.(i) <- 0;
+        incr optical_nets;
+        (* Would the net actually be detectable once splitting loss is
+           accounted for? GLOW cannot see this. *)
+        match optical.(i) with
+        | Some o when not (Candidate.loss_feasible params o) -> incr under
+        | _ -> ()
+      end
+      else begin
+        choice.(i) <- ctx.Selection.elec_idx.(i);
+        incr electrical_nets
+      end)
+    hnets;
+  { ctx;
+    choice;
+    power = Selection.power ctx choice;
+    optical_nets = !optical_nets;
+    electrical_nets = !electrical_nets;
+    underestimated = !under }

@@ -1,0 +1,36 @@
+(** Comparison baselines of Table 1.
+
+    - {e Electrical [14]} (Streak-like): every signal bit routed as
+      rectilinear copper; wirelength estimated by RSMT over each bit's
+      pins, power by Eq. (6).
+    - {e Optical [4]} (GLOW-like): every hyper net routed fully optically
+      on its BI1S baseline; the feasibility check follows GLOW in
+      considering propagation and crossing loss but {e ignoring splitting
+      loss} (the blind spot OPERON fixes); hyper nets failing even that
+      check fall back to electrical wires. Because real detection includes
+      splitting loss, some GLOW-accepted nets would actually malfunction —
+      {!glow_underestimates} counts them. *)
+
+open Operon_optical
+
+val electrical_power : Params.t -> Signal.design -> float
+(** Total Table 1 "Electrical" power: sum over bits of RSMT wirelength
+    times the per-cm electrical energy. *)
+
+val electrical_wirelength : Params.t -> Signal.design -> float
+(** Total RSMT wirelength (cm) of the pure-electrical design. *)
+
+type glow_result = {
+  ctx : Selection.ctx;
+      (** per hyper net: [all-optical; electrical-fallback] candidates *)
+  choice : int array;
+  power : float;
+  optical_nets : int;  (** hyper nets GLOW kept on the optical layer *)
+  electrical_nets : int;  (** hyper nets that fell back to copper *)
+  underestimated : int;
+      (** optically-routed nets whose true loss (with splitting) violates
+          the detection budget — GLOW's blind spot *)
+}
+
+val glow : Params.t -> Hypernet.t array -> glow_result
+(** Run the GLOW-like flow over processed hyper nets. *)

@@ -1,0 +1,136 @@
+open Operon_optical
+
+type grant = { conn : int; track : int; channels : int array }
+
+type plan = { grants : grant array; peak_channels : int array }
+
+(* Flows of one track sorted by span start; channels are granted with the
+   classic interval-colouring sweep: a channel is reusable once the span
+   that last used it has ended. *)
+let colour_track params conns flows =
+  let capacity = params.Params.wdm_capacity in
+  let ordered =
+    List.sort
+      (fun (c1, _) (c2, _) ->
+        let lo1, _ = Wdm.conn_span conns.(c1) in
+        let lo2, _ = Wdm.conn_span conns.(c2) in
+        Float.compare lo1 lo2)
+      flows
+  in
+  (* free_at.(ch) = longitudinal coordinate after which channel ch is
+     reusable; grows on demand up to the capacity. *)
+  let free_at = Array.make capacity neg_infinity in
+  let peak = ref 0 in
+  let grants =
+    List.map
+      (fun (ci, bits) ->
+        let lo, hi = Wdm.conn_span conns.(ci) in
+        let granted = ref [] in
+        let remaining = ref bits in
+        let ch = ref 0 in
+        while !remaining > 0 && !ch < capacity do
+          if free_at.(!ch) <= lo +. 1e-12 then begin
+            granted := !ch :: !granted;
+            free_at.(!ch) <- hi;
+            decr remaining;
+            if !ch + 1 > !peak then peak := !ch + 1
+          end;
+          incr ch
+        done;
+        if !remaining > 0 then
+          invalid_arg "Channels.assign: track capacity exceeded";
+        (ci, Array.of_list (List.rev !granted)))
+      ordered
+  in
+  (grants, !peak)
+
+let assign params conns (result : Assign.result) =
+  let ntracks = Array.length result.Assign.tracks in
+  (* Regroup the Section 4 flows by track. *)
+  let per_track = Array.make ntracks [] in
+  Array.iteri
+    (fun ci flows ->
+      List.iter
+        (fun (wi, bits) ->
+          if wi < 0 || wi >= ntracks then
+            invalid_arg "Channels.assign: flow references unknown track";
+          per_track.(wi) <- (ci, bits) :: per_track.(wi))
+        flows)
+    result.Assign.flows;
+  let grants = ref [] in
+  let peaks = Array.make ntracks 0 in
+  Array.iteri
+    (fun wi flows ->
+      let coloured, peak = colour_track params conns flows in
+      peaks.(wi) <- peak;
+      List.iter
+        (fun (ci, channels) -> grants := { conn = ci; track = wi; channels } :: !grants)
+        coloured)
+    per_track;
+  { grants = Array.of_list (List.rev !grants); peak_channels = peaks }
+
+let verify params conns plan =
+  let capacity = params.Params.wdm_capacity in
+  let check () =
+    (* channel indices within capacity *)
+    Array.iter
+      (fun g ->
+        Array.iter
+          (fun ch ->
+            if ch < 0 || ch >= capacity then
+              failwith
+                (Printf.sprintf "connection %d granted out-of-range channel %d" g.conn ch))
+          g.channels)
+      plan.grants;
+    (* no overlapping spans sharing a channel on one track *)
+    let by_track = Hashtbl.create 16 in
+    Array.iter
+      (fun g ->
+        let existing = try Hashtbl.find by_track g.track with Not_found -> [] in
+        Hashtbl.replace by_track g.track (g :: existing))
+      plan.grants;
+    Hashtbl.iter
+      (fun track grants ->
+        let rec pairs = function
+          | [] -> ()
+          | g :: rest ->
+              List.iter
+                (fun g' ->
+                  let lo, hi = Wdm.conn_span conns.(g.conn) in
+                  let lo', hi' = Wdm.conn_span conns.(g'.conn) in
+                  let overlap = lo < hi' -. 1e-12 && lo' < hi -. 1e-12 in
+                  if overlap then
+                    Array.iter
+                      (fun ch ->
+                        if Array.exists (fun ch' -> ch = ch') g'.channels then
+                          failwith
+                            (Printf.sprintf
+                               "track %d: channel %d shared by overlapping connections %d and %d"
+                               track ch g.conn g'.conn))
+                      g.channels)
+                rest;
+              pairs rest
+        in
+        pairs grants)
+      by_track;
+    (* every connection receives its bit count in total *)
+    let received = Hashtbl.create 16 in
+    Array.iter
+      (fun g ->
+        let sofar = try Hashtbl.find received g.conn with Not_found -> 0 in
+        Hashtbl.replace received g.conn (sofar + Array.length g.channels))
+      plan.grants;
+    Hashtbl.iter
+      (fun ci got ->
+        if got <> conns.(ci).Wdm.bits then
+          failwith
+            (Printf.sprintf "connection %d granted %d channels for %d bits" ci got
+               conns.(ci).Wdm.bits))
+      received
+  in
+  match check () with () -> Ok () | exception Failure msg -> Error msg
+
+let spatial_reuse plan (result : Assign.result) =
+  let used = Array.fold_left (fun acc t -> acc + t.Wdm.used) 0 result.Assign.tracks in
+  let peak = Array.fold_left ( + ) 0 plan.peak_channels in
+  if used <= 0 then 0.0 else 1.0 -. (float_of_int peak /. float_of_int used)

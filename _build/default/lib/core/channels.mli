@@ -1,0 +1,45 @@
+(** Wavelength-channel assignment within WDM waveguides.
+
+    Section 4 of the paper stops at deciding {e which} waveguide carries
+    each connection; a physical WDM link additionally needs every bit of
+    every connection pinned to a concrete wavelength channel, such that no
+    channel of a waveguide is used twice where connections' longitudinal
+    spans overlap. Channels may be reused along one waveguide by
+    connections whose spans do not overlap (spatial reuse) — this is the
+    classic interval-graph colouring, solved optimally by the greedy
+    sweep over interval left endpoints.
+
+    This module is an extension beyond the paper's evaluation (the paper
+    treats capacity as a scalar), provided because any RTL-down
+    implementation needs it; `bench/main.exe ablate` quantifies how much
+    spatial reuse buys. *)
+
+open Operon_optical
+
+type grant = {
+  conn : int;  (** connection id *)
+  track : int;  (** index into the assignment's track array *)
+  channels : int array;  (** wavelength indices granted on that track *)
+}
+
+type plan = {
+  grants : grant array;  (** one per (connection, track) flow *)
+  peak_channels : int array;  (** per track: highest channel index + 1 *)
+}
+
+val assign : Params.t -> Wdm.conn array -> Assign.result -> plan
+(** Colour every flow of the Section 4 result. Guarantees:
+    no two overlapping spans on one track share a channel; every granted
+    channel index is below the track capacity; a connection split across
+    tracks receives exactly its bit count in total. Raises
+    [Invalid_argument] if the assignment result is inconsistent with the
+    capacities (cannot happen for results produced by {!Assign.run}). *)
+
+val verify : Params.t -> Wdm.conn array -> plan -> (unit, string) result
+(** Independent checker used by the tests: re-validates all guarantees
+    from scratch. *)
+
+val spatial_reuse : plan -> Assign.result -> float
+(** Channels saved by span-aware reuse: [1 - sum(peak) / sum(used)]
+    computed against the reuse-free channel demand; 0 when every pair of
+    co-track connections overlaps. *)

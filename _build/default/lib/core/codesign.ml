@@ -1,0 +1,236 @@
+open Operon_optical
+open Operon_steiner
+
+type state = {
+  pow_e : float;
+  pow_o : float;
+  up_loss : float;
+  choices : (int * Candidate.label * int) list;
+      (* (child node, edge label, child state index) *)
+}
+
+(* Partial accumulator while merging the children of one node. *)
+type partial = {
+  psum : float;  (* power accumulated from processed children *)
+  branch_max : float;  (* worst optical branch loss so far (neg_infinity if none) *)
+  n_o : int;  (* optical child edges so far *)
+  has_e : bool;  (* any electrical child so far — forces a detector tap in
+                    the parent-optical scenario, so partials with and
+                    without electrical children are incomparable *)
+  pchoices : (int * Candidate.label * int) list;
+}
+
+let dominates a b =
+  a.pow_e <= b.pow_e && a.pow_o <= b.pow_o && a.up_loss <= b.up_loss
+
+let partial_dominates a b =
+  a.psum <= b.psum && a.branch_max <= b.branch_max && a.n_o <= b.n_o
+  && ((not a.has_e) || b.has_e)
+
+(* Keep a Pareto frontier, then cap the list size by ascending score. *)
+let prune_generic dominates score cap items =
+  let kept =
+    List.filter
+      (fun x ->
+        not
+          (List.exists (fun y -> y != x && dominates y x && not (dominates x y)) items))
+      items
+  in
+  (* Among mutually-dominating duplicates keep one representative. *)
+  let deduped =
+    List.fold_left
+      (fun acc x -> if List.exists (fun y -> dominates y x && dominates x y) acc then acc else x :: acc)
+      [] kept
+  in
+  let sorted = List.sort (fun a b -> Float.compare (score a) (score b)) deduped in
+  if List.length sorted <= cap then sorted
+  else List.filteri (fun i _ -> i < cap) sorted
+
+let state_score s = Float.min s.pow_e s.pow_o
+
+let partial_score p = p.psum
+
+let enumerate ?(max_cands = 16) ?(edge_crossings = fun _ -> 0) params hnet topo =
+  let l_max = params.Params.l_max in
+  (* Electrical edges cost one wire per bit; conversion sites are shared
+     by the whole WDM (see Power). *)
+  let unit_e =
+    Params.electrical_unit_energy params *. float_of_int hnet.Hypernet.bits
+  in
+  let n = Topology.node_count topo in
+  if n = 1 then [ Candidate.electrical params hnet topo ]
+  else begin
+    let states = Array.make n [||] in
+    List.iter
+      (fun v ->
+        let children = Topology.children topo v in
+        (* Merge children one at a time, expanding each partial by every
+           (child state, edge label) pair and pruning dominated partials. *)
+        let partials =
+          List.fold_left
+            (fun partials c ->
+              let elec_len = Topology.edge_length Topology.L1 topo c in
+              let opt_len = Topology.edge_length Topology.L2 topo c in
+              let edge_loss =
+                Loss.propagation params opt_len
+                +. Loss.crossing_bundled params (edge_crossings c)
+              in
+              let expanded =
+                List.concat_map
+                  (fun p ->
+                    let opts = ref [] in
+                    Array.iteri
+                      (fun k (s : state) ->
+                        (* electrical edge to child c *)
+                        if s.pow_e < infinity then
+                          opts :=
+                            { psum = p.psum +. s.pow_e +. (unit_e *. elec_len);
+                              branch_max = p.branch_max;
+                              n_o = p.n_o;
+                              has_e = true;
+                              pchoices = (c, Candidate.Electrical, k) :: p.pchoices }
+                            :: !opts;
+                        (* optical edge to child c *)
+                        if s.pow_o < infinity then begin
+                          let branch = edge_loss +. s.up_loss in
+                          if branch <= l_max then
+                            opts :=
+                              { psum = p.psum +. s.pow_o;
+                                branch_max = Float.max p.branch_max branch;
+                                n_o = p.n_o + 1;
+                                has_e = p.has_e;
+                                pchoices = (c, Candidate.Optical, k) :: p.pchoices }
+                              :: !opts
+                        end)
+                      states.(c);
+                    !opts)
+                  partials
+              in
+              prune_generic partial_dominates partial_score (4 * max_cands) expanded)
+            [ { psum = 0.0; branch_max = neg_infinity; n_o = 0; has_e = false;
+                pchoices = [] } ]
+            children
+        in
+        (* Finalize: attach the conversion devices at v for each scenario. *)
+        let is_term = Topology.is_terminal topo v in
+        let finalized =
+          List.map
+            (fun p ->
+              let pow_e =
+                if p.n_o = 0 then p.psum
+                else begin
+                  let closed = p.branch_max +. Loss.splitting_arm params p.n_o in
+                  if closed > l_max then infinity
+                  else p.psum +. params.Params.p_mod
+                end
+              in
+              let tap = is_term || p.has_e in
+              let arms = p.n_o + if tap then 1 else 0 in
+              let pow_o, up_loss =
+                if arms = 0 then (infinity, infinity)
+                else begin
+                  let base = if tap then Float.max p.branch_max 0.0 else p.branch_max in
+                  let up = Loss.splitting_arm params arms +. base in
+                  if up > l_max then (infinity, infinity)
+                  else (p.psum +. (if tap then params.Params.p_det else 0.0), up)
+                end
+              in
+              { pow_e; pow_o; up_loss; choices = p.pchoices })
+            partials
+        in
+        let live = List.filter (fun s -> s.pow_e < infinity || s.pow_o < infinity) finalized in
+        states.(v) <- Array.of_list (prune_generic dominates state_score max_cands live))
+      (Topology.postorder topo);
+    (* Harvest the root's parent-electrical scenarios and rebuild labels. *)
+    let root = Topology.root topo in
+    let labelings = ref [] in
+    Array.iter
+      (fun s ->
+        if s.pow_e < infinity then begin
+          let labels = Array.make n Candidate.Electrical in
+          let rec apply (s : state) =
+            List.iter
+              (fun (c, lbl, k) ->
+                labels.(c) <- lbl;
+                apply states.(c).(k))
+              s.choices
+          in
+          apply s;
+          labelings := (s.pow_e, Array.copy labels) :: !labelings
+        end)
+      states.(root);
+    let cands =
+      List.map
+        (fun (_, labels) -> Candidate.of_labels params hnet topo labels)
+        !labelings
+    in
+    List.sort (fun a b -> Float.compare a.Candidate.power b.Candidate.power) cands
+  end
+
+let dp_power_of (c : Candidate.t) = c.Candidate.power
+
+let label_key (c : Candidate.t) =
+  let buf = Buffer.create (Array.length c.labels + 8) in
+  Buffer.add_string buf (string_of_int (Topology.node_count c.topo));
+  Buffer.add_char buf ':';
+  Array.iter
+    (fun l -> Buffer.add_char buf (match l with Candidate.Optical -> 'O' | Candidate.Electrical -> 'E'))
+    c.labels;
+  (* Distinguish same label strings on different topologies. *)
+  Buffer.add_string buf (Printf.sprintf ":%0.6f" (Topology.length Topology.L2 c.topo));
+  Buffer.contents buf
+
+let for_hypernet ?(max_cands = 16) ?(max_total = 10) ?(crossing_est = fun _ -> 0)
+    params hnet =
+  let terminals = Hypernet.centers hnet in
+  if Array.length terminals <= 1 then begin
+    let topo = Bi1s.mst_tree Topology.L2 terminals ~root:0 in
+    [ Candidate.electrical params hnet topo ]
+  end
+  else begin
+    let baselines = Bi1s.baselines terminals ~root:0 in
+    let from_dp =
+      List.concat_map
+        (fun topo ->
+          let edge_crossings v =
+            crossing_est (Topology.segment_of_edge topo v)
+          in
+          enumerate ~max_cands ~edge_crossings params hnet topo)
+        baselines
+    in
+    (* Dedicated rectilinear-Steiner electrical fallback: the best
+       realisation of the a_ie variable. *)
+    let rsmt_elec = Candidate.electrical params hnet (Rsmt.tree terminals ~root:0) in
+    let all = rsmt_elec :: from_dp in
+    (* Deduplicate identical labellings. *)
+    let seen = Hashtbl.create 16 in
+    let uniq =
+      List.filter
+        (fun c ->
+          let key = label_key c in
+          if Hashtbl.mem seen key then false
+          else begin
+            Hashtbl.add seen key ();
+            true
+          end)
+        all
+    in
+    let sorted =
+      List.sort (fun a b -> Float.compare a.Candidate.power b.Candidate.power) uniq
+    in
+    let best_electrical =
+      List.fold_left
+        (fun acc (c : Candidate.t) ->
+          if not c.Candidate.pure_electrical then acc
+          else
+            match acc with
+            | Some (b : Candidate.t) when b.Candidate.power <= c.Candidate.power -> acc
+            | _ -> Some c)
+        None sorted
+    in
+    let truncated = List.filteri (fun i _ -> i < max_total) sorted in
+    (* Guarantee the electrical fallback survives truncation. *)
+    match best_electrical with
+    | Some e when not (List.memq e truncated) -> truncated @ [ e ]
+    | _ -> truncated
+  end

@@ -1,0 +1,56 @@
+(** Optical-electrical route co-design (paper Section 3.2).
+
+    For each baseline tree topology, a bottom-up dynamic program — in the
+    spirit of classic buffer insertion — labels every edge Optical or
+    Electrical, tracking per-subtree (power, loss) behaviour and pruning
+    dominated configurations, exactly as Fig. 5(b) of the paper sketches.
+    Surviving root configurations are materialized as {!Candidate.t}
+    values; the paper's Fig. 5(c) list corresponds to the output of
+    {!enumerate} on the example topology.
+
+    State per node [v], for the two scenarios the parent may impose:
+    - [pow_e]: per-bit subtree power when the parent edge is electrical
+      (or [v] is the root) — any optical subtrees topped at [v] are closed
+      there by a modulator, so their loss is checked against the budget;
+    - [pow_o]: per-bit subtree power when the parent edge is optical —
+      light arrives from above, [v] taps it (detector) and/or relays it;
+    - [up_loss]: in the parent-optical scenario, the worst accumulated
+      loss from [v] down to any detector, including splitting at [v].
+
+    A scenario that violates the detection budget is priced [infinity].
+    Dominated states (all three fields no better) are pruned. *)
+
+open Operon_geom
+open Operon_optical
+open Operon_steiner
+
+val enumerate :
+  ?max_cands:int ->
+  ?edge_crossings:(int -> int) ->
+  Params.t ->
+  Hypernet.t ->
+  Topology.t ->
+  Candidate.t list
+(** All non-dominated labellings of one topology, cheapest first.
+    [max_cands] bounds the states kept per node (default 16).
+    [edge_crossings v] estimates how many foreign optical segments cross
+    the parent edge of node [v] (default: none); the estimate feeds the
+    DP's loss pruning, while exact pairwise coupling is re-computed later
+    by the ILP/LR stages. The all-electrical labelling is always present.
+    Trivial single-pin hyper nets yield a single zero-power candidate. *)
+
+val for_hypernet :
+  ?max_cands:int ->
+  ?max_total:int ->
+  ?crossing_est:(Segment.t -> int) ->
+  Params.t ->
+  Hypernet.t ->
+  Candidate.t list
+(** Candidate set over all diverse baselines ({!Bi1s.baselines}) plus the
+    dedicated rectilinear-Steiner electrical fallback, deduplicated and
+    truncated to [max_total] (default 10) keeping the cheapest; the best
+    pure-electrical candidate is always retained (Formula (3)'s [a_ie]). *)
+
+val dp_power_of : Candidate.t -> float
+(** The power the DP bookkeeping assigns to a materialized candidate —
+    exposed for cross-checking against {!Candidate.of_labels} in tests. *)

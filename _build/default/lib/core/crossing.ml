@@ -1,0 +1,88 @@
+open Operon_geom
+open Operon_graph
+
+type entry = { net : int; seg : Segment.t }
+
+type index = {
+  die : Rect.t;
+  cells : int;
+  buckets : entry list array;  (* cells x cells, row-major *)
+}
+
+let cell_range idx (r : Rect.t) =
+  let die = idx.die in
+  let w = Rect.width die and h = Rect.height die in
+  let clamp v = Stdlib.max 0 (Stdlib.min (idx.cells - 1) v) in
+  let fx x = if w <= 0.0 then 0 else clamp (int_of_float ((x -. die.Rect.xmin) /. w *. float_of_int idx.cells)) in
+  let fy y = if h <= 0.0 then 0 else clamp (int_of_float ((y -. die.Rect.ymin) /. h *. float_of_int idx.cells)) in
+  (fx r.Rect.xmin, fy r.Rect.ymin, fx r.Rect.xmax, fy r.Rect.ymax)
+
+let build_index ~die ?(cells = 32) segments =
+  let idx = { die; cells; buckets = Array.make (cells * cells) [] } in
+  Array.iter
+    (fun (net, seg) ->
+      let i0, j0, i1, j1 = cell_range idx (Segment.bbox seg) in
+      for j = j0 to j1 do
+        for i = i0 to i1 do
+          idx.buckets.((j * cells) + i) <- { net; seg } :: idx.buckets.((j * cells) + i)
+        done
+      done)
+    segments;
+  idx
+
+let cell_of_point idx p =
+  let i0, j0, _, _ =
+    cell_range idx (Rect.make ~xmin:p.Point.x ~ymin:p.Point.y ~xmax:p.Point.x ~ymax:p.Point.y)
+  in
+  (i0, j0)
+
+let count_crossings idx ~exclude_net query =
+  let i0, j0, i1, j1 = cell_range idx (Segment.bbox query) in
+  (* A segment sits in every bucket its bbox overlaps; to count each
+     crossing exactly once without a seen-set, attribute it to the single
+     bucket containing the intersection point. *)
+  let count = ref 0 in
+  for j = j0 to j1 do
+    for i = i0 to i1 do
+      List.iter
+        (fun e ->
+          if e.net <> exclude_net && Segment.crosses_properly e.seg query then
+            match Segment.intersection_point e.seg query with
+            | Some p ->
+                let pi, pj = cell_of_point idx p in
+                if pi = i && pj = j then incr count
+            | None -> ())
+        idx.buckets.((j * idx.cells) + i)
+    done
+  done;
+  !count
+
+let estimator idx ~net seg = count_crossings idx ~exclude_net:net seg
+
+let interaction_components bboxes =
+  let n = Array.length bboxes in
+  let dsu = Dsu.create n in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if Rect.overlaps bboxes.(i) bboxes.(j) then ignore (Dsu.union dsu i j)
+    done
+  done;
+  let groups = Hashtbl.create 16 in
+  for i = n - 1 downto 0 do
+    let r = Dsu.find dsu i in
+    let existing = try Hashtbl.find groups r with Not_found -> [] in
+    Hashtbl.replace groups r (i :: existing)
+  done;
+  Hashtbl.fold (fun _ members acc -> Array.of_list members :: acc) groups []
+  |> List.sort (fun a b -> compare a.(0) b.(0))
+  |> Array.of_list
+
+let interacting_pairs bboxes =
+  let n = Array.length bboxes in
+  let acc = ref [] in
+  for i = n - 1 downto 0 do
+    for j = n - 1 downto i + 1 do
+      if Rect.overlaps bboxes.(i) bboxes.(j) then acc := (i, j) :: !acc
+    done
+  done;
+  !acc

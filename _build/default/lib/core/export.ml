@@ -1,0 +1,162 @@
+open Operon_geom
+open Operon_optical
+open Operon_steiner
+
+(* --- minimal JSON writer --- *)
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let jstr s = "\"" ^ escape s ^ "\""
+
+let jfloat v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.1f" v
+  else Printf.sprintf "%.9g" v
+
+let jlist items = "[" ^ String.concat "," items ^ "]"
+
+let jobj fields =
+  "{" ^ String.concat "," (List.map (fun (k, v) -> jstr k ^ ":" ^ v) fields) ^ "}"
+
+let jpoint (p : Point.t) = jobj [ ("x", jfloat p.Point.x); ("y", jfloat p.Point.y) ]
+
+let jsegment (s : Segment.t) =
+  jobj [ ("a", jpoint s.Segment.a); ("b", jpoint s.Segment.b) ]
+
+(* --- serialization --- *)
+
+let jcandidate (c : Candidate.t) =
+  let labels =
+    Topology.edges c.Candidate.topo
+    |> List.map (fun (parent, child) ->
+           jobj
+             [ ("from", jpoint (Topology.position c.Candidate.topo parent));
+               ("to", jpoint (Topology.position c.Candidate.topo child));
+               ( "medium",
+                 jstr
+                   (match c.Candidate.labels.(child) with
+                    | Candidate.Optical -> "optical"
+                    | Candidate.Electrical -> "electrical") ) ])
+  in
+  let sites nodes =
+    Array.to_list nodes
+    |> List.map (fun v -> jpoint (Topology.position c.Candidate.topo v))
+  in
+  jobj
+    [ ("power", jfloat c.Candidate.power);
+      ("conversion_power", jfloat c.Candidate.conversion_power);
+      ("wiring_power", jfloat c.Candidate.wiring_power);
+      ("max_intrinsic_loss_db", jfloat c.Candidate.max_intrinsic_loss);
+      ("pure_electrical", string_of_bool c.Candidate.pure_electrical);
+      ("modulators", jlist (sites c.Candidate.mod_nodes));
+      ("detectors", jlist (sites c.Candidate.det_nodes));
+      ("edges", jlist labels) ]
+
+let jtrack (t : Wdm.track) =
+  jobj
+    [ ( "orientation",
+        jstr (match t.Wdm.orient with Wdm.Horizontal -> "horizontal" | Wdm.Vertical -> "vertical") );
+      ("coord", jfloat t.Wdm.coord);
+      ("span", jlist [ jfloat t.Wdm.lo; jfloat t.Wdm.hi ]);
+      ("capacity", string_of_int t.Wdm.capacity);
+      ("used", string_of_int t.Wdm.used) ]
+
+let flow_to_json ?channels (r : Flow.t) =
+  let die = r.Flow.design.Signal.die in
+  let design =
+    jobj
+      [ ( "die",
+          jobj
+            [ ("xmin", jfloat die.Rect.xmin); ("ymin", jfloat die.Rect.ymin);
+              ("xmax", jfloat die.Rect.xmax); ("ymax", jfloat die.Rect.ymax) ] );
+        ("groups", string_of_int (Array.length r.Flow.design.Signal.groups));
+        ("nets", string_of_int (Signal.net_count r.Flow.design)) ]
+  in
+  let hypernets =
+    Array.to_list r.Flow.hnets
+    |> List.map (fun h ->
+           jobj
+             [ ("id", string_of_int h.Hypernet.id);
+               ("group", string_of_int h.Hypernet.group);
+               ("bits", string_of_int h.Hypernet.bits);
+               ( "pins",
+                 jlist
+                   (Array.to_list h.Hypernet.pins
+                   |> List.map (fun pin -> jpoint pin.Hypernet.center)) ) ])
+  in
+  let routes =
+    Array.to_list r.Flow.choice
+    |> List.mapi (fun i j -> jcandidate r.Flow.ctx.Selection.cands.(i).(j))
+  in
+  let wdm =
+    let conns =
+      Array.to_list r.Flow.placement.Wdm_place.conns
+      |> List.map (fun c ->
+             jobj
+               [ ("id", string_of_int c.Wdm.id);
+                 ("net", string_of_int c.Wdm.net);
+                 ("bits", string_of_int c.Wdm.bits);
+                 ("segment", jsegment c.Wdm.seg) ])
+    in
+    let flows =
+      Array.to_list r.Flow.assignment.Assign.flows
+      |> List.mapi (fun ci f ->
+             jobj
+               [ ("conn", string_of_int ci);
+                 ( "tracks",
+                   jlist
+                     (List.map
+                        (fun (w, bits) ->
+                          jobj [ ("track", string_of_int w); ("bits", string_of_int bits) ])
+                        f) ) ])
+    in
+    jobj
+      [ ("connections", jlist conns);
+        ("tracks", jlist (Array.to_list r.Flow.assignment.Assign.tracks |> List.map jtrack));
+        ("flows", jlist flows);
+        ("initial_tracks", string_of_int r.Flow.assignment.Assign.initial_count);
+        ("final_tracks", string_of_int r.Flow.assignment.Assign.final_count) ]
+  in
+  let base =
+    [ ("design", design);
+      ("mode", jstr (match r.Flow.mode with Flow.Ilp -> "ilp" | Flow.Lr -> "lr"));
+      ("power", jfloat r.Flow.power);
+      ("hypernets", jlist hypernets);
+      ("routes", jlist routes);
+      ("wdm", wdm) ]
+  in
+  let with_channels =
+    match channels with
+    | None -> base
+    | Some plan ->
+        base
+        @ [ ( "channels",
+              jlist
+                (Array.to_list plan.Channels.grants
+                |> List.map (fun g ->
+                       jobj
+                         [ ("conn", string_of_int g.Channels.conn);
+                           ("track", string_of_int g.Channels.track);
+                           ( "wavelengths",
+                             jlist
+                               (Array.to_list g.Channels.channels
+                               |> List.map string_of_int) ) ])) ) ]
+  in
+  jobj with_channels
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)

@@ -1,0 +1,14 @@
+(** JSON export of a synthesized design.
+
+    Serializes a {!Flow.t} — selected routes with their labels, conversion
+    sites, power breakdown, loss, WDM tracks and per-connection flows —
+    into a self-contained JSON document that downstream tooling (layout
+    viewers, power integrity, scripts) can consume. Hand-rolled writer,
+    no external dependencies; numbers use enough digits to round-trip. *)
+
+val flow_to_json : ?channels:Channels.plan -> Flow.t -> string
+(** The full result as a JSON object with fields [design], [hypernets],
+    [routes], [wdm] and optionally [channels]. *)
+
+val write_file : string -> string -> unit
+(** [write_file path contents] — convenience used by the CLI. *)

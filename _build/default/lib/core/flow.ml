@@ -1,0 +1,81 @@
+open Operon_steiner
+
+type mode = Ilp | Lr
+
+type t = {
+  design : Signal.design;
+  hnets : Hypernet.t array;
+  ctx : Selection.ctx;
+  mode : mode;
+  choice : int array;
+  power : float;
+  select_seconds : float;
+  ilp : Ilp_select.result option;
+  lr : Lr_select.result option;
+  placement : Wdm_place.placement;
+  assignment : Assign.result;
+}
+
+let prepare ?processing ?(max_cands_per_net = 10) rng params design =
+  let hnets = Processing.run ?config:processing rng params design in
+  (* Crossing loss is bundled by the design's expected waveguide channel
+     occupancy; the adjusted parameters travel inside the ctx. *)
+  let params =
+    let nets, hn, _ = Processing.stats hnets in
+    if hn = 0 then params
+    else
+      Operon_optical.Params.auto_bundle params
+        ~mean_bits:(float_of_int nets /. float_of_int hn)
+  in
+  (* Optical baseline segments of every hyper net feed the crossing
+     estimator used while pruning the co-design DP. *)
+  let baseline_segments =
+    Array.to_list hnets
+    |> List.concat_map (fun hnet ->
+           let terminals = Hypernet.centers hnet in
+           if Array.length terminals <= 1 then []
+           else
+             let topo = Bi1s.build Topology.L2 terminals ~root:0 in
+             Array.to_list (Topology.segments topo)
+             |> List.map (fun s -> (hnet.Hypernet.id, s)))
+    |> Array.of_list
+  in
+  let index = Crossing.build_index ~die:design.Signal.die baseline_segments in
+  let cand_lists =
+    Array.map
+      (fun hnet ->
+        let crossing_est = Crossing.estimator index ~net:hnet.Hypernet.id in
+        Codesign.for_hypernet ~max_total:max_cands_per_net ~crossing_est params hnet)
+      hnets
+  in
+  (hnets, Selection.make_ctx params cand_lists)
+
+let run_prepared ?(mode = Lr) ?(ilp_budget = 3000.0) params design hnets ctx =
+  let (choice, select_seconds, ilp, lr) =
+    match mode with
+    | Ilp ->
+        let r = Ilp_select.select ~budget_seconds:ilp_budget ctx in
+        (r.Ilp_select.choice, r.Ilp_select.elapsed, Some r, None)
+    | Lr ->
+        let r = Lr_select.select ctx in
+        (r.Lr_select.choice, r.Lr_select.elapsed, None, Some r)
+  in
+  let conns = Wdm_place.connections_of_selection ctx choice in
+  let placement = Wdm_place.place params conns in
+  ignore (Wdm_place.legalize params placement.Wdm_place.tracks);
+  let assignment = Assign.run params placement in
+  { design;
+    hnets;
+    ctx;
+    mode;
+    choice;
+    power = Selection.power ctx choice;
+    select_seconds;
+    ilp;
+    lr;
+    placement;
+    assignment }
+
+let run ?processing ?max_cands_per_net ?mode ?ilp_budget rng params design =
+  let hnets, ctx = prepare ?processing ?max_cands_per_net rng params design in
+  run_prepared ?mode ?ilp_budget params design hnets ctx

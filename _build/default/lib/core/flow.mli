@@ -1,0 +1,59 @@
+(** End-to-end OPERON flow (paper Figure 2).
+
+    signal processing -> baseline generation -> co-design candidates ->
+    candidate selection (ILP or LR) -> WDM placement -> network-flow
+    assignment. *)
+
+open Operon_util
+open Operon_optical
+
+type mode = Ilp | Lr
+
+type t = {
+  design : Signal.design;
+  hnets : Hypernet.t array;
+  ctx : Selection.ctx;
+  mode : mode;
+  choice : int array;  (** selected candidate per hyper net *)
+  power : float;  (** total selected power, pJ/bit units *)
+  select_seconds : float;
+  ilp : Ilp_select.result option;  (** present when [mode = Ilp] *)
+  lr : Lr_select.result option;  (** present when [mode = Lr] *)
+  placement : Wdm_place.placement;
+  assignment : Assign.result;
+}
+
+val prepare :
+  ?processing:Processing.config ->
+  ?max_cands_per_net:int ->
+  Prng.t ->
+  Params.t ->
+  Signal.design ->
+  Hypernet.t array * Selection.ctx
+(** Processing plus candidate generation: hyper nets, then co-design
+    candidates for each (crossing estimates taken against the other nets'
+    optical baselines). *)
+
+val run :
+  ?processing:Processing.config ->
+  ?max_cands_per_net:int ->
+  ?mode:mode ->
+  ?ilp_budget:float ->
+  Prng.t ->
+  Params.t ->
+  Signal.design ->
+  t
+(** The complete flow ([mode] defaults to [Lr]; [ilp_budget] defaults to
+    3000 s as in the paper). The returned selection is feasible and the
+    WDM stages are run on it. *)
+
+val run_prepared :
+  ?mode:mode ->
+  ?ilp_budget:float ->
+  Params.t ->
+  Signal.design ->
+  Hypernet.t array ->
+  Selection.ctx ->
+  t
+(** Selection + WDM stages on an existing candidate context — lets Table 1
+    compare ILP and LR on identical candidates without re-preparing. *)

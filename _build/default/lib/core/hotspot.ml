@@ -1,0 +1,61 @@
+open Operon_geom
+open Operon_optical
+open Operon_steiner
+
+type maps = { optical : Gridmap.t; electrical : Gridmap.t }
+
+let of_selection ?(nx = 24) ?(ny = 24) ~die ctx choice =
+  let params = ctx.Selection.params in
+  let optical = Gridmap.create die ~nx ~ny in
+  let electrical = Gridmap.create die ~nx ~ny in
+  let unit_e = Params.electrical_unit_energy params in
+  Array.iteri
+    (fun i j ->
+      let c = ctx.Selection.cands.(i).(j) in
+      let bits = float_of_int c.Candidate.hnet.Hypernet.bits in
+      Array.iter
+        (fun v ->
+          Gridmap.deposit_point optical
+            (Topology.position c.Candidate.topo v)
+            params.Params.p_mod)
+        c.Candidate.mod_nodes;
+      Array.iter
+        (fun v ->
+          Gridmap.deposit_point optical
+            (Topology.position c.Candidate.topo v)
+            params.Params.p_det)
+        c.Candidate.det_nodes;
+      Array.iter
+        (fun seg ->
+          (* Electrical dissipation scales with rectilinear length even
+             though the drawn segment is the direct chord. *)
+          let mass = bits *. unit_e *. Segment.length_l1 seg in
+          Gridmap.deposit_segment electrical seg mass)
+        c.Candidate.elec_segments)
+    choice;
+  { optical; electrical }
+
+let electrical_of_design ?(nx = 24) ?(ny = 24) params (design : Signal.design) =
+  let grid = Gridmap.create design.Signal.die ~nx ~ny in
+  let unit_e = Params.electrical_unit_energy params in
+  Array.iter
+    (fun (g : Signal.group) ->
+      Array.iter
+        (fun b ->
+          let pins = Signal.bit_pins b in
+          if Array.length pins > 1 then begin
+            let topo = Rsmt.tree pins ~root:0 in
+            Array.iter
+              (fun seg ->
+                Gridmap.deposit_segment grid seg (unit_e *. Segment.length_l1 seg))
+              (Topology.segments topo)
+          end)
+        g.Signal.bits)
+    design.Signal.groups;
+  grid
+
+let summary m =
+  Printf.sprintf
+    "optical: peak=%.3f total=%.3f | electrical: peak=%.3f total=%.3f"
+    (Gridmap.peak m.optical) (Gridmap.total m.optical)
+    (Gridmap.peak m.electrical) (Gridmap.total m.electrical)

@@ -1,0 +1,25 @@
+(** Power-hotspot maps (paper Figure 9).
+
+    Optical power (EO/OE conversion energy) is deposited at modulator and
+    detector sites; electrical power is smeared along the copper wires.
+    Normalized grids of GLOW vs OPERON visualize how co-design cools the
+    electrical layer while keeping a similar optical conversion pattern. *)
+
+open Operon_geom
+
+type maps = {
+  optical : Gridmap.t;
+  electrical : Gridmap.t;
+}
+
+val of_selection :
+  ?nx:int -> ?ny:int -> die:Rect.t -> Selection.ctx -> int array -> maps
+(** Build both layers' maps for a selection (default 24x24 grid). *)
+
+val electrical_of_design :
+  ?nx:int -> ?ny:int -> Operon_optical.Params.t -> Signal.design -> Gridmap.t
+(** Electrical map of the pure-electrical baseline: per-bit RSMT trees
+    smeared onto the grid. *)
+
+val summary : maps -> string
+(** Peak and total of both layers, for EXPERIMENTS.md. *)

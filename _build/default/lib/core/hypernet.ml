@@ -1,0 +1,33 @@
+open Operon_geom
+
+type hyper_pin = { center : Point.t; pin_count : int; source_count : int }
+
+type t = {
+  id : int;
+  group : int;
+  bits : int;
+  pins : hyper_pin array;
+  root : int;
+}
+
+let make ~id ~group ~bits ~pins =
+  if Array.length pins = 0 then invalid_arg "Hypernet.make: no hyper pins";
+  if bits <= 0 then invalid_arg "Hypernet.make: non-positive bit count";
+  let root = ref 0 in
+  Array.iteri
+    (fun i hp -> if hp.source_count > pins.(!root).source_count then root := i)
+    pins;
+  { id; group; bits; pins; root = !root }
+
+let centers t =
+  let n = Array.length t.pins in
+  Array.init n (fun i ->
+      if i = 0 then t.pins.(t.root).center
+      else if i <= t.root then t.pins.(i - 1).center
+      else t.pins.(i).center)
+
+let bbox t = Rect.of_points (Array.map (fun hp -> hp.center) t.pins)
+
+let pin_count t = Array.length t.pins
+
+let is_trivial t = Array.length t.pins <= 1

@@ -1,0 +1,40 @@
+(** Hyper nets and hyper pins (paper Section 3.1.2).
+
+    A hyper net bundles the bits of one K-Means cluster; its hyper pins are
+    gravity centres of neighbouring electrical pins. Replacing individual
+    nets by hyper nets shrinks the problem that the co-design, ILP and LR
+    stages must handle. *)
+
+open Operon_geom
+
+type hyper_pin = {
+  center : Point.t;  (** gravity centre of the member electrical pins *)
+  pin_count : int;  (** electrical pins merged into this hyper pin *)
+  source_count : int;  (** how many of them are bit drivers *)
+}
+
+type t = {
+  id : int;  (** dense index across the design *)
+  group : int;  (** index of the originating signal group *)
+  bits : int;  (** bits bundled (<= WDM capacity after processing) *)
+  pins : hyper_pin array;  (** [pins.(root)] is the driving hyper pin *)
+  root : int;  (** index of the hyper pin with the most bit drivers *)
+}
+
+val make : id:int -> group:int -> bits:int -> pins:hyper_pin array -> t
+(** Selects the root as the hyper pin with the highest [source_count]
+    (ties to the lowest index). Raises [Invalid_argument] when [pins] is
+    empty or [bits <= 0]. *)
+
+val centers : t -> Point.t array
+(** Hyper pin centres with the root first — the terminal array handed to
+    the Steiner baseline builders (root = terminal 0). *)
+
+val bbox : t -> Rect.t
+(** Bounding box of the hyper pin centres. *)
+
+val pin_count : t -> int
+(** Number of hyper pins — the paper's "#HPin" accounting unit. *)
+
+val is_trivial : t -> bool
+(** Single hyper pin: all pins merged; no routing needed. *)

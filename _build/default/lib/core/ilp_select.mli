@@ -1,0 +1,44 @@
+(** Exact candidate selection — the Formula (3) ILP (paper Section 3.3).
+
+    Minimize total power subject to (3b) pick-one-per-net and (3c)
+    detection constraints, whose crossing terms couple pairs of selected
+    candidates quadratically. The standard linearization introduces a
+    product variable [y = a_ij * a_mn] per interacting candidate pair with
+    [y >= a_ij + a_mn - 1] (the only direction a <=-constraint needs), so
+    the program becomes a 0/1 ILP solved by {!Operon_solver.Ilp}.
+
+    Two paper speed-ups are applied before solving:
+    - crossing variables are dropped for hyper net pairs with
+      non-overlapping bounding boxes (Section 3.3), and
+    - the interaction graph is decomposed into connected components, each
+      an independent ILP (a consequence of the first reduction).
+
+    Small components are solved exactly. Oversized components (model
+    above [max_component_vars]) run block-coordinate descent with exact
+    block ILPs: each block of nets is re-optimized while the rest stays
+    frozen, with guard rows keeping the frozen nets' paths legal, so the
+    global selection remains feasible and its power decreases
+    monotonically. Those components are reported as timed out — the
+    analogue of the paper's ">3000 s" GUROBI rows, where the incumbent at
+    the time limit is what gets reported. *)
+
+type result = {
+  choice : int array;  (** selected candidate index per hyper net *)
+  power : float;
+  proven : bool;  (** every component solved to optimality *)
+  components : int;
+  timed_out : int;  (** components that hit the budget or size cap *)
+  nodes : int;  (** total branch-and-bound nodes *)
+  elapsed : float;  (** seconds *)
+}
+
+val select :
+  ?budget_seconds:float ->
+  ?max_component_vars:int ->
+  Selection.ctx ->
+  result
+(** [select ctx] runs the ILP per interaction component.
+    [budget_seconds] (default 3000, the paper's cap) is shared across
+    components; [max_component_vars] (default 150) is the model-size cap
+    above which a component is declared timed out immediately. The
+    returned selection is always feasible. *)

@@ -1,0 +1,165 @@
+open Operon_optical
+open Operon_util
+
+type result = {
+  choice : int array;
+  power : float;
+  iterations : int;
+  final_violation : float;
+  demoted : int;
+  elapsed : float;
+}
+
+(* Crossing loss per path of candidate (i,j) caused by candidate (m,n),
+   memoized — the same pairs recur across LR iterations. *)
+let make_crossing_cache params ctx =
+  let cache : (int * int * int * int, float array) Hashtbl.t = Hashtbl.create 1024 in
+  fun (i, j) (m, n) ->
+    let key = (i, j, m, n) in
+    match Hashtbl.find_opt cache key with
+    | Some arr -> arr
+    | None ->
+        let c = ctx.Selection.cands.(i).(j) in
+        let other = ctx.Selection.cands.(m).(n) in
+        let arr =
+          Array.init (Array.length c.Candidate.paths) (fun p ->
+              Candidate.crossing_loss_on_path params c p other)
+        in
+        Hashtbl.add cache key arr;
+        arr
+
+let select ?(max_iterations = 10) ?(initial_multiplier_scale = 0.01)
+    ?(step_scale = 0.05) ?(converge_ratio = 0.01) ctx =
+  let t0 = Timer.now () in
+  let params = ctx.Selection.params in
+  let l_max = params.Params.l_max in
+  let n = Array.length ctx.Selection.cands in
+  let crossing_of = make_crossing_cache params ctx in
+  (* One multiplier per (net, candidate, path) — the paths P(Hsol) of
+     Formula (4). Initialised proportional to each net's electrical
+     power, as Algorithm 1 line 1 prescribes. *)
+  let lambda =
+    Array.init n (fun i ->
+        let pe = ctx.Selection.cands.(i).(ctx.Selection.elec_idx.(i)).Candidate.power in
+        Array.map
+          (fun (c : Candidate.t) ->
+            Array.make (Array.length c.Candidate.paths) (initial_multiplier_scale *. pe))
+          ctx.Selection.cands.(i))
+  in
+  let choice = ref (Selection.greedy ctx) in
+  let prev_power = ref (Selection.power ctx !choice) in
+  let prev_violation = ref infinity in
+  (* The subgradient iterates are not monotone; keep the best feasible
+     selection seen along the way. *)
+  let best_feasible = ref None in
+  let consider candidate =
+    if Selection.feasible ctx candidate then begin
+      let power = Selection.power ctx candidate in
+      match !best_feasible with
+      | Some (best_power, _) when best_power <= power -> ()
+      | _ -> best_feasible := Some (power, Array.copy candidate)
+    end
+  in
+  let iterations = ref 0 in
+  let converged = ref false in
+  while (not !converged) && !iterations < max_iterations do
+    incr iterations;
+    let prev = Array.copy !choice in
+    (* Candidate re-selection with the relaxed weighted objective. *)
+    let next = Array.make n 0 in
+    for i = 0 to n - 1 do
+      let best = ref 0 and best_w = ref infinity in
+      Array.iteri
+        (fun j (c : Candidate.t) ->
+          (* Own paths: multiplier-weighted intrinsic loss plus crossing
+             against the neighbours' previous selections (the a'_mn * a_ij
+             half of Eq. 5). *)
+          let own = ref 0.0 in
+          Array.iteri
+            (fun p (path : Candidate.path) ->
+              let crossing =
+                Array.fold_left
+                  (fun acc m ->
+                    acc +. (crossing_of (i, j) (m, prev.(m))).(p))
+                  0.0 ctx.Selection.neighbors.(i)
+              in
+              own := !own +. (lambda.(i).(j).(p) *. (path.Candidate.intrinsic_loss +. crossing)))
+            c.Candidate.paths;
+          (* Foreign paths: picking (i,j) adds crossings onto neighbours'
+             previously selected paths (the a_mn * a'_ij half). *)
+          let foreign = ref 0.0 in
+          Array.iter
+            (fun m ->
+              let nsel = prev.(m) in
+              let arr = crossing_of (m, nsel) (i, j) in
+              Array.iteri
+                (fun p loss -> foreign := !foreign +. (lambda.(m).(nsel).(p) *. loss))
+                arr)
+            ctx.Selection.neighbors.(i);
+          let w = c.Candidate.power +. !own +. !foreign in
+          if w < !best_w then begin
+            best_w := w;
+            best := j
+          end)
+        ctx.Selection.cands.(i);
+      next.(i) <- !best
+    done;
+    choice := next;
+    (* Subgradient step on every multiplier. A path of the selected
+       candidate sees its actual loss; a path of an unselected candidate
+       has LHS = 0 in constraint (3c), so its subgradient is -l_max and
+       its multiplier decays — without this, an inflated initial
+       multiplier would repel a perfectly feasible candidate forever. *)
+    let step = step_scale /. float_of_int !iterations in
+    let total_violation = ref 0.0 in
+    for i = 0 to n - 1 do
+      let j = next.(i) in
+      let losses = Selection.net_path_losses ctx next i in
+      Array.iteri
+        (fun j' paths ->
+          Array.iteri
+            (fun p mult ->
+              let v = if j' = j then losses.(p) -. l_max else -.l_max in
+              if v > 0.0 then total_violation := !total_violation +. v;
+              paths.(p) <- Float.max 0.0 (mult +. (step *. v)))
+            paths)
+        lambda.(i)
+    done;
+    (* Track the best answer this iterate yields once its violations are
+       repaired away (repair is a no-op on feasible iterates). *)
+    if !total_violation <= 0.0 then consider next
+    else consider (Selection.polish ~rounds:0 ctx next);
+    let power = Selection.power ctx next in
+    let power_stable =
+      Float.abs (power -. !prev_power) <= converge_ratio *. Float.max power 1e-9
+    in
+    let violation_stable =
+      Float.abs (!total_violation -. !prev_violation)
+      <= converge_ratio *. Float.max !total_violation 1e-9
+    in
+    if power_stable && violation_stable then converged := true;
+    prev_power := power;
+    prev_violation := !total_violation
+  done;
+  let final_violation = Float.max 0.0 (Selection.worst_violation ctx !choice) in
+  (* Repair only (rounds=0): any net still on a violated path falls back
+     to electrical wires, as the paper's residual-net handling does. *)
+  let repaired = Selection.polish ~rounds:0 ctx !choice in
+  let demoted =
+    let count = ref 0 in
+    Array.iteri (fun i j -> if j <> !choice.(i) then incr count) repaired;
+    !count
+  in
+  (* Return the better of the final repaired iterate and the best
+     feasible iterate seen during the subgradient loop. *)
+  let repaired =
+    match !best_feasible with
+    | Some (best_power, best) when best_power < Selection.power ctx repaired -> best
+    | _ -> repaired
+  in
+  { choice = repaired;
+    power = Selection.power ctx repaired;
+    iterations = !iterations;
+    final_violation;
+    demoted;
+    elapsed = Timer.now () -. t0 }

@@ -1,0 +1,66 @@
+type align = Left | Right
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    let fill = String.make (width - n) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+
+let table ?title ~headers ~align rows =
+  let ncols = List.length headers in
+  let normalize row =
+    let len = List.length row in
+    if len >= ncols then row else row @ List.init (ncols - len) (fun _ -> "")
+  in
+  let rows = List.map normalize rows in
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left
+          (fun acc row -> Stdlib.max acc (String.length (List.nth row i)))
+          (String.length h) rows)
+      headers
+  in
+  let aligns =
+    if List.length align >= ncols then align
+    else align @ List.init (ncols - List.length align) (fun _ -> Left)
+  in
+  let render_row cells =
+    let parts =
+      List.mapi
+        (fun i cell -> pad (List.nth aligns i) (List.nth widths i) cell)
+        cells
+    in
+    "| " ^ String.concat " | " parts ^ " |"
+  in
+  let sep =
+    "+" ^ String.concat "+" (List.map (fun w -> String.make (w + 2) '-') widths) ^ "+"
+  in
+  let buf = Buffer.create 256 in
+  (match title with
+   | Some t ->
+       Buffer.add_string buf t;
+       Buffer.add_char buf '\n'
+   | None -> ());
+  Buffer.add_string buf sep;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (render_row headers);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf sep;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (render_row row);
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.add_string buf sep;
+  Buffer.contents buf
+
+let float_cell ?(decimals = 2) v = Printf.sprintf "%.*f" decimals v
+
+let ratio_cell x base =
+  if base = 0.0 then "-" else Printf.sprintf "%.3f" (x /. base)
+
+let seconds_cell ?(cap = infinity) v =
+  if v >= cap then Printf.sprintf "> %.0f" cap else Printf.sprintf "%.1f" v

@@ -1,0 +1,19 @@
+(** Plain-text table rendering for the benchmark harness and CLI. *)
+
+type align = Left | Right
+
+val table :
+  ?title:string -> headers:string list -> align:align list -> string list list -> string
+(** Render rows as an ASCII table with column alignment. Rows shorter than
+    the header are right-padded with empty cells. *)
+
+val float_cell : ?decimals:int -> float -> string
+(** Fixed-point cell (default 2 decimals). *)
+
+val ratio_cell : float -> float -> string
+(** [ratio_cell x base] as "0.860"-style 3-decimal ratio; "-" when the
+    base is zero. *)
+
+val seconds_cell : ?cap:float -> float -> string
+(** Runtime cell; values at or above [cap] print as "> cap" like the
+    paper's ">3000" entries. *)

@@ -1,0 +1,186 @@
+open Operon_geom
+open Operon_optical
+
+type ctx = {
+  params : Params.t;
+  cands : Candidate.t array array;
+  bboxes : Rect.t option array;
+  neighbors : int array array;
+  elec_idx : int array;
+}
+
+let optical_bbox (cands : Candidate.t array) =
+  let pts = ref [] in
+  Array.iter
+    (fun (c : Candidate.t) ->
+      Array.iter
+        (fun (s : Segment.t) ->
+          pts := s.Segment.a :: s.Segment.b :: !pts)
+        c.Candidate.opt_segments)
+    cands;
+  match !pts with [] -> None | l -> Some (Rect.of_points (Array.of_list l))
+
+let make_ctx params cand_lists =
+  let cands = Array.map Array.of_list cand_lists in
+  Array.iteri
+    (fun i arr ->
+      if Array.length arr = 0 then
+        invalid_arg (Printf.sprintf "Selection.make_ctx: net %d has no candidates" i))
+    cands;
+  let elec_idx =
+    Array.mapi
+      (fun i arr ->
+        let best = ref (-1) in
+        Array.iteri
+          (fun j (c : Candidate.t) ->
+            if c.Candidate.pure_electrical
+               && (!best = -1 || c.Candidate.power < arr.(!best).Candidate.power)
+            then best := j)
+          arr;
+        if !best = -1 then
+          invalid_arg
+            (Printf.sprintf "Selection.make_ctx: net %d lacks an electrical fallback" i);
+        !best)
+      cands
+  in
+  let bboxes = Array.map optical_bbox cands in
+  let n = Array.length cands in
+  (* Pooled optical geometry per net, for refining the bbox filter: two
+     nets are true neighbours only when some candidate pair actually
+     crosses — overlapping boxes of long parallel corridors are common
+     and coupling-free. *)
+  let pooled =
+    Array.map
+      (fun arr ->
+        Array.to_list arr
+        |> List.concat_map (fun (c : Candidate.t) ->
+               Array.to_list c.Candidate.opt_segments)
+        |> Array.of_list)
+      cands
+  in
+  let lists = Array.make n [] in
+  for i = 0 to n - 1 do
+    match bboxes.(i) with
+    | None -> ()
+    | Some bi ->
+        for j = i + 1 to n - 1 do
+          match bboxes.(j) with
+          | Some bj
+            when Rect.overlaps bi bj
+                 && Segment.count_crossings pooled.(i) pooled.(j) > 0 ->
+              lists.(i) <- j :: lists.(i);
+              lists.(j) <- i :: lists.(j)
+          | _ -> ()
+        done
+  done;
+  let neighbors = Array.map (fun l -> Array.of_list (List.rev l)) lists in
+  { params; cands; bboxes; neighbors; elec_idx }
+
+let selected ctx choice i = ctx.cands.(i).(choice.(i))
+
+let power ctx choice =
+  let acc = ref 0.0 in
+  Array.iteri (fun i j -> acc := !acc +. ctx.cands.(i).(j).Candidate.power) choice;
+  !acc
+
+let net_path_losses ctx choice i =
+  let c = selected ctx choice i in
+  Array.mapi
+    (fun p (path : Candidate.path) ->
+      let crossing =
+        Array.fold_left
+          (fun acc m ->
+            let other = selected ctx choice m in
+            if Array.length other.Candidate.opt_segments = 0 then acc
+            else acc +. Candidate.crossing_loss_on_path ctx.params c p other)
+          0.0 ctx.neighbors.(i)
+      in
+      path.Candidate.intrinsic_loss +. crossing)
+    c.Candidate.paths
+
+let worst_violation ctx choice =
+  let l_max = ctx.params.Params.l_max in
+  let worst = ref neg_infinity in
+  Array.iteri
+    (fun i _ ->
+      Array.iter
+        (fun loss -> if loss -. l_max > !worst then worst := loss -. l_max)
+        (net_path_losses ctx choice i))
+    ctx.cands;
+  if !worst = neg_infinity then 0.0 else !worst
+
+let feasible ctx choice = worst_violation ctx choice <= 1e-9
+
+let all_electrical ctx = Array.copy ctx.elec_idx
+
+let greedy ctx =
+  Array.map
+    (fun arr ->
+      let best = ref 0 in
+      Array.iteri
+        (fun j (c : Candidate.t) ->
+          if c.Candidate.power < arr.(!best).Candidate.power then best := j)
+        arr;
+      !best)
+    ctx.cands
+
+(* Does net i currently sit on any violated path, either as the owner of
+   the path or as a crosser of a neighbour's path? Checking only i and its
+   neighbours keeps repair local. *)
+let net_ok ctx choice i =
+  let l_max = ctx.params.Params.l_max in
+  let check m =
+    Array.for_all (fun loss -> loss <= l_max +. 1e-9) (net_path_losses ctx choice m)
+  in
+  check i && Array.for_all check ctx.neighbors.(i)
+
+let polish ?(rounds = 3) ctx choice0 =
+  let n = Array.length ctx.cands in
+  let choice = Array.copy choice0 in
+  (* Repair: demote offending nets to their electrical fallback until the
+     selection is feasible. Electrical candidates have no optical paths
+     and no crossings, so this terminates at the all-electrical point. *)
+  let guard = ref 0 in
+  while (not (feasible ctx choice)) && !guard <= n do
+    incr guard;
+    let fixed = ref false in
+    for i = 0 to n - 1 do
+      if (not !fixed) && choice.(i) <> ctx.elec_idx.(i) && not (net_ok ctx choice i)
+      then begin
+        choice.(i) <- ctx.elec_idx.(i);
+        fixed := true
+      end
+    done;
+    if not !fixed then
+      (* Violations exist but no single demotable net found: demote the
+         first non-electrical net outright. *)
+      (try
+         for i = 0 to n - 1 do
+           if choice.(i) <> ctx.elec_idx.(i) then begin
+             choice.(i) <- ctx.elec_idx.(i);
+             raise Exit
+           end
+         done
+       with Exit -> ())
+  done;
+  (* Improve: per net, adopt the cheapest candidate that keeps the local
+     neighbourhood (and hence the whole selection) feasible. *)
+  for _ = 1 to rounds do
+    for i = 0 to n - 1 do
+      let current_power = ctx.cands.(i).(choice.(i)).Candidate.power in
+      let old = choice.(i) in
+      let best = ref old and best_power = ref current_power in
+      Array.iteri
+        (fun j (c : Candidate.t) ->
+          if j <> old && c.Candidate.power < !best_power then begin
+            choice.(i) <- j;
+            if net_ok ctx choice i then begin
+              best := j;
+              best_power := c.Candidate.power
+            end
+          end)
+        ctx.cands.(i);
+      choice.(i) <- !best
+    done
+  done;
+  choice

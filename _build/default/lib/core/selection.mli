@@ -1,0 +1,56 @@
+(** Shared machinery for the two candidate-selection engines (Formula 3).
+
+    A {!ctx} precomputes, for the whole design: the candidate arrays, the
+    optical bounding box of every hyper net, the Section 3.3 interaction
+    neighbourhoods (only nets with overlapping boxes can cross), and each
+    net's electrical fallback. Both the ILP and the Lagrangian solver
+    evaluate selections through this context, so "feasible" and "power"
+    mean exactly the same thing to both. *)
+
+open Operon_geom
+open Operon_optical
+
+type ctx = {
+  params : Params.t;
+  cands : Candidate.t array array;  (** candidates per hyper net *)
+  bboxes : Rect.t option array;
+      (** optical bounding box per net ([None] if no candidate has optical
+          geometry) *)
+  neighbors : int array array;
+      (** nets whose optical boxes overlap this net's box *)
+  elec_idx : int array;  (** per net: index of its cheapest pure-electrical
+                             candidate — the Formula (3) [a_ie] variable *)
+}
+
+val make_ctx : Params.t -> Candidate.t list array -> ctx
+(** Raises [Invalid_argument] if some net has no candidates or lacks a
+    pure-electrical fallback. *)
+
+val selected : ctx -> int array -> int -> Candidate.t
+(** Candidate currently chosen for a net. *)
+
+val power : ctx -> int array -> float
+(** Total power of a selection (sum over nets of candidate power). *)
+
+val net_path_losses : ctx -> int array -> int -> float array
+(** Actual loss per optical path of a net's chosen candidate: intrinsic
+    plus crossing loss against the neighbours' current choices. *)
+
+val worst_violation : ctx -> int array -> float
+(** Max over all nets and paths of [loss - l_max]; <= 0 means the whole
+    selection meets the detection constraints. *)
+
+val feasible : ctx -> int array -> bool
+
+val all_electrical : ctx -> int array
+(** The always-feasible selection that picks every net's fallback. *)
+
+val greedy : ctx -> int array
+(** Min-power candidate per net, ignoring crossing coupling (intrinsic
+    feasibility is guaranteed by construction). May be infeasible. *)
+
+val polish : ?rounds:int -> ctx -> int array -> int array
+(** Local improvement: first repair (nets on violated paths revert to
+    their electrical fallback until feasible), then greedily retry
+    cheaper candidates per net while global feasibility holds. The result
+    is always feasible. *)

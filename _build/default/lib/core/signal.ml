@@ -1,0 +1,47 @@
+open Operon_geom
+
+type bit = { source : Point.t; sinks : Point.t array }
+
+let bit ~source ~sinks =
+  if Array.length sinks = 0 then invalid_arg "Signal.bit: a bit needs at least one sink";
+  { source; sinks }
+
+let bit_pins b = Array.append [| b.source |] b.sinks
+
+type group = { name : string; bits : bit array }
+
+let group ~name ~bits =
+  if Array.length bits = 0 then invalid_arg "Signal.group: a group needs at least one bit";
+  { name; bits }
+
+type design = { die : Rect.t; groups : group array }
+
+let design ~die ~groups =
+  Array.iter
+    (fun g ->
+      Array.iter
+        (fun b ->
+          Array.iter
+            (fun p ->
+              if not (Rect.contains die p) then
+                invalid_arg
+                  (Printf.sprintf "Signal.design: pin of group %S outside the die" g.name))
+            (bit_pins b))
+        g.bits)
+    groups;
+  { die; groups }
+
+let net_count d =
+  Array.fold_left (fun acc g -> acc + Array.length g.bits) 0 d.groups
+
+let pin_count d =
+  Array.fold_left
+    (fun acc g ->
+      Array.fold_left (fun acc b -> acc + 1 + Array.length b.sinks) acc g.bits)
+    0 d.groups
+
+let group_bbox g =
+  let pins =
+    Array.concat (Array.to_list (Array.map bit_pins g.bits))
+  in
+  Rect.of_points pins

@@ -1,0 +1,44 @@
+(** On-chip signal model (paper Section 2.3).
+
+    Performance-critical signal bits are bound together in {e groups} (bus
+    bits between logic blocks and memory interfaces). Each bit is a
+    multi-pin net: one driving pin and one or more sink pins. Groups whose
+    bit count exceeds the WDM capacity are later split into several hyper
+    nets by {!Processing}. *)
+
+open Operon_geom
+
+type bit = {
+  source : Point.t;  (** driving pin *)
+  sinks : Point.t array;  (** at least one sink pin *)
+}
+
+val bit : source:Point.t -> sinks:Point.t array -> bit
+(** Raises [Invalid_argument] when [sinks] is empty. *)
+
+val bit_pins : bit -> Point.t array
+(** Source followed by sinks. *)
+
+type group = {
+  name : string;
+  bits : bit array;  (** non-empty *)
+}
+
+val group : name:string -> bits:bit array -> group
+
+type design = {
+  die : Rect.t;  (** placement area, cm *)
+  groups : group array;
+}
+
+val design : die:Rect.t -> groups:group array -> design
+(** Raises [Invalid_argument] if any pin lies outside the die. *)
+
+val net_count : design -> int
+(** Total signal bits — the paper's "#Net" column. *)
+
+val pin_count : design -> int
+(** Total electrical pins over all bits. *)
+
+val group_bbox : group -> Rect.t
+(** Bounding box over every pin of the group. *)

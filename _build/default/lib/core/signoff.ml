@@ -1,0 +1,152 @@
+open Operon_geom
+open Operon_optical
+
+type report = {
+  nets_checked : int;
+  paths_checked : int;
+  worst_loss_db : float;
+  violations : int;
+  mean_detour_ratio : float;
+  waveguide_crossings : int;
+  mean_estimated_crossing_db : float;
+  mean_physical_crossing_db : float;
+}
+
+(* The waveguide a connection physically uses: the assigned track with the
+   largest share of its bits (a split connection's secondary tracks run in
+   parallel and add no loss to the primary analysis). Falls back to the
+   placement track when the assignment has no flow (cannot happen for
+   Assign.run results). *)
+let primary_track (assignment : Assign.result) placement ci =
+  match
+    List.sort (fun (_, b1) (_, b2) -> compare b2 b1) assignment.Assign.flows.(ci)
+  with
+  | (w, _) :: _ -> Some assignment.Assign.tracks.(w)
+  | [] ->
+      let w = placement.Wdm_place.assignment.(ci) in
+      if w >= 0 && w < Array.length placement.Wdm_place.tracks then
+        Some placement.Wdm_place.tracks.(w)
+      else None
+
+(* Physical route of a connection on its track: perpendicular jog from
+   each endpoint onto the track coordinate, plus the longitudinal run. *)
+let routed_length (t : Wdm.track) (c : Wdm.conn) =
+  let a = c.Wdm.seg.Segment.a and b = c.Wdm.seg.Segment.b in
+  match t.Wdm.orient with
+  | Wdm.Horizontal ->
+      Float.abs (a.Point.y -. t.Wdm.coord)
+      +. Float.abs (b.Point.y -. t.Wdm.coord)
+      +. Float.abs (a.Point.x -. b.Point.x)
+  | Wdm.Vertical ->
+      Float.abs (a.Point.x -. t.Wdm.coord)
+      +. Float.abs (b.Point.x -. t.Wdm.coord)
+      +. Float.abs (a.Point.y -. b.Point.y)
+
+(* Physical waveguide crossings met by a connection: perpendicular tracks
+   whose coordinate falls inside the connection's longitudinal run and
+   whose own span covers this track's coordinate. *)
+let crossings_on_run tracks (t : Wdm.track) (c : Wdm.conn) =
+  let lo, hi = Wdm.conn_span c in
+  Array.fold_left
+    (fun acc (other : Wdm.track) ->
+      if other.Wdm.orient <> t.Wdm.orient
+         && other.Wdm.coord >= lo -. 1e-12
+         && other.Wdm.coord <= hi +. 1e-12
+         && other.Wdm.lo <= t.Wdm.coord +. 1e-12
+         && other.Wdm.hi >= t.Wdm.coord -. 1e-12
+      then acc + 1
+      else acc)
+    0 tracks
+
+(* Total physical waveguide crossings of the design: every H/V track pair
+   whose spans intersect transversally. *)
+let total_crossings tracks =
+  let n = Array.length tracks in
+  let count = ref 0 in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let a = tracks.(i) and b = tracks.(j) in
+      if a.Wdm.orient <> b.Wdm.orient then begin
+        let h, v = if a.Wdm.orient = Wdm.Horizontal then (a, b) else (b, a) in
+        if v.Wdm.coord >= h.Wdm.lo && v.Wdm.coord <= h.Wdm.hi
+           && h.Wdm.coord >= v.Wdm.lo && h.Wdm.coord <= v.Wdm.hi
+        then incr count
+      end
+    done
+  done;
+  !count
+
+let run params ctx choice placement (assignment : Assign.result) =
+  let l_max = params.Params.l_max in
+  let conns = placement.Wdm_place.conns in
+  (* Rebuild the (net, segment endpoints) -> connection mapping that
+     Wdm_place.connections_of_selection produced. *)
+  let conn_of = Hashtbl.create (Array.length conns) in
+  Array.iter
+    (fun (c : Wdm.conn) ->
+      Hashtbl.replace conn_of
+        (c.Wdm.net, c.Wdm.seg.Segment.a, c.Wdm.seg.Segment.b)
+        c)
+    conns;
+  let alpha = params.Params.alpha and beta = params.Params.beta in
+  let nets = ref 0 and paths = ref 0 and violations = ref 0 in
+  let worst = ref 0.0 in
+  let detours = ref [] in
+  let est_crossing = ref [] and phys_crossing = ref [] in
+  Array.iteri
+    (fun i j ->
+      let cand = ctx.Selection.cands.(i).(j) in
+      if Array.length cand.Candidate.opt_segments > 0 then begin
+        incr nets;
+        (* estimated crossing loss per path under the optimizer's model *)
+        let losses = Selection.net_path_losses ctx choice i in
+        Array.iteri
+          (fun p (path : Candidate.path) ->
+            incr paths;
+            let est =
+              losses.(p) -. path.Candidate.intrinsic_loss
+            in
+            est_crossing := Float.max 0.0 est :: !est_crossing;
+            (* physical re-evaluation *)
+            let chord_len =
+              Array.fold_left (fun acc s -> acc +. Segment.length s) 0.0
+                path.Candidate.segments
+            in
+            let split_part = path.Candidate.intrinsic_loss -. (alpha *. chord_len) in
+            let routed = ref 0.0 and crossings = ref 0 in
+            Array.iter
+              (fun (s : Segment.t) ->
+                let key = (cand.Candidate.hnet.Hypernet.id, s.Segment.a, s.Segment.b) in
+                match Hashtbl.find_opt conn_of key with
+                | None ->
+                    (* unrouted segment (should not happen): fall back to
+                       the chord itself *)
+                    routed := !routed +. Segment.length s
+                | Some conn -> (
+                    match primary_track assignment placement conn.Wdm.id with
+                    | None -> routed := !routed +. Segment.length s
+                    | Some t ->
+                        routed := !routed +. routed_length t conn;
+                        crossings := !crossings + crossings_on_run assignment.Assign.tracks t conn))
+              path.Candidate.segments;
+            detours :=
+              (if chord_len > 1e-12 then !routed /. chord_len else 1.0) :: !detours;
+            let phys = beta *. float_of_int !crossings in
+            phys_crossing := phys :: !phys_crossing;
+            let loss = split_part +. (alpha *. !routed) +. phys in
+            if loss > !worst then worst := loss;
+            if loss > l_max +. 1e-9 then incr violations)
+          cand.Candidate.paths
+      end)
+    choice;
+  let mean l =
+    match l with [] -> 0.0 | _ -> Operon_util.Stats.mean (Array.of_list l)
+  in
+  { nets_checked = !nets;
+    paths_checked = !paths;
+    worst_loss_db = !worst;
+    violations = !violations;
+    mean_detour_ratio = mean !detours;
+    waveguide_crossings = total_crossings assignment.Assign.tracks;
+    mean_estimated_crossing_db = mean !est_crossing;
+    mean_physical_crossing_db = mean !phys_crossing }

@@ -1,0 +1,42 @@
+(** Post-route loss signoff.
+
+    Selection reasons about chord geometry and a bundled crossing
+    estimate (DESIGN.md §6); after WDM placement and assignment the
+    design has {e physical} geometry — every connection rides an actual
+    waveguide track, reached by perpendicular jogs. This module rebuilds
+    that physical view and re-verifies every optical path:
+
+    - routed length = jog + track run + jog (detour over the chord);
+    - crossings are counted between physical waveguides (track-track
+      intersections restricted to the portions a connection traverses),
+      which is the quantity the bundle factor approximates;
+    - splitting loss carries over unchanged from the candidate.
+
+    The report quantifies both the detection margin of the final design
+    and the quality of the estimation model the optimizer used. *)
+
+type report = {
+  nets_checked : int;  (** nets with optical geometry *)
+  paths_checked : int;
+  worst_loss_db : float;  (** max physical path loss *)
+  violations : int;  (** paths whose physical loss exceeds the budget *)
+  mean_detour_ratio : float;
+      (** routed length / chord length, averaged over connections (>= 1) *)
+  waveguide_crossings : int;
+      (** physical track-track crossing count of the whole design *)
+  mean_estimated_crossing_db : float;
+      (** mean per-path crossing loss the optimizer assumed (bundled) *)
+  mean_physical_crossing_db : float;
+      (** mean per-path crossing loss after routing *)
+}
+
+val run :
+  Operon_optical.Params.t ->
+  Selection.ctx ->
+  int array ->
+  Wdm_place.placement ->
+  Assign.result ->
+  report
+(** Signoff of a completed flow. The placement must be the one produced
+    from exactly this selection ({!Wdm_place.connections_of_selection}
+    ordering is relied upon). *)

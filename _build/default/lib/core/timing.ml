@@ -1,0 +1,48 @@
+open Operon_optical
+open Operon_steiner
+
+type stats = { mean_worst_ps : float; max_worst_ps : float }
+
+let candidate_worst_ps d (c : Candidate.t) =
+  let topo = c.Candidate.topo in
+  let root = Topology.root topo in
+  let worst = ref 0.0 in
+  (* DFS accumulating delay; a new optical link (EO+OE conversion pair)
+     starts whenever an optical edge leaves an electrically-fed node. *)
+  let rec walk v delay =
+    if Topology.is_terminal topo v && v <> root then
+      worst := Float.max !worst delay;
+    List.iter
+      (fun child ->
+        let hop =
+          match c.Candidate.labels.(child) with
+          | Candidate.Electrical ->
+              Delay.electrical d ~length_cm:(Topology.edge_length Topology.L1 topo child)
+          | Candidate.Optical ->
+              let flight =
+                Delay.flight_ps_per_cm d
+                *. Topology.edge_length Topology.L2 topo child
+              in
+              let entering_link =
+                v = root || c.Candidate.labels.(v) = Candidate.Electrical
+              in
+              flight +. if entering_link then d.Delay.t_conversion else 0.0
+        in
+        walk child (delay +. hop))
+      (Topology.children topo v)
+  in
+  walk root 0.0;
+  !worst
+
+let of_choice d ctx choice =
+  let worsts =
+    Array.mapi
+      (fun i j -> candidate_worst_ps d ctx.Selection.cands.(i).(j))
+      choice
+  in
+  { mean_worst_ps = Operon_util.Stats.mean worsts;
+    max_worst_ps = Array.fold_left Float.max 0.0 worsts }
+
+let selection d ctx choice = of_choice d ctx choice
+
+let electrical_reference d ctx = of_choice d ctx (Selection.all_electrical ctx)

@@ -1,0 +1,24 @@
+(** Timing analysis over selected routes — quantifies the paper's opening
+    motivation (interconnect delay) on the synthesized topologies.
+
+    The worst source-to-sink delay of a candidate walks its labelled tree:
+    electrical edges at the repeatered-copper rate, optical links at
+    conversion latency + time of flight (see {!Operon_optical.Delay}). *)
+
+open Operon_optical
+
+type stats = {
+  mean_worst_ps : float;  (** mean over hyper nets of worst sink delay *)
+  max_worst_ps : float;  (** slowest sink in the design *)
+}
+
+val candidate_worst_ps : Delay.t -> Candidate.t -> float
+(** Worst source-to-sink delay of one candidate, ps (0 for trivial
+    single-pin nets). *)
+
+val selection : Delay.t -> Selection.ctx -> int array -> stats
+(** Delay statistics of a selection. *)
+
+val electrical_reference : Delay.t -> Selection.ctx -> stats
+(** The same statistics with every net forced onto its electrical
+    fallback — the "before optics" yardstick. *)

@@ -1,0 +1,88 @@
+open Operon_optical
+
+type placement = {
+  conns : Wdm.conn array;
+  tracks : Wdm.track array;
+  assignment : int array;
+}
+
+let connections_of_selection ctx choice =
+  let acc = ref [] in
+  let next = ref 0 in
+  Array.iteri
+    (fun i j ->
+      let c = ctx.Selection.cands.(i).(j) in
+      Array.iter
+        (fun seg ->
+          acc :=
+            { Wdm.id = !next;
+              net = c.Candidate.hnet.Hypernet.id;
+              seg;
+              bits = c.Candidate.hnet.Hypernet.bits }
+            :: !acc;
+          incr next)
+        c.Candidate.opt_segments)
+    choice;
+  Array.of_list (List.rev !acc)
+
+let place params conns =
+  let capacity = params.Params.wdm_capacity in
+  let dis_u = params.Params.dis_u in
+  let assignment = Array.make (Array.length conns) (-1) in
+  let tracks = ref [] in
+  let ntracks = ref 0 in
+  let sweep orient =
+    let mine =
+      Array.to_list conns
+      |> List.filter (fun c -> Wdm.orientation_of c.Wdm.seg = orient)
+      |> List.sort (fun a b -> Float.compare (Wdm.conn_coord a) (Wdm.conn_coord b))
+    in
+    let current = ref None in
+    List.iter
+      (fun c ->
+        let open_track () =
+          let t = Wdm.track_of_conn ~capacity c in
+          tracks := t :: !tracks;
+          assignment.(c.Wdm.id) <- !ntracks;
+          incr ntracks;
+          current := Some (t, !ntracks - 1)
+        in
+        match !current with
+        | None -> open_track ()
+        | Some (t, idx) ->
+            if Wdm.track_fits t c ~max_dist:dis_u then begin
+              Wdm.track_add t c;
+              assignment.(c.Wdm.id) <- idx
+            end
+            else open_track ())
+      mine
+  in
+  sweep Wdm.Horizontal;
+  sweep Wdm.Vertical;
+  { conns; tracks = Array.of_list (List.rev !tracks); assignment }
+
+let legalize params tracks =
+  let dis_l = params.Params.dis_l in
+  let moved = ref 0 in
+  let fix orient =
+    let mine =
+      Array.to_list tracks
+      |> List.filter (fun t -> t.Wdm.orient = orient)
+      |> List.sort (fun a b -> Float.compare a.Wdm.coord b.Wdm.coord)
+    in
+    let rec sweep = function
+      | a :: (b :: _ as rest) ->
+          if b.Wdm.coord -. a.Wdm.coord < dis_l then begin
+            b.Wdm.coord <- a.Wdm.coord +. dis_l;
+            incr moved
+          end;
+          sweep rest
+      | _ -> ()
+    in
+    sweep mine
+  in
+  fix Wdm.Horizontal;
+  fix Wdm.Vertical;
+  !moved
+
+let track_count p = Array.length p.tracks

@@ -1,0 +1,31 @@
+(** WDM placement (paper Section 4.1).
+
+    Optical point-to-point connections of the selected candidates are
+    gathered and greedily packed onto WDM tracks: connections are sorted
+    by their perpendicular coordinate and swept once — a connection joins
+    the current track when capacity remains and it lies within [dis_u],
+    otherwise a new track is opened on it. A legalization pass then pushes
+    neighbouring tracks apart to the [dis_l] crosstalk bound. *)
+
+open Operon_optical
+
+type placement = {
+  conns : Wdm.conn array;
+  tracks : Wdm.track array;
+  assignment : int array;  (** [assignment.(conn.id)] = index into [tracks] *)
+}
+
+val connections_of_selection : Selection.ctx -> int array -> Wdm.conn array
+(** Optical segments of every selected candidate, one connection per
+    segment, carrying the hyper net's bit count. Ids are dense. *)
+
+val place : Params.t -> Wdm.conn array -> placement
+(** Sweep placement per orientation. Every connection is assigned; the
+    number of tracks is the paper's "#Initial WDMs". *)
+
+val legalize : Params.t -> Wdm.track array -> int
+(** Enforce the [dis_l] minimum spacing between same-orientation tracks
+    by shifting offenders one-by-one; returns the number of moved
+    tracks. *)
+
+val track_count : placement -> int

@@ -1,0 +1,22 @@
+(** Dinic's maximum-flow algorithm on directed networks with integer
+    capacities. Used for feasibility checks of the WDM assignment network
+    (can every connection be covered at all?) before costs are considered. *)
+
+type t
+
+val create : int -> t
+(** [create n] builds an empty network on vertices 0..n-1. *)
+
+val add_edge : t -> src:int -> dst:int -> cap:int -> int
+(** Add a directed arc and its residual twin; returns an arc handle usable
+    with {!flow_on}. Raises [Invalid_argument] on bad vertices or negative
+    capacity. *)
+
+val max_flow : t -> source:int -> sink:int -> int
+(** Value of a maximum source-sink flow. Can be called once per network
+    state; subsequent calls continue from the current residual network. *)
+
+val flow_on : t -> int -> int
+(** Flow currently routed through an arc handle. *)
+
+val vertex_count : t -> int

@@ -1,0 +1,165 @@
+type t = {
+  n : int;
+  heads : int array;
+  mutable nexts : int array;
+  mutable dsts : int array;
+  mutable caps : int array;
+  mutable costs : float array;
+  mutable orig_caps : int array;
+  mutable arcs : int;
+}
+
+let create n =
+  if n <= 0 then invalid_arg "Mcmf.create: non-positive size";
+  { n;
+    heads = Array.make n (-1);
+    nexts = Array.make 16 (-1);
+    dsts = Array.make 16 0;
+    caps = Array.make 16 0;
+    costs = Array.make 16 0.0;
+    orig_caps = Array.make 16 0;
+    arcs = 0 }
+
+let ensure_capacity t =
+  if t.arcs + 2 > Array.length t.nexts then begin
+    let cap = Array.length t.nexts * 2 in
+    let grow_i a = let b = Array.make cap 0 in Array.blit a 0 b 0 t.arcs; b in
+    let nexts = Array.make cap (-1) in
+    Array.blit t.nexts 0 nexts 0 t.arcs;
+    let costs = Array.make cap 0.0 in
+    Array.blit t.costs 0 costs 0 t.arcs;
+    t.nexts <- nexts;
+    t.dsts <- grow_i t.dsts;
+    t.caps <- grow_i t.caps;
+    t.orig_caps <- grow_i t.orig_caps;
+    t.costs <- costs
+  end
+
+let push_arc t u v c cost =
+  let idx = t.arcs in
+  t.dsts.(idx) <- v;
+  t.caps.(idx) <- c;
+  t.orig_caps.(idx) <- c;
+  t.costs.(idx) <- cost;
+  t.nexts.(idx) <- t.heads.(u);
+  t.heads.(u) <- idx;
+  t.arcs <- idx + 1
+
+let add_edge t ~src ~dst ~cap ~cost =
+  if src < 0 || src >= t.n || dst < 0 || dst >= t.n then
+    invalid_arg "Mcmf.add_edge: vertex out of range";
+  if cap < 0 then invalid_arg "Mcmf.add_edge: negative capacity";
+  ensure_capacity t;
+  let handle = t.arcs in
+  push_arc t src dst cap cost;
+  push_arc t dst src 0 (-.cost);
+  handle
+
+let flow_on t handle =
+  if handle < 0 || handle >= t.arcs then invalid_arg "Mcmf.flow_on: bad handle";
+  t.orig_caps.(handle) - t.caps.(handle)
+
+(* Bellman-Ford over residual arcs to initialise the potentials; needed only
+   when some arc cost is negative. *)
+let initial_potentials t source =
+  let pot = Array.make t.n infinity in
+  pot.(source) <- 0.0;
+  let changed = ref true in
+  let rounds = ref 0 in
+  while !changed do
+    changed := false;
+    incr rounds;
+    if !rounds > t.n then failwith "Mcmf: negative cycle";
+    for u = 0 to t.n - 1 do
+      if pot.(u) < infinity then begin
+        let a = ref t.heads.(u) in
+        while !a <> -1 do
+          if t.caps.(!a) > 0 && pot.(u) +. t.costs.(!a) < pot.(t.dsts.(!a)) -. 1e-12
+          then begin
+            pot.(t.dsts.(!a)) <- pot.(u) +. t.costs.(!a);
+            changed := true
+          end;
+          a := t.nexts.(!a)
+        done
+      end
+    done
+  done;
+  Array.map (fun d -> if d = infinity then 0.0 else d) pot
+
+let has_negative_cost t =
+  let rec scan i = i < t.arcs && (t.costs.(i) < 0.0 && t.caps.(i) > 0 || scan (i + 1)) in
+  scan 0
+
+let solve_bounded t ~source ~sink ~max_flow =
+  if source = sink then invalid_arg "Mcmf.solve: source = sink";
+  let pot =
+    if has_negative_cost t then initial_potentials t source
+    else Array.make t.n 0.0
+  in
+  let dist = Array.make t.n infinity in
+  let prev_arc = Array.make t.n (-1) in
+  let visited = Array.make t.n false in
+  let total_flow = ref 0 and total_cost = ref 0.0 in
+  let continue = ref true in
+  while !continue && !total_flow < max_flow do
+    (* Dijkstra with reduced costs cost + pot(u) - pot(v) >= 0. *)
+    Array.fill dist 0 t.n infinity;
+    Array.fill prev_arc 0 t.n (-1);
+    Array.fill visited 0 t.n false;
+    dist.(source) <- 0.0;
+    (* Array-scan Dijkstra: O(V^2 + E), plenty for assignment networks whose
+       vertex count is #connections + #WDMs + 2. *)
+    let done_ = ref false in
+    while not !done_ do
+      let u = ref (-1) in
+      for v = 0 to t.n - 1 do
+        if (not visited.(v)) && dist.(v) < infinity
+           && (!u = -1 || dist.(v) < dist.(!u))
+        then u := v
+      done;
+      if !u = -1 then done_ := true
+      else begin
+        let u = !u in
+        visited.(u) <- true;
+        let a = ref t.heads.(u) in
+        while !a <> -1 do
+          let v = t.dsts.(!a) in
+          if t.caps.(!a) > 0 && not visited.(v) then begin
+            let reduced = t.costs.(!a) +. pot.(u) -. pot.(v) in
+            let nd = dist.(u) +. Float.max 0.0 reduced in
+            if nd < dist.(v) -. 1e-15 then begin
+              dist.(v) <- nd;
+              prev_arc.(v) <- !a
+            end
+          end;
+          a := t.nexts.(!a)
+        done
+      end
+    done;
+    if dist.(sink) = infinity then continue := false
+    else begin
+      for v = 0 to t.n - 1 do
+        if dist.(v) < infinity then pot.(v) <- pot.(v) +. dist.(v)
+      done;
+      (* Bottleneck along the shortest path. *)
+      let bottleneck = ref (max_flow - !total_flow) in
+      let v = ref sink in
+      while !v <> source do
+        let a = prev_arc.(!v) in
+        if t.caps.(a) < !bottleneck then bottleneck := t.caps.(a);
+        v := t.dsts.(a lxor 1)
+      done;
+      let v = ref sink in
+      while !v <> source do
+        let a = prev_arc.(!v) in
+        t.caps.(a) <- t.caps.(a) - !bottleneck;
+        t.caps.(a lxor 1) <- t.caps.(a lxor 1) + !bottleneck;
+        total_cost := !total_cost +. (t.costs.(a) *. float_of_int !bottleneck);
+        v := t.dsts.(a lxor 1)
+      done;
+      total_flow := !total_flow + !bottleneck
+    end
+  done;
+  (!total_flow, !total_cost)
+
+let solve t ~source ~sink = solve_bounded t ~source ~sink ~max_flow:max_int

@@ -1,0 +1,28 @@
+(** Min-cost max-flow by successive shortest paths with Johnson potentials.
+
+    This replaces the LEMON solver the paper used for WDM re-assignment
+    (Section 4.2). Costs are floats (perpendicular displacement distances and
+    WDM usage costs); capacities are integers (channel counts). Because the
+    assignment network is a bipartite transportation network, the optimal
+    basic solution is integral, exactly as the paper's uni-modularity remark
+    requires. *)
+
+type t
+
+val create : int -> t
+(** [create n] builds an empty network on vertices 0..n-1. *)
+
+val add_edge : t -> src:int -> dst:int -> cap:int -> cost:float -> int
+(** Add a directed arc with capacity and per-unit cost; returns an arc
+    handle for {!flow_on}. Negative costs are allowed (a Bellman-Ford pass
+    bootstraps the potentials). *)
+
+val solve : t -> source:int -> sink:int -> int * float
+(** [(flow, cost)] of a minimum-cost maximum flow. Raises [Failure] when a
+    negative cycle is present in the initial network. *)
+
+val solve_bounded : t -> source:int -> sink:int -> max_flow:int -> int * float
+(** Like {!solve} but stops once [max_flow] units have been routed. *)
+
+val flow_on : t -> int -> int
+(** Flow routed on an arc handle (valid after {!solve}). *)

@@ -1,0 +1,1 @@
+lib/geom/gridmap.ml: Array Buffer Float Point Rect Segment Stdlib String

@@ -1,0 +1,1 @@
+lib/geom/gridmap.mli: Point Rect Segment

@@ -1,0 +1,1 @@
+lib/geom/segment.ml: Array Float Format Point Rect

@@ -1,0 +1,98 @@
+type t = {
+  bounds : Rect.t;
+  nx : int;
+  ny : int;
+  cells : float array; (* row-major: index = j * nx + i *)
+}
+
+let create bounds ~nx ~ny =
+  if nx <= 0 || ny <= 0 then invalid_arg "Gridmap.create: non-positive size";
+  { bounds; nx; ny; cells = Array.make (nx * ny) 0.0 }
+
+let nx g = g.nx
+
+let ny g = g.ny
+
+let bounds g = g.bounds
+
+let get g i j =
+  if i < 0 || i >= g.nx || j < 0 || j >= g.ny then
+    invalid_arg "Gridmap.get: out of bounds";
+  g.cells.((j * g.nx) + i)
+
+let total g = Array.fold_left ( +. ) 0.0 g.cells
+
+let clamp v lo hi = if v < lo then lo else if v > hi then hi else v
+
+let cell_of g { Point.x; y } =
+  let r = g.bounds in
+  let w = Rect.width r and h = Rect.height r in
+  let fx = if w <= 0.0 then 0.0 else (x -. r.Rect.xmin) /. w in
+  let fy = if h <= 0.0 then 0.0 else (y -. r.Rect.ymin) /. h in
+  let i = clamp (int_of_float (fx *. float_of_int g.nx)) 0 (g.nx - 1) in
+  let j = clamp (int_of_float (fy *. float_of_int g.ny)) 0 (g.ny - 1) in
+  (i, j)
+
+let deposit_point g p mass =
+  let i, j = cell_of g p in
+  g.cells.((j * g.nx) + i) <- g.cells.((j * g.nx) + i) +. mass
+
+let deposit_segment g s mass =
+  let len = Segment.length s in
+  if len <= 0.0 then deposit_point g s.Segment.a mass
+  else
+    (* Sample at roughly a third of the cell pitch so no traversed cell is
+       skipped, and split the mass evenly over the samples. *)
+    let pitch =
+      Float.min
+        (Rect.width g.bounds /. float_of_int g.nx)
+        (Rect.height g.bounds /. float_of_int g.ny)
+    in
+    let step = if pitch > 0.0 then pitch /. 3.0 else len in
+    let samples = Stdlib.max 1 (int_of_float (Float.ceil (len /. step))) in
+    let per_sample = mass /. float_of_int (samples + 1) in
+    let dir = Point.sub s.Segment.b s.Segment.a in
+    for k = 0 to samples do
+      let tparam = float_of_int k /. float_of_int samples in
+      deposit_point g (Point.add s.Segment.a (Point.scale tparam dir)) per_sample
+    done
+
+let peak g = Array.fold_left Float.max 0.0 g.cells
+
+let normalized g =
+  let hi = peak g in
+  let scale = if hi > 0.0 then 1.0 /. hi else 0.0 in
+  Array.init g.ny (fun j ->
+      Array.init g.nx (fun i -> g.cells.((j * g.nx) + i) *. scale))
+
+let correlation a b =
+  if a.nx <> b.nx || a.ny <> b.ny then
+    invalid_arg "Gridmap.correlation: shape mismatch";
+  let n = float_of_int (Array.length a.cells) in
+  let ma = total a /. n and mb = total b /. n in
+  let num = ref 0.0 and da = ref 0.0 and db = ref 0.0 in
+  Array.iteri
+    (fun idx va ->
+      let xa = va -. ma and xb = b.cells.(idx) -. mb in
+      num := !num +. (xa *. xb);
+      da := !da +. (xa *. xa);
+      db := !db +. (xb *. xb))
+    a.cells;
+  if !da <= 0.0 || !db <= 0.0 then 0.0 else !num /. sqrt (!da *. !db)
+
+let render ?(levels = " .:-=+*#%@") g =
+  let hi = peak g in
+  let nlev = String.length levels in
+  let buf = Buffer.create (g.nx * g.ny + g.ny) in
+  for j = g.ny - 1 downto 0 do
+    for i = 0 to g.nx - 1 do
+      let v = g.cells.((j * g.nx) + i) in
+      let idx =
+        if hi <= 0.0 then 0
+        else clamp (int_of_float (v /. hi *. float_of_int (nlev - 1))) 0 (nlev - 1)
+      in
+      Buffer.add_char buf levels.[idx]
+    done;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf

@@ -1,0 +1,45 @@
+(** Uniform density grids over the die.
+
+    Used to build the Figure 9 power-hotspot maps: power is deposited either
+    at points (EO/OE conversion sites) or smeared along wire segments, then
+    the grid is normalized and rendered. *)
+
+type t
+
+val create : Rect.t -> nx:int -> ny:int -> t
+(** A zeroed [nx] x [ny] grid covering the given die rectangle. *)
+
+val nx : t -> int
+
+val ny : t -> int
+
+val bounds : t -> Rect.t
+
+val get : t -> int -> int -> float
+(** [get g i j] reads cell (column [i], row [j]). *)
+
+val total : t -> float
+(** Sum of all cells. *)
+
+val deposit_point : t -> Point.t -> float -> unit
+(** Add a point mass into the covering cell (points outside the bounds are
+    clamped to the border cell). *)
+
+val deposit_segment : t -> Segment.t -> float -> unit
+(** Distribute a mass uniformly along a segment by sampling at sub-cell
+    resolution, so long wires heat every cell they traverse. *)
+
+val peak : t -> float
+(** Maximum cell value. *)
+
+val normalized : t -> float array array
+(** Copy of the cells scaled so the peak is 1.0 ([row][col] indexed). *)
+
+val correlation : t -> t -> float
+(** Pearson correlation of two same-shape grids; used to check that GLOW and
+    OPERON have similar optical hotspot layouts (Fig. 9a vs 9c). Raises
+    [Invalid_argument] on shape mismatch. *)
+
+val render : ?levels:string -> t -> string
+(** ASCII-art heat map: characters of [levels] (default " .:-=+*#%@") by
+    increasing intensity, one row per line, row 0 at the bottom. *)

@@ -1,0 +1,47 @@
+type t = { x : float; y : float }
+
+let make x y = { x; y }
+
+let origin = { x = 0.0; y = 0.0 }
+
+let equal a b = a.x = b.x && a.y = b.y
+
+let close ?(eps = 1e-9) a b =
+  Float.abs (a.x -. b.x) <= eps && Float.abs (a.y -. b.y) <= eps
+
+let compare a b =
+  let c = Float.compare a.x b.x in
+  if c <> 0 then c else Float.compare a.y b.y
+
+let l1 a b = Float.abs (a.x -. b.x) +. Float.abs (a.y -. b.y)
+
+let l2_sq a b =
+  let dx = a.x -. b.x and dy = a.y -. b.y in
+  (dx *. dx) +. (dy *. dy)
+
+let l2 a b = sqrt (l2_sq a b)
+
+let midpoint a b = { x = (a.x +. b.x) /. 2.0; y = (a.y +. b.y) /. 2.0 }
+
+let add a b = { x = a.x +. b.x; y = a.y +. b.y }
+
+let sub a b = { x = a.x -. b.x; y = a.y -. b.y }
+
+let scale k p = { x = k *. p.x; y = k *. p.y }
+
+let dot a b = (a.x *. b.x) +. (a.y *. b.y)
+
+let cross a b = (a.x *. b.y) -. (a.y *. b.x)
+
+let centroid pts =
+  let n = Array.length pts in
+  if n = 0 then invalid_arg "Point.centroid: empty array";
+  let sx = ref 0.0 and sy = ref 0.0 in
+  Array.iter
+    (fun p ->
+      sx := !sx +. p.x;
+      sy := !sy +. p.y)
+    pts;
+  { x = !sx /. float_of_int n; y = !sy /. float_of_int n }
+
+let pp fmt p = Format.fprintf fmt "(%.4f, %.4f)" p.x p.y

@@ -1,0 +1,45 @@
+(** Planar points in chip coordinates (centimetres, matching the paper's
+    up-scaled industrial benchmarks). *)
+
+type t = { x : float; y : float }
+
+val make : float -> float -> t
+
+val origin : t
+
+val equal : t -> t -> bool
+(** Exact coordinate equality. *)
+
+val close : ?eps:float -> t -> t -> bool
+(** Equality up to [eps] (default 1e-9) in each coordinate. *)
+
+val compare : t -> t -> int
+(** Lexicographic (x, then y) order, suitable for sorting sweeps. *)
+
+val l1 : t -> t -> float
+(** Manhattan distance — the metric of electrical (rectilinear) wires. *)
+
+val l2 : t -> t -> float
+(** Euclidean distance — optical waveguides may route at any angle. *)
+
+val l2_sq : t -> t -> float
+(** Squared Euclidean distance (avoids the sqrt in nearest-neighbour loops). *)
+
+val midpoint : t -> t -> t
+
+val add : t -> t -> t
+
+val sub : t -> t -> t
+
+val scale : float -> t -> t
+
+val dot : t -> t -> float
+
+val cross : t -> t -> float
+(** 2-D cross product (z-component), used for orientation tests. *)
+
+val centroid : t array -> t
+(** Gravity centre of a non-empty point set; raises [Invalid_argument] on
+    empty input. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,62 @@
+type t = { xmin : float; ymin : float; xmax : float; ymax : float }
+
+let make ~xmin ~ymin ~xmax ~ymax =
+  if xmin > xmax || ymin > ymax then invalid_arg "Rect.make: inverted bounds";
+  { xmin; ymin; xmax; ymax }
+
+let of_points pts =
+  if Array.length pts = 0 then invalid_arg "Rect.of_points: empty array";
+  let p0 = pts.(0) in
+  let xmin = ref p0.Point.x and xmax = ref p0.Point.x in
+  let ymin = ref p0.Point.y and ymax = ref p0.Point.y in
+  Array.iter
+    (fun { Point.x; y } ->
+      if x < !xmin then xmin := x;
+      if x > !xmax then xmax := x;
+      if y < !ymin then ymin := y;
+      if y > !ymax then ymax := y)
+    pts;
+  { xmin = !xmin; ymin = !ymin; xmax = !xmax; ymax = !ymax }
+
+let width r = r.xmax -. r.xmin
+
+let height r = r.ymax -. r.ymin
+
+let area r = width r *. height r
+
+let half_perimeter r = width r +. height r
+
+let contains r { Point.x; y } =
+  x >= r.xmin && x <= r.xmax && y >= r.ymin && y <= r.ymax
+
+let overlaps a b =
+  a.xmin <= b.xmax && b.xmin <= a.xmax && a.ymin <= b.ymax && b.ymin <= a.ymax
+
+let inflate r m =
+  let xmin = r.xmin -. m and xmax = r.xmax +. m in
+  let ymin = r.ymin -. m and ymax = r.ymax +. m in
+  if xmin > xmax || ymin > ymax then
+    (* Over-shrunk: collapse to the centre point. *)
+    let cx = (r.xmin +. r.xmax) /. 2.0 and cy = (r.ymin +. r.ymax) /. 2.0 in
+    { xmin = cx; ymin = cy; xmax = cx; ymax = cy }
+  else { xmin; ymin; xmax; ymax }
+
+let union a b =
+  { xmin = Float.min a.xmin b.xmin;
+    ymin = Float.min a.ymin b.ymin;
+    xmax = Float.max a.xmax b.xmax;
+    ymax = Float.max a.ymax b.ymax }
+
+let intersection a b =
+  if not (overlaps a b) then None
+  else
+    Some
+      { xmin = Float.max a.xmin b.xmin;
+        ymin = Float.max a.ymin b.ymin;
+        xmax = Float.min a.xmax b.xmax;
+        ymax = Float.min a.ymax b.ymax }
+
+let center r = Point.make ((r.xmin +. r.xmax) /. 2.0) ((r.ymin +. r.ymax) /. 2.0)
+
+let pp fmt r =
+  Format.fprintf fmt "[%.4f,%.4f]x[%.4f,%.4f]" r.xmin r.xmax r.ymin r.ymax

@@ -1,0 +1,40 @@
+(** Axis-aligned rectangles. Used for net bounding boxes — the Section 3.3
+    speed-up drops crossing variables for hyper net pairs whose bounding
+    boxes do not overlap. *)
+
+type t = { xmin : float; ymin : float; xmax : float; ymax : float }
+
+val make : xmin:float -> ymin:float -> xmax:float -> ymax:float -> t
+(** Raises [Invalid_argument] if min exceeds max on either axis. *)
+
+val of_points : Point.t array -> t
+(** Tight bounding box of a non-empty point set. *)
+
+val width : t -> float
+
+val height : t -> float
+
+val area : t -> float
+
+val half_perimeter : t -> float
+(** HPWL of the box — the classic wirelength lower bound. *)
+
+val contains : t -> Point.t -> bool
+(** Closed containment (boundary counts as inside). *)
+
+val overlaps : t -> t -> bool
+(** Closed overlap test: touching boxes are considered overlapping, which is
+    the conservative choice for keeping crossing variables. *)
+
+val inflate : t -> float -> t
+(** Grow by a margin on all four sides (negative margins shrink; the result
+    is clamped so it stays well-formed). *)
+
+val union : t -> t -> t
+
+val intersection : t -> t -> t option
+(** [None] when the boxes are disjoint. *)
+
+val center : t -> Point.t
+
+val pp : Format.formatter -> t -> unit

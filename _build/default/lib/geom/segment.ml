@@ -1,0 +1,91 @@
+type t = { a : Point.t; b : Point.t }
+
+let eps_default = 1e-9
+
+let make a b = { a; b }
+
+let length s = Point.l2 s.a s.b
+
+let length_l1 s = Point.l1 s.a s.b
+
+let is_horizontal ?(eps = eps_default) s = Float.abs (s.a.Point.y -. s.b.Point.y) <= eps
+
+let is_vertical ?(eps = eps_default) s = Float.abs (s.a.Point.x -. s.b.Point.x) <= eps
+
+let bbox s = Rect.of_points [| s.a; s.b |]
+
+let orientation p q r =
+  let v = Point.cross (Point.sub q p) (Point.sub r p) in
+  if v > eps_default then 1 else if v < -.eps_default then -1 else 0
+
+let on_segment pt s =
+  let open Point in
+  Float.min s.a.x s.b.x -. eps_default <= pt.x
+  && pt.x <= Float.max s.a.x s.b.x +. eps_default
+  && Float.min s.a.y s.b.y -. eps_default <= pt.y
+  && pt.y <= Float.max s.a.y s.b.y +. eps_default
+
+let intersects s1 s2 =
+  let o1 = orientation s1.a s1.b s2.a in
+  let o2 = orientation s1.a s1.b s2.b in
+  let o3 = orientation s2.a s2.b s1.a in
+  let o4 = orientation s2.a s2.b s1.b in
+  if o1 <> o2 && o3 <> o4 then true
+  else
+    (o1 = 0 && on_segment s2.a s1)
+    || (o2 = 0 && on_segment s2.b s1)
+    || (o3 = 0 && on_segment s1.a s2)
+    || (o4 = 0 && on_segment s1.b s2)
+
+let crosses_properly s1 s2 =
+  let o1 = orientation s1.a s1.b s2.a in
+  let o2 = orientation s1.a s1.b s2.b in
+  let o3 = orientation s2.a s2.b s1.a in
+  let o4 = orientation s2.a s2.b s1.b in
+  (* Strict sign changes on both segments mean the crossing point is interior
+     to both; any zero orientation is an endpoint touch or collinearity. *)
+  o1 * o2 < 0 && o3 * o4 < 0
+
+let intersection_point s1 s2 =
+  let open Point in
+  let r = sub s1.b s1.a and s = sub s2.b s2.a in
+  let denom = cross r s in
+  if Float.abs denom <= eps_default then None
+  else
+    let qp = sub s2.a s1.a in
+    let t = cross qp s /. denom in
+    let u = cross qp r /. denom in
+    if t >= -.eps_default && t <= 1.0 +. eps_default && u >= -.eps_default
+       && u <= 1.0 +. eps_default
+    then Some (add s1.a (scale t r))
+    else None
+
+let count_crossings fam1 fam2 =
+  let count = ref 0 in
+  Array.iter
+    (fun s1 ->
+      Array.iter (fun s2 -> if crosses_properly s1 s2 then incr count) fam2)
+    fam1;
+  !count
+
+let count_self_crossings fam =
+  let n = Array.length fam in
+  let count = ref 0 in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if crosses_properly fam.(i) fam.(j) then incr count
+    done
+  done;
+  !count
+
+let distance_point p s =
+  let open Point in
+  let ab = sub s.b s.a in
+  let len_sq = dot ab ab in
+  if len_sq <= eps_default then l2 p s.a
+  else
+    let t = dot (sub p s.a) ab /. len_sq in
+    let t = Float.max 0.0 (Float.min 1.0 t) in
+    l2 p (add s.a (scale t ab))
+
+let pp fmt s = Format.fprintf fmt "%a--%a" Point.pp s.a Point.pp s.b

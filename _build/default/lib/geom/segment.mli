@@ -1,0 +1,51 @@
+(** Line segments and crossing tests.
+
+    Optical waveguide crossings cost [β] dB each (Eq. 2 of the paper), so
+    counting proper intersections between the segments of different nets is
+    a core primitive of the loss model. *)
+
+type t = { a : Point.t; b : Point.t }
+
+val make : Point.t -> Point.t -> t
+
+val length : t -> float
+(** Euclidean length. *)
+
+val length_l1 : t -> float
+(** Manhattan length. *)
+
+val is_horizontal : ?eps:float -> t -> bool
+
+val is_vertical : ?eps:float -> t -> bool
+
+val bbox : t -> Rect.t
+
+val orientation : Point.t -> Point.t -> Point.t -> int
+(** Sign of the cross product of [pq] x [pr]: +1 counter-clockwise, -1
+    clockwise, 0 collinear (with a tolerance). *)
+
+val on_segment : Point.t -> t -> bool
+(** Does the (collinear) point lie within the segment's extent? *)
+
+val intersects : t -> t -> bool
+(** Closed intersection test, including collinear overlap and endpoint
+    touching. *)
+
+val crosses_properly : t -> t -> bool
+(** True only for transversal crossings in segment interiors — the events
+    that incur waveguide crossing loss. Shared endpoints (tree branching
+    points) and collinear overlaps do not count. *)
+
+val intersection_point : t -> t -> Point.t option
+(** Intersection point of two non-parallel segments if they meet. *)
+
+val count_crossings : t array -> t array -> int
+(** Number of proper crossings between two segment families. *)
+
+val count_self_crossings : t array -> int
+(** Proper crossings among distinct pairs within one family. *)
+
+val distance_point : Point.t -> t -> float
+(** Euclidean distance from a point to the segment. *)
+
+val pp : Format.formatter -> t -> unit

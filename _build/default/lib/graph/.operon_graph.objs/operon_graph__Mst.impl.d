@@ -1,0 +1,1 @@
+lib/graph/mst.ml: Array Dsu Float Heap List Wgraph

@@ -1,0 +1,1 @@
+lib/graph/spath.ml: Array Heap List Wgraph

@@ -1,0 +1,40 @@
+type t = {
+  parent : int array;
+  rank : int array;
+  sizes : int array;
+  mutable sets : int;
+}
+
+let create n =
+  if n < 0 then invalid_arg "Dsu.create: negative size";
+  { parent = Array.init n Fun.id;
+    rank = Array.make n 0;
+    sizes = Array.make n 1;
+    sets = n }
+
+let rec find t x =
+  let p = t.parent.(x) in
+  if p = x then x
+  else begin
+    (* Path halving: point to the grandparent while descending. *)
+    t.parent.(x) <- t.parent.(p);
+    find t t.parent.(x)
+  end
+
+let union t a b =
+  let ra = find t a and rb = find t b in
+  if ra = rb then false
+  else begin
+    let ra, rb = if t.rank.(ra) < t.rank.(rb) then (rb, ra) else (ra, rb) in
+    t.parent.(rb) <- ra;
+    t.sizes.(ra) <- t.sizes.(ra) + t.sizes.(rb);
+    if t.rank.(ra) = t.rank.(rb) then t.rank.(ra) <- t.rank.(ra) + 1;
+    t.sets <- t.sets - 1;
+    true
+  end
+
+let same t a b = find t a = find t b
+
+let count t = t.sets
+
+let size t x = t.sizes.(find t x)

@@ -1,0 +1,22 @@
+(** Disjoint-set union (union-find) with path halving and union by rank.
+    Backs Kruskal's MST and the connectivity checks in the Steiner
+    constructors. *)
+
+type t
+
+val create : int -> t
+(** [create n] makes [n] singleton sets labelled 0..n-1. *)
+
+val find : t -> int -> int
+(** Representative of the element's set (with path compression). *)
+
+val union : t -> int -> int -> bool
+(** Merge two sets; returns [false] when already joined. *)
+
+val same : t -> int -> int -> bool
+
+val count : t -> int
+(** Number of remaining disjoint sets. *)
+
+val size : t -> int -> int
+(** Cardinality of the set containing the element. *)

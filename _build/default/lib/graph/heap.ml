@@ -1,0 +1,79 @@
+type 'a t = {
+  mutable keys : float array;
+  mutable data : 'a option array;
+  mutable size : int;
+}
+
+let create () = { keys = Array.make 16 0.0; data = Array.make 16 None; size = 0 }
+
+let length h = h.size
+
+let is_empty h = h.size = 0
+
+let grow h =
+  let cap = Array.length h.keys in
+  let keys = Array.make (cap * 2) 0.0 in
+  let data = Array.make (cap * 2) None in
+  Array.blit h.keys 0 keys 0 h.size;
+  Array.blit h.data 0 data 0 h.size;
+  h.keys <- keys;
+  h.data <- data
+
+let swap h i j =
+  let k = h.keys.(i) and d = h.data.(i) in
+  h.keys.(i) <- h.keys.(j);
+  h.data.(i) <- h.data.(j);
+  h.keys.(j) <- k;
+  h.data.(j) <- d
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if h.keys.(parent) > h.keys.(i) then begin
+      swap h parent i;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < h.size && h.keys.(l) < h.keys.(!smallest) then smallest := l;
+  if r < h.size && h.keys.(r) < h.keys.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap h i !smallest;
+    sift_down h !smallest
+  end
+
+let push h key payload =
+  if h.size = Array.length h.keys then grow h;
+  h.keys.(h.size) <- key;
+  h.data.(h.size) <- Some payload;
+  h.size <- h.size + 1;
+  sift_up h (h.size - 1)
+
+let pop h =
+  if h.size = 0 then None
+  else begin
+    let key = h.keys.(0) in
+    let payload =
+      match h.data.(0) with Some p -> p | None -> assert false
+    in
+    h.size <- h.size - 1;
+    h.keys.(0) <- h.keys.(h.size);
+    h.data.(0) <- h.data.(h.size);
+    h.data.(h.size) <- None;
+    if h.size > 0 then sift_down h 0;
+    Some (key, payload)
+  end
+
+let peek h =
+  if h.size = 0 then None
+  else
+    match h.data.(0) with
+    | Some p -> Some (h.keys.(0), p)
+    | None -> assert false
+
+let clear h =
+  Array.fill h.data 0 h.size None;
+  h.size <- 0

@@ -1,0 +1,21 @@
+(** Binary min-heap keyed by floats. Backs Prim's algorithm and Dijkstra.
+    Stale-entry ("lazy deletion") usage is supported: push the same payload
+    several times and skip outdated pops at the call site. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> float -> 'a -> unit
+(** Insert a payload with the given key. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the minimum-key entry. *)
+
+val peek : 'a t -> (float * 'a) option
+
+val clear : 'a t -> unit

@@ -1,0 +1,71 @@
+let kruskal g =
+  let edges = List.sort (fun a b -> Float.compare a.Wgraph.w b.Wgraph.w) (Wgraph.edges g) in
+  let dsu = Dsu.create (Wgraph.vertex_count g) in
+  List.filter (fun { Wgraph.u; v; _ } -> Dsu.union dsu u v) edges
+
+let prim g =
+  let n = Wgraph.vertex_count g in
+  if n = 0 then []
+  else begin
+    let visited = Array.make n false in
+    let heap = Heap.create () in
+    let acc = ref [] in
+    let visit u =
+      visited.(u) <- true;
+      List.iter
+        (fun (v, w) -> if not visited.(v) then Heap.push heap w (u, v, w))
+        (Wgraph.neighbors g u)
+    in
+    for start = 0 to n - 1 do
+      if not visited.(start) then begin
+        visit start;
+        let continue = ref true in
+        while !continue do
+          match Heap.pop heap with
+          | None -> continue := false
+          | Some (_, (u, v, w)) ->
+              if not visited.(v) then begin
+                acc := { Wgraph.u; v; w } :: !acc;
+                visit v
+              end
+        done
+      end
+    done;
+    !acc
+  end
+
+let prim_dense n weight =
+  if n <= 1 then []
+  else begin
+    let in_tree = Array.make n false in
+    let best = Array.make n infinity in
+    let parent = Array.make n (-1) in
+    in_tree.(0) <- true;
+    for v = 1 to n - 1 do
+      best.(v) <- weight 0 v;
+      parent.(v) <- 0
+    done;
+    let acc = ref [] in
+    for _ = 1 to n - 1 do
+      (* Pick the cheapest fringe vertex. *)
+      let u = ref (-1) in
+      for v = 0 to n - 1 do
+        if (not in_tree.(v)) && (!u = -1 || best.(v) < best.(!u)) then u := v
+      done;
+      let u = !u in
+      in_tree.(u) <- true;
+      acc := (parent.(u), u) :: !acc;
+      for v = 0 to n - 1 do
+        if not in_tree.(v) then begin
+          let w = weight u v in
+          if w < best.(v) then begin
+            best.(v) <- w;
+            parent.(v) <- u
+          end
+        end
+      done
+    done;
+    !acc
+  end
+
+let weight edges = List.fold_left (fun acc e -> acc +. e.Wgraph.w) 0.0 edges

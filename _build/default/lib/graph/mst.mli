@@ -1,0 +1,19 @@
+(** Minimum spanning trees. Both classic algorithms are provided: Kruskal
+    for sparse edge lists, and a dense-Prim specialised for geometric
+    instances (complete graphs over pin sets) where it runs in O(n²) without
+    materialising the edges. *)
+
+val kruskal : Wgraph.t -> Wgraph.edge list
+(** MST edges (a spanning forest if the graph is disconnected). *)
+
+val prim : Wgraph.t -> Wgraph.edge list
+(** MST edges via Prim with a binary heap, starting from vertex 0 and
+    restarting per component. *)
+
+val prim_dense : int -> (int -> int -> float) -> (int * int) list
+(** [prim_dense n weight] computes the MST of the implicit complete graph on
+    [n] vertices without building it. Returns parent edges [(u, v)].
+    O(n²) time, O(n) space. Returns [] for [n <= 1]. *)
+
+val weight : Wgraph.edge list -> float
+(** Total weight of an edge list. *)

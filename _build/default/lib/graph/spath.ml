@@ -1,0 +1,67 @@
+type result = { dist : float array; prev : int array }
+
+let dijkstra g src =
+  let n = Wgraph.vertex_count g in
+  if src < 0 || src >= n then invalid_arg "Spath.dijkstra: source out of range";
+  let dist = Array.make n infinity in
+  let prev = Array.make n (-1) in
+  let heap = Heap.create () in
+  dist.(src) <- 0.0;
+  Heap.push heap 0.0 src;
+  let rec loop () =
+    match Heap.pop heap with
+    | None -> ()
+    | Some (d, u) ->
+        if d <= dist.(u) then
+          List.iter
+            (fun (v, w) ->
+              if w < 0.0 then invalid_arg "Spath.dijkstra: negative weight";
+              let nd = d +. w in
+              if nd < dist.(v) then begin
+                dist.(v) <- nd;
+                prev.(v) <- u;
+                Heap.push heap nd v
+              end)
+            (Wgraph.neighbors g u);
+        loop ()
+  in
+  loop ();
+  { dist; prev }
+
+let bellman_ford g src =
+  let n = Wgraph.vertex_count g in
+  if src < 0 || src >= n then invalid_arg "Spath.bellman_ford: source out of range";
+  let dist = Array.make n infinity in
+  let prev = Array.make n (-1) in
+  dist.(src) <- 0.0;
+  let relax_all () =
+    let changed = ref false in
+    for u = 0 to n - 1 do
+      if dist.(u) < infinity then
+        List.iter
+          (fun (v, w) ->
+            if dist.(u) +. w < dist.(v) then begin
+              dist.(v) <- dist.(u) +. w;
+              prev.(v) <- u;
+              changed := true
+            end)
+          (Wgraph.neighbors g u)
+    done;
+    !changed
+  in
+  let rec iterate k =
+    if k = 0 then relax_all () (* one extra pass detects negative cycles *)
+    else if relax_all () then iterate (k - 1)
+    else false
+  in
+  if iterate (n - 1) then None else Some { dist; prev }
+
+let path_to r target =
+  if target < 0 || target >= Array.length r.dist || r.dist.(target) = infinity
+  then []
+  else begin
+    let rec build v acc =
+      if v = -1 then acc else build r.prev.(v) (v :: acc)
+    in
+    build target []
+  end

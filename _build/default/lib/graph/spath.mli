@@ -1,0 +1,22 @@
+(** Single-source shortest paths.
+
+    Dijkstra backs the min-cost max-flow's reduced-cost phase; Bellman-Ford
+    bootstraps potentials when some arc costs are negative. *)
+
+type result = {
+  dist : float array;  (** [infinity] for unreachable vertices. *)
+  prev : int array;  (** Predecessor vertex, or -1 at sources/unreached. *)
+}
+
+val dijkstra : Wgraph.t -> int -> result
+(** Non-negative edge weights required (checked; raises
+    [Invalid_argument] otherwise). *)
+
+val bellman_ford : Wgraph.t -> int -> result option
+(** Handles negative weights; [None] when a negative cycle is reachable.
+    Note: on an {e undirected} graph any negative edge is itself a negative
+    cycle. *)
+
+val path_to : result -> int -> int list
+(** Vertex sequence from the source to the target (inclusive); [] when
+    unreachable. *)

@@ -1,0 +1,1 @@
+lib/optical/delay.ml:

@@ -1,0 +1,1 @@
+lib/optical/loss.ml: Float List Params

@@ -1,0 +1,1 @@
+lib/optical/loss.mli: Params

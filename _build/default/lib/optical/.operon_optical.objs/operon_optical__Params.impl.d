@@ -1,0 +1,1 @@
+lib/optical/params.ml: Float List

@@ -1,0 +1,1 @@
+lib/optical/power.ml: Params

@@ -1,0 +1,1 @@
+lib/optical/splitter.ml: Float List Loss Params

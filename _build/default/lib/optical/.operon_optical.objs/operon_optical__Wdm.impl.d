@@ -1,0 +1,1 @@
+lib/optical/wdm.ml: Float Operon_geom Point Segment

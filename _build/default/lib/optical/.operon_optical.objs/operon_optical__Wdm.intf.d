@@ -1,0 +1,1 @@
+lib/optical/wdm.mli: Operon_geom Segment

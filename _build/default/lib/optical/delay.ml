@@ -1,0 +1,24 @@
+type t = {
+  t_elec_per_cm : float;
+  t_conversion : float;
+  group_index : float;
+}
+
+let default = { t_elec_per_cm = 550.0; t_conversion = 50.0; group_index = 4.2 }
+
+(* speed of light: 3e10 cm/s -> 1/(3e10) s/cm = 33.356 ps/cm in vacuum *)
+let vacuum_ps_per_cm = 1e12 /. 2.99792458e10
+
+let flight_ps_per_cm d = d.group_index *. vacuum_ps_per_cm
+
+let electrical d ~length_cm =
+  if length_cm < 0.0 then invalid_arg "Delay.electrical: negative length";
+  d.t_elec_per_cm *. length_cm
+
+let optical_link d ~length_cm =
+  if length_cm < 0.0 then invalid_arg "Delay.optical_link: negative length";
+  d.t_conversion +. (flight_ps_per_cm d *. length_cm)
+
+let crossover_cm d =
+  let per_cm_gap = d.t_elec_per_cm -. flight_ps_per_cm d in
+  if per_cm_gap <= 0.0 then infinity else d.t_conversion /. per_cm_gap

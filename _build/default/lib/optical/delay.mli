@@ -1,0 +1,32 @@
+(** Interconnect delay model — an extension quantifying the paper's
+    opening motivation ("interconnect delay becomes a bottleneck").
+
+    Electrical wires follow a distributed-RC estimate with optimally
+    repeated segments: delay grows linearly in length at
+    [t_e_per_cm] ps/cm (repeatered global copper). Optical paths pay a
+    fixed EO + OE conversion latency plus time-of-flight at [c / n_g]
+    (group index ~4.2 for silicon waveguides): ~140 ps/cm of light flight
+    versus ~500+ ps/cm of repeatered copper, so long hops win big and the
+    crossover sits at a few millimetres. *)
+
+type t = {
+  t_elec_per_cm : float;  (** repeatered copper delay, ps/cm *)
+  t_conversion : float;  (** EO + OE conversion latency, ps *)
+  group_index : float;  (** waveguide group index (flight time = n_g/c) *)
+}
+
+val default : t
+(** 550 ps/cm copper, 50 ps conversion, group index 4.2. *)
+
+val flight_ps_per_cm : t -> float
+(** Optical time of flight per centimetre: [n_g / c] in ps/cm (~140 at
+    n_g = 4.2). *)
+
+val electrical : t -> length_cm:float -> float
+(** Source-to-sink delay of a repeatered copper route, ps. *)
+
+val optical_link : t -> length_cm:float -> float
+(** Delay of one optical link: conversion latency + time of flight, ps. *)
+
+val crossover_cm : t -> float
+(** Length where an optical link starts beating copper. *)

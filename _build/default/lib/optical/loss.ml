@@ -1,0 +1,32 @@
+let propagation (p : Params.t) wl =
+  if wl < 0.0 then invalid_arg "Loss.propagation: negative length";
+  p.Params.alpha *. wl
+
+let crossing (p : Params.t) n =
+  if n < 0 then invalid_arg "Loss.crossing: negative count";
+  p.Params.beta *. float_of_int n
+
+let crossing_bundled (p : Params.t) n =
+  if n < 0 then invalid_arg "Loss.crossing_bundled: negative count";
+  p.Params.beta *. float_of_int n /. p.Params.bundle_factor
+
+let splitting_arm (p : Params.t) ns =
+  if ns <= 1 then 0.0
+  else begin
+    let stages = int_of_float (Float.ceil (Float.log2 (float_of_int ns))) in
+    (10.0 *. Float.log10 (float_of_int ns))
+    +. (p.Params.splitter_excess *. float_of_int stages)
+  end
+
+let path p ~wirelength ~crossings ~split_arms =
+  propagation p wirelength
+  +. crossing p crossings
+  +. List.fold_left (fun acc ns -> acc +. splitting_arm p ns) 0.0 split_arms
+
+let detectable (p : Params.t) loss = loss <= p.Params.l_max
+
+let db_to_fraction db = Float.pow 10.0 (-.db /. 10.0)
+
+let fraction_to_db f =
+  if f <= 0.0 then invalid_arg "Loss.fraction_to_db: non-positive fraction";
+  -10.0 *. Float.log10 f

@@ -1,0 +1,42 @@
+(** Optical loss model — Eq. (2) of the paper:
+
+    [loss = alpha * WL + beta * n_x + 10 * sum(log10 n_s)]
+
+    Propagation loss is proportional to waveguide length, crossing loss to
+    the number of waveguide crossings, and splitting loss accumulates
+    [10*log10(n_s)] decibels at every splitter with [n_s] output arms —
+    the term prior optical-routing work neglected and OPERON models. *)
+
+val propagation : Params.t -> float -> float
+(** [propagation p wl] = alpha * wl (dB) for [wl] centimetres. *)
+
+val crossing : Params.t -> int -> float
+(** [crossing p n] = beta * n (dB) for [n] physical waveguide
+    crossings. *)
+
+val crossing_bundled : Params.t -> int -> float
+(** Crossing loss from [n] {e hyper-net-level} crossing counts:
+    [beta * n / bundle_factor]. Selection reasons about hyper-net chords,
+    which over-count physical waveguide crossings by the WDM sharing
+    factor. *)
+
+val splitting_arm : Params.t -> int -> float
+(** Loss through one splitter with [ns] arms: [10*log10 ns] plus the
+    excess loss of the Y-branch cascade realising it
+    ([ceil(log2 ns)] stages). [ns <= 1] means no split: 0 dB. *)
+
+val path :
+  Params.t -> wirelength:float -> crossings:int -> split_arms:int list -> float
+(** Total loss of one source-to-sink path: propagation over the optical
+    length, crossings met on the way, and one [splitting_arm] term per
+    splitter traversed (the paper's [10 * sum log(ns)]). *)
+
+val detectable : Params.t -> float -> bool
+(** Is a path loss within the detection budget [l_max]? *)
+
+val db_to_fraction : float -> float
+(** Convert a dB loss to the remaining power fraction: [10^(-db/10)]. *)
+
+val fraction_to_db : float -> float
+(** Inverse of {!db_to_fraction}; raises [Invalid_argument] on
+    non-positive fractions. *)

@@ -1,0 +1,15 @@
+let optical (p : Params.t) ~n_mod ~n_det =
+  if n_mod < 0 || n_det < 0 then invalid_arg "Power.optical: negative count";
+  (p.Params.p_mod *. float_of_int n_mod) +. (p.Params.p_det *. float_of_int n_det)
+
+let electrical p ~wirelength =
+  if wirelength < 0.0 then invalid_arg "Power.electrical: negative length";
+  Params.electrical_unit_energy p *. wirelength
+
+let electrical_watts (p : Params.t) ~wirelength =
+  (* pJ/bit * bits/s = pJ/s; 1e-12 converts to Watts. *)
+  electrical p ~wirelength *. p.Params.freq *. 1e-12
+
+let wiring p ~bits ~wirelength =
+  if bits < 0 then invalid_arg "Power.wiring: negative bit count";
+  float_of_int bits *. electrical p ~wirelength

@@ -1,0 +1,25 @@
+(** Power model.
+
+    Optical power follows Eq. (1): [p_o = p_mod * n_mod + p_det * n_det],
+    where [n_mod]/[n_det] count conversion {e sites} of the hyper net
+    topology — the WDM carries all of a hyper net's bits through the same
+    conversion sites, which is exactly why wide buses amortize the EO/OE
+    overhead (and why Table 1's optical powers undercut electrical by
+    3.5x; see DESIGN.md Section 6 for the consistency derivation).
+    Electrical power follows Eq. (6): every bit needs its own copper
+    wire, so it scales with both wirelength and bit count. *)
+
+val optical : Params.t -> n_mod:int -> n_det:int -> float
+(** Eq. (1) for the given modulator and detector site counts. *)
+
+val electrical : Params.t -> wirelength:float -> float
+(** Energy per bit of an electrical route of the given rectilinear
+    wirelength (cm). *)
+
+val electrical_watts : Params.t -> wirelength:float -> float
+(** Eq. (6) proper: dynamic power in Watts at the configured frequency
+    (1 pJ/bit at 1 GHz = 1 mW). *)
+
+val wiring : Params.t -> bits:int -> wirelength:float -> float
+(** Electrical power of a hyper net: [bits] parallel wires of the given
+    total tree wirelength. *)

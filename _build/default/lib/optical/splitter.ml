@@ -1,0 +1,27 @@
+type stage_report = {
+  stage : int;
+  outputs : int;
+  power_fraction : float;
+  loss_db : float;
+}
+
+let ideal_split_db = 10.0 *. Float.log10 2.0
+
+let cascade (p : Params.t) ~stages =
+  if stages < 0 then invalid_arg "Splitter.cascade: negative stage count";
+  let excess = p.Params.splitter_excess in
+  List.init (stages + 1) (fun s ->
+      let loss_db = float_of_int s *. (ideal_split_db +. excess) in
+      { stage = s;
+        outputs = 1 lsl s;
+        power_fraction = Loss.db_to_fraction loss_db;
+        loss_db })
+
+let fanout_tree p ~sinks =
+  if sinks <= 0 then invalid_arg "Splitter.fanout_tree: need at least one sink";
+  if sinks = 1 then 0.0
+  else begin
+    let stages = int_of_float (Float.ceil (Float.log2 (float_of_int sinks))) in
+    (10.0 *. Float.log10 (float_of_int sinks))
+    +. (p.Params.splitter_excess *. float_of_int stages)
+  end

@@ -1,0 +1,26 @@
+(** Y-branch splitter cascades — the Figure 3(b) simulation.
+
+    A 50-50 Y-branch halves the input power onto each of its two arms (a
+    3.01 dB ideal split) and adds a small excess loss. Cascading [k]
+    stages yields [2^k] outputs, each carrying [2^-k] of the input (times
+    the accumulated excess). The paper's Fig. 3(b) shows exactly this for
+    two cascaded stages. *)
+
+type stage_report = {
+  stage : int;  (** 0 = source, k = after k Y-branches *)
+  outputs : int;  (** number of arms at this depth: 2^stage *)
+  power_fraction : float;  (** normalized power on each arm *)
+  loss_db : float;  (** per-arm loss relative to the source *)
+}
+
+val cascade : Params.t -> stages:int -> stage_report list
+(** Reports for stage 0 .. [stages]. Raises [Invalid_argument] on a
+    negative stage count. *)
+
+val fanout_tree : Params.t -> sinks:int -> float
+(** Per-sink dB loss of the minimal Y-branch tree reaching [sinks]
+    endpoints (a [ceil(log2 sinks)]-stage cascade); 0 for a single sink.
+    Equals {!Loss.splitting_arm} on power-of-two arm counts. *)
+
+val ideal_split_db : float
+(** 10*log10(2) ~ 3.0103 dB, the lossless 50-50 split. *)

@@ -1,0 +1,55 @@
+open Operon_geom
+
+type orientation = Horizontal | Vertical
+
+let orientation_of (s : Segment.t) =
+  let dx = Float.abs (s.Segment.a.Point.x -. s.Segment.b.Point.x) in
+  let dy = Float.abs (s.Segment.a.Point.y -. s.Segment.b.Point.y) in
+  if dx >= dy then Horizontal else Vertical
+
+type conn = { id : int; net : int; seg : Segment.t; bits : int }
+
+let conn_coord c =
+  let m = Point.midpoint c.seg.Segment.a c.seg.Segment.b in
+  match orientation_of c.seg with
+  | Horizontal -> m.Point.y
+  | Vertical -> m.Point.x
+
+let conn_span c =
+  let a = c.seg.Segment.a and b = c.seg.Segment.b in
+  match orientation_of c.seg with
+  | Horizontal -> (Float.min a.Point.x b.Point.x, Float.max a.Point.x b.Point.x)
+  | Vertical -> (Float.min a.Point.y b.Point.y, Float.max a.Point.y b.Point.y)
+
+type track = {
+  orient : orientation;
+  mutable coord : float;
+  mutable lo : float;
+  mutable hi : float;
+  capacity : int;
+  mutable used : int;
+}
+
+let track_of_conn ~capacity c =
+  if c.bits > capacity then invalid_arg "Wdm.track_of_conn: connection exceeds capacity";
+  let lo, hi = conn_span c in
+  { orient = orientation_of c.seg;
+    coord = conn_coord c;
+    lo;
+    hi;
+    capacity;
+    used = c.bits }
+
+let track_distance t c = Float.abs (t.coord -. conn_coord c)
+
+let track_fits t c ~max_dist =
+  t.used + c.bits <= t.capacity && track_distance t c <= max_dist
+
+let track_add t c =
+  if t.used + c.bits > t.capacity then invalid_arg "Wdm.track_add: capacity exceeded";
+  let lo, hi = conn_span c in
+  t.used <- t.used + c.bits;
+  if lo < t.lo then t.lo <- lo;
+  if hi > t.hi then t.hi <- hi
+
+let track_length t = t.hi -. t.lo

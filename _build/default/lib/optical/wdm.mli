@@ -1,0 +1,53 @@
+(** WDM waveguide tracks and the optical connections they carry.
+
+    After co-design, each hyper net's optical part decomposes into
+    point-to-point {e connections}; Section 4 of the paper shares WDM
+    waveguides among parallel connections. A {e track} is an axis-aligned
+    waveguide at a fixed perpendicular coordinate with a longitudinal span
+    and a channel capacity. *)
+
+open Operon_geom
+
+type orientation = Horizontal | Vertical
+
+val orientation_of : Segment.t -> orientation
+(** Dominant direction of a segment (ties go to Horizontal). *)
+
+type conn = {
+  id : int;  (** dense connection index *)
+  net : int;  (** owning hyper net *)
+  seg : Segment.t;
+  bits : int;  (** channels this connection occupies *)
+}
+
+val conn_coord : conn -> float
+(** Perpendicular coordinate of the connection (midpoint y for horizontal
+    connections, midpoint x for vertical ones). *)
+
+val conn_span : conn -> float * float
+(** Longitudinal extent [(lo, hi)] along the track direction. *)
+
+type track = {
+  orient : orientation;
+  mutable coord : float;  (** perpendicular position of the waveguide *)
+  mutable lo : float;  (** longitudinal span start *)
+  mutable hi : float;  (** longitudinal span end *)
+  capacity : int;
+  mutable used : int;  (** channels currently assigned *)
+}
+
+val track_of_conn : capacity:int -> conn -> track
+(** A fresh track placed exactly on a connection, loaded with its bits. *)
+
+val track_fits : track -> conn -> max_dist:float -> bool
+(** Can the connection ride this track: same orientation class is assumed;
+    checks remaining capacity and perpendicular distance <= [max_dist]. *)
+
+val track_add : track -> conn -> unit
+(** Assign the connection: consumes capacity and extends the span. Raises
+    [Invalid_argument] if capacity would be exceeded. *)
+
+val track_length : track -> float
+
+val track_distance : track -> conn -> float
+(** Perpendicular distance between track and connection. *)

@@ -1,0 +1,1 @@
+lib/solver/ilp.ml: Array Float List Lp Operon_util Simplex

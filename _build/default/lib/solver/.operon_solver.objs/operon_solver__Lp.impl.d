@@ -1,0 +1,1 @@
+lib/solver/lp.ml: Array Float List

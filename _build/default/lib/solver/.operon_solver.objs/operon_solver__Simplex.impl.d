@@ -1,0 +1,1 @@
+lib/solver/simplex.ml: Array Float List Lp

@@ -1,0 +1,1 @@
+lib/solver/simplex.mli: Lp

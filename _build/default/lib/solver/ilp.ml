@@ -1,0 +1,105 @@
+type solution = { objective : float; values : float array }
+
+type outcome =
+  | Proven of solution
+  | Best of solution
+  | No_solution
+  | Timed_out
+
+type stats = { nodes : int; lp_solves : int; elapsed : float }
+
+let integral_eps = 1e-6
+
+(* Rebuild a model equal to [base] plus equality rows pinning the given
+   binaries. Fixings are (var, value) with value 0 or 1. *)
+let with_fixings base fixings =
+  let child = Lp.create ~nvars:(Lp.nvars base) in
+  for v = 0 to Lp.nvars base - 1 do
+    Lp.set_objective child v (Lp.objective_coeff base v)
+  done;
+  List.iter
+    (fun row -> Lp.add_constraint child row.Lp.coeffs row.Lp.rel row.Lp.rhs)
+    (Lp.constraints base);
+  List.iter
+    (fun (v, value) -> Lp.add_constraint child [ (v, 1.0) ] Lp.Eq value)
+    fixings;
+  child
+
+let most_fractional binaries x =
+  let best_var = ref (-1) and best_gap = ref 0.0 in
+  List.iter
+    (fun v ->
+      let frac = Float.abs (x.(v) -. Float.round x.(v)) in
+      if frac > integral_eps && frac > !best_gap then begin
+        best_gap := frac;
+        best_var := v
+      end)
+    binaries;
+  !best_var
+
+let snap_binaries binaries x =
+  let y = Array.copy x in
+  List.iter (fun v -> y.(v) <- Float.round y.(v)) binaries;
+  y
+
+let solve ?(budget = Operon_util.Timer.budget 0.0) ?incumbent model ~binary =
+  let t0 = Operon_util.Timer.now () in
+  (* Base model: the caller's rows plus x <= 1 for each binary. *)
+  let base = with_fixings model [] in
+  List.iter (fun v -> Lp.add_constraint base [ (v, 1.0) ] Lp.Le 1.0) binary;
+  let best = ref incumbent in
+  let nodes = ref 0 and lp_solves = ref 0 in
+  let out_of_time = ref false in
+  (* DFS over fixing lists. The diving child (value nearest to the LP
+     fraction) is pushed last so it is explored first. *)
+  let stack = ref [ [] ] in
+  let exhausted = ref false in
+  while not (!exhausted || !out_of_time) do
+    match !stack with
+    | [] -> exhausted := true
+    | fixings :: rest ->
+        stack := rest;
+        incr nodes;
+        if Operon_util.Timer.expired budget then out_of_time := true
+        else begin
+          incr lp_solves;
+          match Simplex.solve (with_fixings base fixings) with
+          | Simplex.Infeasible | Simplex.Unbounded -> ()
+          | Simplex.Optimal { objective; solution } ->
+              let beaten =
+                match !best with
+                | Some b -> objective >= b.objective -. 1e-9
+                | None -> false
+              in
+              if not beaten then begin
+                let branch_var = most_fractional binary solution in
+                if branch_var = -1 then begin
+                  (* Integral: snap, validate against the true model, adopt. *)
+                  let snapped = snap_binaries binary solution in
+                  if Lp.feasible ~eps:1e-5 model snapped then
+                    best :=
+                      Some
+                        { objective = Lp.eval_objective model snapped;
+                          values = snapped }
+                end
+                else begin
+                  let frac = solution.(branch_var) in
+                  let near, far = if frac >= 0.5 then (1.0, 0.0) else (0.0, 1.0) in
+                  stack :=
+                    ((branch_var, near) :: fixings)
+                    :: ((branch_var, far) :: fixings)
+                    :: !stack
+                end
+              end
+        end
+  done;
+  let elapsed = Operon_util.Timer.now () -. t0 in
+  let stats = { nodes = !nodes; lp_solves = !lp_solves; elapsed } in
+  let outcome =
+    match (!best, !out_of_time) with
+    | Some b, false -> Proven b
+    | Some b, true -> Best b
+    | None, false -> No_solution
+    | None, true -> Timed_out
+  in
+  (outcome, stats)

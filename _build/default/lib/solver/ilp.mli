@@ -1,0 +1,32 @@
+(** Branch-and-bound 0/1 integer programming over the {!Simplex} relaxation.
+
+    Stands in for GUROBI in the OPERON flow. Depth-first diving with
+    most-fractional branching, LP-bound pruning against the incumbent, an
+    optional warm-start incumbent (OPERON seeds it with the greedy
+    LR-style solution), and a wall-clock budget that reproduces the paper's
+    ">3000 s" time-out behaviour on the large cases. *)
+
+type solution = {
+  objective : float;
+  values : float array;  (** binaries snapped to exact 0.0 / 1.0 *)
+}
+
+type outcome =
+  | Proven of solution  (** optimality certificate (search exhausted) *)
+  | Best of solution  (** budget expired; best incumbent so far *)
+  | No_solution  (** proven infeasible *)
+  | Timed_out  (** budget expired with no incumbent found *)
+
+type stats = { nodes : int; lp_solves : int; elapsed : float }
+
+val solve :
+  ?budget:Operon_util.Timer.budget ->
+  ?incumbent:solution ->
+  Lp.t ->
+  binary:int list ->
+  outcome * stats
+(** [solve model ~binary] minimizes, requiring the listed variables to be 0
+    or 1 (upper-bound rows for them are added internally; remaining
+    variables stay continuous and non-negative). An [incumbent] must be
+    feasible for [model]; it is returned unchanged if nothing better is
+    found. *)

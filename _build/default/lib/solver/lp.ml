@@ -1,0 +1,56 @@
+type relation = Le | Ge | Eq
+
+type constr = { coeffs : (int * float) list; rel : relation; rhs : float }
+
+type t = {
+  nvars : int;
+  objective : float array;
+  mutable rows : constr list; (* reversed insertion order *)
+  mutable nrows : int;
+}
+
+let create ~nvars =
+  if nvars <= 0 then invalid_arg "Lp.create: need at least one variable";
+  { nvars; objective = Array.make nvars 0.0; rows = []; nrows = 0 }
+
+let nvars m = m.nvars
+
+let check_var m v =
+  if v < 0 || v >= m.nvars then invalid_arg "Lp: variable out of range"
+
+let set_objective m v c =
+  check_var m v;
+  m.objective.(v) <- c
+
+let objective_coeff m v =
+  check_var m v;
+  m.objective.(v)
+
+let add_constraint m coeffs rel rhs =
+  List.iter (fun (v, _) -> check_var m v) coeffs;
+  m.rows <- { coeffs; rel; rhs } :: m.rows;
+  m.nrows <- m.nrows + 1
+
+let constraints m = List.rev m.rows
+
+let constraint_count m = m.nrows
+
+let eval_objective m x =
+  let acc = ref 0.0 in
+  Array.iteri (fun v c -> acc := !acc +. (c *. x.(v))) m.objective;
+  !acc
+
+let lhs_value coeffs x =
+  List.fold_left (fun acc (v, c) -> acc +. (c *. x.(v))) 0.0 coeffs
+
+let constraint_satisfied ?(eps = 1e-6) row x =
+  let lhs = lhs_value row.coeffs x in
+  match row.rel with
+  | Le -> lhs <= row.rhs +. eps
+  | Ge -> lhs >= row.rhs -. eps
+  | Eq -> Float.abs (lhs -. row.rhs) <= eps
+
+let feasible ?(eps = 1e-6) m x =
+  Array.length x = m.nvars
+  && Array.for_all (fun v -> v >= -.eps) x
+  && List.for_all (fun row -> constraint_satisfied ~eps row x) m.rows

@@ -1,0 +1,43 @@
+(** Linear-program model builder.
+
+    The OPERON candidate-selection problem (Formula 3 of the paper, after
+    the standard linearization of the quadratic crossing terms) is expressed
+    with this module and solved by {!Simplex} / {!Ilp}. Variables are
+    implicitly non-negative; upper bounds are added as rows by the callers
+    that need them. *)
+
+type relation = Le | Ge | Eq
+
+type constr = {
+  coeffs : (int * float) list;  (** sparse (variable, coefficient) terms *)
+  rel : relation;
+  rhs : float;
+}
+
+type t
+
+val create : nvars:int -> t
+(** A minimization model over [nvars] non-negative variables with an
+    all-zero objective and no constraints. *)
+
+val nvars : t -> int
+
+val set_objective : t -> int -> float -> unit
+(** [set_objective m v c] sets the cost coefficient of variable [v]. *)
+
+val objective_coeff : t -> int -> float
+
+val add_constraint : t -> (int * float) list -> relation -> float -> unit
+(** Append a row. Raises [Invalid_argument] on out-of-range variables. *)
+
+val constraints : t -> constr list
+(** Rows in insertion order. *)
+
+val constraint_count : t -> int
+
+val eval_objective : t -> float array -> float
+
+val constraint_satisfied : ?eps:float -> constr -> float array -> bool
+
+val feasible : ?eps:float -> t -> float array -> bool
+(** Point satisfies every row and non-negativity (within [eps]). *)

@@ -1,0 +1,209 @@
+type status =
+  | Optimal of { objective : float; solution : float array }
+  | Infeasible
+  | Unbounded
+
+let eps = 1e-9
+
+(* Tableau layout: rows 0..m-1 are constraints, columns 0..total-1 are
+   variables (structural, then slack/surplus, then artificial), column
+   [total] is the RHS. [basis.(r)] is the variable basic in row r. *)
+type tableau = {
+  m : int;
+  total : int;
+  a : float array array; (* m rows x (total + 1) columns *)
+  basis : int array;
+}
+
+let pivot t ~row ~col =
+  let arow = t.a.(row) in
+  let pv = arow.(col) in
+  for j = 0 to t.total do
+    arow.(j) <- arow.(j) /. pv
+  done;
+  for r = 0 to t.m - 1 do
+    if r <> row then begin
+      let factor = t.a.(r).(col) in
+      if Float.abs factor > 0.0 then begin
+        let target = t.a.(r) in
+        for j = 0 to t.total do
+          target.(j) <- target.(j) -. (factor *. arow.(j))
+        done
+      end
+    end
+  done;
+  t.basis.(row) <- col
+
+(* One simplex phase: minimize cost^T x over the current tableau. The cost
+   row is maintained as reduced costs z. Returns `Optimal or `Unbounded. *)
+let run_phase t cost =
+  (* reduced cost vector and objective offset for current basis *)
+  let z = Array.make (t.total + 1) 0.0 in
+  let recompute_z () =
+    Array.fill z 0 (t.total + 1) 0.0;
+    Array.blit cost 0 z 0 t.total;
+    for r = 0 to t.m - 1 do
+      let cb = cost.(t.basis.(r)) in
+      if Float.abs cb > 0.0 then
+        for j = 0 to t.total do
+          z.(j) <- z.(j) -. (cb *. t.a.(r).(j))
+        done
+    done
+  in
+  recompute_z ();
+  let degenerate_streak = ref 0 in
+  let rec iterate () =
+    (* Entering column: most negative reduced cost (Dantzig), switching to
+       Bland's least-index rule after a degeneracy streak to avoid cycling. *)
+    let use_bland = !degenerate_streak > 2 * (t.total + t.m) in
+    let enter = ref (-1) in
+    if use_bland then begin
+      let j = ref 0 in
+      while !enter = -1 && !j < t.total do
+        if z.(!j) < -.eps then enter := !j;
+        incr j
+      done
+    end
+    else begin
+      let best = ref (-.eps) in
+      for j = 0 to t.total - 1 do
+        if z.(j) < !best then begin
+          best := z.(j);
+          enter := j
+        end
+      done
+    end;
+    if !enter = -1 then `Optimal
+    else begin
+      let col = !enter in
+      (* Ratio test. *)
+      let leave = ref (-1) and best_ratio = ref infinity in
+      for r = 0 to t.m - 1 do
+        let arc = t.a.(r).(col) in
+        if arc > eps then begin
+          let ratio = t.a.(r).(t.total) /. arc in
+          if ratio < !best_ratio -. eps
+             || (use_bland && Float.abs (ratio -. !best_ratio) <= eps
+                 && (!leave = -1 || t.basis.(r) < t.basis.(!leave)))
+          then begin
+            best_ratio := ratio;
+            leave := r
+          end
+        end
+      done;
+      if !leave = -1 then `Unbounded
+      else begin
+        if !best_ratio <= eps then incr degenerate_streak
+        else degenerate_streak := 0;
+        pivot t ~row:!leave ~col;
+        recompute_z ();
+        iterate ()
+      end
+    end
+  in
+  iterate ()
+
+let solve model =
+  let n = Lp.nvars model in
+  let rows = Lp.constraints model in
+  let m = List.length rows in
+  if m = 0 then begin
+    (* Unconstrained non-negative minimization: 0 if all costs >= 0. *)
+    let solution = Array.make n 0.0 in
+    let unbounded = ref false in
+    for v = 0 to n - 1 do
+      if Lp.objective_coeff model v < -.eps then unbounded := true
+    done;
+    if !unbounded then Unbounded else Optimal { objective = 0.0; solution }
+  end
+  else begin
+    (* Count slack and artificial columns. *)
+    let nslack =
+      List.fold_left
+        (fun acc r -> match r.Lp.rel with Lp.Le | Lp.Ge -> acc + 1 | Lp.Eq -> acc)
+        0 rows
+    in
+    let total = n + nslack + m in (* one artificial per row, some unused *)
+    let t =
+      { m;
+        total;
+        a = Array.init m (fun _ -> Array.make (total + 1) 0.0);
+        basis = Array.make m (-1) }
+    in
+    let art_start = n + nslack in
+    let slack_idx = ref n in
+    List.iteri
+      (fun r row ->
+        let arow = t.a.(r) in
+        List.iter (fun (v, c) -> arow.(v) <- arow.(v) +. c) row.Lp.coeffs;
+        arow.(total) <- row.Lp.rhs;
+        (match row.Lp.rel with
+         | Lp.Le ->
+             arow.(!slack_idx) <- 1.0;
+             incr slack_idx
+         | Lp.Ge ->
+             arow.(!slack_idx) <- -1.0;
+             incr slack_idx
+         | Lp.Eq -> ());
+        (* Normalise RHS to be non-negative so artificials give a valid
+           starting basis. *)
+        if arow.(total) < 0.0 then
+          for j = 0 to total do
+            arow.(j) <- -.arow.(j)
+          done;
+        arow.(art_start + r) <- 1.0;
+        t.basis.(r) <- art_start + r)
+      rows;
+    (* Phase 1: minimize the sum of artificials. *)
+    let cost1 = Array.make total 0.0 in
+    for j = art_start to total - 1 do
+      cost1.(j) <- 1.0
+    done;
+    (match run_phase t cost1 with
+     | `Unbounded -> Infeasible (* cannot happen: phase-1 objective >= 0 *)
+     | `Optimal ->
+         let phase1_value =
+           let acc = ref 0.0 in
+           for r = 0 to t.m - 1 do
+             if t.basis.(r) >= art_start then acc := !acc +. t.a.(r).(total)
+           done;
+           !acc
+         in
+         if phase1_value > 1e-6 then Infeasible
+         else begin
+           (* Drive any residual artificial out of the basis (degenerate). *)
+           for r = 0 to t.m - 1 do
+             if t.basis.(r) >= art_start then begin
+               let col = ref (-1) in
+               for j = 0 to art_start - 1 do
+                 if !col = -1 && Float.abs t.a.(r).(j) > eps then col := j
+               done;
+               if !col >= 0 then pivot t ~row:r ~col:!col
+               (* else: the row is all-zero — redundant constraint; the
+                  artificial stays basic at value 0, which is harmless as
+                  long as phase 2 never lets it re-enter. *)
+             end
+           done;
+           (* Phase 2: original objective, artificials barred by a huge
+              cost so they never re-enter. *)
+           let cost2 = Array.make total 0.0 in
+           for v = 0 to n - 1 do
+             cost2.(v) <- Lp.objective_coeff model v
+           done;
+           for j = art_start to total - 1 do
+             cost2.(j) <- 1e18
+           done;
+           match run_phase t cost2 with
+           | `Unbounded -> Unbounded
+           | `Optimal ->
+               let solution = Array.make n 0.0 in
+               for r = 0 to t.m - 1 do
+                 if t.basis.(r) < n then solution.(t.basis.(r)) <- t.a.(r).(total)
+               done;
+               (* Clamp tiny negatives produced by round-off. *)
+               for v = 0 to n - 1 do
+                 if solution.(v) < 0.0 && solution.(v) > -1e-7 then solution.(v) <- 0.0
+               done;
+               Optimal { objective = Lp.eval_objective model solution; solution }
+         end)
+  end

@@ -1,0 +1,16 @@
+(** Two-phase primal simplex on a dense tableau.
+
+    Exact LP solving for the Formula (3) relaxations inside the
+    branch-and-bound ILP. Dense is appropriate: after the Section 3.3
+    variable reduction and interaction-component decomposition the
+    per-component programs are small (tens to a few hundred rows). Bland's
+    anti-cycling rule is engaged automatically after a degeneracy streak. *)
+
+type status =
+  | Optimal of { objective : float; solution : float array }
+      (** Minimizing objective value and a primal solution point. *)
+  | Infeasible
+  | Unbounded
+
+val solve : Lp.t -> status
+(** Solve the minimization model (variables implicitly >= 0). *)

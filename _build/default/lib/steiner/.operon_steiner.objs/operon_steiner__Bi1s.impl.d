@@ -1,0 +1,1 @@
+lib/steiner/bi1s.ml: Array Float Hashtbl List Mst Operon_geom Operon_graph Point Set Topology

@@ -1,0 +1,1 @@
+lib/steiner/bi1s.mli: Operon_geom Point Topology

@@ -1,0 +1,1 @@
+lib/steiner/rsmt.ml: Array Bi1s List Operon_geom Operon_graph Point Rect Topology

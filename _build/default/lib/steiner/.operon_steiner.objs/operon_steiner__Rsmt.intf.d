@@ -1,0 +1,1 @@
+lib/steiner/rsmt.mli: Operon_geom Point Topology

@@ -1,0 +1,1 @@
+lib/steiner/topology.ml: Array Float Format List Operon_geom Point Segment

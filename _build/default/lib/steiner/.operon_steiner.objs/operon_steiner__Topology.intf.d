@@ -1,0 +1,1 @@
+lib/steiner/topology.mli: Format Operon_geom Point Segment

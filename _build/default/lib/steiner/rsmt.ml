@@ -1,0 +1,19 @@
+open Operon_geom
+
+let hpwl pts = Rect.half_perimeter (Rect.of_points pts)
+
+let rmst_length pts =
+  if Array.length pts <= 1 then 0.0
+  else begin
+    let edges =
+      Operon_graph.Mst.prim_dense (Array.length pts) (fun i j ->
+          Point.l1 pts.(i) pts.(j))
+    in
+    List.fold_left (fun acc (u, v) -> acc +. Point.l1 pts.(u) pts.(v)) 0.0 edges
+  end
+
+let tree pts ~root = Bi1s.build Topology.L1 pts ~root
+
+let wirelength pts =
+  if Array.length pts <= 1 then 0.0
+  else Topology.length Topology.L1 (tree pts ~root:0)

@@ -1,0 +1,24 @@
+(** Rectilinear Steiner Minimum Tree estimation.
+
+    The paper estimates electrical wirelength (and hence the Eq. 6 dynamic
+    power of the Streak-like electrical baseline) with RSMT. We use BI1S in
+    the L1 metric over the Hanan grid, which is the classic near-optimal
+    heuristic, bracketed by the HPWL lower bound and the rectilinear MST
+    upper bound. *)
+
+open Operon_geom
+
+val hpwl : Point.t array -> float
+(** Half-perimeter wirelength — a lower bound on the RSMT length (and exact
+    for nets of up to three pins). Raises on empty input. *)
+
+val rmst_length : Point.t array -> float
+(** Rectilinear minimum spanning tree length (upper bound; within 1.5x of
+    the RSMT). *)
+
+val wirelength : Point.t array -> float
+(** BI1S rectilinear Steiner tree length: [hpwl <= wirelength <=
+    rmst_length] holds up to floating-point noise. *)
+
+val tree : Point.t array -> root:int -> Topology.t
+(** The underlying rectilinear Steiner topology. *)

@@ -1,0 +1,154 @@
+open Operon_geom
+
+type metric = L1 | L2
+
+let dist = function L1 -> Point.l1 | L2 -> Point.l2
+
+type t = {
+  positions : Point.t array;
+  nterminals : int;
+  root : int;
+  parent : int array;
+  children : int list array;
+  postorder : int list;
+}
+
+let make ~positions ~nterminals ~edges ~root =
+  let n = Array.length positions in
+  if nterminals < 1 || nterminals > n then
+    invalid_arg "Topology.make: bad terminal count";
+  if root < 0 || root >= nterminals then
+    invalid_arg "Topology.make: root must be a terminal";
+  if List.length edges <> n - 1 then
+    invalid_arg "Topology.make: edge count must be n-1";
+  let adj = Array.make n [] in
+  List.iter
+    (fun (u, v) ->
+      if u < 0 || u >= n || v < 0 || v >= n || u = v then
+        invalid_arg "Topology.make: bad edge";
+      adj.(u) <- v :: adj.(u);
+      adj.(v) <- u :: adj.(v))
+    edges;
+  let parent = Array.make n (-2) in
+  let children = Array.make n [] in
+  let order = ref [] in
+  (* Iterative DFS from the root; records reverse postorder. *)
+  let stack = ref [ (root, -1) ] in
+  let seen = ref 0 in
+  let finish_stack = ref [] in
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | (v, p) :: rest ->
+        stack := rest;
+        if parent.(v) = -2 then begin
+          parent.(v) <- p;
+          incr seen;
+          finish_stack := v :: !finish_stack;
+          if p >= 0 then children.(p) <- v :: children.(p);
+          List.iter
+            (fun w -> if parent.(w) = -2 then stack := (w, v) :: !stack)
+            adj.(v)
+        end
+  done;
+  if !seen <> n then invalid_arg "Topology.make: edges do not span all nodes";
+  (* !finish_stack is in reverse preorder; postorder = children before
+     parents. A correct postorder comes from sorting by decreasing depth,
+     but reversing the preorder already guarantees child-before-parent. *)
+  order := !finish_stack;
+  { positions; nterminals; root; parent; children; postorder = !order }
+
+let node_count t = Array.length t.positions
+
+let terminal_count t = t.nterminals
+
+let root t = t.root
+
+let is_terminal t v = v >= 0 && v < t.nterminals
+
+let position t v = t.positions.(v)
+
+let positions t = t.positions
+
+let parent t v = t.parent.(v)
+
+let children t v = t.children.(v)
+
+let edges t =
+  let acc = ref [] in
+  Array.iteri (fun v p -> if p >= 0 then acc := (p, v) :: !acc) t.parent;
+  !acc
+
+let postorder t = t.postorder
+
+let edge_length metric t v =
+  let p = t.parent.(v) in
+  if p < 0 then invalid_arg "Topology.edge_length: root has no parent edge";
+  dist metric t.positions.(v) t.positions.(p)
+
+let length metric t =
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun v p -> if p >= 0 then acc := !acc +. dist metric t.positions.(v) t.positions.(p))
+    t.parent;
+  !acc
+
+let segments t =
+  let acc = ref [] in
+  Array.iteri
+    (fun v p ->
+      if p >= 0 then acc := Segment.make t.positions.(p) t.positions.(v) :: !acc)
+    t.parent;
+  Array.of_list !acc
+
+let segment_of_edge t v =
+  let p = t.parent.(v) in
+  if p < 0 then invalid_arg "Topology.segment_of_edge: root has no parent edge";
+  Segment.make t.positions.(p) t.positions.(v)
+
+let subtree_terminals t =
+  let n = node_count t in
+  let counts = Array.make n 0 in
+  List.iter
+    (fun v ->
+      let own = if is_terminal t v then 1 else 0 in
+      let from_children =
+        List.fold_left (fun acc c -> acc + counts.(c)) 0 t.children.(v)
+      in
+      counts.(v) <- own + from_children)
+    t.postorder;
+  counts
+
+let degree t v =
+  List.length t.children.(v) + if t.parent.(v) >= 0 then 1 else 0
+
+let bends t =
+  (* Count direction changes between each incoming edge and each outgoing
+     edge at every internal node (angle deviation above ~1 degree). *)
+  let count = ref 0 in
+  Array.iteri
+    (fun v p ->
+      if p >= 0 then
+        List.iter
+          (fun c ->
+            let incoming = Point.sub t.positions.(v) t.positions.(p) in
+            let outgoing = Point.sub t.positions.(c) t.positions.(v) in
+            let cross = Point.cross incoming outgoing in
+            let dot = Point.dot incoming outgoing in
+            (* collinear-forward means no bend *)
+            if not (Float.abs cross <= 1e-9 && dot >= 0.0) then incr count)
+          t.children.(v))
+    t.parent;
+  !count
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>tree(%d nodes, %d terminals, root=%d)@," (node_count t)
+    t.nterminals t.root;
+  List.iter
+    (fun (p, v) ->
+      Format.fprintf fmt "  %d%s -> %d%s@," p
+        (if is_terminal t p then "t" else "s")
+        v
+        (if is_terminal t v then "t" else "s"))
+    (edges t);
+  Format.fprintf fmt "@]"

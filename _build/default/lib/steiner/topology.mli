@@ -1,0 +1,70 @@
+(** Rooted routing-tree topologies over terminals and Steiner points.
+
+    The co-design dynamic program (paper Section 3.2) walks these trees
+    bottom-up, so the structure is rooted at the driving terminal and every
+    node knows its parent and children. Terminals occupy node indices
+    [0 .. nterminals-1]; Steiner points follow. *)
+
+open Operon_geom
+
+type metric = L1 | L2
+(** Electrical wires are rectilinear (L1); optical waveguides may route at
+    any angle (L2). *)
+
+val dist : metric -> Point.t -> Point.t -> float
+
+type t
+
+val make :
+  positions:Point.t array -> nterminals:int -> edges:(int * int) list -> root:int -> t
+(** Build a rooted tree. Requirements (checked): [1 <= nterminals <=
+    Array.length positions]; the edges form a spanning tree over all nodes;
+    [root] is a terminal. Raises [Invalid_argument] otherwise. *)
+
+val node_count : t -> int
+
+val terminal_count : t -> int
+
+val root : t -> int
+
+val is_terminal : t -> int -> bool
+
+val position : t -> int -> Point.t
+
+val positions : t -> Point.t array
+
+val parent : t -> int -> int
+(** Parent node, -1 for the root. *)
+
+val children : t -> int -> int list
+
+val edges : t -> (int * int) list
+(** Directed (parent, child) pairs. *)
+
+val postorder : t -> int list
+(** Every child precedes its parent; the root is last. *)
+
+val length : metric -> t -> float
+(** Total edge length under a metric. *)
+
+val edge_length : metric -> t -> int -> float
+(** Length of the edge from a (non-root) node to its parent. *)
+
+val segments : t -> Segment.t array
+(** One geometric segment per tree edge. *)
+
+val segment_of_edge : t -> int -> Segment.t
+(** Segment between a non-root node and its parent. *)
+
+val subtree_terminals : t -> int array
+(** [.(v)] = number of terminals in the subtree rooted at [v] (the root's
+    entry counts all of them). *)
+
+val degree : t -> int -> int
+
+val bends : t -> int
+(** Number of direction changes at degree-2 pass-throughs plus branch
+    turns, a proxy for the "bending cost" the paper uses to rank Steiner
+    candidates. *)
+
+val pp : Format.formatter -> t -> unit

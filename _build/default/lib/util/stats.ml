@@ -1,0 +1,57 @@
+let sum a =
+  (* Kahan compensated summation: benchmark power accumulations add many
+     numbers spanning several orders of magnitude. *)
+  let total = ref 0.0 and comp = ref 0.0 in
+  Array.iter
+    (fun x ->
+      let y = x -. !comp in
+      let t = !total +. y in
+      comp := t -. !total -. y;
+      total := t)
+    a;
+  !total
+
+let mean a =
+  let n = Array.length a in
+  if n = 0 then 0.0 else sum a /. float_of_int n
+
+let variance a =
+  let n = Array.length a in
+  if n < 2 then 0.0
+  else
+    let m = mean a in
+    let acc = Array.map (fun x -> (x -. m) *. (x -. m)) a in
+    sum acc /. float_of_int n
+
+let stddev a = sqrt (variance a)
+
+let min_max a =
+  if Array.length a = 0 then invalid_arg "Stats.min_max: empty array";
+  Array.fold_left
+    (fun (lo, hi) x -> (Float.min lo x, Float.max hi x))
+    (a.(0), a.(0)) a
+
+let median a =
+  if Array.length a = 0 then invalid_arg "Stats.median: empty array";
+  let b = Array.copy a in
+  Array.sort compare b;
+  let n = Array.length b in
+  if n mod 2 = 1 then b.(n / 2) else (b.((n / 2) - 1) +. b.(n / 2)) /. 2.0
+
+let percentile a p =
+  if Array.length a = 0 then invalid_arg "Stats.percentile: empty array";
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+  let b = Array.copy a in
+  Array.sort compare b;
+  let n = Array.length b in
+  let rank = p /. 100.0 *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor rank) in
+  let hi = int_of_float (Float.ceil rank) in
+  if lo = hi then b.(lo)
+  else
+    let frac = rank -. float_of_int lo in
+    b.(lo) +. (frac *. (b.(hi) -. b.(lo)))
+
+let normalize a =
+  let hi = Array.fold_left Float.max 0.0 a in
+  if hi <= 0.0 then Array.copy a else Array.map (fun x -> x /. hi) a

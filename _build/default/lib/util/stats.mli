@@ -1,0 +1,27 @@
+(** Small summary-statistics helpers used by the benchmark harness and the
+    experiment reports. *)
+
+val mean : float array -> float
+(** Arithmetic mean; 0 for an empty array. *)
+
+val variance : float array -> float
+(** Population variance; 0 for arrays shorter than 2. *)
+
+val stddev : float array -> float
+(** Population standard deviation. *)
+
+val min_max : float array -> float * float
+(** [(min, max)] of a non-empty array. Raises [Invalid_argument] if empty. *)
+
+val sum : float array -> float
+(** Compensated (Kahan) sum, stable for long benchmark accumulations. *)
+
+val median : float array -> float
+(** Median (does not mutate its argument); raises on empty input. *)
+
+val percentile : float array -> float -> float
+(** [percentile a p] with [p] in \[0,100\], linear interpolation between
+    order statistics; raises on empty input. *)
+
+val normalize : float array -> float array
+(** Scale so that the maximum becomes 1.0 (all-zero arrays stay zero). *)

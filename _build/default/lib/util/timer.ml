@@ -1,0 +1,16 @@
+let now () = Unix.gettimeofday ()
+
+let time f =
+  let t0 = now () in
+  let result = f () in
+  (result, now () -. t0)
+
+type budget = { deadline : float }
+
+let budget s =
+  if s <= 0.0 then { deadline = infinity } else { deadline = now () +. s }
+
+let expired b = now () > b.deadline
+
+let remaining b =
+  if b.deadline = infinity then infinity else Float.max 0.0 (b.deadline -. now ())

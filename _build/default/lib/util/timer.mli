@@ -1,0 +1,21 @@
+(** Wall-clock timing for the Table 1 CPU columns and for budgeted solver
+    runs (the ILP's 3000 s cap). *)
+
+val now : unit -> float
+(** Seconds since the epoch, sub-millisecond resolution. *)
+
+val time : (unit -> 'a) -> 'a * float
+(** [time f] runs [f ()] and returns its result with elapsed seconds. *)
+
+type budget
+(** A deadline that solvers poll to honour wall-clock caps. *)
+
+val budget : float -> budget
+(** [budget s] expires [s] seconds from now. Non-positive [s] never expires
+    (an unlimited budget). *)
+
+val expired : budget -> bool
+(** Has the deadline passed? *)
+
+val remaining : budget -> float
+(** Seconds left; [infinity] for unlimited budgets. *)

@@ -1,0 +1,1 @@
+test/test_baseline.ml: Alcotest Array Baseline Candidate Float Loss Operon Operon_geom Operon_optical Operon_util Params Point Prng Processing Rect Segment Selection Signal

@@ -1,0 +1,1 @@
+test/test_benchgen.ml: Alcotest Array Cases Float Gen List Operon Operon_benchgen Operon_geom Operon_optical Operon_util Params Printf Prng Processing QCheck QCheck_alcotest Signal String

@@ -1,0 +1,1 @@
+test/test_candidate.ml: Alcotest Array Candidate Float Hypernet Loss Operon Operon_geom Operon_optical Operon_steiner Operon_util Params Point Power Printf QCheck QCheck_alcotest String Topology

@@ -1,0 +1,1 @@
+test/test_cluster.ml: Agglom Alcotest Array Fun Kmeans Operon_cluster Operon_geom Operon_util Point Prng QCheck QCheck_alcotest

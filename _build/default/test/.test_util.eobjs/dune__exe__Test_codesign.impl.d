@@ -1,0 +1,1 @@
+test/test_codesign.ml: Alcotest Array Bi1s Candidate Codesign Float Fun Hypernet List Operon Operon_geom Operon_optical Operon_steiner Operon_util Params Point Printf QCheck QCheck_alcotest Topology

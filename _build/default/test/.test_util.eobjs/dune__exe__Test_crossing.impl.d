@@ -1,0 +1,1 @@
+test/test_crossing.ml: Alcotest Array Crossing Gen List Operon Operon_geom Operon_util Point QCheck QCheck_alcotest Rect Segment

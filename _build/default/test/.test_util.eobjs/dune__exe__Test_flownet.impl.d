@@ -1,0 +1,1 @@
+test/test_flownet.ml: Alcotest Array List Maxflow Mcmf Operon_flow Printf QCheck QCheck_alcotest

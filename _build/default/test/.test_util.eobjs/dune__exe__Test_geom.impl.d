@@ -1,0 +1,1 @@
+test/test_geom.ml: Alcotest Array Float Format Gen Gridmap Operon_geom Point QCheck QCheck_alcotest Rect Segment String

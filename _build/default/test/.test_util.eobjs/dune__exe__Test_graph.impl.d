@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Dsu Float Heap List Mst Operon_graph Printf QCheck QCheck_alcotest Spath String Wgraph

@@ -1,0 +1,1 @@
+test/test_optical.ml: Alcotest Float List Loss Operon_geom Operon_optical Params Point Power Printf QCheck QCheck_alcotest Segment Splitter Wdm

@@ -1,0 +1,1 @@
+test/test_processing.ml: Alcotest Array Hypernet Operon Operon_benchgen Operon_geom Operon_optical Operon_util Params Point Prng Processing QCheck QCheck_alcotest Rect Signal

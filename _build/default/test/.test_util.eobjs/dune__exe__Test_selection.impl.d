@@ -1,0 +1,1 @@
+test/test_selection.ml: Alcotest Array Candidate Float Hypernet Ilp_select Loss Lr_select Operon Operon_geom Operon_optical Operon_steiner Operon_util Params Point QCheck QCheck_alcotest Selection

@@ -1,0 +1,1 @@
+test/test_signal.ml: Alcotest Array Hypernet Operon Operon_geom Point Rect Signal

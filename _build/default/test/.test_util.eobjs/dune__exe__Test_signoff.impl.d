@@ -1,0 +1,1 @@
+test/test_signoff.ml: Alcotest Cases Flow Gen Operon Operon_benchgen Operon_optical Operon_util Params Prng QCheck QCheck_alcotest Selection Signoff

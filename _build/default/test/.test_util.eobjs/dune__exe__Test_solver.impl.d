@@ -1,0 +1,1 @@
+test/test_solver.ml: Alcotest Array Float Fun Ilp List Lp Operon_solver Operon_util Printf QCheck QCheck_alcotest Simplex Unix

@@ -1,0 +1,1 @@
+test/test_steiner.ml: Alcotest Array Bi1s Float Format Hashtbl List Operon_geom Operon_steiner Point Printf QCheck QCheck_alcotest Rsmt String Topology

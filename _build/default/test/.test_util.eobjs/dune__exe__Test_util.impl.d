@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Float Fun Gen Operon_util Prng QCheck QCheck_alcotest Stats Timer

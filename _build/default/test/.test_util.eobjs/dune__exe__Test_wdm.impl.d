@@ -1,0 +1,1 @@
+test/test_wdm.ml: Alcotest Array Assign List Operon Operon_geom Operon_optical Operon_util Params Point QCheck QCheck_alcotest Segment Wdm Wdm_place

@@ -1,0 +1,138 @@
+(* Tests for the Table 1 comparison baselines: the Streak-like electrical
+   estimate and the GLOW-like optical-only flow. *)
+
+open Operon_geom
+open Operon_util
+open Operon_optical
+open Operon
+
+let p = Point.make
+
+let params = Params.default
+
+let die = Rect.make ~xmin:0.0 ~ymin:0.0 ~xmax:10.0 ~ymax:10.0
+
+let bit src snk = Signal.bit ~source:src ~sinks:[| snk |]
+
+let test_electrical_power_two_pin () =
+  let g = Signal.group ~name:"g" ~bits:[| bit (p 0.0 0.0) (p 3.0 4.0) |] in
+  let d = Signal.design ~die ~groups:[| g |] in
+  Alcotest.(check (float 1e-9)) "wirelength = L1" 7.0
+    (Baseline.electrical_wirelength params d);
+  Alcotest.(check (float 1e-9)) "power"
+    (7.0 *. Params.electrical_unit_energy params)
+    (Baseline.electrical_power params d)
+
+let test_electrical_scales_with_bits () =
+  let mk n =
+    let bits = Array.init n (fun i ->
+        let off = 0.001 *. float_of_int i in
+        bit (p (0.0 +. off) 0.0) (p (3.0 +. off) 0.0))
+    in
+    Signal.design ~die ~groups:[| Signal.group ~name:"g" ~bits |]
+  in
+  let p1 = Baseline.electrical_power params (mk 1) in
+  let p4 = Baseline.electrical_power params (mk 4) in
+  Alcotest.(check bool) "4 bits ~ 4x power" true (Float.abs (p4 -. (4.0 *. p1)) < 1e-6)
+
+let bus ?(name = "bus") ~from_ ~to_ n =
+  let bits =
+    Array.init n (fun i ->
+        let off = 0.002 *. float_of_int i in
+        bit (Point.add from_ (p off 0.0)) (Point.add to_ (p off 0.0)))
+  in
+  Signal.group ~name ~bits
+
+let test_glow_prefers_optical_for_long_bus () =
+  let d =
+    Signal.design ~die
+      ~groups:[| bus ~from_:(p 1.0 1.0) ~to_:(p 8.0 8.0) 16 |]
+  in
+  let hnets = Processing.run (Prng.create 1) params d in
+  let g = Baseline.glow params hnets in
+  Alcotest.(check int) "optical" 1 g.Baseline.optical_nets;
+  Alcotest.(check int) "no fallback" 0 g.Baseline.electrical_nets;
+  Alcotest.(check bool) "beats electrical" true
+    (g.Baseline.power < Baseline.electrical_power params d)
+
+let test_glow_falls_back_under_tight_budget () =
+  let d =
+    Signal.design ~die
+      ~groups:[| bus ~from_:(p 1.0 1.0) ~to_:(p 8.0 8.0) 16 |]
+  in
+  let hnets = Processing.run (Prng.create 1) params d in
+  let tight = { params with Params.l_max = 0.5 } in
+  let g = Baseline.glow tight hnets in
+  Alcotest.(check int) "fallback" 1 g.Baseline.electrical_nets;
+  Alcotest.(check int) "nothing optical" 0 g.Baseline.optical_nets
+
+let test_glow_ignores_splitting_loss () =
+  (* A multi-sink net whose splitting loss breaks the budget while
+     propagation+crossing alone fit: GLOW accepts it (its known blind
+     spot) and the [underestimated] counter flags it. *)
+  let from_ = p 1.0 5.0 in
+  let bits =
+    Array.init 8 (fun i ->
+        let off = 0.002 *. float_of_int i in
+        Signal.bit
+          ~source:(Point.add from_ (p off 0.0))
+          ~sinks:
+            [| p (8.0 +. off) 1.0; p (8.0 +. off) 3.5; p (8.0 +. off) 6.5;
+               p (8.0 +. off) 9.0 |])
+  in
+  let d = Signal.design ~die ~groups:[| Signal.group ~name:"multi" ~bits |] in
+  let hnets = Processing.run (Prng.create 1) params d in
+  (* pick a budget between prop-only loss and prop+split loss *)
+  let all_opt =
+    match Baseline.glow { params with Params.l_max = 1000.0 } hnets with
+    | { Baseline.ctx; _ } -> ctx.Selection.cands.(0).(0)
+  in
+  let with_split = all_opt.Candidate.max_intrinsic_loss in
+  let prop_only =
+    Array.fold_left
+      (fun acc (path : Candidate.path) ->
+        Float.max acc
+          (Loss.propagation params
+             (Array.fold_left (fun a s -> a +. Segment.length s) 0.0 path.Candidate.segments)))
+      0.0 all_opt.Candidate.paths
+  in
+  Alcotest.(check bool) "splitting adds loss" true (with_split > prop_only +. 1.0);
+  let budget = (with_split +. prop_only) /. 2.0 in
+  let g = Baseline.glow { params with Params.l_max = budget } hnets in
+  Alcotest.(check int) "GLOW accepts anyway" 1 g.Baseline.optical_nets;
+  Alcotest.(check int) "flagged as undetectable" 1 g.Baseline.underestimated
+
+let test_glow_trivial_nets () =
+  (* Single-hyper-pin nets have no routing: GLOW treats them as
+     electrical with zero cost. *)
+  let bits = [| bit (p 5.0 5.0) (p 5.01 5.0) |] in
+  let d = Signal.design ~die ~groups:[| Signal.group ~name:"local" ~bits |] in
+  let hnets = Processing.run (Prng.create 1) params d in
+  let g = Baseline.glow params hnets in
+  Alcotest.(check int) "handled" 1 (g.Baseline.optical_nets + g.Baseline.electrical_nets);
+  Alcotest.(check bool) "negligible power" true (g.Baseline.power < 0.1)
+
+let test_glow_power_consistent_with_choice () =
+  let d =
+    Signal.design ~die
+      ~groups:
+        [| bus ~from_:(p 1.0 1.0) ~to_:(p 8.0 8.0) 16;
+           bus ~name:"b2" ~from_:(p 1.0 8.0) ~to_:(p 8.0 1.0) 16 |]
+  in
+  let hnets = Processing.run (Prng.create 1) params d in
+  let g = Baseline.glow params hnets in
+  Alcotest.(check (float 1e-6)) "power matches selection"
+    (Selection.power g.Baseline.ctx g.Baseline.choice)
+    g.Baseline.power
+
+let () =
+  Alcotest.run "baseline"
+    [ ( "electrical",
+        [ Alcotest.test_case "two pin" `Quick test_electrical_power_two_pin;
+          Alcotest.test_case "scales with bits" `Quick test_electrical_scales_with_bits ] );
+      ( "glow",
+        [ Alcotest.test_case "long bus optical" `Quick test_glow_prefers_optical_for_long_bus;
+          Alcotest.test_case "tight budget fallback" `Quick test_glow_falls_back_under_tight_budget;
+          Alcotest.test_case "ignores splitting loss" `Quick test_glow_ignores_splitting_loss;
+          Alcotest.test_case "trivial nets" `Quick test_glow_trivial_nets;
+          Alcotest.test_case "power consistency" `Quick test_glow_power_consistent_with_choice ] ) ]

@@ -1,0 +1,139 @@
+(* Tests for the synthetic benchmark generator and the I1-I5 case
+   definitions, including the Table 1 statistics targets. *)
+
+open Operon_util
+open Operon_optical
+open Operon
+open Operon_benchgen
+
+let params = Params.default
+
+let test_generate_deterministic () =
+  let d1 = Gen.generate Cases.i1 in
+  let d2 = Gen.generate Cases.i1 in
+  Alcotest.(check int) "same net count" (Signal.net_count d1) (Signal.net_count d2);
+  Alcotest.(check int) "same pin count" (Signal.pin_count d1) (Signal.pin_count d2)
+
+let test_generate_seed_changes_design () =
+  let d1 = Gen.generate Cases.i1 in
+  let d2 = Gen.generate { Cases.i1 with Gen.seed = 999 } in
+  (* group count fixed, but pin geometry differs *)
+  let pin d = (Array.get (Array.get d.Signal.groups 0).Signal.bits 0).Signal.source in
+  Alcotest.(check bool) "different geometry" false
+    (Operon_geom.Point.equal (pin d1) (pin d2))
+
+let test_pins_inside_die () =
+  List.iter
+    (fun spec ->
+      let d = Gen.generate spec in
+      Array.iter
+        (fun (g : Signal.group) ->
+          Array.iter
+            (fun b ->
+              Array.iter
+                (fun pin ->
+                  Alcotest.(check bool) "inside die" true
+                    (Operon_geom.Rect.contains d.Signal.die pin))
+                (Signal.bit_pins b))
+            g.Signal.bits)
+        d.Signal.groups)
+    Cases.all
+
+let test_group_counts () =
+  List.iter
+    (fun spec ->
+      let d = Gen.generate spec in
+      Alcotest.(check int)
+        (spec.Gen.name ^ " group count")
+        spec.Gen.n_groups
+        (Array.length d.Signal.groups))
+    Cases.all
+
+let test_bits_within_spec () =
+  let d = Gen.generate Cases.i3 in
+  Array.iter
+    (fun (g : Signal.group) ->
+      let n = Array.length g.Signal.bits in
+      Alcotest.(check bool) "bits in range" true
+        (n >= Cases.i3.Gen.bits_min && n <= Cases.i3.Gen.bits_max))
+    d.Signal.groups
+
+(* Table 1 statistics: our synthetic cases must land near the published
+   #Net / #HNet / #HPin (within 15%). *)
+let paper_stats =
+  [ ("I1", 2660, 356, 1306); ("I2", 1782, 837, 1701); ("I3", 5072, 168, 336);
+    ("I4", 3224, 403, 1474); ("I5", 1994, 933, 1897) ]
+
+let within_pct pct target got =
+  Float.abs (float_of_int (got - target)) <= pct /. 100.0 *. float_of_int target
+
+let test_table1_statistics () =
+  List.iter
+    (fun (name, nets_t, hnets_t, hpins_t) ->
+      match Cases.by_name name with
+      | None -> Alcotest.fail ("missing case " ^ name)
+      | Some spec ->
+          let d = Gen.generate spec in
+          let hnets = Processing.run (Prng.create 42) params d in
+          let nets, hn, hp = Processing.stats hnets in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s #Net %d ~ %d" name nets nets_t)
+            true (within_pct 15.0 nets_t nets);
+          Alcotest.(check bool)
+            (Printf.sprintf "%s #HNet %d ~ %d" name hn hnets_t)
+            true (within_pct 15.0 hnets_t hn);
+          Alcotest.(check bool)
+            (Printf.sprintf "%s #HPin %d ~ %d" name hp hpins_t)
+            true (within_pct 15.0 hpins_t hp))
+    paper_stats
+
+let test_by_name () =
+  Alcotest.(check bool) "finds i3" true (Cases.by_name "i3" <> None);
+  Alcotest.(check bool) "finds I3" true (Cases.by_name "I3" <> None);
+  Alcotest.(check bool) "unknown" true (Cases.by_name "I9" = None)
+
+let test_small_and_tiny () =
+  let s = Cases.small () in
+  let t = Cases.tiny () in
+  Alcotest.(check bool) "small bigger than tiny" true
+    (Signal.net_count s > Signal.net_count t);
+  Alcotest.(check bool) "tiny non-empty" true (Signal.net_count t > 0)
+
+let test_invalid_spec () =
+  Alcotest.check_raises "zero groups"
+    (Invalid_argument "Gen.generate: need at least one group") (fun () ->
+      ignore (Gen.generate { Cases.i1 with Gen.n_groups = 0 }));
+  Alcotest.check_raises "bad bits"
+    (Invalid_argument "Gen.generate: bad bits range") (fun () ->
+      ignore (Gen.generate { Cases.i1 with Gen.bits_min = 5; bits_max = 2 }))
+
+let test_describe () =
+  let s = Gen.describe Cases.i1 in
+  Alcotest.(check bool) "mentions name" true
+    (String.length s > 2 && String.sub s 0 2 = "I1")
+
+let prop_any_seed_valid_design =
+  QCheck.Test.make ~name:"any seed yields a valid design" ~count:20
+    QCheck.(int_range 0 100000)
+    (fun seed ->
+      let d = Gen.generate { Cases.i3 with Gen.seed = seed; n_groups = 10 } in
+      Signal.net_count d > 0
+      && Array.for_all
+           (fun (g : Signal.group) -> Array.length g.Signal.bits > 0)
+           d.Signal.groups)
+
+let () =
+  Alcotest.run "benchgen"
+    [ ( "gen",
+        [ Alcotest.test_case "deterministic" `Quick test_generate_deterministic;
+          Alcotest.test_case "seed changes design" `Quick test_generate_seed_changes_design;
+          Alcotest.test_case "pins inside die" `Quick test_pins_inside_die;
+          Alcotest.test_case "group counts" `Quick test_group_counts;
+          Alcotest.test_case "bits within spec" `Quick test_bits_within_spec;
+          Alcotest.test_case "invalid spec" `Quick test_invalid_spec;
+          Alcotest.test_case "describe" `Quick test_describe;
+          QCheck_alcotest.to_alcotest prop_any_seed_valid_design ] );
+      ( "cases",
+        [ Alcotest.test_case "table1 statistics" `Slow test_table1_statistics;
+          Alcotest.test_case "by name" `Quick test_by_name;
+          Alcotest.test_case "small/tiny" `Quick test_small_and_tiny ] ) ]

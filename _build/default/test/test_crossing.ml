@@ -1,0 +1,133 @@
+(* Tests for the crossing index and the Section 3.3 interaction
+   machinery (bounding-box variable reduction + component decomposition). *)
+
+open Operon_geom
+open Operon
+
+let p = Point.make
+
+let seg x1 y1 x2 y2 = Segment.make (p x1 y1) (p x2 y2)
+
+let die = Rect.make ~xmin:0.0 ~ymin:0.0 ~xmax:10.0 ~ymax:10.0
+
+let test_index_counts_cross () =
+  let idx =
+    Crossing.build_index ~die
+      [| (0, seg 0.0 5.0 10.0 5.0); (1, seg 5.0 0.0 5.0 10.0) |]
+  in
+  Alcotest.(check int) "query crosses both nets" 2
+    (Crossing.count_crossings idx ~exclude_net:2 (seg 3.0 0.0 6.0 10.0));
+  Alcotest.(check int) "excluding net 0 leaves the vertical" 1
+    (Crossing.count_crossings idx ~exclude_net:0 (seg 3.0 0.0 6.0 10.0));
+  Alcotest.(check int) "parallel query crosses the horizontal once" 1
+    (Crossing.count_crossings idx ~exclude_net:1 (seg 2.0 0.0 2.0 10.0))
+
+let test_index_excludes_own_net () =
+  let idx = Crossing.build_index ~die [| (7, seg 0.0 5.0 10.0 5.0) |] in
+  Alcotest.(check int) "own net ignored" 0
+    (Crossing.count_crossings idx ~exclude_net:7 (seg 5.0 0.0 5.0 10.0));
+  Alcotest.(check int) "other net counted" 1
+    (Crossing.count_crossings idx ~exclude_net:99 (seg 5.0 0.0 5.0 10.0))
+
+let test_index_no_double_counting () =
+  (* A long diagonal spans many buckets; it must still count once. *)
+  let idx = Crossing.build_index ~die [| (0, seg 0.0 0.0 10.0 10.0) |] in
+  Alcotest.(check int) "counted once" 1
+    (Crossing.count_crossings idx ~exclude_net:1 (seg 0.0 10.0 10.0 0.0))
+
+let test_index_matches_brute_force () =
+  let rng = Operon_util.Prng.create 31 in
+  let random_seg () =
+    seg (Operon_util.Prng.float rng 10.0) (Operon_util.Prng.float rng 10.0)
+      (Operon_util.Prng.float rng 10.0) (Operon_util.Prng.float rng 10.0)
+  in
+  let entries = Array.init 50 (fun i -> (i mod 7, random_seg ())) in
+  let idx = Crossing.build_index ~die entries in
+  for _ = 1 to 50 do
+    let q = random_seg () in
+    let exclude = Operon_util.Prng.int rng 7 in
+    let brute =
+      Array.fold_left
+        (fun acc (net, s) ->
+          if net <> exclude && Segment.crosses_properly s q then acc + 1 else acc)
+        0 entries
+    in
+    Alcotest.(check int) "matches brute force" brute
+      (Crossing.count_crossings idx ~exclude_net:exclude q)
+  done
+
+let test_estimator_closure () =
+  let idx = Crossing.build_index ~die [| (0, seg 0.0 5.0 10.0 5.0) |] in
+  let est = Crossing.estimator idx ~net:1 in
+  Alcotest.(check int) "closure counts" 1 (est (seg 5.0 0.0 5.0 10.0))
+
+let rect x1 y1 x2 y2 = Rect.make ~xmin:x1 ~ymin:y1 ~xmax:x2 ~ymax:y2
+
+let test_components () =
+  let boxes =
+    [| rect 0.0 0.0 2.0 2.0; (* overlaps 1 *)
+       rect 1.0 1.0 3.0 3.0; (* overlaps 0 and 2 *)
+       rect 2.5 2.5 4.0 4.0; (* overlaps 1 *)
+       rect 8.0 8.0 9.0 9.0 (* isolated *) |]
+  in
+  let comps = Crossing.interaction_components boxes in
+  Alcotest.(check int) "two components" 2 (Array.length comps);
+  let sizes = Array.map Array.length comps in
+  Array.sort compare sizes;
+  Alcotest.(check (array int)) "sizes 1 and 3" [| 1; 3 |] sizes
+
+let test_components_all_disjoint () =
+  let boxes = Array.init 5 (fun i -> rect (float_of_int (3 * i)) 0.0 (float_of_int ((3 * i) + 1)) 1.0) in
+  let comps = Crossing.interaction_components boxes in
+  Alcotest.(check int) "all singletons" 5 (Array.length comps)
+
+let test_interacting_pairs () =
+  let boxes = [| rect 0.0 0.0 2.0 2.0; rect 1.0 1.0 3.0 3.0; rect 9.0 9.0 10.0 10.0 |] in
+  Alcotest.(check (list (pair int int))) "single pair" [ (0, 1) ]
+    (Crossing.interacting_pairs boxes)
+
+let prop_components_partition =
+  QCheck.Test.make ~name:"components partition the nets" ~count:100
+    QCheck.(list_of_size Gen.(int_range 1 20)
+              (quad (float_range 0.0 8.0) (float_range 0.0 8.0)
+                 (float_range 0.1 2.0) (float_range 0.1 2.0)))
+    (fun specs ->
+      let boxes =
+        Array.of_list
+          (List.map (fun (x, y, w, h) -> rect x y (x +. w) (y +. h)) specs)
+      in
+      let comps = Crossing.interaction_components boxes in
+      let seen = Array.make (Array.length boxes) 0 in
+      Array.iter (Array.iter (fun i -> seen.(i) <- seen.(i) + 1)) comps;
+      Array.for_all (fun c -> c = 1) seen)
+
+let prop_pairs_within_components =
+  QCheck.Test.make ~name:"interacting pairs stay within one component" ~count:100
+    QCheck.(list_of_size Gen.(int_range 2 15)
+              (quad (float_range 0.0 8.0) (float_range 0.0 8.0)
+                 (float_range 0.1 2.0) (float_range 0.1 2.0)))
+    (fun specs ->
+      let boxes =
+        Array.of_list
+          (List.map (fun (x, y, w, h) -> rect x y (x +. w) (y +. h)) specs)
+      in
+      let comps = Crossing.interaction_components boxes in
+      let comp_of = Array.make (Array.length boxes) (-1) in
+      Array.iteri (fun ci members -> Array.iter (fun i -> comp_of.(i) <- ci) members) comps;
+      List.for_all (fun (i, j) -> comp_of.(i) = comp_of.(j))
+        (Crossing.interacting_pairs boxes))
+
+let () =
+  Alcotest.run "crossing"
+    [ ( "index",
+        [ Alcotest.test_case "counts crossings" `Quick test_index_counts_cross;
+          Alcotest.test_case "excludes own net" `Quick test_index_excludes_own_net;
+          Alcotest.test_case "no double counting" `Quick test_index_no_double_counting;
+          Alcotest.test_case "matches brute force" `Quick test_index_matches_brute_force;
+          Alcotest.test_case "estimator closure" `Quick test_estimator_closure ] );
+      ( "interaction",
+        [ Alcotest.test_case "components" `Quick test_components;
+          Alcotest.test_case "disjoint" `Quick test_components_all_disjoint;
+          Alcotest.test_case "pairs" `Quick test_interacting_pairs;
+          QCheck_alcotest.to_alcotest prop_components_partition;
+          QCheck_alcotest.to_alcotest prop_pairs_within_components ] ) ]

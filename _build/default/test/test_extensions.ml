@@ -1,0 +1,323 @@
+(* Tests for the extension modules: wavelength-channel assignment
+   (Channels), the delay model (Delay/Timing), the JSON export and the
+   Report table renderer. *)
+
+open Operon_geom
+open Operon_util
+open Operon_optical
+open Operon
+open Operon_benchgen
+
+let params = Params.default
+
+let p = Point.make
+
+let seg x1 y1 x2 y2 = Segment.make (p x1 y1) (p x2 y2)
+
+let conn id net s bits = { Wdm.id; net; seg = s; bits }
+
+(* --- channels --- *)
+
+let fig6_conns () =
+  [| conn 0 0 (seg 0.0 1.00 3.0 1.00) 20;
+     conn 1 1 (seg 0.5 1.02 3.5 1.02) 20;
+     conn 2 2 (seg 1.0 1.04 4.0 1.04) 20 |]
+
+let test_channels_fig6 () =
+  let conns = fig6_conns () in
+  let placement = Wdm_place.place params conns in
+  let result = Assign.run params placement in
+  let plan = Channels.assign params conns result in
+  (match Channels.verify params conns plan with
+   | Ok () -> ()
+   | Error msg -> Alcotest.fail msg);
+  (* 60 bits over 2 tracks, all spans overlap: peaks sum to 60 *)
+  let total_peak = Array.fold_left ( + ) 0 plan.Channels.peak_channels in
+  Alcotest.(check int) "no reuse possible" 60 total_peak;
+  Alcotest.(check (float 1e-9)) "zero spatial reuse" 0.0
+    (Channels.spatial_reuse plan result)
+
+let test_channels_spatial_reuse () =
+  (* Two same-track connections with disjoint spans can share channels. *)
+  let conns =
+    [| conn 0 0 (seg 0.0 1.0 1.0 1.0) 16; conn 1 1 (seg 2.0 1.0 3.0 1.0) 16 |]
+  in
+  let placement = Wdm_place.place { params with Params.dis_u = 0.5 } conns in
+  let result = Assign.run { params with Params.dis_u = 0.5 } placement in
+  let plan = Channels.assign params conns result in
+  (match Channels.verify params conns plan with
+   | Ok () -> ()
+   | Error msg -> Alcotest.fail msg);
+  if result.Assign.final_count = 1 then begin
+    (* both rode one track: reuse halves the channel demand *)
+    Alcotest.(check int) "peak 16" 16 plan.Channels.peak_channels.(0);
+    Alcotest.(check bool) "reuse reported" true (Channels.spatial_reuse plan result > 0.4)
+  end
+
+let test_channels_bits_conserved () =
+  let rng = Prng.create 5 in
+  let conns =
+    Array.init 10 (fun i ->
+        conn i i
+          (seg (Prng.float rng 1.0) 1.0 (2.0 +. Prng.float rng 1.0) 1.0)
+          (1 + Prng.int rng 16))
+  in
+  let placement = Wdm_place.place params conns in
+  let result = Assign.run params placement in
+  let plan = Channels.assign params conns result in
+  match Channels.verify params conns plan with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg
+
+let test_channels_on_flow () =
+  let design = Cases.small ~seed:3 () in
+  let r = Flow.run ~mode:Flow.Lr (Prng.create 42) params design in
+  let conns = r.Flow.placement.Wdm_place.conns in
+  let plan = Channels.assign params conns r.Flow.assignment in
+  match Channels.verify params conns plan with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg
+
+(* --- delay --- *)
+
+let d = Delay.default
+
+let test_delay_basic () =
+  Alcotest.(check (float 1e-9)) "electrical linear" 1100.0
+    (Delay.electrical d ~length_cm:2.0);
+  let flight = Delay.flight_ps_per_cm d in
+  Alcotest.(check bool) "silicon flight ~140ps/cm" true
+    (flight > 130.0 && flight < 150.0);
+  Alcotest.(check (float 1e-6)) "link = conversion + flight"
+    (d.Delay.t_conversion +. (2.0 *. flight))
+    (Delay.optical_link d ~length_cm:2.0)
+
+let test_delay_crossover () =
+  let x = Delay.crossover_cm d in
+  Alcotest.(check bool) "crossover in the mm range" true (x > 0.05 && x < 0.5);
+  (* beyond the crossover optical is faster *)
+  Alcotest.(check bool) "optical wins past crossover" true
+    (Delay.optical_link d ~length_cm:(2.0 *. x) < Delay.electrical d ~length_cm:(2.0 *. x));
+  Alcotest.(check bool) "copper wins below" true
+    (Delay.optical_link d ~length_cm:(0.5 *. x) > Delay.electrical d ~length_cm:(0.5 *. x))
+
+let test_timing_on_selection () =
+  let design = Cases.small ~seed:3 () in
+  let r = Flow.run ~mode:Flow.Lr (Prng.create 42) params design in
+  let sel = Timing.selection d r.Flow.ctx r.Flow.choice in
+  let reference = Timing.electrical_reference d r.Flow.ctx in
+  Alcotest.(check bool) "positive delays" true (sel.Timing.mean_worst_ps > 0.0);
+  Alcotest.(check bool) "max >= mean" true
+    (sel.Timing.max_worst_ps >= sel.Timing.mean_worst_ps);
+  (* optics accelerates the long nets of this design *)
+  Alcotest.(check bool) "mean no slower than copper reference" true
+    (sel.Timing.mean_worst_ps <= reference.Timing.mean_worst_ps +. 1e-6)
+
+let test_timing_two_pin_exact () =
+  let centers = [| p 0.0 0.0; p 2.0 0.0 |] in
+  let pins =
+    Array.mapi
+      (fun i c ->
+        { Hypernet.center = c; pin_count = 1; source_count = (if i = 0 then 1 else 0) })
+      centers
+  in
+  let hnet = Hypernet.make ~id:0 ~group:0 ~bits:4 ~pins in
+  let topo =
+    Operon_steiner.Topology.make ~positions:centers ~nterminals:2 ~edges:[ (0, 1) ]
+      ~root:0
+  in
+  let optical =
+    Candidate.of_labels params hnet topo [| Candidate.Electrical; Candidate.Optical |]
+  in
+  Alcotest.(check (float 1e-6)) "optical worst = link delay"
+    (Delay.optical_link d ~length_cm:2.0)
+    (Timing.candidate_worst_ps d optical);
+  let elec = Candidate.electrical params hnet topo in
+  Alcotest.(check (float 1e-6)) "electrical worst = wire delay"
+    (Delay.electrical d ~length_cm:2.0)
+    (Timing.candidate_worst_ps d elec)
+
+(* --- export --- *)
+
+let test_export_structure () =
+  let design = Cases.tiny () in
+  let r = Flow.run ~mode:Flow.Lr (Prng.create 42) params design in
+  let conns = r.Flow.placement.Wdm_place.conns in
+  let plan = Channels.assign params conns r.Flow.assignment in
+  let json = Export.flow_to_json ~channels:plan r in
+  (* balanced braces/brackets *)
+  let depth = ref 0 and min_depth = ref 0 in
+  String.iter
+    (fun c ->
+      (match c with
+       | '{' | '[' -> incr depth
+       | '}' | ']' -> decr depth
+       | _ -> ());
+      if !depth < !min_depth then min_depth := !depth)
+    json;
+  Alcotest.(check int) "balanced" 0 !depth;
+  Alcotest.(check int) "never negative" 0 !min_depth;
+  (* key presence *)
+  List.iter
+    (fun key ->
+      let needle = "\"" ^ key ^ "\":" in
+      let found =
+        let n = String.length json and m = String.length needle in
+        let rec scan i = i + m <= n && (String.sub json i m = needle || scan (i + 1)) in
+        scan 0
+      in
+      Alcotest.(check bool) ("contains " ^ key) true found)
+    [ "design"; "hypernets"; "routes"; "wdm"; "channels"; "power"; "tracks" ]
+
+let test_export_escaping () =
+  (* the writer must escape control characters and quotes *)
+  let design = Cases.tiny () in
+  let r = Flow.run ~mode:Flow.Lr (Prng.create 42) params design in
+  let json = Export.flow_to_json r in
+  String.iter
+    (fun c -> Alcotest.(check bool) "no raw control chars" false (Char.code c < 0x20 && c <> '\n'))
+    json
+
+let test_export_write_file () =
+  let path = Filename.temp_file "operon" ".json" in
+  Export.write_file path "{\"ok\":true}";
+  let ic = open_in path in
+  let line = input_line ic in
+  close_in ic;
+  Sys.remove path;
+  Alcotest.(check string) "round trip" "{\"ok\":true}" line
+
+(* --- report --- *)
+
+let test_report_table () =
+  let t =
+    Report.table ~title:"demo" ~headers:[ "a"; "b" ]
+      ~align:[ Report.Left; Report.Right ]
+      [ [ "x"; "1" ]; [ "longer"; "22" ] ]
+  in
+  let lines = String.split_on_char '\n' (String.trim t) in
+  Alcotest.(check int) "title + frame + header + 2 rows" 7 (List.length lines);
+  (* all frame lines equal length *)
+  let widths = List.map String.length (List.tl lines) in
+  List.iter (fun w -> Alcotest.(check int) "rectangular" (List.hd widths) w) widths
+
+let test_report_short_rows_padded () =
+  let t = Report.table ~headers:[ "a"; "b"; "c" ] ~align:[] [ [ "only" ] ] in
+  Alcotest.(check bool) "renders" true (String.length t > 0)
+
+let test_report_cells () =
+  Alcotest.(check string) "float" "3.14" (Report.float_cell ~decimals:2 3.14159);
+  Alcotest.(check string) "ratio" "0.500" (Report.ratio_cell 1.0 2.0);
+  Alcotest.(check string) "ratio by zero" "-" (Report.ratio_cell 1.0 0.0);
+  Alcotest.(check string) "seconds capped" "> 3000" (Report.seconds_cell ~cap:3000.0 5000.0);
+  Alcotest.(check string) "seconds plain" "12.3" (Report.seconds_cell ~cap:3000.0 12.3)
+
+(* --- properties --- *)
+
+(* Random connection bundles: the channel plan must always verify. *)
+let prop_channels_always_valid =
+  QCheck.Test.make ~name:"channel plans verify on random bundles" ~count:60
+    QCheck.(int_range 0 100000)
+    (fun seed_v ->
+      let rng = Prng.create seed_v in
+      let n = 2 + Prng.int rng 10 in
+      let conns =
+        Array.init n (fun i ->
+            let y = 1.0 +. (0.005 *. float_of_int (Prng.int rng 6)) in
+            let x0 = Prng.float rng 3.0 in
+            let len = 0.3 +. Prng.float rng 2.0 in
+            conn i i (seg x0 y (x0 +. len) y) (1 + Prng.int rng 24))
+      in
+      let placement = Wdm_place.place params conns in
+      let result = Assign.run params placement in
+      let plan = Channels.assign params conns result in
+      match Channels.verify params conns plan with Ok () -> true | Error _ -> false)
+
+(* Peak concurrent channels can never exceed the track's bit usage. *)
+let prop_channels_peak_bounded =
+  QCheck.Test.make ~name:"peak channels bounded by usage" ~count:60
+    QCheck.(int_range 0 100000)
+    (fun seed_v ->
+      let rng = Prng.create seed_v in
+      let n = 2 + Prng.int rng 8 in
+      let conns =
+        Array.init n (fun i ->
+            let x0 = Prng.float rng 3.0 in
+            conn i i (seg x0 1.0 (x0 +. 1.0) 1.0) (1 + Prng.int rng 16))
+      in
+      let placement = Wdm_place.place params conns in
+      let result = Assign.run params placement in
+      let plan = Channels.assign params conns result in
+      Array.for_all2
+        (fun peak t -> peak <= t.Wdm.used && peak <= t.Wdm.capacity)
+        plan.Channels.peak_channels result.Assign.tracks)
+
+(* Delay of a candidate never beats pure time-of-flight over the direct
+   chord, and never loses to all-copper over the tree length. *)
+let prop_timing_bounds =
+  QCheck.Test.make ~name:"candidate delay within physical bounds" ~count:100
+    QCheck.(int_range 0 100000)
+    (fun seed_v ->
+      let rng = Prng.create seed_v in
+      let k = 2 + Prng.int rng 4 in
+      let centers =
+        Array.init k (fun i ->
+            if i = 0 then p 0.0 0.0
+            else p (0.5 +. Prng.float rng 3.0) (0.5 +. Prng.float rng 3.0))
+      in
+      let pins =
+        Array.mapi
+          (fun i c ->
+            { Hypernet.center = c; pin_count = 1; source_count = (if i = 0 then 1 else 0) })
+          centers
+      in
+      let hnet = Hypernet.make ~id:0 ~group:0 ~bits:(1 + Prng.int rng 31) ~pins in
+      match Codesign.for_hypernet params hnet with
+      | [] -> false
+      | cands ->
+          List.for_all
+            (fun c ->
+              let worst = Timing.candidate_worst_ps d c in
+              let tree_l1 =
+                Operon_steiner.Topology.length Operon_steiner.Topology.L1
+                  c.Candidate.topo
+              in
+              let min_chord =
+                Array.fold_left
+                  (fun acc i -> Float.min acc (Point.l2 centers.(0) centers.(i)))
+                  infinity
+                  (Array.init (k - 1) (fun i -> i + 1))
+              in
+              let nodes =
+                float_of_int (Operon_steiner.Topology.node_count c.Candidate.topo)
+              in
+              worst >= (Delay.flight_ps_per_cm d *. min_chord) -. 1e-6
+              && worst
+                 <= Delay.electrical d ~length_cm:tree_l1
+                    +. (nodes *. d.Delay.t_conversion) +. 1e-6)
+            cands)
+
+let () =
+  Alcotest.run "extensions"
+    [ ( "channels",
+        [ Alcotest.test_case "fig6 colouring" `Quick test_channels_fig6;
+          Alcotest.test_case "spatial reuse" `Quick test_channels_spatial_reuse;
+          Alcotest.test_case "bits conserved" `Quick test_channels_bits_conserved;
+          Alcotest.test_case "on full flow" `Quick test_channels_on_flow ] );
+      ( "delay",
+        [ Alcotest.test_case "basic" `Quick test_delay_basic;
+          Alcotest.test_case "crossover" `Quick test_delay_crossover;
+          Alcotest.test_case "selection stats" `Quick test_timing_on_selection;
+          Alcotest.test_case "two pin exact" `Quick test_timing_two_pin_exact ] );
+      ( "export",
+        [ Alcotest.test_case "structure" `Quick test_export_structure;
+          Alcotest.test_case "escaping" `Quick test_export_escaping;
+          Alcotest.test_case "write file" `Quick test_export_write_file ] );
+      ( "report",
+        [ Alcotest.test_case "table" `Quick test_report_table;
+          Alcotest.test_case "short rows" `Quick test_report_short_rows_padded;
+          Alcotest.test_case "cells" `Quick test_report_cells ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest prop_channels_always_valid;
+          QCheck_alcotest.to_alcotest prop_channels_peak_bounded;
+          QCheck_alcotest.to_alcotest prop_timing_bounds ] ) ]

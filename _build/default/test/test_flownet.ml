@@ -1,0 +1,183 @@
+(* Tests for the flow-network substrate (Dinic max-flow and min-cost
+   max-flow), including the bipartite transportation shape used by the WDM
+   assignment and a brute-force cross-check on small instances. *)
+
+open Operon_flow
+
+let check_float = Alcotest.(check (float 1e-6))
+
+(* --- max flow --- *)
+
+let test_maxflow_simple_path () =
+  let g = Maxflow.create 3 in
+  ignore (Maxflow.add_edge g ~src:0 ~dst:1 ~cap:5);
+  ignore (Maxflow.add_edge g ~src:1 ~dst:2 ~cap:3);
+  Alcotest.(check int) "bottleneck" 3 (Maxflow.max_flow g ~source:0 ~sink:2)
+
+let test_maxflow_parallel_paths () =
+  let g = Maxflow.create 4 in
+  ignore (Maxflow.add_edge g ~src:0 ~dst:1 ~cap:2);
+  ignore (Maxflow.add_edge g ~src:0 ~dst:2 ~cap:3);
+  ignore (Maxflow.add_edge g ~src:1 ~dst:3 ~cap:4);
+  ignore (Maxflow.add_edge g ~src:2 ~dst:3 ~cap:1);
+  Alcotest.(check int) "sum of cuts" 3 (Maxflow.max_flow g ~source:0 ~sink:3)
+
+let test_maxflow_classic () =
+  (* CLRS-style example with a known max flow of 23. *)
+  let g = Maxflow.create 6 in
+  ignore (Maxflow.add_edge g ~src:0 ~dst:1 ~cap:16);
+  ignore (Maxflow.add_edge g ~src:0 ~dst:2 ~cap:13);
+  ignore (Maxflow.add_edge g ~src:1 ~dst:2 ~cap:10);
+  ignore (Maxflow.add_edge g ~src:2 ~dst:1 ~cap:4);
+  ignore (Maxflow.add_edge g ~src:1 ~dst:3 ~cap:12);
+  ignore (Maxflow.add_edge g ~src:3 ~dst:2 ~cap:9);
+  ignore (Maxflow.add_edge g ~src:2 ~dst:4 ~cap:14);
+  ignore (Maxflow.add_edge g ~src:4 ~dst:3 ~cap:7);
+  ignore (Maxflow.add_edge g ~src:3 ~dst:5 ~cap:20);
+  ignore (Maxflow.add_edge g ~src:4 ~dst:5 ~cap:4);
+  Alcotest.(check int) "CLRS 23" 23 (Maxflow.max_flow g ~source:0 ~sink:5)
+
+let test_maxflow_disconnected () =
+  let g = Maxflow.create 4 in
+  ignore (Maxflow.add_edge g ~src:0 ~dst:1 ~cap:5);
+  ignore (Maxflow.add_edge g ~src:2 ~dst:3 ~cap:5);
+  Alcotest.(check int) "no path" 0 (Maxflow.max_flow g ~source:0 ~sink:3)
+
+let test_maxflow_flow_on () =
+  let g = Maxflow.create 3 in
+  let a = Maxflow.add_edge g ~src:0 ~dst:1 ~cap:5 in
+  let b = Maxflow.add_edge g ~src:1 ~dst:2 ~cap:3 in
+  ignore (Maxflow.max_flow g ~source:0 ~sink:2);
+  Alcotest.(check int) "flow a" 3 (Maxflow.flow_on g a);
+  Alcotest.(check int) "flow b" 3 (Maxflow.flow_on g b)
+
+let test_maxflow_invalid () =
+  let g = Maxflow.create 2 in
+  Alcotest.check_raises "bad vertex"
+    (Invalid_argument "Maxflow.add_edge: vertex out of range") (fun () ->
+      ignore (Maxflow.add_edge g ~src:0 ~dst:7 ~cap:1));
+  Alcotest.check_raises "negative cap"
+    (Invalid_argument "Maxflow.add_edge: negative capacity") (fun () ->
+      ignore (Maxflow.add_edge g ~src:0 ~dst:1 ~cap:(-1)))
+
+(* --- min-cost max-flow --- *)
+
+let test_mcmf_prefers_cheap_path () =
+  let g = Mcmf.create 4 in
+  ignore (Mcmf.add_edge g ~src:0 ~dst:1 ~cap:1 ~cost:1.0);
+  ignore (Mcmf.add_edge g ~src:0 ~dst:2 ~cap:1 ~cost:10.0);
+  ignore (Mcmf.add_edge g ~src:1 ~dst:3 ~cap:1 ~cost:1.0);
+  ignore (Mcmf.add_edge g ~src:2 ~dst:3 ~cap:1 ~cost:1.0);
+  let flow, cost = Mcmf.solve g ~source:0 ~sink:3 in
+  Alcotest.(check int) "max flow 2" 2 flow;
+  check_float "cost" 13.0 cost
+
+let test_mcmf_single_unit_cheapest () =
+  let g = Mcmf.create 4 in
+  ignore (Mcmf.add_edge g ~src:0 ~dst:1 ~cap:5 ~cost:1.0);
+  ignore (Mcmf.add_edge g ~src:0 ~dst:2 ~cap:5 ~cost:2.0);
+  ignore (Mcmf.add_edge g ~src:1 ~dst:3 ~cap:5 ~cost:1.0);
+  ignore (Mcmf.add_edge g ~src:2 ~dst:3 ~cap:5 ~cost:0.5);
+  let flow, cost = Mcmf.solve_bounded g ~source:0 ~sink:3 ~max_flow:1 in
+  Alcotest.(check int) "one unit" 1 flow;
+  check_float "cheapest route" 2.0 cost
+
+let test_mcmf_negative_costs () =
+  let g = Mcmf.create 3 in
+  ignore (Mcmf.add_edge g ~src:0 ~dst:1 ~cap:2 ~cost:(-3.0));
+  ignore (Mcmf.add_edge g ~src:1 ~dst:2 ~cap:2 ~cost:1.0);
+  let flow, cost = Mcmf.solve g ~source:0 ~sink:2 in
+  Alcotest.(check int) "flow" 2 flow;
+  check_float "negative total" (-4.0) cost
+
+let test_mcmf_flow_on () =
+  let g = Mcmf.create 3 in
+  let a = Mcmf.add_edge g ~src:0 ~dst:1 ~cap:4 ~cost:1.0 in
+  ignore (Mcmf.add_edge g ~src:1 ~dst:2 ~cap:3 ~cost:1.0);
+  ignore (Mcmf.solve g ~source:0 ~sink:2);
+  Alcotest.(check int) "readback" 3 (Mcmf.flow_on g a)
+
+(* Transportation instance: 3 connections (20 bits each) onto 3 WDMs of
+   capacity 32 — the Fig. 6 example; two WDMs suffice only if bits split,
+   which min-cost flow does channel-wise. *)
+let test_mcmf_wdm_shape () =
+  let nc = 3 and nw = 2 in
+  let g = Mcmf.create (nc + nw + 2) in
+  let source = 0 and sink = nc + nw + 1 in
+  for c = 0 to nc - 1 do
+    ignore (Mcmf.add_edge g ~src:source ~dst:(1 + c) ~cap:20 ~cost:0.0);
+    for w = 0 to nw - 1 do
+      ignore
+        (Mcmf.add_edge g ~src:(1 + c) ~dst:(1 + nc + w) ~cap:20
+           ~cost:(float_of_int (abs (c - w))))
+    done
+  done;
+  for w = 0 to nw - 1 do
+    ignore (Mcmf.add_edge g ~src:(1 + nc + w) ~dst:sink ~cap:32 ~cost:0.1)
+  done;
+  let flow, _ = Mcmf.solve g ~source ~sink in
+  Alcotest.(check int) "60 bits fit in 2x32" 60 flow
+
+(* Brute force assignment check: 2 items x 2 bins, unit flows. *)
+let test_mcmf_matches_brute_force () =
+  let costs = [| [| 4.0; 1.0 |]; [| 2.0; 3.0 |] |] in
+  let g = Mcmf.create 6 in
+  let source = 0 and sink = 5 in
+  ignore (Mcmf.add_edge g ~src:source ~dst:1 ~cap:1 ~cost:0.0);
+  ignore (Mcmf.add_edge g ~src:source ~dst:2 ~cap:1 ~cost:0.0);
+  for item = 0 to 1 do
+    for bin = 0 to 1 do
+      ignore (Mcmf.add_edge g ~src:(1 + item) ~dst:(3 + bin) ~cap:1 ~cost:costs.(item).(bin))
+    done
+  done;
+  ignore (Mcmf.add_edge g ~src:3 ~dst:sink ~cap:1 ~cost:0.0);
+  ignore (Mcmf.add_edge g ~src:4 ~dst:sink ~cap:1 ~cost:0.0);
+  let flow, cost = Mcmf.solve g ~source ~sink in
+  Alcotest.(check int) "perfect matching" 2 flow;
+  (* optimal: item0->bin1 (1.0) + item1->bin0 (2.0) *)
+  check_float "optimal assignment" 3.0 cost
+
+(* Property: mcmf flow value equals Dinic max flow on the same network. *)
+let prop_mcmf_flow_equals_maxflow =
+  let gen =
+    QCheck.Gen.(
+      int_range 3 8 >>= fun n ->
+      list_size (int_range 2 20)
+        (triple (int_range 0 (n - 1)) (int_range 0 (n - 1)) (int_range 1 10))
+      >|= fun edges -> (n, edges))
+  in
+  QCheck.Test.make ~name:"mcmf max flow equals dinic" ~count:200
+    (QCheck.make
+       ~print:(fun (n, e) -> Printf.sprintf "n=%d #e=%d" n (List.length e))
+       gen)
+    (fun (n, edges) ->
+      let mf = Maxflow.create n in
+      let mc = Mcmf.create n in
+      List.iter
+        (fun (u, v, c) ->
+          if u <> v then begin
+            ignore (Maxflow.add_edge mf ~src:u ~dst:v ~cap:c);
+            ignore (Mcmf.add_edge mc ~src:u ~dst:v ~cap:c ~cost:(float_of_int ((u + v) mod 3)))
+          end)
+        edges;
+      let f1 = Maxflow.max_flow mf ~source:0 ~sink:(n - 1) in
+      let f2, _ = Mcmf.solve mc ~source:0 ~sink:(n - 1) in
+      f1 = f2)
+
+let () =
+  Alcotest.run "flownet"
+    [ ( "maxflow",
+        [ Alcotest.test_case "simple path" `Quick test_maxflow_simple_path;
+          Alcotest.test_case "parallel paths" `Quick test_maxflow_parallel_paths;
+          Alcotest.test_case "classic" `Quick test_maxflow_classic;
+          Alcotest.test_case "disconnected" `Quick test_maxflow_disconnected;
+          Alcotest.test_case "flow readback" `Quick test_maxflow_flow_on;
+          Alcotest.test_case "invalid args" `Quick test_maxflow_invalid ] );
+      ( "mcmf",
+        [ Alcotest.test_case "cheap path first" `Quick test_mcmf_prefers_cheap_path;
+          Alcotest.test_case "bounded single unit" `Quick test_mcmf_single_unit_cheapest;
+          Alcotest.test_case "negative costs" `Quick test_mcmf_negative_costs;
+          Alcotest.test_case "flow readback" `Quick test_mcmf_flow_on;
+          Alcotest.test_case "wdm transportation" `Quick test_mcmf_wdm_shape;
+          Alcotest.test_case "matches brute force" `Quick test_mcmf_matches_brute_force;
+          QCheck_alcotest.to_alcotest prop_mcmf_flow_equals_maxflow ] ) ]

@@ -1,0 +1,216 @@
+(* Tests for the selection machinery: the shared context, the Formula (3)
+   ILP selector, and Algorithm 1 (Lagrangian relaxation). Built around a
+   crafted scenario where two crossing nets cannot both go optical, so
+   the selectors must coordinate. *)
+
+open Operon_geom
+open Operon_optical
+open Operon
+
+let p = Point.make
+
+let params = Params.default
+
+let hnet_of_centers ~id ?(bits = 8) centers =
+  let pins =
+    Array.mapi
+      (fun i c ->
+        { Hypernet.center = c; pin_count = 1; source_count = (if i = 0 then 1 else 0) })
+      centers
+  in
+  Hypernet.make ~id ~group:0 ~bits ~pins
+
+(* Candidate lists for a net: [all-optical; electrical]. *)
+let simple_cands ?(bits = 8) id a b =
+  let centers = [| a; b |] in
+  let hnet = hnet_of_centers ~id ~bits centers in
+  let topo =
+    Operon_steiner.Topology.make ~positions:centers ~nterminals:2 ~edges:[ (0, 1) ]
+      ~root:0
+  in
+  [ Candidate.of_labels params hnet topo [| Candidate.Electrical; Candidate.Optical |];
+    Candidate.electrical params hnet topo ]
+
+(* Two long nets crossing at the centre. *)
+let crossing_pair () =
+  [| simple_cands 0 (p 0.0 2.0) (p 4.0 2.0); simple_cands 1 (p 2.0 0.0) (p 2.0 4.0) |]
+
+(* Independent parallel nets. *)
+let parallel_pair () =
+  [| simple_cands 0 (p 0.0 0.0) (p 4.0 0.0); simple_cands 1 (p 0.0 2.0) (p 4.0 2.0) |]
+
+let test_ctx_structure () =
+  let ctx = Selection.make_ctx params (crossing_pair ()) in
+  Alcotest.(check int) "two nets" 2 (Array.length ctx.Selection.cands);
+  Alcotest.(check int) "elec fallback of net 0" 1 ctx.Selection.elec_idx.(0);
+  Alcotest.(check (array int)) "net 0 neighbors" [| 1 |] ctx.Selection.neighbors.(0);
+  Alcotest.(check (array int)) "net 1 neighbors" [| 0 |] ctx.Selection.neighbors.(1)
+
+let test_ctx_parallel_nets_no_neighbors () =
+  let ctx = Selection.make_ctx params (parallel_pair ()) in
+  Alcotest.(check (array int)) "no coupling" [||] ctx.Selection.neighbors.(0);
+  Alcotest.(check (array int)) "no coupling" [||] ctx.Selection.neighbors.(1)
+
+let test_ctx_requires_fallback () =
+  let centers = [| p 0.0 0.0; p 2.0 0.0 |] in
+  let hnet = hnet_of_centers ~id:0 centers in
+  let topo =
+    Operon_steiner.Topology.make ~positions:centers ~nterminals:2 ~edges:[ (0, 1) ]
+      ~root:0
+  in
+  let optical_only =
+    [ Candidate.of_labels params hnet topo [| Candidate.Electrical; Candidate.Optical |] ]
+  in
+  try
+    ignore (Selection.make_ctx params [| optical_only |]);
+    Alcotest.fail "expected rejection"
+  with Invalid_argument _ -> ()
+
+let test_path_losses_include_crossing () =
+  let ctx = Selection.make_ctx params (crossing_pair ()) in
+  let both_optical = [| 0; 0 |] in
+  let losses = Selection.net_path_losses ctx both_optical 0 in
+  Alcotest.(check int) "one path" 1 (Array.length losses);
+  let expected =
+    Loss.propagation params 4.0 +. Loss.crossing_bundled params 1
+  in
+  Alcotest.(check bool) "loss includes coupling" true
+    (Float.abs (losses.(0) -. expected) < 1e-9);
+  (* demoting the neighbour removes the crossing term *)
+  let alone = [| 0; 1 |] in
+  let losses' = Selection.net_path_losses ctx alone 0 in
+  Alcotest.(check bool) "no coupling once neighbour electrical" true
+    (Float.abs (losses'.(0) -. Loss.propagation params 4.0) < 1e-9)
+
+let test_all_electrical_feasible () =
+  let ctx = Selection.make_ctx params (crossing_pair ()) in
+  let choice = Selection.all_electrical ctx in
+  Alcotest.(check bool) "feasible" true (Selection.feasible ctx choice);
+  Alcotest.(check (float 1e-9)) "no violation" 0.0
+    (Float.max 0.0 (Selection.worst_violation ctx choice))
+
+let test_greedy_picks_cheapest () =
+  let ctx = Selection.make_ctx params (crossing_pair ()) in
+  let choice = Selection.greedy ctx in
+  (* long 8-bit nets: optical (index 0) is cheaper per net *)
+  Alcotest.(check (array int)) "both optical" [| 0; 0 |] choice
+
+let test_polish_feasible_and_no_worse () =
+  let ctx = Selection.make_ctx params (crossing_pair ()) in
+  let start = Selection.greedy ctx in
+  let out = Selection.polish ctx start in
+  Alcotest.(check bool) "feasible" true (Selection.feasible ctx out);
+  Alcotest.(check bool) "no worse than all-electrical" true
+    (Selection.power ctx out <= Selection.power ctx (Selection.all_electrical ctx) +. 1e-9)
+
+(* Force a conflict: shrink the loss budget so that exactly one of the two
+   crossing nets can be optical. *)
+let conflict_params =
+  { params with
+    Params.l_max = Loss.propagation params 4.0 +. (0.5 *. Loss.crossing_bundled params 1) }
+
+let test_ilp_resolves_conflict () =
+  let ctx = Selection.make_ctx conflict_params (crossing_pair ()) in
+  let r = Ilp_select.select ~budget_seconds:30.0 ctx in
+  Alcotest.(check bool) "feasible" true (Selection.feasible ctx r.Ilp_select.choice);
+  Alcotest.(check bool) "proven" true r.Ilp_select.proven;
+  (* exactly one optical, one electrical *)
+  let opticals =
+    Array.fold_left (fun acc j -> if j = 0 then acc + 1 else acc) 0 r.Ilp_select.choice
+  in
+  Alcotest.(check int) "one optical" 1 opticals
+
+let test_ilp_no_conflict_both_optical () =
+  let ctx = Selection.make_ctx params (parallel_pair ()) in
+  let r = Ilp_select.select ~budget_seconds:30.0 ctx in
+  Alcotest.(check (array int)) "both optical" [| 0; 0 |] r.Ilp_select.choice;
+  Alcotest.(check int) "two singleton components" 2 r.Ilp_select.components
+
+let test_ilp_power_not_above_lr () =
+  (* On a shared context with a generous budget, the exact ILP must not
+     lose to the heuristic LR. *)
+  let ctx = Selection.make_ctx conflict_params (crossing_pair ()) in
+  let ilp = Ilp_select.select ~budget_seconds:30.0 ctx in
+  let lr = Lr_select.select ctx in
+  Alcotest.(check bool) "ilp <= lr" true
+    (ilp.Ilp_select.power <= lr.Lr_select.power +. 1e-6)
+
+let test_lr_feasible_conflict () =
+  let ctx = Selection.make_ctx conflict_params (crossing_pair ()) in
+  let r = Lr_select.select ctx in
+  Alcotest.(check bool) "feasible after repair" true
+    (Selection.feasible ctx r.Lr_select.choice);
+  Alcotest.(check bool) "iterations within paper cap" true (r.Lr_select.iterations <= 10)
+
+let test_lr_improves_over_all_electrical () =
+  let ctx = Selection.make_ctx params (crossing_pair ()) in
+  let r = Lr_select.select ctx in
+  let all_e = Selection.power ctx (Selection.all_electrical ctx) in
+  Alcotest.(check bool) "beats all-electrical" true (r.Lr_select.power < all_e)
+
+let test_lr_respects_max_iterations () =
+  let ctx = Selection.make_ctx conflict_params (crossing_pair ()) in
+  let r = Lr_select.select ~max_iterations:1 ctx in
+  Alcotest.(check int) "one iteration" 1 r.Lr_select.iterations;
+  Alcotest.(check bool) "still feasible" true (Selection.feasible ctx r.Lr_select.choice)
+
+(* A chain of many crossing nets: both engines stay feasible, ILP <= LR. *)
+let star_of_nets n =
+  Array.init n (fun i ->
+      let angle = Float.pi *. float_of_int i /. float_of_int n in
+      let dx = 2.0 *. cos angle and dy = 2.0 *. sin angle in
+      simple_cands ~bits:(4 + (i mod 8)) i
+        (p (2.0 -. dx) (2.0 -. dy))
+        (p (2.0 +. dx) (2.0 +. dy)))
+
+let test_star_engines_consistent () =
+  let nets = star_of_nets 7 in
+  let ctx = Selection.make_ctx params nets in
+  let ilp = Ilp_select.select ~budget_seconds:60.0 ctx in
+  let lr = Lr_select.select ctx in
+  Alcotest.(check bool) "ilp feasible" true (Selection.feasible ctx ilp.Ilp_select.choice);
+  Alcotest.(check bool) "lr feasible" true (Selection.feasible ctx lr.Lr_select.choice);
+  Alcotest.(check bool) "ilp <= lr + eps" true
+    (ilp.Ilp_select.power <= lr.Lr_select.power +. 1e-6)
+
+let prop_engines_feasible_random =
+  QCheck.Test.make ~name:"both engines feasible on random scenes" ~count:15
+    QCheck.(int_range 0 1000)
+    (fun seed ->
+      let rng = Operon_util.Prng.create seed in
+      let n = 3 + Operon_util.Prng.int rng 5 in
+      let nets =
+        Array.init n (fun i ->
+            let a = p (Operon_util.Prng.float rng 4.0) (Operon_util.Prng.float rng 4.0) in
+            let b = p (Operon_util.Prng.float rng 4.0) (Operon_util.Prng.float rng 4.0) in
+            let b = if Point.l2 a b < 0.1 then Point.add b (p 0.5 0.5) else b in
+            simple_cands ~bits:(1 + Operon_util.Prng.int rng 31) i a b)
+      in
+      let ctx = Selection.make_ctx params nets in
+      let ilp = Ilp_select.select ~budget_seconds:10.0 ctx in
+      let lr = Lr_select.select ctx in
+      Selection.feasible ctx ilp.Ilp_select.choice
+      && Selection.feasible ctx lr.Lr_select.choice
+      && ilp.Ilp_select.power <= Selection.power ctx (Selection.all_electrical ctx) +. 1e-6)
+
+let () =
+  Alcotest.run "selection"
+    [ ( "ctx",
+        [ Alcotest.test_case "structure" `Quick test_ctx_structure;
+          Alcotest.test_case "parallel no neighbors" `Quick test_ctx_parallel_nets_no_neighbors;
+          Alcotest.test_case "requires fallback" `Quick test_ctx_requires_fallback;
+          Alcotest.test_case "path losses with coupling" `Quick test_path_losses_include_crossing;
+          Alcotest.test_case "all-electrical feasible" `Quick test_all_electrical_feasible;
+          Alcotest.test_case "greedy cheapest" `Quick test_greedy_picks_cheapest;
+          Alcotest.test_case "polish" `Quick test_polish_feasible_and_no_worse ] );
+      ( "ilp",
+        [ Alcotest.test_case "resolves conflict" `Quick test_ilp_resolves_conflict;
+          Alcotest.test_case "no conflict both optical" `Quick test_ilp_no_conflict_both_optical;
+          Alcotest.test_case "not above lr" `Quick test_ilp_power_not_above_lr ] );
+      ( "lr",
+        [ Alcotest.test_case "feasible conflict" `Quick test_lr_feasible_conflict;
+          Alcotest.test_case "improves over electrical" `Quick test_lr_improves_over_all_electrical;
+          Alcotest.test_case "max iterations" `Quick test_lr_respects_max_iterations ] );
+      ( "engines",
+        [ Alcotest.test_case "star consistent" `Quick test_star_engines_consistent;
+          QCheck_alcotest.to_alcotest prop_engines_feasible_random ] ) ]

@@ -1,0 +1,102 @@
+(* Tests for the signal model and hyper net structure. *)
+
+open Operon_geom
+open Operon
+
+let p = Point.make
+
+let die = Rect.make ~xmin:0.0 ~ymin:0.0 ~xmax:10.0 ~ymax:10.0
+
+let bit x = Signal.bit ~source:(p x 0.0) ~sinks:[| p x 1.0; p x 2.0 |]
+
+let test_bit_requires_sink () =
+  Alcotest.check_raises "no sinks"
+    (Invalid_argument "Signal.bit: a bit needs at least one sink") (fun () ->
+      ignore (Signal.bit ~source:(p 0.0 0.0) ~sinks:[||]))
+
+let test_bit_pins () =
+  let b = bit 1.0 in
+  let pins = Signal.bit_pins b in
+  Alcotest.(check int) "source + sinks" 3 (Array.length pins);
+  Alcotest.(check bool) "source first" true (Point.equal pins.(0) (p 1.0 0.0))
+
+let test_group_requires_bits () =
+  Alcotest.check_raises "empty group"
+    (Invalid_argument "Signal.group: a group needs at least one bit") (fun () ->
+      ignore (Signal.group ~name:"g" ~bits:[||]))
+
+let test_design_counts () =
+  let g1 = Signal.group ~name:"a" ~bits:[| bit 1.0; bit 2.0 |] in
+  let g2 = Signal.group ~name:"b" ~bits:[| bit 3.0 |] in
+  let d = Signal.design ~die ~groups:[| g1; g2 |] in
+  Alcotest.(check int) "net count" 3 (Signal.net_count d);
+  Alcotest.(check int) "pin count" 9 (Signal.pin_count d)
+
+let test_design_rejects_outside_pins () =
+  let stray = Signal.bit ~source:(p 50.0 0.0) ~sinks:[| p 1.0 1.0 |] in
+  let g = Signal.group ~name:"bad" ~bits:[| stray |] in
+  try
+    ignore (Signal.design ~die ~groups:[| g |]);
+    Alcotest.fail "expected rejection"
+  with Invalid_argument _ -> ()
+
+let test_group_bbox () =
+  let g = Signal.group ~name:"a" ~bits:[| bit 1.0; bit 4.0 |] in
+  let r = Signal.group_bbox g in
+  Alcotest.(check (float 1e-9)) "xmin" 1.0 r.Rect.xmin;
+  Alcotest.(check (float 1e-9)) "xmax" 4.0 r.Rect.xmax;
+  Alcotest.(check (float 1e-9)) "ymax" 2.0 r.Rect.ymax
+
+(* --- hypernet --- *)
+
+let hp ?(sources = 0) x y count =
+  { Hypernet.center = p x y; pin_count = count; source_count = sources }
+
+let test_hypernet_root_selection () =
+  let pins = [| hp 0.0 0.0 3; hp ~sources:2 1.0 0.0 4; hp ~sources:1 2.0 0.0 2 |] in
+  let h = Hypernet.make ~id:0 ~group:0 ~bits:8 ~pins in
+  Alcotest.(check int) "root is max-driver pin" 1 h.Hypernet.root
+
+let test_hypernet_centers_root_first () =
+  let pins = [| hp 0.0 0.0 1; hp ~sources:1 1.0 0.0 1; hp 2.0 0.0 1 |] in
+  let h = Hypernet.make ~id:0 ~group:0 ~bits:4 ~pins in
+  let centers = Hypernet.centers h in
+  Alcotest.(check bool) "root first" true (Point.equal centers.(0) (p 1.0 0.0));
+  Alcotest.(check int) "all present" 3 (Array.length centers);
+  (* remaining centers are the non-root ones, order preserved *)
+  Alcotest.(check bool) "second" true (Point.equal centers.(1) (p 0.0 0.0));
+  Alcotest.(check bool) "third" true (Point.equal centers.(2) (p 2.0 0.0))
+
+let test_hypernet_invalid () =
+  Alcotest.check_raises "no pins" (Invalid_argument "Hypernet.make: no hyper pins")
+    (fun () -> ignore (Hypernet.make ~id:0 ~group:0 ~bits:1 ~pins:[||]));
+  Alcotest.check_raises "no bits"
+    (Invalid_argument "Hypernet.make: non-positive bit count") (fun () ->
+      ignore (Hypernet.make ~id:0 ~group:0 ~bits:0 ~pins:[| hp 0.0 0.0 1 |]))
+
+let test_hypernet_bbox_trivial () =
+  let h1 = Hypernet.make ~id:0 ~group:0 ~bits:1 ~pins:[| hp ~sources:1 1.0 2.0 1 |] in
+  Alcotest.(check bool) "trivial" true (Hypernet.is_trivial h1);
+  let h2 =
+    Hypernet.make ~id:1 ~group:0 ~bits:1
+      ~pins:[| hp ~sources:1 0.0 0.0 1; hp 3.0 4.0 1 |]
+  in
+  Alcotest.(check bool) "not trivial" false (Hypernet.is_trivial h2);
+  let bbox = Hypernet.bbox h2 in
+  Alcotest.(check (float 1e-9)) "bbox xmax" 3.0 bbox.Rect.xmax;
+  Alcotest.(check int) "pin count" 2 (Hypernet.pin_count h2)
+
+let () =
+  Alcotest.run "signal"
+    [ ( "signal",
+        [ Alcotest.test_case "bit requires sink" `Quick test_bit_requires_sink;
+          Alcotest.test_case "bit pins" `Quick test_bit_pins;
+          Alcotest.test_case "group requires bits" `Quick test_group_requires_bits;
+          Alcotest.test_case "design counts" `Quick test_design_counts;
+          Alcotest.test_case "outside pins rejected" `Quick test_design_rejects_outside_pins;
+          Alcotest.test_case "group bbox" `Quick test_group_bbox ] );
+      ( "hypernet",
+        [ Alcotest.test_case "root selection" `Quick test_hypernet_root_selection;
+          Alcotest.test_case "centers root first" `Quick test_hypernet_centers_root_first;
+          Alcotest.test_case "invalid" `Quick test_hypernet_invalid;
+          Alcotest.test_case "bbox/trivial" `Quick test_hypernet_bbox_trivial ] ) ]

@@ -1,0 +1,74 @@
+(* Tests for the post-route loss signoff: physical route lengths, real
+   waveguide crossing counts, and the estimate-vs-physical comparison. *)
+
+open Operon_util
+open Operon_optical
+open Operon
+open Operon_benchgen
+
+let params = Params.default
+
+let signoff_of_flow (r : Flow.t) =
+  Signoff.run r.Flow.ctx.Selection.params r.Flow.ctx r.Flow.choice r.Flow.placement
+    r.Flow.assignment
+
+let test_signoff_small_flow () =
+  let design = Cases.small ~seed:3 () in
+  let r = Flow.run ~mode:Flow.Lr (Prng.create 42) params design in
+  let s = signoff_of_flow r in
+  Alcotest.(check bool) "checked some nets" true (s.Signoff.nets_checked > 0);
+  Alcotest.(check bool) "paths >= nets" true
+    (s.Signoff.paths_checked >= s.Signoff.nets_checked);
+  Alcotest.(check bool) "detour >= 1" true (s.Signoff.mean_detour_ratio >= 1.0 -. 1e-9);
+  Alcotest.(check bool) "worst loss positive" true (s.Signoff.worst_loss_db > 0.0)
+
+let test_signoff_counts_crossings () =
+  let design = Gen.generate { Cases.i1 with Gen.n_groups = 80 } in
+  let r = Flow.run ~mode:Flow.Lr (Prng.create 42) params design in
+  let s = signoff_of_flow r in
+  (* a corridor design with both H and V traffic has physical crossings *)
+  Alcotest.(check bool) "waveguides cross" true (s.Signoff.waveguide_crossings >= 0);
+  Alcotest.(check bool) "physical crossing loss tracked" true
+    (s.Signoff.mean_physical_crossing_db >= 0.0);
+  Alcotest.(check bool) "estimated crossing loss tracked" true
+    (s.Signoff.mean_estimated_crossing_db >= 0.0)
+
+let test_signoff_no_optical_nets () =
+  (* a design so tight-budgeted everything is electrical: nothing to check *)
+  let tight = { params with Params.l_max = 0.01 } in
+  let design = Cases.tiny () in
+  let r = Flow.run ~mode:Flow.Lr (Prng.create 42) tight design in
+  let s = signoff_of_flow r in
+  Alcotest.(check int) "no optical nets" 0 s.Signoff.nets_checked;
+  Alcotest.(check int) "no paths" 0 s.Signoff.paths_checked;
+  Alcotest.(check int) "no violations" 0 s.Signoff.violations
+
+let test_signoff_deterministic () =
+  let design = Cases.small ~seed:9 () in
+  let r1 = Flow.run ~mode:Flow.Lr (Prng.create 42) params design in
+  let r2 = Flow.run ~mode:Flow.Lr (Prng.create 42) params design in
+  let s1 = signoff_of_flow r1 and s2 = signoff_of_flow r2 in
+  Alcotest.(check (float 1e-9)) "same worst loss" s1.Signoff.worst_loss_db
+    s2.Signoff.worst_loss_db;
+  Alcotest.(check int) "same crossings" s1.Signoff.waveguide_crossings
+    s2.Signoff.waveguide_crossings
+
+let prop_signoff_sane =
+  QCheck.Test.make ~name:"signoff invariants across seeds" ~count:8
+    QCheck.(int_range 0 1000)
+    (fun seed ->
+      let design = Cases.small ~seed () in
+      let r = Flow.run ~mode:Flow.Lr (Prng.create seed) params design in
+      let s = signoff_of_flow r in
+      s.Signoff.mean_detour_ratio >= 1.0 -. 1e-9
+      && s.Signoff.violations <= s.Signoff.paths_checked
+      && s.Signoff.worst_loss_db >= 0.0)
+
+let () =
+  Alcotest.run "signoff"
+    [ ( "signoff",
+        [ Alcotest.test_case "small flow" `Quick test_signoff_small_flow;
+          Alcotest.test_case "crossing counts" `Quick test_signoff_counts_crossings;
+          Alcotest.test_case "all electrical" `Quick test_signoff_no_optical_nets;
+          Alcotest.test_case "deterministic" `Quick test_signoff_deterministic;
+          QCheck_alcotest.to_alcotest prop_signoff_sane ] ) ]

@@ -1,0 +1,273 @@
+(* Tests for the LP/ILP solver substrate: simplex on textbook programs,
+   infeasible/unbounded detection, and branch-and-bound against exhaustive
+   enumeration on random 0/1 programs. *)
+
+open Operon_solver
+
+let check_float = Alcotest.(check (float 1e-6))
+
+(* --- lp model --- *)
+
+let test_lp_model () =
+  let m = Lp.create ~nvars:3 in
+  Lp.set_objective m 0 2.0;
+  Alcotest.(check (float 0.0)) "objective coeff" 2.0 (Lp.objective_coeff m 0);
+  Lp.add_constraint m [ (0, 1.0); (1, 1.0) ] Lp.Le 4.0;
+  Alcotest.(check int) "rows" 1 (Lp.constraint_count m);
+  check_float "eval" 2.0 (Lp.eval_objective m [| 1.0; 0.0; 0.0 |]);
+  Alcotest.(check bool) "feasible" true (Lp.feasible m [| 1.0; 3.0; 0.0 |]);
+  Alcotest.(check bool) "infeasible" false (Lp.feasible m [| 3.0; 3.0; 0.0 |]);
+  Alcotest.(check bool) "negative var" false (Lp.feasible m [| -1.0; 0.0; 0.0 |])
+
+let test_lp_invalid_var () =
+  let m = Lp.create ~nvars:2 in
+  Alcotest.check_raises "out of range" (Invalid_argument "Lp: variable out of range")
+    (fun () -> Lp.add_constraint m [ (5, 1.0) ] Lp.Le 1.0)
+
+(* --- simplex --- *)
+
+(* max 3x + 5y st x<=4, 2y<=12, 3x+2y<=18  => minimize -(3x+5y), optimum
+   x=2,y=6, objective -36. The classic Dantzig example. *)
+let test_simplex_classic () =
+  let m = Lp.create ~nvars:2 in
+  Lp.set_objective m 0 (-3.0);
+  Lp.set_objective m 1 (-5.0);
+  Lp.add_constraint m [ (0, 1.0) ] Lp.Le 4.0;
+  Lp.add_constraint m [ (1, 2.0) ] Lp.Le 12.0;
+  Lp.add_constraint m [ (0, 3.0); (1, 2.0) ] Lp.Le 18.0;
+  match Simplex.solve m with
+  | Simplex.Optimal { objective; solution } ->
+      check_float "objective" (-36.0) objective;
+      check_float "x" 2.0 solution.(0);
+      check_float "y" 6.0 solution.(1)
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_simplex_equality () =
+  (* min x + 2y st x + y = 3, x <= 1 => x=1, y=2, obj 5 *)
+  let m = Lp.create ~nvars:2 in
+  Lp.set_objective m 0 1.0;
+  Lp.set_objective m 1 2.0;
+  Lp.add_constraint m [ (0, 1.0); (1, 1.0) ] Lp.Eq 3.0;
+  Lp.add_constraint m [ (0, 1.0) ] Lp.Le 1.0;
+  match Simplex.solve m with
+  | Simplex.Optimal { objective; _ } -> check_float "objective" 5.0 objective
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_simplex_ge () =
+  (* min 2x + 3y st x + y >= 4, x <= 3 => y >= 1; optimum x=3,y=1 obj 9 *)
+  let m = Lp.create ~nvars:2 in
+  Lp.set_objective m 0 2.0;
+  Lp.set_objective m 1 3.0;
+  Lp.add_constraint m [ (0, 1.0); (1, 1.0) ] Lp.Ge 4.0;
+  Lp.add_constraint m [ (0, 1.0) ] Lp.Le 3.0;
+  match Simplex.solve m with
+  | Simplex.Optimal { objective; _ } -> check_float "objective" 9.0 objective
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_simplex_infeasible () =
+  let m = Lp.create ~nvars:1 in
+  Lp.add_constraint m [ (0, 1.0) ] Lp.Ge 5.0;
+  Lp.add_constraint m [ (0, 1.0) ] Lp.Le 2.0;
+  Alcotest.(check bool) "infeasible" true (Simplex.solve m = Simplex.Infeasible)
+
+let test_simplex_unbounded () =
+  let m = Lp.create ~nvars:1 in
+  Lp.set_objective m 0 (-1.0);
+  Lp.add_constraint m [ (0, 1.0) ] Lp.Ge 0.0;
+  Alcotest.(check bool) "unbounded" true (Simplex.solve m = Simplex.Unbounded)
+
+let test_simplex_no_constraints () =
+  let m = Lp.create ~nvars:2 in
+  Lp.set_objective m 0 1.0;
+  (match Simplex.solve m with
+   | Simplex.Optimal { objective; _ } -> check_float "zero" 0.0 objective
+   | _ -> Alcotest.fail "expected optimal");
+  Lp.set_objective m 1 (-1.0);
+  Alcotest.(check bool) "unbounded down" true (Simplex.solve m = Simplex.Unbounded)
+
+let test_simplex_negative_rhs () =
+  (* min x st -x <= -2  (i.e. x >= 2) *)
+  let m = Lp.create ~nvars:1 in
+  Lp.set_objective m 0 1.0;
+  Lp.add_constraint m [ (0, -1.0) ] Lp.Le (-2.0);
+  match Simplex.solve m with
+  | Simplex.Optimal { objective; _ } -> check_float "x=2" 2.0 objective
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_simplex_degenerate () =
+  (* Degenerate vertex should still terminate (anti-cycling). *)
+  let m = Lp.create ~nvars:2 in
+  Lp.set_objective m 0 (-1.0);
+  Lp.set_objective m 1 (-1.0);
+  Lp.add_constraint m [ (0, 1.0); (1, 1.0) ] Lp.Le 1.0;
+  Lp.add_constraint m [ (0, 1.0) ] Lp.Le 1.0;
+  Lp.add_constraint m [ (1, 1.0) ] Lp.Le 1.0;
+  Lp.add_constraint m [ (0, 1.0); (1, -1.0) ] Lp.Le 0.0;
+  match Simplex.solve m with
+  | Simplex.Optimal { objective; _ } -> check_float "objective" (-1.0) objective
+  | _ -> Alcotest.fail "expected optimal"
+
+(* --- ilp --- *)
+
+(* Knapsack-flavoured: min -(5a + 4b + 3c) st 2a + 3b + c <= 4, binary.
+   Optimum a=1,c=1 -> -8 (b would exceed the budget). *)
+let test_ilp_knapsack () =
+  let m = Lp.create ~nvars:3 in
+  Lp.set_objective m 0 (-5.0);
+  Lp.set_objective m 1 (-4.0);
+  Lp.set_objective m 2 (-3.0);
+  Lp.add_constraint m [ (0, 2.0); (1, 3.0); (2, 1.0) ] Lp.Le 4.0;
+  match Ilp.solve m ~binary:[ 0; 1; 2 ] with
+  | Ilp.Proven { objective; values }, _ ->
+      check_float "objective" (-8.0) objective;
+      check_float "a" 1.0 values.(0);
+      check_float "b" 0.0 values.(1);
+      check_float "c" 1.0 values.(2)
+  | _ -> Alcotest.fail "expected proven optimum"
+
+let test_ilp_integrality_gap () =
+  (* LP relaxation would take fractional x=y=0.5; ILP must pick one. *)
+  let m = Lp.create ~nvars:2 in
+  Lp.set_objective m 0 (-1.0);
+  Lp.set_objective m 1 (-1.0);
+  Lp.add_constraint m [ (0, 2.0); (1, 2.0) ] Lp.Le 2.1;
+  match Ilp.solve m ~binary:[ 0; 1 ] with
+  | Ilp.Proven { objective; _ }, _ -> check_float "one selected" (-1.0) objective
+  | _ -> Alcotest.fail "expected proven"
+
+let test_ilp_infeasible () =
+  let m = Lp.create ~nvars:2 in
+  Lp.add_constraint m [ (0, 1.0); (1, 1.0) ] Lp.Ge 3.0;
+  (* binaries sum to at most 2 *)
+  match Ilp.solve m ~binary:[ 0; 1 ] with
+  | Ilp.No_solution, _ -> ()
+  | _ -> Alcotest.fail "expected no solution"
+
+let test_ilp_incumbent_respected () =
+  let m = Lp.create ~nvars:1 in
+  Lp.set_objective m 0 1.0;
+  let incumbent = { Ilp.objective = 0.0; values = [| 0.0 |] } in
+  match Ilp.solve ~incumbent m ~binary:[ 0 ] with
+  | Ilp.Proven { objective; _ }, _ -> check_float "keeps 0" 0.0 objective
+  | _ -> Alcotest.fail "expected proven"
+
+let test_ilp_budget_expiry () =
+  (* An already-expired budget returns the incumbent as Best. *)
+  let m = Lp.create ~nvars:2 in
+  Lp.set_objective m 0 (-1.0);
+  Lp.set_objective m 1 (-1.0);
+  Lp.add_constraint m [ (0, 1.0); (1, 1.0) ] Lp.Le 1.0;
+  let budget = Operon_util.Timer.budget 1e-9 in
+  Unix.sleepf 0.01;
+  let incumbent = { Ilp.objective = 0.0; values = [| 0.0; 0.0 |] } in
+  match Ilp.solve ~budget ~incumbent m ~binary:[ 0; 1 ] with
+  | Ilp.Best { objective; _ }, _ -> check_float "incumbent" 0.0 objective
+  | Ilp.Proven _, _ -> Alcotest.fail "should not have had time to prove"
+  | _ -> Alcotest.fail "expected Best"
+
+(* Exhaustive cross-check on random small 0/1 programs. *)
+let brute_force nvars objective rows =
+  let best = ref None in
+  for mask = 0 to (1 lsl nvars) - 1 do
+    let x = Array.init nvars (fun v -> if mask land (1 lsl v) <> 0 then 1.0 else 0.0) in
+    let ok =
+      List.for_all
+        (fun (coeffs, rhs) ->
+          List.fold_left (fun acc (v, c) -> acc +. (c *. x.(v))) 0.0 coeffs <= rhs +. 1e-9)
+        rows
+    in
+    if ok then begin
+      let obj = Array.fold_left ( +. ) 0.0 (Array.mapi (fun v xv -> objective.(v) *. xv) x) in
+      match !best with
+      | Some b when b <= obj -> ()
+      | _ -> best := Some obj
+    end
+  done;
+  !best
+
+let prop_ilp_matches_brute_force =
+  let gen =
+    QCheck.Gen.(
+      int_range 2 6 >>= fun nvars ->
+      array_size (return nvars) (float_range (-5.0) 5.0) >>= fun objective ->
+      list_size (int_range 0 4)
+        (pair
+           (list_size (int_range 1 nvars)
+              (pair (int_range 0 (nvars - 1)) (float_range (-3.0) 3.0)))
+           (float_range 0.0 5.0))
+      >|= fun rows -> (nvars, objective, rows))
+  in
+  QCheck.Test.make ~name:"ilp matches brute force" ~count:150
+    (QCheck.make ~print:(fun (n, _, rows) -> Printf.sprintf "n=%d rows=%d" n (List.length rows)) gen)
+    (fun (nvars, objective, rows) ->
+      let m = Lp.create ~nvars in
+      Array.iteri (fun v c -> Lp.set_objective m v c) objective;
+      List.iter (fun (coeffs, rhs) -> Lp.add_constraint m coeffs Lp.Le rhs) rows;
+      let expected = brute_force nvars objective rows in
+      match (Ilp.solve m ~binary:(List.init nvars Fun.id), expected) with
+      | (Ilp.Proven { objective = got; _ }, _), Some want -> Float.abs (got -. want) < 1e-5
+      | (Ilp.No_solution, _), None -> true
+      | _ -> false)
+
+(* Rebuild a model with explicit x <= 1 rows so the plain simplex solves
+   the same relaxation B&B uses internally. *)
+let with_bounds m nvars =
+  let relax = Lp.create ~nvars in
+  for v = 0 to nvars - 1 do
+    Lp.set_objective relax v (Lp.objective_coeff m v);
+    Lp.add_constraint relax [ (v, 1.0) ] Lp.Le 1.0
+  done;
+  List.iter (fun r -> Lp.add_constraint relax r.Lp.coeffs r.Lp.rel r.Lp.rhs) (Lp.constraints m);
+  relax
+
+let prop_simplex_below_ilp =
+  (* LP relaxation is a valid lower bound for the 0/1 program. *)
+  let gen =
+    QCheck.Gen.(
+      int_range 2 5 >>= fun nvars ->
+      array_size (return nvars) (float_range 0.0 5.0) >>= fun objective ->
+      list_size (int_range 1 3)
+        (pair
+           (list_size (int_range 1 nvars)
+              (pair (int_range 0 (nvars - 1)) (float_range 0.5 3.0)))
+           (float_range 1.0 5.0))
+      >|= fun rows -> (nvars, objective, rows))
+  in
+  QCheck.Test.make ~name:"lp relaxation bounds ilp" ~count:100
+    (QCheck.make ~print:(fun (n, _, _) -> string_of_int n) gen)
+    (fun (nvars, objective, rows) ->
+      let m = Lp.create ~nvars in
+      Array.iteri (fun v c -> Lp.set_objective m v c) objective;
+      (* force at least one selection so the problem is not trivially 0 *)
+      Lp.add_constraint m (List.init nvars (fun v -> (v, 1.0))) Lp.Ge 1.0;
+      List.iter (fun (coeffs, rhs) -> Lp.add_constraint m coeffs Lp.Le rhs) rows;
+      let relax = with_bounds m nvars in
+      match (Simplex.solve relax, Ilp.solve m ~binary:(List.init nvars Fun.id)) with
+      | Simplex.Optimal { objective = lp; _ }, (Ilp.Proven { objective = ip; _ }, _) ->
+          lp <= ip +. 1e-6
+      | Simplex.Infeasible, (Ilp.No_solution, _) -> true
+      | _, (Ilp.No_solution, _) -> true
+      | _ -> false)
+
+let () =
+  Alcotest.run "solver"
+    [ ( "lp",
+        [ Alcotest.test_case "model" `Quick test_lp_model;
+          Alcotest.test_case "invalid var" `Quick test_lp_invalid_var ] );
+      ( "simplex",
+        [ Alcotest.test_case "classic" `Quick test_simplex_classic;
+          Alcotest.test_case "equality" `Quick test_simplex_equality;
+          Alcotest.test_case "ge rows" `Quick test_simplex_ge;
+          Alcotest.test_case "infeasible" `Quick test_simplex_infeasible;
+          Alcotest.test_case "unbounded" `Quick test_simplex_unbounded;
+          Alcotest.test_case "no constraints" `Quick test_simplex_no_constraints;
+          Alcotest.test_case "negative rhs" `Quick test_simplex_negative_rhs;
+          Alcotest.test_case "degenerate" `Quick test_simplex_degenerate ] );
+      ( "ilp",
+        [ Alcotest.test_case "knapsack" `Quick test_ilp_knapsack;
+          Alcotest.test_case "integrality gap" `Quick test_ilp_integrality_gap;
+          Alcotest.test_case "infeasible" `Quick test_ilp_infeasible;
+          Alcotest.test_case "incumbent" `Quick test_ilp_incumbent_respected;
+          Alcotest.test_case "budget expiry" `Quick test_ilp_budget_expiry;
+          QCheck_alcotest.to_alcotest prop_ilp_matches_brute_force;
+          QCheck_alcotest.to_alcotest prop_simplex_below_ilp ] ) ]

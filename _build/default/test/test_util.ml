@@ -1,0 +1,178 @@
+(* Unit and property tests for the util substrate: PRNG determinism and
+   distribution sanity, statistics helpers, timing budgets. *)
+
+open Operon_util
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let test_prng_deterministic () =
+  let a = Prng.create 42 and b = Prng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.bits64 a) (Prng.bits64 b)
+  done
+
+let test_prng_seed_sensitivity () =
+  let a = Prng.create 1 and b = Prng.create 2 in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if Prng.bits64 a <> Prng.bits64 b then differs := true
+  done;
+  Alcotest.(check bool) "different seeds diverge" true !differs
+
+let test_prng_copy_independent () =
+  let a = Prng.create 7 in
+  let b = Prng.copy a in
+  let va = Prng.bits64 a in
+  let vb = Prng.bits64 b in
+  Alcotest.(check int64) "copy continues identically" va vb;
+  ignore (Prng.bits64 a);
+  (* advancing a further must not touch b *)
+  let b' = Prng.copy b in
+  Alcotest.(check int64) "copy isolated" (Prng.bits64 b) (Prng.bits64 b')
+
+let test_prng_split_diverges () =
+  let parent = Prng.create 3 in
+  let child = Prng.split parent in
+  let same = ref 0 in
+  for _ = 1 to 20 do
+    if Prng.bits64 parent = Prng.bits64 child then incr same
+  done;
+  Alcotest.(check bool) "split streams differ" true (!same < 3)
+
+let test_prng_int_bounds () =
+  let g = Prng.create 5 in
+  for _ = 1 to 1000 do
+    let v = Prng.int g 17 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 17)
+  done
+
+let test_prng_int_invalid () =
+  let g = Prng.create 5 in
+  Alcotest.check_raises "bound 0" (Invalid_argument "Prng.int: bound must be positive")
+    (fun () -> ignore (Prng.int g 0))
+
+let test_prng_float_bounds () =
+  let g = Prng.create 9 in
+  for _ = 1 to 1000 do
+    let v = Prng.float g 2.5 in
+    Alcotest.(check bool) "in range" true (v >= 0.0 && v < 2.5)
+  done
+
+let test_prng_float_range () =
+  let g = Prng.create 9 in
+  for _ = 1 to 100 do
+    let v = Prng.float_range g (-3.0) (-1.0) in
+    Alcotest.(check bool) "in range" true (v >= -3.0 && v < -1.0)
+  done
+
+let test_prng_gaussian_moments () =
+  let g = Prng.create 11 in
+  let n = 20000 in
+  let samples = Array.init n (fun _ -> Prng.gaussian g ~mu:5.0 ~sigma:2.0) in
+  let m = Stats.mean samples in
+  let s = Stats.stddev samples in
+  Alcotest.(check bool) "mean near 5" true (Float.abs (m -. 5.0) < 0.1);
+  Alcotest.(check bool) "stddev near 2" true (Float.abs (s -. 2.0) < 0.1)
+
+let test_prng_shuffle_permutes () =
+  let g = Prng.create 13 in
+  let a = Array.init 50 Fun.id in
+  Prng.shuffle g a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "same multiset" (Array.init 50 Fun.id) sorted
+
+let test_stats_mean_empty () = check_float "empty mean" 0.0 (Stats.mean [||])
+
+let test_stats_basic () =
+  let a = [| 1.0; 2.0; 3.0; 4.0 |] in
+  check_float "mean" 2.5 (Stats.mean a);
+  check_float "variance" 1.25 (Stats.variance a);
+  check_float "sum" 10.0 (Stats.sum a);
+  let lo, hi = Stats.min_max a in
+  check_float "min" 1.0 lo;
+  check_float "max" 4.0 hi
+
+let test_stats_median () =
+  check_float "odd" 3.0 (Stats.median [| 5.0; 1.0; 3.0 |]);
+  check_float "even" 2.5 (Stats.median [| 4.0; 1.0; 2.0; 3.0 |])
+
+let test_stats_percentile () =
+  let a = [| 10.0; 20.0; 30.0; 40.0; 50.0 |] in
+  check_float "p0" 10.0 (Stats.percentile a 0.0);
+  check_float "p100" 50.0 (Stats.percentile a 100.0);
+  check_float "p50" 30.0 (Stats.percentile a 50.0);
+  check_float "p25" 20.0 (Stats.percentile a 25.0)
+
+let test_stats_normalize () =
+  let a = Stats.normalize [| 2.0; 4.0; 1.0 |] in
+  check_float "peak is 1" 1.0 a.(1);
+  check_float "half" 0.5 a.(0);
+  let z = Stats.normalize [| 0.0; 0.0 |] in
+  check_float "all-zero stays zero" 0.0 z.(0)
+
+let test_timer_budget () =
+  let b = Timer.budget 100.0 in
+  Alcotest.(check bool) "not expired" false (Timer.expired b);
+  Alcotest.(check bool) "remaining positive" true (Timer.remaining b > 0.0);
+  let unlimited = Timer.budget 0.0 in
+  Alcotest.(check bool) "unlimited never expires" false (Timer.expired unlimited);
+  check_float "unlimited remaining" infinity (Timer.remaining unlimited)
+
+let test_timer_time () =
+  let v, dt = Timer.time (fun () -> 42) in
+  Alcotest.(check int) "result" 42 v;
+  Alcotest.(check bool) "non-negative elapsed" true (dt >= 0.0)
+
+(* Property: Kahan sum matches naive sum on well-conditioned inputs. *)
+let prop_sum_matches =
+  QCheck.Test.make ~name:"stats sum matches fold" ~count:200
+    QCheck.(array (float_bound_exclusive 1000.0))
+    (fun a ->
+      let naive = Array.fold_left ( +. ) 0.0 a in
+      Float.abs (Stats.sum a -. naive) <= 1e-6 *. Float.max 1.0 (Float.abs naive))
+
+let prop_percentile_monotone =
+  QCheck.Test.make ~name:"percentile monotone in p" ~count:200
+    QCheck.(pair (array_of_size Gen.(int_range 1 50) (float_bound_exclusive 100.0))
+              (pair (float_bound_inclusive 100.0) (float_bound_inclusive 100.0)))
+    (fun (a, (p1, p2)) ->
+      let lo = Float.min p1 p2 and hi = Float.max p1 p2 in
+      Stats.percentile a lo <= Stats.percentile a hi +. 1e-9)
+
+let prop_int_uniformish =
+  QCheck.Test.make ~name:"prng int covers range" ~count:20
+    QCheck.(int_range 2 20)
+    (fun bound ->
+      let g = Prng.create bound in
+      let seen = Array.make bound false in
+      for _ = 1 to bound * 200 do
+        seen.(Prng.int g bound) <- true
+      done;
+      Array.for_all Fun.id seen)
+
+let () =
+  Alcotest.run "util"
+    [ ( "prng",
+        [ Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_prng_seed_sensitivity;
+          Alcotest.test_case "copy independent" `Quick test_prng_copy_independent;
+          Alcotest.test_case "split diverges" `Quick test_prng_split_diverges;
+          Alcotest.test_case "int bounds" `Quick test_prng_int_bounds;
+          Alcotest.test_case "int invalid" `Quick test_prng_int_invalid;
+          Alcotest.test_case "float bounds" `Quick test_prng_float_bounds;
+          Alcotest.test_case "float range" `Quick test_prng_float_range;
+          Alcotest.test_case "gaussian moments" `Slow test_prng_gaussian_moments;
+          Alcotest.test_case "shuffle permutes" `Quick test_prng_shuffle_permutes;
+          QCheck_alcotest.to_alcotest prop_int_uniformish ] );
+      ( "stats",
+        [ Alcotest.test_case "mean empty" `Quick test_stats_mean_empty;
+          Alcotest.test_case "basic" `Quick test_stats_basic;
+          Alcotest.test_case "median" `Quick test_stats_median;
+          Alcotest.test_case "percentile" `Quick test_stats_percentile;
+          Alcotest.test_case "normalize" `Quick test_stats_normalize;
+          QCheck_alcotest.to_alcotest prop_sum_matches;
+          QCheck_alcotest.to_alcotest prop_percentile_monotone ] );
+      ( "timer",
+        [ Alcotest.test_case "budget" `Quick test_timer_budget;
+          Alcotest.test_case "time" `Quick test_timer_time ] ) ]
