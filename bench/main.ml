@@ -16,6 +16,7 @@ open Operon_util
 open Operon_optical
 open Operon
 open Operon_benchgen
+open Operon_engine
 
 let params = Params.default
 
@@ -40,17 +41,25 @@ type table1_row = {
   ilp_timed_out : bool;
   p_lr : float;
   cpu_lr : float;
+  prep_sink : Instrument.sink;  (** processing/baselines/codesign stages *)
+  lr_sink : Instrument.sink;  (** select/wdm/assign under LR *)
+  ilp_sink : Instrument.sink;  (** select/wdm/assign under ILP *)
 }
 
 let run_case spec =
   let design = Gen.generate spec in
   let p_elec = Baseline.electrical_power params design in
-  let hnets, ctx = Flow.prepare (Prng.create 42) params design in
+  let prep_sink = Instrument.create () in
+  let hnets, ctx = Flow.prepare ~sink:prep_sink (Prng.create 42) params design in
   let adjusted = ctx.Selection.params in
   let nets, hn, hp = Processing.stats hnets in
   let glow = Baseline.glow adjusted hnets in
-  let lr = Flow.run_prepared ~mode:Flow.Lr params design hnets ctx in
-  let ilp = Flow.run_prepared ~mode:Flow.Ilp ~ilp_budget params design hnets ctx in
+  let lr_sink = Instrument.create () in
+  let lr = Flow.run_prepared ~mode:Flow.Lr ~sink:lr_sink params design hnets ctx in
+  let ilp_sink = Instrument.create () in
+  let ilp =
+    Flow.run_prepared ~mode:Flow.Ilp ~ilp_budget ~sink:ilp_sink params design hnets ctx
+  in
   let ilp_r = Option.get ilp.Flow.ilp in
   { name = spec.Gen.name;
     nets;
@@ -62,7 +71,72 @@ let run_case spec =
     cpu_ilp = ilp.Flow.select_seconds;
     ilp_timed_out = ilp_r.Ilp_select.timed_out > 0;
     p_lr = lr.Flow.power;
-    cpu_lr = lr.Flow.select_seconds }
+    cpu_lr = lr.Flow.select_seconds;
+    prep_sink;
+    lr_sink;
+    ilp_sink }
+
+(* ------------------------------------------------------------------ *)
+(* Machine-readable results (bench/results/latest.json)               *)
+(* ------------------------------------------------------------------ *)
+
+let results_dir = Filename.concat "bench" "results"
+
+let rec ensure_dir path =
+  if not (Sys.file_exists path) then begin
+    ensure_dir (Filename.dirname path);
+    (try Unix.mkdir path 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ())
+  end
+
+let stage_seconds sink stage = Instrument.seconds sink stage
+
+let write_results rows =
+  let jf = Printf.sprintf "%.6f" in
+  let case_json r =
+    Printf.sprintf
+      {|    {"name":"%s","nets":%d,"hnets":%d,"hpins":%d,
+     "power":{"electrical":%s,"glow":%s,"operon_ilp":%s,"operon_lr":%s},
+     "cpu":{"ilp_select":%s,"lr_select":%s,"ilp_timed_out":%b},
+     "stages":{"prepare":%s,"lr":%s,"ilp":%s}}|}
+      r.name r.nets r.hnets r.hpins (jf r.p_elec) (jf r.p_glow) (jf r.p_ilp)
+      (jf r.p_lr) (jf r.cpu_ilp) (jf r.cpu_lr) r.ilp_timed_out
+      (Export.trace_to_json r.prep_sink)
+      (Export.trace_to_json r.lr_sink)
+      (Export.trace_to_json r.ilp_sink)
+  in
+  let json =
+    Printf.sprintf "{\n  \"ilp_budget\": %s,\n  \"cases\": [\n%s\n  ]\n}\n"
+      (jf ilp_budget)
+      (String.concat ",\n" (List.map case_json rows))
+  in
+  ensure_dir results_dir;
+  let path = Filename.concat results_dir "latest.json" in
+  Export.write_file path json;
+  Printf.printf "wrote %s (%d bytes)\n\n%!" path (String.length json)
+
+let stage_timing_table rows =
+  print_endline "=== per-stage wall-clock seconds (candidate stages shared by both engines) ===";
+  let cell s = Printf.sprintf "%.3f" s in
+  let render r =
+    [ r.name;
+      cell (stage_seconds r.prep_sink Instrument.Processing);
+      cell (stage_seconds r.prep_sink Instrument.Baselines);
+      cell (stage_seconds r.prep_sink Instrument.Codesign);
+      cell (stage_seconds r.lr_sink Instrument.Select);
+      cell (stage_seconds r.ilp_sink Instrument.Select);
+      cell (stage_seconds r.lr_sink Instrument.Wdm);
+      cell (stage_seconds r.lr_sink Instrument.Assign) ]
+  in
+  print_endline
+    (Report.table
+       ~headers:
+         [ "Bench"; "processing"; "baselines"; "codesign"; "select(LR)";
+           "select(ILP)"; "wdm"; "assign" ]
+       ~align:
+         [ Report.Left; Report.Right; Report.Right; Report.Right; Report.Right;
+           Report.Right; Report.Right; Report.Right ]
+       (List.map render rows));
+  print_endline ""
 
 let table1 () =
   print_endline "=== Table 1: Performance Comparisons among Different Designs ===";
@@ -98,7 +172,9 @@ let table1 () =
            Report.Right; Report.Right; Report.Right; Report.Right; Report.Right ]
        (List.map render_row rows @ [ avg_row; ratio_row ]));
   Printf.printf
-    "\npaper reference ratios (vs Optical): electrical 3.565, ILP 0.860, LR 0.889\n\n%!"
+    "\npaper reference ratios (vs Optical): electrical 3.565, ILP 0.860, LR 0.889\n\n%!";
+  stage_timing_table rows;
+  write_results rows
 
 (* ------------------------------------------------------------------ *)
 (* Fig. 3(b)                                                          *)

@@ -36,6 +36,30 @@ let budget_arg =
   let doc = "ILP wall-clock budget in seconds." in
   Arg.(value & opt float 60.0 & info [ "ilp-budget" ] ~docv:"SECONDS" ~doc)
 
+let jobs_arg =
+  let doc =
+    "Worker domains for the per-hypernet candidate generation (1 = \
+     sequential; 0 = one per core). Results are bit-identical to \
+     sequential runs."
+  in
+  Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
+let trace_arg =
+  let doc = "Print the per-stage wall-clock/counter report of the pipeline." in
+  Arg.(value & flag & info [ "trace" ] ~doc)
+
+let make_runctx params mode budget jobs =
+  let jobs = if jobs = 0 then Operon_util.Executor.default_jobs () else jobs in
+  let config =
+    { Operon_engine.Runctx.params; mode; ilp_budget = budget;
+      max_cands_per_net = 10; jobs }
+  in
+  Operon_engine.Runctx.create ~seed:42 config
+
+let print_trace result =
+  print_endline
+    (Report.stage_table ~title:"pipeline stages" result.Flow.trace)
+
 let with_design name seed f =
   match design_of_case name seed with
   | None ->
@@ -44,11 +68,11 @@ let with_design name seed f =
   | Some design -> f design
 
 let run_cmd =
-  let run case seed mode budget =
+  let run case seed mode budget jobs trace =
     with_design case seed (fun design ->
         let params = Operon_optical.Params.default in
-        let rng = Operon_util.Prng.create 42 in
-        let result = Flow.run ~mode ~ilp_budget:budget rng params design in
+        let rc = make_runctx params mode budget jobs in
+        let result = Flow.run_ctx rc design in
         let nets, hnets, hpins = Processing.stats result.Flow.hnets in
         Printf.printf "case %s: #Net=%d #HNet=%d #HPin=%d\n" case nets hnets hpins;
         Printf.printf "electrical baseline power: %.2f\n"
@@ -87,10 +111,12 @@ let run_cmd =
           "signoff: %d paths, worst loss %.2f dB, %d violations, detour x%.2f, \
            %d waveguide crossings\n"
           s.Signoff.paths_checked s.Signoff.worst_loss_db s.Signoff.violations
-          s.Signoff.mean_detour_ratio s.Signoff.waveguide_crossings)
+          s.Signoff.mean_detour_ratio s.Signoff.waveguide_crossings;
+        if trace then print_trace result)
   in
   let doc = "Run the full OPERON flow on a case." in
-  Cmd.v (Cmd.info "run" ~doc) Term.(const run $ case_arg $ seed_arg $ mode_arg $ budget_arg)
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(const run $ case_arg $ seed_arg $ mode_arg $ budget_arg $ jobs_arg $ trace_arg)
 
 let stats_cmd =
   let run case seed =
@@ -124,31 +150,33 @@ let splitter_cmd =
   Cmd.v (Cmd.info "splitter" ~doc) Term.(const run $ stages_arg)
 
 let wdm_cmd =
-  let run case seed =
+  let run case seed jobs trace =
     with_design case seed (fun design ->
         let params = Operon_optical.Params.default in
-        let rng = Operon_util.Prng.create 42 in
-        let result = Flow.run ~mode:Flow.Lr rng params design in
+        let rc = make_runctx params Flow.Lr 60.0 jobs in
+        let result = Flow.run_ctx rc design in
         let a = result.Flow.assignment in
         Printf.printf "connections:   %d\n" (Array.length result.Flow.placement.Wdm_place.conns);
         Printf.printf "initial WDMs:  %d\n" a.Assign.initial_count;
         Printf.printf "final WDMs:    %d\n" a.Assign.final_count;
         Printf.printf "reduction:     %.1f%%\n" (100.0 *. Assign.reduction_ratio a);
-        Printf.printf "displacement:  %.4f cm-bits\n" a.Assign.displacement_cost)
+        Printf.printf "displacement:  %.4f cm-bits\n" a.Assign.displacement_cost;
+        if trace then print_trace result)
   in
   let doc = "WDM placement and network-flow assignment summary (Fig. 8)." in
-  Cmd.v (Cmd.info "wdm" ~doc) Term.(const run $ case_arg $ seed_arg)
+  Cmd.v (Cmd.info "wdm" ~doc)
+    Term.(const run $ case_arg $ seed_arg $ jobs_arg $ trace_arg)
 
 let export_cmd =
   let out_arg =
     let doc = "Output file (default: stdout)." in
     Arg.(value & opt (some string) None & info [ "output"; "o" ] ~docv:"FILE" ~doc)
   in
-  let run case seed mode budget out =
+  let run case seed mode budget jobs out =
     with_design case seed (fun design ->
         let params = Operon_optical.Params.default in
-        let rng = Operon_util.Prng.create 42 in
-        let result = Flow.run ~mode ~ilp_budget:budget rng params design in
+        let rc = make_runctx params mode budget jobs in
+        let result = Flow.run_ctx rc design in
         let conns = result.Flow.placement.Wdm_place.conns in
         let plan =
           Channels.assign result.Flow.ctx.Selection.params conns result.Flow.assignment
@@ -162,14 +190,14 @@ let export_cmd =
   in
   let doc = "Run the flow and export the synthesized design as JSON." in
   Cmd.v (Cmd.info "export" ~doc)
-    Term.(const run $ case_arg $ seed_arg $ mode_arg $ budget_arg $ out_arg)
+    Term.(const run $ case_arg $ seed_arg $ mode_arg $ budget_arg $ jobs_arg $ out_arg)
 
 let timing_cmd =
-  let run case seed mode budget =
+  let run case seed mode budget jobs =
     with_design case seed (fun design ->
         let params = Operon_optical.Params.default in
-        let rng = Operon_util.Prng.create 42 in
-        let result = Flow.run ~mode ~ilp_budget:budget rng params design in
+        let rc = make_runctx params mode budget jobs in
+        let result = Flow.run_ctx rc design in
         let d = Operon_optical.Delay.default in
         let sel = Timing.selection d result.Flow.ctx result.Flow.choice in
         let reference = Timing.electrical_reference d result.Flow.ctx in
@@ -186,7 +214,7 @@ let timing_cmd =
   in
   let doc = "Delay analysis of the synthesized routes (extension)." in
   Cmd.v (Cmd.info "timing" ~doc)
-    Term.(const run $ case_arg $ seed_arg $ mode_arg $ budget_arg)
+    Term.(const run $ case_arg $ seed_arg $ mode_arg $ budget_arg $ jobs_arg)
 
 let () =
   let doc = "OPERON: optical-electrical power-efficient route synthesis" in

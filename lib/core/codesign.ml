@@ -27,6 +27,11 @@ let partial_dominates a b =
   a.psum <= b.psum && a.branch_max <= b.branch_max && a.n_o <= b.n_o
   && ((not a.has_e) || b.has_e)
 
+(* First [n] elements in one traversal — no List.length/List.filteri
+   quadratic rescan of the (possibly long) sorted list. *)
+let rec take n l =
+  if n <= 0 then [] else match l with [] -> [] | x :: tl -> x :: take (n - 1) tl
+
 (* Keep a Pareto frontier, then cap the list size by ascending score. *)
 let prune_generic dominates score cap items =
   let kept =
@@ -43,8 +48,7 @@ let prune_generic dominates score cap items =
       [] kept
   in
   let sorted = List.sort (fun a b -> Float.compare (score a) (score b)) deduped in
-  if List.length sorted <= cap then sorted
-  else List.filteri (fun i _ -> i < cap) sorted
+  take cap sorted
 
 let state_score s = Float.min s.pow_e s.pow_o
 
@@ -180,12 +184,14 @@ let label_key (c : Candidate.t) =
   Buffer.add_string buf (Printf.sprintf ":%0.6f" (Topology.length Topology.L2 c.topo));
   Buffer.contents buf
 
-let for_hypernet ?(max_cands = 16) ?(max_total = 10) ?(crossing_est = fun _ -> 0)
-    params hnet =
+type gen_stats = { raw : int; deduped : int; kept : int }
+
+let for_hypernet_stats ?(max_cands = 16) ?(max_total = 10)
+    ?(crossing_est = fun _ -> 0) params hnet =
   let terminals = Hypernet.centers hnet in
   if Array.length terminals <= 1 then begin
     let topo = Bi1s.mst_tree Topology.L2 terminals ~root:0 in
-    [ Candidate.electrical params hnet topo ]
+    ([ Candidate.electrical params hnet topo ], { raw = 1; deduped = 1; kept = 1 })
   end
   else begin
     let baselines = Bi1s.baselines terminals ~root:0 in
@@ -228,9 +234,18 @@ let for_hypernet ?(max_cands = 16) ?(max_total = 10) ?(crossing_est = fun _ -> 0
             | _ -> Some c)
         None sorted
     in
-    let truncated = List.filteri (fun i _ -> i < max_total) sorted in
+    let truncated = take max_total sorted in
     (* Guarantee the electrical fallback survives truncation. *)
-    match best_electrical with
-    | Some e when not (List.memq e truncated) -> truncated @ [ e ]
-    | _ -> truncated
+    let kept =
+      match best_electrical with
+      | Some e when not (List.memq e truncated) -> truncated @ [ e ]
+      | _ -> truncated
+    in
+    ( kept,
+      { raw = List.length all;
+        deduped = List.length uniq;
+        kept = List.length kept } )
   end
+
+let for_hypernet ?max_cands ?max_total ?crossing_est params hnet =
+  fst (for_hypernet_stats ?max_cands ?max_total ?crossing_est params hnet)

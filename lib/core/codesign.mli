@@ -51,6 +51,22 @@ val for_hypernet :
     truncated to [max_total] (default 10) keeping the cheapest; the best
     pure-electrical candidate is always retained (Formula (3)'s [a_ie]). *)
 
+type gen_stats = {
+  raw : int;  (** candidates materialized across all baselines *)
+  deduped : int;  (** after identical-labelling dedup *)
+  kept : int;  (** after the [max_total] truncation *)
+}
+
+val for_hypernet_stats :
+  ?max_cands:int ->
+  ?max_total:int ->
+  ?crossing_est:(Segment.t -> int) ->
+  Params.t ->
+  Hypernet.t ->
+  Candidate.t list * gen_stats
+(** {!for_hypernet} plus generation/prune counters for the pipeline's
+    instrumentation sink. *)
+
 val dp_power_of : Candidate.t -> float
 (** The power the DP bookkeeping assigns to a materialized candidate —
     exposed for cross-checking against {!Candidate.of_labels} in tests. *)

@@ -72,6 +72,20 @@ let jtrack (t : Wdm.track) =
       ("capacity", string_of_int t.Wdm.capacity);
       ("used", string_of_int t.Wdm.used) ]
 
+let trace_to_json sink =
+  let open Operon_engine in
+  jlist
+    (Instrument.records sink
+    |> List.map (fun (r : Instrument.record) ->
+           jobj
+             [ ("stage", jstr (Instrument.stage_name r.Instrument.stage));
+               ("seconds", jfloat r.Instrument.seconds);
+               ( "counters",
+                 jobj
+                   (List.map
+                      (fun (k, v) -> (k, string_of_int v))
+                      (Instrument.counters r)) ) ]))
+
 let flow_to_json ?channels (r : Flow.t) =
   let die = r.Flow.design.Signal.die in
   let design =
@@ -134,7 +148,8 @@ let flow_to_json ?channels (r : Flow.t) =
       ("power", jfloat r.Flow.power);
       ("hypernets", jlist hypernets);
       ("routes", jlist routes);
-      ("wdm", wdm) ]
+      ("wdm", wdm);
+      ("trace", trace_to_json r.Flow.trace) ]
   in
   let with_channels =
     match channels with

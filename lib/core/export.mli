@@ -8,7 +8,12 @@
 
 val flow_to_json : ?channels:Channels.plan -> Flow.t -> string
 (** The full result as a JSON object with fields [design], [hypernets],
-    [routes], [wdm] and optionally [channels]. *)
+    [routes], [wdm], [trace] and optionally [channels]. *)
+
+val trace_to_json : Operon_engine.Instrument.sink -> string
+(** Instrumentation sink as a JSON array of per-stage records
+    ([stage], [seconds], [counters]) — also reused by the bench
+    harness's machine-readable results file. *)
 
 val write_file : string -> string -> unit
 (** [write_file path contents] — convenience used by the CLI. *)

@@ -1,6 +1,8 @@
+open Operon_util
 open Operon_steiner
+open Operon_engine
 
-type mode = Ilp | Lr
+type mode = Runctx.mode = Ilp | Lr
 
 type t = {
   design : Signal.design;
@@ -14,68 +16,187 @@ type t = {
   lr : Lr_select.result option;
   placement : Wdm_place.placement;
   assignment : Assign.result;
+  trace : Instrument.sink;
 }
 
-let prepare ?processing ?(max_cands_per_net = 10) rng params design =
-  let hnets = Processing.run ?config:processing rng params design in
-  (* Crossing loss is bundled by the design's expected waveguide channel
-     occupancy; the adjusted parameters travel inside the ctx. *)
-  let params =
-    let nets, hn, _ = Processing.stats hnets in
-    if hn = 0 then params
-    else
-      Operon_optical.Params.auto_bundle params
-        ~mean_bits:(float_of_int nets /. float_of_int hn)
-  in
-  (* Optical baseline segments of every hyper net feed the crossing
-     estimator used while pruning the co-design DP. *)
-  let baseline_segments =
-    Array.to_list hnets
-    |> List.concat_map (fun hnet ->
-           let terminals = Hypernet.centers hnet in
-           if Array.length terminals <= 1 then []
-           else
-             let topo = Bi1s.build Topology.L2 terminals ~root:0 in
-             Array.to_list (Topology.segments topo)
-             |> List.map (fun s -> (hnet.Hypernet.id, s)))
-    |> Array.of_list
-  in
-  let index = Crossing.build_index ~die:design.Signal.die baseline_segments in
-  let cand_lists =
-    Array.map
-      (fun hnet ->
-        let crossing_est = Crossing.estimator index ~net:hnet.Hypernet.id in
-        Codesign.for_hypernet ~max_total:max_cands_per_net ~crossing_est params hnet)
-      hnets
-  in
-  (hnets, Selection.make_ctx params cand_lists)
+(* ------------------------------------------------------------------ *)
+(* The six pipeline stages (paper Figure 2).                          *)
+(* ------------------------------------------------------------------ *)
 
-let run_prepared ?(mode = Lr) ?(ilp_budget = 3000.0) params design hnets ctx =
-  let (choice, select_seconds, ilp, lr) =
-    match mode with
-    | Ilp ->
-        let r = Ilp_select.select ~budget_seconds:ilp_budget ctx in
-        (r.Ilp_select.choice, r.Ilp_select.elapsed, Some r, None)
-    | Lr ->
-        let r = Lr_select.select ctx in
-        (r.Lr_select.choice, r.Lr_select.elapsed, None, Some r)
-  in
-  let conns = Wdm_place.connections_of_selection ctx choice in
-  let placement = Wdm_place.place params conns in
-  ignore (Wdm_place.legalize params placement.Wdm_place.tracks);
-  let assignment = Assign.run params placement in
-  { design;
-    hnets;
-    ctx;
-    mode;
-    choice;
-    power = Selection.power ctx choice;
-    select_seconds;
-    ilp;
-    lr;
-    placement;
-    assignment }
+let stage_processing processing =
+  Pipeline.stage Instrument.Processing (fun rc design ->
+      let params = rc.Runctx.config.Runctx.params in
+      let hnets = Processing.run ?config:processing rc.Runctx.rng params design in
+      let nets, hn, hpins = Processing.stats hnets in
+      (* Crossing loss is bundled by the design's expected waveguide channel
+         occupancy; the adjusted parameters travel inside the ctx. *)
+      let params =
+        if hn = 0 then params
+        else
+          Operon_optical.Params.auto_bundle params
+            ~mean_bits:(float_of_int nets /. float_of_int hn)
+      in
+      let sink = rc.Runctx.sink in
+      Instrument.incr sink Instrument.Processing "nets" nets;
+      Instrument.incr sink Instrument.Processing "hnets" hn;
+      Instrument.incr sink Instrument.Processing "hpins" hpins;
+      (design, params, hnets))
 
-let run ?processing ?max_cands_per_net ?mode ?ilp_budget rng params design =
-  let hnets, ctx = prepare ?processing ?max_cands_per_net rng params design in
-  run_prepared ?mode ?ilp_budget params design hnets ctx
+(* Optical baseline segments of every hyper net feed the crossing
+   estimator used while pruning the co-design DP. One task per net;
+   the executor preserves net order, so the concatenated segment array —
+   and hence the crossing index — is identical whichever backend ran it. *)
+let stage_baselines =
+  Pipeline.stage Instrument.Baselines (fun rc (design, params, hnets) ->
+      let per_net =
+        Executor.parallel_map rc.Runctx.exec
+          (fun hnet ->
+            let terminals = Hypernet.centers hnet in
+            if Array.length terminals <= 1 then [||]
+            else
+              let topo = Bi1s.build Topology.L2 terminals ~root:0 in
+              Array.map (fun s -> (hnet.Hypernet.id, s)) (Topology.segments topo))
+          hnets
+      in
+      let segments = Array.concat (Array.to_list per_net) in
+      Instrument.incr rc.Runctx.sink Instrument.Baselines "segments"
+        (Array.length segments);
+      let index = Crossing.build_index ~die:design.Signal.die segments in
+      (design, params, hnets, index))
+
+let stage_codesign =
+  Pipeline.stage Instrument.Codesign (fun rc (design, params, hnets, index) ->
+      let max_total = rc.Runctx.config.Runctx.max_cands_per_net in
+      (* Per-net PRNG streams, split off in net-id order *before* the
+         fan-out. Any randomized decision a per-net task ever makes must
+         draw from its own stream, never from [rc.rng], so that results
+         cannot depend on domain scheduling. Today's DP kernels are fully
+         deterministic and retire the stream unused; the split discipline
+         is the contract parallel candidate generation relies on. *)
+      let net_rngs = Array.map (fun _ -> Prng.split rc.Runctx.rng) hnets in
+      let results =
+        Executor.parallel_mapi rc.Runctx.exec
+          (fun i hnet ->
+            let _net_rng = net_rngs.(i) in
+            let crossing_est = Crossing.estimator index ~net:hnet.Hypernet.id in
+            Codesign.for_hypernet_stats ~max_total ~crossing_est params hnet)
+          hnets
+      in
+      (* Merge counters on the coordinator, in net-id order. *)
+      let sink = rc.Runctx.sink in
+      Array.iter
+        (fun (_, s) ->
+          Instrument.incr sink Instrument.Codesign "raw" s.Codesign.raw;
+          Instrument.incr sink Instrument.Codesign "kept" s.Codesign.kept;
+          Instrument.incr sink Instrument.Codesign "pruned"
+            (s.Codesign.raw - s.Codesign.kept))
+        results;
+      let ctx = Selection.make_ctx params (Array.map fst results) in
+      (design, hnets, ctx))
+
+type selected = {
+  s_design : Signal.design;
+  s_hnets : Hypernet.t array;
+  s_ctx : Selection.ctx;
+  s_choice : int array;
+  s_seconds : float;
+  s_ilp : Ilp_select.result option;
+  s_lr : Lr_select.result option;
+}
+
+let stage_select =
+  Pipeline.stage Instrument.Select (fun rc (design, hnets, ctx) ->
+      let cfg = rc.Runctx.config in
+      let sink = rc.Runctx.sink in
+      let choice, seconds, ilp, lr =
+        match cfg.Runctx.mode with
+        | Ilp ->
+            let r = Ilp_select.select ~budget_seconds:cfg.Runctx.ilp_budget ctx in
+            Instrument.incr sink Instrument.Select "components" r.Ilp_select.components;
+            Instrument.incr sink Instrument.Select "timed_out" r.Ilp_select.timed_out;
+            Instrument.incr sink Instrument.Select "nodes" r.Ilp_select.nodes;
+            (r.Ilp_select.choice, r.Ilp_select.elapsed, Some r, None)
+        | Lr ->
+            let r = Lr_select.select ctx in
+            Instrument.incr sink Instrument.Select "iterations" r.Lr_select.iterations;
+            Instrument.incr sink Instrument.Select "demoted" r.Lr_select.demoted;
+            (r.Lr_select.choice, r.Lr_select.elapsed, None, Some r)
+      in
+      { s_design = design; s_hnets = hnets; s_ctx = ctx; s_choice = choice;
+        s_seconds = seconds; s_ilp = ilp; s_lr = lr })
+
+let stage_wdm =
+  Pipeline.stage Instrument.Wdm (fun rc sel ->
+      let params = sel.s_ctx.Selection.params in
+      let conns = Wdm_place.connections_of_selection sel.s_ctx sel.s_choice in
+      let placement = Wdm_place.place params conns in
+      ignore (Wdm_place.legalize params placement.Wdm_place.tracks);
+      let sink = rc.Runctx.sink in
+      Instrument.incr sink Instrument.Wdm "connections" (Array.length conns);
+      Instrument.incr sink Instrument.Wdm "tracks"
+        (Array.length placement.Wdm_place.tracks);
+      (sel, placement))
+
+let stage_assign =
+  Pipeline.stage Instrument.Assign (fun rc (sel, placement) ->
+      let params = sel.s_ctx.Selection.params in
+      let assignment = Assign.run params placement in
+      let sink = rc.Runctx.sink in
+      Instrument.incr sink Instrument.Assign "initial" assignment.Assign.initial_count;
+      Instrument.incr sink Instrument.Assign "final" assignment.Assign.final_count;
+      { design = sel.s_design;
+        hnets = sel.s_hnets;
+        ctx = sel.s_ctx;
+        mode = rc.Runctx.config.Runctx.mode;
+        choice = sel.s_choice;
+        power = Selection.power sel.s_ctx sel.s_choice;
+        select_seconds = sel.s_seconds;
+        ilp = sel.s_ilp;
+        lr = sel.s_lr;
+        placement;
+        assignment;
+        trace = sink })
+
+let prepare_pipeline processing =
+  Pipeline.(stage_processing processing >>> stage_baselines >>> stage_codesign)
+
+let select_pipeline = Pipeline.(stage_select >>> stage_wdm >>> stage_assign)
+
+let full_pipeline processing = Pipeline.(prepare_pipeline processing >>> select_pipeline)
+
+(* ------------------------------------------------------------------ *)
+(* Entry points.                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let run_ctx ?processing rc design = Pipeline.run rc (full_pipeline processing) design
+
+let sink_or_fresh = function Some s -> s | None -> Instrument.create ()
+
+let prepare ?processing ?(max_cands_per_net = 10) ?(exec = Executor.sequential)
+    ?sink rng params design =
+  let config =
+    { (Runctx.default_config params) with
+      Runctx.max_cands_per_net;
+      jobs = Executor.jobs exec }
+  in
+  let rc = { Runctx.config; rng; exec; sink = sink_or_fresh sink } in
+  let _, hnets, ctx = Pipeline.run rc (prepare_pipeline processing) design in
+  (hnets, ctx)
+
+let run_prepared ?(mode = Lr) ?(ilp_budget = 3000.0) ?sink params design hnets ctx =
+  (* Selection and the WDM stages draw no randomness; the context's PRNG
+     only feeds the (already finished) processing stage. *)
+  let config = { (Runctx.default_config params) with Runctx.mode; ilp_budget } in
+  let rc =
+    { Runctx.config; rng = Prng.create 0; exec = Executor.sequential;
+      sink = sink_or_fresh sink }
+  in
+  Pipeline.run rc select_pipeline (design, hnets, ctx)
+
+let run ?processing ?(max_cands_per_net = 10) ?(mode = Lr) ?(ilp_budget = 3000.0)
+    ?(exec = Executor.sequential) ?sink rng params design =
+  let config =
+    { Runctx.params; mode; ilp_budget; max_cands_per_net; jobs = Executor.jobs exec }
+  in
+  let rc = { Runctx.config; rng; exec; sink = sink_or_fresh sink } in
+  run_ctx ?processing rc design

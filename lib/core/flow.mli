@@ -1,13 +1,24 @@
-(** End-to-end OPERON flow (paper Figure 2).
+(** End-to-end OPERON flow (paper Figure 2), as a staged pipeline.
 
     signal processing -> baseline generation -> co-design candidates ->
     candidate selection (ILP or LR) -> WDM placement -> network-flow
-    assignment. *)
+    assignment.
+
+    Each arrow is an {!Operon_engine.Pipeline} stage threading one
+    {!Operon_engine.Runctx.t}: the run-context carries the configuration
+    (parameters, mode, budgets, worker count), the deterministic PRNG,
+    the {!Operon_util.Executor.t} parallel backend, and the
+    {!Operon_engine.Instrument} sink every stage reports wall-clock and
+    counters into. The per-hypernet baseline and co-design work fans out
+    on the executor; results are merged in net-id order and each net owns
+    a pre-split PRNG stream, so runs are bit-identical whatever [jobs]
+    setting executed them. *)
 
 open Operon_util
 open Operon_optical
+open Operon_engine
 
-type mode = Ilp | Lr
+type mode = Runctx.mode = Ilp | Lr
 
 type t = {
   design : Signal.design;
@@ -21,24 +32,36 @@ type t = {
   lr : Lr_select.result option;  (** present when [mode = Lr] *)
   placement : Wdm_place.placement;
   assignment : Assign.result;
+  trace : Instrument.sink;  (** per-stage seconds and counters *)
 }
+
+val run_ctx : ?processing:Processing.config -> Runctx.t -> Signal.design -> t
+(** The whole pipeline under an explicit run-context — what the CLI's
+    [--jobs]/[--trace] path uses. The context's sink accumulates the
+    stage report returned in [trace]. *)
 
 val prepare :
   ?processing:Processing.config ->
   ?max_cands_per_net:int ->
+  ?exec:Executor.t ->
+  ?sink:Instrument.sink ->
   Prng.t ->
   Params.t ->
   Signal.design ->
   Hypernet.t array * Selection.ctx
 (** Processing plus candidate generation: hyper nets, then co-design
     candidates for each (crossing estimates taken against the other nets'
-    optical baselines). *)
+    optical baselines). [exec] parallelizes the per-net work (default
+    sequential); [sink] collects stage timings (default: a fresh sink
+    that is dropped). *)
 
 val run :
   ?processing:Processing.config ->
   ?max_cands_per_net:int ->
   ?mode:mode ->
   ?ilp_budget:float ->
+  ?exec:Executor.t ->
+  ?sink:Instrument.sink ->
   Prng.t ->
   Params.t ->
   Signal.design ->
@@ -50,6 +73,7 @@ val run :
 val run_prepared :
   ?mode:mode ->
   ?ilp_budget:float ->
+  ?sink:Instrument.sink ->
   Params.t ->
   Signal.design ->
   Hypernet.t array ->

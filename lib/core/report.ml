@@ -64,3 +64,23 @@ let ratio_cell x base =
 
 let seconds_cell ?(cap = infinity) v =
   if v >= cap then Printf.sprintf "> %.0f" cap else Printf.sprintf "%.1f" v
+
+let stage_table ?title sink =
+  let open Operon_engine in
+  let rows =
+    Instrument.records sink
+    |> List.map (fun (r : Instrument.record) ->
+           [ Instrument.stage_name r.Instrument.stage;
+             Printf.sprintf "%.3f" r.Instrument.seconds;
+             String.concat "  "
+               (List.map
+                  (fun (k, v) -> Printf.sprintf "%s=%d" k v)
+                  (Instrument.counters r)) ])
+  in
+  let total =
+    [ "total"; Printf.sprintf "%.3f" (Instrument.total_seconds sink); "" ]
+  in
+  table ?title
+    ~headers:[ "stage"; "seconds"; "counters" ]
+    ~align:[ Left; Right; Left ]
+    (rows @ [ total ])

@@ -17,3 +17,7 @@ val ratio_cell : float -> float -> string
 val seconds_cell : ?cap:float -> float -> string
 (** Runtime cell; values at or above [cap] print as "> cap" like the
     paper's ">3000" entries. *)
+
+val stage_table : ?title:string -> Operon_engine.Instrument.sink -> string
+(** Render a pipeline instrumentation sink as the per-stage
+    seconds/counters table the CLI prints under [--trace]. *)

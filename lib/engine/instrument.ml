@@ -1,0 +1,70 @@
+type stage = Processing | Baselines | Codesign | Select | Wdm | Assign
+
+let all_stages = [ Processing; Baselines; Codesign; Select; Wdm; Assign ]
+
+let stage_name = function
+  | Processing -> "processing"
+  | Baselines -> "baselines"
+  | Codesign -> "codesign"
+  | Select -> "select"
+  | Wdm -> "wdm"
+  | Assign -> "assign"
+
+type record = {
+  stage : stage;
+  mutable seconds : float;
+  mutable counters : (string * int) list;  (* newest-first internally *)
+}
+
+type sink = { mutable records : record list (* newest-first *) }
+
+let create () = { records = [] }
+
+let find_or_add sink stage =
+  match List.find_opt (fun r -> r.stage = stage) sink.records with
+  | Some r -> r
+  | None ->
+      let r = { stage; seconds = 0.0; counters = [] } in
+      sink.records <- r :: sink.records;
+      r
+
+let add_seconds sink stage s =
+  let r = find_or_add sink stage in
+  r.seconds <- r.seconds +. s
+
+let incr sink stage key n =
+  let r = find_or_add sink stage in
+  match List.assoc_opt key r.counters with
+  | Some _ ->
+      r.counters <-
+        List.map (fun (k, x) -> if k = key then (k, x + n) else (k, x)) r.counters
+  | None -> r.counters <- (key, n) :: r.counters
+
+let timed sink stage f =
+  let result, dt = Operon_util.Timer.time f in
+  add_seconds sink stage dt;
+  result
+
+let records sink = List.rev sink.records
+
+let counters r = List.rev r.counters
+
+let seconds sink stage =
+  match List.find_opt (fun r -> r.stage = stage) sink.records with
+  | Some r -> r.seconds
+  | None -> 0.0
+
+let counter sink stage key =
+  match List.find_opt (fun r -> r.stage = stage) sink.records with
+  | Some r -> ( match List.assoc_opt key r.counters with Some v -> v | None -> 0)
+  | None -> 0
+
+let total_seconds sink =
+  List.fold_left (fun acc r -> acc +. r.seconds) 0.0 sink.records
+
+let merge ~into src =
+  List.iter
+    (fun r ->
+      add_seconds into r.stage r.seconds;
+      List.iter (fun (k, v) -> incr into r.stage k v) (counters r))
+    (records src)

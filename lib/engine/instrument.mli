@@ -1,0 +1,61 @@
+(** Instrumentation sink threaded through the staged pipeline.
+
+    Each flow stage reports wall-clock seconds and named integer counters
+    (candidates generated, states pruned, selection iterations, WDM track
+    counts, ...) into the run-context's sink. The sink is what [--trace]
+    renders and what the bench harness serializes.
+
+    The sink is plain mutable state owned by the coordinating domain: it
+    is {e not} domain-safe. Parallel stages accumulate their counts on the
+    coordinator after the fan-out completes (the executor merges results
+    in input order first), so recording stays deterministic. *)
+
+type stage = Processing | Baselines | Codesign | Select | Wdm | Assign
+(** The six pipeline stages of the OPERON flow (paper Figure 2): signal
+    processing, BI1S baseline generation, co-design DP candidates,
+    candidate selection, WDM sweep placement, network-flow assignment. *)
+
+val all_stages : stage list
+(** In pipeline order. *)
+
+val stage_name : stage -> string
+
+type record = {
+  stage : stage;
+  mutable seconds : float;
+  mutable counters : (string * int) list;
+}
+
+type sink
+
+val create : unit -> sink
+(** A fresh, empty sink. *)
+
+val timed : sink -> stage -> (unit -> 'a) -> 'a
+(** [timed sink stage f] runs [f] and charges its wall-clock time to
+    [stage]. Repeated calls accumulate. *)
+
+val add_seconds : sink -> stage -> float -> unit
+
+val incr : sink -> stage -> string -> int -> unit
+(** [incr sink stage key n] adds [n] to the [key] counter of [stage],
+    creating it at 0 first. *)
+
+val records : sink -> record list
+(** Records in first-touched order — pipeline order when stages ran in
+    pipeline order. *)
+
+val counters : record -> (string * int) list
+(** Counters in first-touched order. *)
+
+val seconds : sink -> stage -> float
+(** Accumulated seconds of a stage (0 if it never ran). *)
+
+val counter : sink -> stage -> string -> int
+(** Counter value (0 if absent). *)
+
+val total_seconds : sink -> float
+
+val merge : into:sink -> sink -> unit
+(** Fold one sink's seconds and counters into another — used when a
+    sub-flow ran with its own sink. *)

@@ -1,0 +1,7 @@
+type ('a, 'b) t = Runctx.t -> 'a -> 'b
+
+let stage label f rc x = Instrument.timed rc.Runctx.sink label (fun () -> f rc x)
+
+let ( >>> ) p q rc x = q rc (p rc x)
+
+let run rc p x = p rc x

@@ -1,0 +1,20 @@
+(** Typed staged-pipeline combinators.
+
+    A pipeline is a composition of stages, each tagged with the
+    {!Instrument.stage} it reports as. Running a pipeline threads one
+    {!Runctx.t} through every stage and charges each stage's wall-clock
+    time to the context's sink automatically — a stage body never touches
+    the timer itself. [Flow] assembles the six OPERON stages with
+    [(>>>)]; future subsystems plug in the same way. *)
+
+type ('a, 'b) t
+(** A pipeline from ['a] to ['b]. *)
+
+val stage : Instrument.stage -> (Runctx.t -> 'a -> 'b) -> ('a, 'b) t
+(** [stage label f] lifts [f] into a timed pipeline stage. Counters are
+    reported by [f] itself via [rc.sink]. *)
+
+val ( >>> ) : ('a, 'b) t -> ('b, 'c) t -> ('a, 'c) t
+(** Left-to-right composition. *)
+
+val run : Runctx.t -> ('a, 'b) t -> 'a -> 'b

@@ -1,0 +1,28 @@
+open Operon_util
+open Operon_optical
+
+type mode = Ilp | Lr
+
+let mode_name = function Ilp -> "ilp" | Lr -> "lr"
+
+type config = {
+  params : Params.t;
+  mode : mode;
+  ilp_budget : float;
+  max_cands_per_net : int;
+  jobs : int;
+}
+
+let default_config params =
+  { params; mode = Lr; ilp_budget = 3000.0; max_cands_per_net = 10; jobs = 1 }
+
+type t = {
+  config : config;
+  rng : Prng.t;
+  exec : Executor.t;
+  sink : Instrument.sink;
+}
+
+let create ?rng ?(seed = 42) config =
+  let rng = match rng with Some r -> r | None -> Prng.create seed in
+  { config; rng; exec = Executor.create ~jobs:config.jobs; sink = Instrument.create () }

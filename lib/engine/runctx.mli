@@ -1,0 +1,41 @@
+(** The run-context threaded through every pipeline stage.
+
+    One value carries everything a stage may consult: the immutable
+    {!config} (optical parameters, selection mode, solver budgets,
+    candidate caps, worker count), the deterministic PRNG the run was
+    seeded with, the {!Operon_util.Executor.t} parallel backend, and the
+    {!Instrument.sink} the stage reports into. Later scaling work
+    (sharding, caching, async) extends this record rather than adding
+    parameters to every stage signature. *)
+
+open Operon_util
+open Operon_optical
+
+type mode = Ilp | Lr
+(** Candidate-selection engine: exact ILP or Lagrangian relaxation. *)
+
+val mode_name : mode -> string
+
+type config = {
+  params : Params.t;  (** optical device/loss parameters *)
+  mode : mode;
+  ilp_budget : float;  (** ILP wall-clock cap, seconds *)
+  max_cands_per_net : int;  (** co-design candidates kept per hyper net *)
+  jobs : int;  (** executor workers; 1 = sequential *)
+}
+
+val default_config : Params.t -> config
+(** LR mode, 3000 s ILP budget (the paper's cap), 10 candidates per net,
+    sequential execution. *)
+
+type t = {
+  config : config;
+  rng : Prng.t;
+  exec : Executor.t;
+  sink : Instrument.sink;
+}
+
+val create : ?rng:Prng.t -> ?seed:int -> config -> t
+(** Fresh context: an executor built from [config.jobs] and an empty
+    sink. The PRNG is [rng] when given, else [Prng.create seed]
+    ([seed] defaults to 42, the repo-wide reproducibility seed). *)

@@ -1,0 +1,205 @@
+(* Staged pipeline engine: Domain-pool executor semantics (order
+   preservation, exception propagation) and the headline determinism
+   guarantee — a parallel run is bit-identical to a sequential one. *)
+
+open Operon_util
+open Operon_optical
+open Operon
+open Operon_benchgen
+open Operon_engine
+
+(* ------------------------------------------------------------------ *)
+(* Executor unit tests                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_executor_jobs () =
+  Alcotest.(check int) "sequential" 1 (Executor.jobs Executor.sequential);
+  Alcotest.(check int) "jobs<=1 degrades" 1 (Executor.jobs (Executor.create ~jobs:1));
+  Alcotest.(check int) "pool" 4 (Executor.jobs (Executor.create ~jobs:4));
+  Alcotest.(check bool) "default jobs positive" true (Executor.default_jobs () > 0)
+
+let test_executor_order () =
+  let exec = Executor.create ~jobs:4 in
+  let xs = Array.init 200 (fun i -> i) in
+  (* Uneven task sizes so domains genuinely interleave. *)
+  let f i =
+    if i mod 7 = 0 then Unix.sleepf 0.002;
+    (i * i) + 1
+  in
+  Alcotest.(check (array int)) "matches sequential map" (Array.map f xs)
+    (Executor.parallel_map exec f xs)
+
+let test_executor_mapi () =
+  let exec = Executor.create ~jobs:3 in
+  let xs = Array.init 50 (fun i -> 2 * i) in
+  Alcotest.(check (array int)) "index-aware"
+    (Array.mapi (fun i x -> i + x) xs)
+    (Executor.parallel_mapi exec (fun i x -> i + x) xs)
+
+let test_executor_empty_and_singleton () =
+  let exec = Executor.create ~jobs:8 in
+  Alcotest.(check (array int)) "empty" [||]
+    (Executor.parallel_map exec (fun x -> x) [||]);
+  Alcotest.(check (array int)) "singleton" [| 9 |]
+    (Executor.parallel_map exec (fun x -> x * 3) [| 3 |]);
+  Alcotest.(check (array int)) "more jobs than work" [| 2; 4 |]
+    (Executor.parallel_map exec (fun x -> 2 * x) [| 1; 2 |])
+
+let test_executor_exception_propagates () =
+  let exec = Executor.create ~jobs:4 in
+  let xs = Array.init 64 (fun i -> i) in
+  Alcotest.check_raises "task failure re-raised" (Failure "boom at 37")
+    (fun () ->
+      ignore
+        (Executor.parallel_map exec
+           (fun i -> if i = 37 then failwith "boom at 37" else i)
+           xs))
+
+let test_executor_first_exception_wins () =
+  (* Several tasks fail; the lowest input index must be reported no
+     matter which domain hit its failure first. *)
+  let exec = Executor.create ~jobs:4 in
+  let xs = Array.init 64 (fun i -> i) in
+  for _ = 1 to 5 do
+    Alcotest.check_raises "lowest index deterministic" (Failure "fail 11")
+      (fun () ->
+        ignore
+          (Executor.parallel_map exec
+             (fun i ->
+               if i = 11 then failwith "fail 11"
+               else if i >= 40 then failwith (Printf.sprintf "fail %d" i)
+               else i)
+             xs))
+  done
+
+let test_executor_batch_completes_after_failure () =
+  (* A failing task must not abandon the rest of the batch: every other
+     task still runs (exceptions are collected, then re-raised). *)
+  let exec = Executor.create ~jobs:4 in
+  let ran = Array.make 32 false in
+  (try
+     ignore
+       (Executor.parallel_mapi exec
+          (fun i () ->
+            ran.(i) <- true;
+            if i = 5 then failwith "early")
+          (Array.make 32 ()))
+   with Failure _ -> ());
+  Alcotest.(check bool) "all tasks ran" true (Array.for_all (fun b -> b) ran)
+
+(* ------------------------------------------------------------------ *)
+(* Instrumentation sink                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_sink_accumulates () =
+  let sink = Instrument.create () in
+  Instrument.add_seconds sink Instrument.Codesign 0.25;
+  Instrument.add_seconds sink Instrument.Codesign 0.5;
+  Instrument.incr sink Instrument.Codesign "kept" 3;
+  Instrument.incr sink Instrument.Codesign "kept" 4;
+  Instrument.incr sink Instrument.Select "iterations" 2;
+  Alcotest.(check (float 1e-9)) "seconds accumulate" 0.75
+    (Instrument.seconds sink Instrument.Codesign);
+  Alcotest.(check int) "counters accumulate" 7
+    (Instrument.counter sink Instrument.Codesign "kept");
+  Alcotest.(check int) "absent counter is 0" 0
+    (Instrument.counter sink Instrument.Wdm "anything");
+  Alcotest.(check int) "two stages recorded" 2
+    (List.length (Instrument.records sink));
+  let merged = Instrument.create () in
+  Instrument.merge ~into:merged sink;
+  Instrument.merge ~into:merged sink;
+  Alcotest.(check int) "merge doubles" 14
+    (Instrument.counter merged Instrument.Codesign "kept")
+
+(* ------------------------------------------------------------------ *)
+(* Sequential vs parallel flow determinism                            *)
+(* ------------------------------------------------------------------ *)
+
+let run_with exec design =
+  let params = Params.default in
+  Flow.run ~mode:Flow.Lr ~exec (Prng.create 42) params design
+
+let check_identical name design =
+  let seq = run_with Executor.sequential design in
+  let par = run_with (Executor.create ~jobs:4) design in
+  Alcotest.(check (float 0.0)) (name ^ ": power bit-identical") seq.Flow.power
+    par.Flow.power;
+  Alcotest.(check (array int)) (name ^ ": choice identical") seq.Flow.choice
+    par.Flow.choice;
+  Alcotest.(check int) (name ^ ": initial WDMs")
+    seq.Flow.assignment.Assign.initial_count par.Flow.assignment.Assign.initial_count;
+  Alcotest.(check int) (name ^ ": final WDMs")
+    seq.Flow.assignment.Assign.final_count par.Flow.assignment.Assign.final_count;
+  Alcotest.(check (float 0.0)) (name ^ ": displacement bit-identical")
+    seq.Flow.assignment.Assign.displacement_cost
+    par.Flow.assignment.Assign.displacement_cost;
+  Alcotest.(check bool) (name ^ ": per-connection flows identical") true
+    (seq.Flow.assignment.Assign.flows = par.Flow.assignment.Assign.flows)
+
+let test_flow_small_deterministic () =
+  check_identical "small" (Cases.small ~seed:7 ())
+
+let test_flow_tiny_deterministic () =
+  check_identical "tiny" (Cases.tiny ~seed:3 ())
+
+let test_run_ctx_traces_all_stages () =
+  let design = Cases.tiny () in
+  let config =
+    { (Runctx.default_config Params.default) with Runctx.jobs = 2 }
+  in
+  let rc = Runctx.create ~seed:42 config in
+  let result = Flow.run_ctx rc design in
+  Alcotest.(check bool) "trace is the context sink" true (result.Flow.trace == rc.Runctx.sink);
+  List.iter
+    (fun stage ->
+      Alcotest.(check bool)
+        (Instrument.stage_name stage ^ " recorded")
+        true
+        (List.exists
+           (fun (r : Instrument.record) -> r.Instrument.stage = stage)
+           (Instrument.records rc.Runctx.sink)))
+    Instrument.all_stages;
+  let nets, hn, _ = Processing.stats result.Flow.hnets in
+  Alcotest.(check int) "nets counter" nets
+    (Instrument.counter rc.Runctx.sink Instrument.Processing "nets");
+  Alcotest.(check int) "hnets counter" hn
+    (Instrument.counter rc.Runctx.sink Instrument.Processing "hnets");
+  Alcotest.(check bool) "codesign kept >= hnets" true
+    (Instrument.counter rc.Runctx.sink Instrument.Codesign "kept" >= hn)
+
+let test_prepared_matches_run () =
+  (* The staged entry point and the prepare/run_prepared split agree. *)
+  let design = Cases.tiny () in
+  let params = Params.default in
+  let exec = Executor.create ~jobs:4 in
+  let hnets, ctx = Flow.prepare ~exec (Prng.create 42) params design in
+  let a = Flow.run_prepared ~mode:Flow.Lr params design hnets ctx in
+  let b = run_with Executor.sequential design in
+  Alcotest.(check (float 0.0)) "same power" b.Flow.power a.Flow.power;
+  Alcotest.(check (array int)) "same choice" b.Flow.choice a.Flow.choice
+
+let () =
+  Alcotest.run "pipeline"
+    [ ( "executor",
+        [ Alcotest.test_case "jobs accessor" `Quick test_executor_jobs;
+          Alcotest.test_case "order preserved" `Quick test_executor_order;
+          Alcotest.test_case "mapi" `Quick test_executor_mapi;
+          Alcotest.test_case "empty/singleton" `Quick test_executor_empty_and_singleton;
+          Alcotest.test_case "exception propagates" `Quick
+            test_executor_exception_propagates;
+          Alcotest.test_case "first exception wins" `Quick
+            test_executor_first_exception_wins;
+          Alcotest.test_case "batch completes after failure" `Quick
+            test_executor_batch_completes_after_failure ] );
+      ( "instrument",
+        [ Alcotest.test_case "sink accumulates" `Quick test_sink_accumulates ] );
+      ( "determinism",
+        [ Alcotest.test_case "small: jobs 4 = sequential" `Slow
+            test_flow_small_deterministic;
+          Alcotest.test_case "tiny: jobs 4 = sequential" `Quick
+            test_flow_tiny_deterministic;
+          Alcotest.test_case "run_ctx traces all stages" `Quick
+            test_run_ctx_traces_all_stages;
+          Alcotest.test_case "prepare/run_prepared agree" `Quick
+            test_prepared_matches_run ] ) ]
