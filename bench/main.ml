@@ -44,6 +44,10 @@ type table1_row = {
   prep_sink : Instrument.sink;  (** processing/baselines/codesign stages *)
   lr_sink : Instrument.sink;  (** select/wdm/assign under LR *)
   ilp_sink : Instrument.sink;  (** select/wdm/assign under ILP *)
+  faults : int;  (** degradations across the LR and ILP runs *)
+  quarantined_nets : int;  (** nets on the all-electrical fallback *)
+  lr_degradation : string;  (** Export.degradation_to_json of the LR run *)
+  ilp_degradation : string;  (** same for the ILP run *)
 }
 
 let run_case spec =
@@ -74,7 +78,13 @@ let run_case spec =
     cpu_lr = lr.Flow.select_seconds;
     prep_sink;
     lr_sink;
-    ilp_sink }
+    ilp_sink;
+    faults = List.length lr.Flow.faults + List.length ilp.Flow.faults;
+    quarantined_nets =
+      Array.length lr.Flow.quarantined_nets
+      + Array.length ilp.Flow.quarantined_nets;
+    lr_degradation = Export.degradation_to_json lr;
+    ilp_degradation = Export.degradation_to_json ilp }
 
 (* ------------------------------------------------------------------ *)
 (* Machine-readable results (bench/results/latest.json)               *)
@@ -97,9 +107,12 @@ let write_results rows =
       {|    {"name":"%s","nets":%d,"hnets":%d,"hpins":%d,
      "power":{"electrical":%s,"glow":%s,"operon_ilp":%s,"operon_lr":%s},
      "cpu":{"ilp_select":%s,"lr_select":%s,"ilp_timed_out":%b},
+     "faults":%d,"quarantined_nets":%d,
+     "degradation":{"lr":%s,"ilp":%s},
      "stages":{"prepare":%s,"lr":%s,"ilp":%s}}|}
       r.name r.nets r.hnets r.hpins (jf r.p_elec) (jf r.p_glow) (jf r.p_ilp)
-      (jf r.p_lr) (jf r.cpu_ilp) (jf r.cpu_lr) r.ilp_timed_out
+      (jf r.p_lr) (jf r.cpu_ilp) (jf r.cpu_lr) r.ilp_timed_out r.faults
+      r.quarantined_nets r.lr_degradation r.ilp_degradation
       (Export.trace_to_json r.prep_sink)
       (Export.trace_to_json r.lr_sink)
       (Export.trace_to_json r.ilp_sink)

@@ -24,13 +24,14 @@ let case_arg =
   Arg.(value & opt string "small" & info [ "case"; "c" ] ~docv:"CASE" ~doc)
 
 let seed_arg =
-  let doc = "Override the case's deterministic seed." in
+  let doc = "Override the case's deterministic seed (positive integer)." in
   Arg.(value & opt (some int) None & info [ "seed" ] ~docv:"SEED" ~doc)
 
+(* Kept as a raw string so a typo'd engine name produces our one-line
+   usage error and exit code 2, not Cmdliner's parse failure (124). *)
 let mode_arg =
   let doc = "Candidate selection engine: lr (fast, default) or ilp (exact)." in
-  Arg.(value & opt (enum [ ("lr", Flow.Lr); ("ilp", Flow.Ilp) ]) Flow.Lr
-       & info [ "mode"; "m" ] ~docv:"MODE" ~doc)
+  Arg.(value & opt string "lr" & info [ "mode"; "m" ] ~docv:"MODE" ~doc)
 
 let budget_arg =
   let doc = "ILP wall-clock budget in seconds." in
@@ -48,11 +49,63 @@ let trace_arg =
   let doc = "Print the per-stage wall-clock/counter report of the pipeline." in
   Arg.(value & flag & info [ "trace" ] ~doc)
 
-let make_runctx params mode budget jobs =
+let strict_arg =
+  let doc =
+    "Fail fast on the first pipeline fault instead of degrading \
+     gracefully (quarantine/fallback)."
+  in
+  Arg.(value & flag & info [ "strict" ] ~doc)
+
+let inject_arg =
+  let doc =
+    "Inject a deterministic fault at STAGE:NET:KIND (net may be * for \
+     any; kind is one of injected, crash, capacity, budget, validation). \
+     Repeatable; merged with the $(b,OPERON_FAULTS) environment \
+     variable (comma-separated specs)."
+  in
+  Arg.(value & opt_all string []
+       & info [ "inject-fault" ] ~docv:"STAGE:NET:KIND" ~doc)
+
+(* --- validation: one-line diagnostic on stderr, exit code 2 --- *)
+
+let fail_usage fmt =
+  Printf.ksprintf
+    (fun msg ->
+      prerr_endline ("operon: " ^ msg);
+      exit 2)
+    fmt
+
+let validate_mode s =
+  match String.lowercase_ascii s with
+  | "lr" -> Flow.Lr
+  | "ilp" -> Flow.Ilp
+  | other -> fail_usage "unknown --mode %S (expected lr or ilp)" other
+
+let validate_jobs jobs =
+  if jobs < 0 then fail_usage "--jobs must be >= 0 (got %d)" jobs;
+  jobs
+
+let validate_seed = function
+  | Some s when s <= 0 -> fail_usage "--seed must be positive (got %d)" s
+  | seed -> seed
+
+let validate_injections specs =
+  let env =
+    match Sys.getenv_opt "OPERON_FAULTS" with
+    | Some s when String.trim s <> "" -> [ s ]
+    | _ -> []
+  in
+  match Operon_engine.Fault.injections_of_string (String.concat "," (env @ specs)) with
+  | Ok injections -> injections
+  | Error msg -> fail_usage "bad --inject-fault/OPERON_FAULTS spec: %s" msg
+
+let make_runctx params mode budget jobs strict inject_specs =
+  let jobs = validate_jobs jobs in
   let jobs = if jobs = 0 then Operon_util.Executor.default_jobs () else jobs in
   let config =
-    { Operon_engine.Runctx.params; mode; ilp_budget = budget;
-      max_cands_per_net = 10; jobs }
+    { Operon_engine.Runctx.params; mode = validate_mode mode;
+      ilp_budget = budget; max_cands_per_net = 10; jobs; strict;
+      injections = validate_injections inject_specs }
   in
   Operon_engine.Runctx.create ~seed:42 config
 
@@ -60,18 +113,33 @@ let print_trace result =
   print_endline
     (Report.stage_table ~title:"pipeline stages" result.Flow.trace)
 
+let print_degradation result =
+  match Report.degradation_summary result with
+  | Some summary -> print_string summary
+  | None -> ()
+
 let with_design name seed f =
   match design_of_case name seed with
   | None ->
       Printf.eprintf "unknown case %S (try I1..I5, small, tiny)\n" name;
       exit 2
-  | Some design -> f design
+  | Some design -> (
+      (* Under --strict a pipeline fault aborts the run; report it as a
+         one-line structured diagnostic rather than a raw backtrace. *)
+      try f design
+      with Operon_engine.Fault.Error fault ->
+        Printf.eprintf "operon: fault: %s\n"
+          (Operon_engine.Fault.to_string fault);
+        if fault.Operon_engine.Fault.backtrace <> "" then
+          prerr_string fault.Operon_engine.Fault.backtrace;
+        exit 1)
 
 let run_cmd =
-  let run case seed mode budget jobs trace =
+  let run case seed mode budget jobs trace strict inject =
+    let seed = validate_seed seed in
     with_design case seed (fun design ->
         let params = Operon_optical.Params.default in
-        let rc = make_runctx params mode budget jobs in
+        let rc = make_runctx params mode budget jobs strict inject in
         let result = Flow.run_ctx rc design in
         let nets, hnets, hpins = Processing.stats result.Flow.hnets in
         Printf.printf "case %s: #Net=%d #HNet=%d #HPin=%d\n" case nets hnets hpins;
@@ -84,7 +152,7 @@ let run_cmd =
           g.Baseline.underestimated;
         Printf.printf "OPERON power:              %.2f (%s, %.2fs select)\n"
           result.Flow.power
-          (match mode with Flow.Lr -> "LR" | Flow.Ilp -> "ILP")
+          (match result.Flow.mode with Flow.Lr -> "LR" | Flow.Ilp -> "ILP")
           result.Flow.select_seconds;
         (match result.Flow.ilp with
          | Some r ->
@@ -112,14 +180,17 @@ let run_cmd =
            %d waveguide crossings\n"
           s.Signoff.paths_checked s.Signoff.worst_loss_db s.Signoff.violations
           s.Signoff.mean_detour_ratio s.Signoff.waveguide_crossings;
+        print_degradation result;
         if trace then print_trace result)
   in
   let doc = "Run the full OPERON flow on a case." in
   Cmd.v (Cmd.info "run" ~doc)
-    Term.(const run $ case_arg $ seed_arg $ mode_arg $ budget_arg $ jobs_arg $ trace_arg)
+    Term.(const run $ case_arg $ seed_arg $ mode_arg $ budget_arg $ jobs_arg
+          $ trace_arg $ strict_arg $ inject_arg)
 
 let stats_cmd =
   let run case seed =
+    let seed = validate_seed seed in
     with_design case seed (fun design ->
         let params = Operon_optical.Params.default in
         let rng = Operon_util.Prng.create 42 in
@@ -150,10 +221,11 @@ let splitter_cmd =
   Cmd.v (Cmd.info "splitter" ~doc) Term.(const run $ stages_arg)
 
 let wdm_cmd =
-  let run case seed jobs trace =
+  let run case seed jobs trace strict inject =
+    let seed = validate_seed seed in
     with_design case seed (fun design ->
         let params = Operon_optical.Params.default in
-        let rc = make_runctx params Flow.Lr 60.0 jobs in
+        let rc = make_runctx params "lr" 60.0 jobs strict inject in
         let result = Flow.run_ctx rc design in
         let a = result.Flow.assignment in
         Printf.printf "connections:   %d\n" (Array.length result.Flow.placement.Wdm_place.conns);
@@ -161,27 +233,33 @@ let wdm_cmd =
         Printf.printf "final WDMs:    %d\n" a.Assign.final_count;
         Printf.printf "reduction:     %.1f%%\n" (100.0 *. Assign.reduction_ratio a);
         Printf.printf "displacement:  %.4f cm-bits\n" a.Assign.displacement_cost;
+        print_degradation result;
         if trace then print_trace result)
   in
   let doc = "WDM placement and network-flow assignment summary (Fig. 8)." in
   Cmd.v (Cmd.info "wdm" ~doc)
-    Term.(const run $ case_arg $ seed_arg $ jobs_arg $ trace_arg)
+    Term.(const run $ case_arg $ seed_arg $ jobs_arg $ trace_arg $ strict_arg
+          $ inject_arg)
 
 let export_cmd =
   let out_arg =
     let doc = "Output file (default: stdout)." in
     Arg.(value & opt (some string) None & info [ "output"; "o" ] ~docv:"FILE" ~doc)
   in
-  let run case seed mode budget jobs out =
+  let run case seed mode budget jobs strict inject out =
+    let seed = validate_seed seed in
     with_design case seed (fun design ->
         let params = Operon_optical.Params.default in
-        let rc = make_runctx params mode budget jobs in
+        let rc = make_runctx params mode budget jobs strict inject in
         let result = Flow.run_ctx rc design in
         let conns = result.Flow.placement.Wdm_place.conns in
         let plan =
           Channels.assign result.Flow.ctx.Selection.params conns result.Flow.assignment
         in
         let json = Export.flow_to_json ~channels:plan result in
+        (match Report.degradation_summary result with
+         | Some summary -> prerr_string summary
+         | None -> ());
         match out with
         | None -> print_endline json
         | Some path ->
@@ -190,13 +268,15 @@ let export_cmd =
   in
   let doc = "Run the flow and export the synthesized design as JSON." in
   Cmd.v (Cmd.info "export" ~doc)
-    Term.(const run $ case_arg $ seed_arg $ mode_arg $ budget_arg $ jobs_arg $ out_arg)
+    Term.(const run $ case_arg $ seed_arg $ mode_arg $ budget_arg $ jobs_arg
+          $ strict_arg $ inject_arg $ out_arg)
 
 let timing_cmd =
   let run case seed mode budget jobs =
+    let seed = validate_seed seed in
     with_design case seed (fun design ->
         let params = Operon_optical.Params.default in
-        let rc = make_runctx params mode budget jobs in
+        let rc = make_runctx params mode budget jobs false [] in
         let result = Flow.run_ctx rc design in
         let d = Operon_optical.Delay.default in
         let sel = Timing.selection d result.Flow.ctx result.Flow.choice in

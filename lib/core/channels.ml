@@ -4,10 +4,25 @@ type grant = { conn : int; track : int; channels : int array }
 
 type plan = { grants : grant array; peak_channels : int array }
 
+exception Capacity_error of { track : int; demand : int; detail : string }
+
+let capacity_error ~track ~demand fmt =
+  Printf.ksprintf
+    (fun detail -> raise (Capacity_error { track; demand; detail }))
+    fmt
+
+let () =
+  Printexc.register_printer (function
+    | Capacity_error { track; demand; detail } ->
+        Some
+          (Printf.sprintf "Channels.Capacity_error(track %d, demand %d): %s"
+             track demand detail)
+    | _ -> None)
+
 (* Flows of one track sorted by span start; channels are granted with the
    classic interval-colouring sweep: a channel is reusable once the span
    that last used it has ended. *)
-let colour_track params conns flows =
+let colour_track params ~track conns flows =
   let capacity = params.Params.wdm_capacity in
   let ordered =
     List.sort
@@ -38,7 +53,9 @@ let colour_track params conns flows =
           incr ch
         done;
         if !remaining > 0 then
-          invalid_arg "Channels.assign: track capacity exceeded";
+          capacity_error ~track ~demand:bits
+            "connection %d demands %d channels but track has capacity %d" ci
+            bits capacity;
         (ci, Array.of_list (List.rev !granted)))
       ordered
   in
@@ -53,7 +70,9 @@ let assign params conns (result : Assign.result) =
       List.iter
         (fun (wi, bits) ->
           if wi < 0 || wi >= ntracks then
-            invalid_arg "Channels.assign: flow references unknown track";
+            capacity_error ~track:wi ~demand:bits
+              "connection %d flow references unknown track %d (of %d)" ci wi
+              ntracks;
           per_track.(wi) <- (ci, bits) :: per_track.(wi))
         flows)
     result.Assign.flows;
@@ -61,7 +80,7 @@ let assign params conns (result : Assign.result) =
   let peaks = Array.make ntracks 0 in
   Array.iteri
     (fun wi flows ->
-      let coloured, peak = colour_track params conns flows in
+      let coloured, peak = colour_track params ~track:wi conns flows in
       peaks.(wi) <- peak;
       List.iter
         (fun (ci, channels) -> grants := { conn = ci; track = wi; channels } :: !grants)
@@ -78,8 +97,8 @@ let verify params conns plan =
         Array.iter
           (fun ch ->
             if ch < 0 || ch >= capacity then
-              failwith
-                (Printf.sprintf "connection %d granted out-of-range channel %d" g.conn ch))
+              capacity_error ~track:g.track ~demand:(Array.length g.channels)
+                "connection %d granted out-of-range channel %d" g.conn ch)
           g.channels)
       plan.grants;
     (* no overlapping spans sharing a channel on one track *)
@@ -103,10 +122,11 @@ let verify params conns plan =
                     Array.iter
                       (fun ch ->
                         if Array.exists (fun ch' -> ch = ch') g'.channels then
-                          failwith
-                            (Printf.sprintf
-                               "track %d: channel %d shared by overlapping connections %d and %d"
-                               track ch g.conn g'.conn))
+                          capacity_error ~track
+                            ~demand:(Array.length g.channels
+                                    + Array.length g'.channels)
+                            "channel %d shared by overlapping connections %d and %d"
+                            ch g.conn g'.conn)
                       g.channels)
                 rest;
               pairs rest
@@ -123,12 +143,16 @@ let verify params conns plan =
     Hashtbl.iter
       (fun ci got ->
         if got <> conns.(ci).Wdm.bits then
-          failwith
-            (Printf.sprintf "connection %d granted %d channels for %d bits" ci got
-               conns.(ci).Wdm.bits))
+          (* A bit-count mismatch spans the connection's tracks, so no
+             single track is at fault: track -1 by convention. *)
+          capacity_error ~track:(-1) ~demand:conns.(ci).Wdm.bits
+            "connection %d granted %d channels for %d bits" ci got
+            conns.(ci).Wdm.bits)
       received
   in
-  match check () with () -> Ok () | exception Failure msg -> Error msg
+  match check () with
+  | () -> Ok ()
+  | exception Capacity_error { detail; _ } -> Error detail
 
 let spatial_reuse plan (result : Assign.result) =
   let used = Array.fold_left (fun acc t -> acc + t.Wdm.used) 0 result.Assign.tracks in

@@ -27,12 +27,25 @@ type plan = {
   peak_channels : int array;  (** per track: highest channel index + 1 *)
 }
 
+exception
+  Capacity_error of {
+    track : int;  (** offending track index; [-1] when the inconsistency
+                      spans a connection's tracks *)
+    demand : int;  (** channels demanded at the failing site *)
+    detail : string;  (** human-readable description *)
+  }
+(** Structured capacity failure — what every inconsistency in this
+    module raises, so callers (and the pipeline's fault layer) can tell
+    a WDM capacity overflow from a programming error and report which
+    track overflowed under how much demand. A printer is registered with
+    {!Printexc}. *)
+
 val assign : Params.t -> Wdm.conn array -> Assign.result -> plan
 (** Colour every flow of the Section 4 result. Guarantees:
     no two overlapping spans on one track share a channel; every granted
     channel index is below the track capacity; a connection split across
     tracks receives exactly its bit count in total. Raises
-    [Invalid_argument] if the assignment result is inconsistent with the
+    {!Capacity_error} if the assignment result is inconsistent with the
     capacities (cannot happen for results produced by {!Assign.run}). *)
 
 val verify : Params.t -> Wdm.conn array -> plan -> (unit, string) result

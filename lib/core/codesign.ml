@@ -249,3 +249,9 @@ let for_hypernet_stats ?(max_cands = 16) ?(max_total = 10)
 
 let for_hypernet ?max_cands ?max_total ?crossing_est params hnet =
   fst (for_hypernet_stats ?max_cands ?max_total ?crossing_est params hnet)
+
+let electrical_only params hnet =
+  let terminals = Hypernet.centers hnet in
+  if Array.length terminals <= 1 then
+    [ Candidate.electrical params hnet (Bi1s.mst_tree Topology.L2 terminals ~root:0) ]
+  else [ Candidate.electrical params hnet (Rsmt.tree terminals ~root:0) ]

@@ -67,6 +67,13 @@ val for_hypernet_stats :
 (** {!for_hypernet} plus generation/prune counters for the pipeline's
     instrumentation sink. *)
 
+val electrical_only : Params.t -> Hypernet.t -> Candidate.t list
+(** The deterministic quarantine fallback: just the dedicated
+    rectilinear-Steiner all-electrical candidate (the paper's Eq. 6
+    baseline realisation of [a_ie]), with no DP and no crossing
+    estimates. This is what a faulting hyper net is routed with so the
+    rest of the design can proceed. *)
+
 val dp_power_of : Candidate.t -> float
 (** The power the DP bookkeeping assigns to a materialized candidate —
     exposed for cross-checking against {!Candidate.of_labels} in tests. *)

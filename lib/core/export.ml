@@ -86,6 +86,23 @@ let trace_to_json sink =
                       (fun (k, v) -> (k, string_of_int v))
                       (Instrument.counters r)) ) ]))
 
+let jfault (f : Operon_engine.Fault.t) =
+  let open Operon_engine in
+  jobj
+    ([ ("stage", jstr (Instrument.stage_name f.Fault.stage)) ]
+    @ (match f.Fault.net with
+       | Some id -> [ ("net", string_of_int id) ]
+       | None -> [])
+    @ [ ("kind", jstr (Fault.kind_name f.Fault.kind));
+        ("detail", jstr f.Fault.detail) ])
+
+let degradation_to_json (r : Flow.t) =
+  jobj
+    [ ("faults", jlist (List.map jfault r.Flow.faults));
+      ( "quarantined_nets",
+        jlist (Array.to_list r.Flow.quarantined_nets |> List.map string_of_int) );
+      ("solver_path", jstr r.Flow.solver_path) ]
+
 let flow_to_json ?channels (r : Flow.t) =
   let die = r.Flow.design.Signal.die in
   let design =
@@ -149,7 +166,8 @@ let flow_to_json ?channels (r : Flow.t) =
       ("hypernets", jlist hypernets);
       ("routes", jlist routes);
       ("wdm", wdm);
-      ("trace", trace_to_json r.Flow.trace) ]
+      ("trace", trace_to_json r.Flow.trace);
+      ("degradation", degradation_to_json r) ]
   in
   let with_channels =
     match channels with

@@ -8,7 +8,12 @@
 
 val flow_to_json : ?channels:Channels.plan -> Flow.t -> string
 (** The full result as a JSON object with fields [design], [hypernets],
-    [routes], [wdm], [trace] and optionally [channels]. *)
+    [routes], [wdm], [trace], [degradation] and optionally [channels]. *)
+
+val degradation_to_json : Flow.t -> string
+(** Just the degradation summary object: [faults] (stage, net, kind,
+    detail per entry), [quarantined_nets] and [solver_path]. Also
+    embedded in {!flow_to_json} and reused by the bench results file. *)
 
 val trace_to_json : Operon_engine.Instrument.sink -> string
 (** Instrumentation sink as a JSON array of per-stage records

@@ -17,7 +17,24 @@ type t = {
   placement : Wdm_place.placement;
   assignment : Assign.result;
   trace : Instrument.sink;
+  faults : Fault.t list;
+  quarantined_nets : int array;
+  solver_path : string;
 }
+
+(* ------------------------------------------------------------------ *)
+(* Fault handling at stage boundaries.                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Per-item failure policy of the fan-out stages: strict runs re-raise
+   the structured fault (lowest-index first, since results arrive in
+   input order), degraded runs record it and let the caller substitute a
+   deterministic fallback. *)
+let degrade_or_raise rc ~stage ?net e bt =
+  let fault = Fault.of_exn ~stage ?net e bt in
+  if rc.Runctx.config.Runctx.strict then
+    Printexc.raise_with_backtrace (Fault.Error fault) bt;
+  Runctx.record_fault rc fault
 
 (* ------------------------------------------------------------------ *)
 (* The six pipeline stages (paper Figure 2).                          *)
@@ -45,18 +62,32 @@ let stage_processing processing =
 (* Optical baseline segments of every hyper net feed the crossing
    estimator used while pruning the co-design DP. One task per net;
    the executor preserves net order, so the concatenated segment array —
-   and hence the crossing index — is identical whichever backend ran it. *)
+   and hence the crossing index — is identical whichever backend ran it.
+   A net whose baseline task faults is quarantined: it contributes no
+   optical segments and the codesign stage will route it all-electrical. *)
 let stage_baselines =
   Pipeline.stage Instrument.Baselines (fun rc (design, params, hnets) ->
-      let per_net =
-        Executor.parallel_map rc.Runctx.exec
-          (fun hnet ->
+      let results =
+        Executor.try_parallel_mapi rc.Runctx.exec
+          (fun _ hnet ->
+            Runctx.check_inject rc ~stage:Instrument.Baselines ~net:hnet.Hypernet.id ();
             let terminals = Hypernet.centers hnet in
             if Array.length terminals <= 1 then [||]
             else
               let topo = Bi1s.build Topology.L2 terminals ~root:0 in
               Array.map (fun s -> (hnet.Hypernet.id, s)) (Topology.segments topo))
           hnets
+      in
+      let per_net =
+        Array.mapi
+          (fun i result ->
+            match result with
+            | Ok segs -> segs
+            | Error (e, bt) ->
+                degrade_or_raise rc ~stage:Instrument.Baselines
+                  ~net:hnets.(i).Hypernet.id e bt;
+                [||])
+          results
       in
       let segments = Array.concat (Array.to_list per_net) in
       Instrument.incr rc.Runctx.sink Instrument.Baselines "segments"
@@ -67,6 +98,11 @@ let stage_baselines =
 let stage_codesign =
   Pipeline.stage Instrument.Codesign (fun rc (design, params, hnets, index) ->
       let max_total = rc.Runctx.config.Runctx.max_cands_per_net in
+      (* Nets already quarantined upstream (baselines faults) skip the DP
+         outright: their crossing estimates would be built from segments
+         that were never generated. *)
+      let upstream = Runctx.quarantined rc in
+      let is_quarantined id = Array.exists (fun q -> q = id) upstream in
       (* Per-net PRNG streams, split off in net-id order *before* the
          fan-out. Any randomized decision a per-net task ever makes must
          draw from its own stream, never from [rc.rng], so that results
@@ -75,23 +111,43 @@ let stage_codesign =
          is the contract parallel candidate generation relies on. *)
       let net_rngs = Array.map (fun _ -> Prng.split rc.Runctx.rng) hnets in
       let results =
-        Executor.parallel_mapi rc.Runctx.exec
+        Executor.try_parallel_mapi rc.Runctx.exec
           (fun i hnet ->
+            Runctx.check_inject rc ~stage:Instrument.Codesign ~net:hnet.Hypernet.id ();
             let _net_rng = net_rngs.(i) in
-            let crossing_est = Crossing.estimator index ~net:hnet.Hypernet.id in
-            Codesign.for_hypernet_stats ~max_total ~crossing_est params hnet)
+            if is_quarantined hnet.Hypernet.id then
+              (Codesign.electrical_only params hnet,
+               { Codesign.raw = 1; deduped = 1; kept = 1 })
+            else
+              let crossing_est = Crossing.estimator index ~net:hnet.Hypernet.id in
+              Codesign.for_hypernet_stats ~max_total ~crossing_est params hnet)
           hnets
       in
-      (* Merge counters on the coordinator, in net-id order. *)
+      (* Merge counters — and quarantine per-net failures — on the
+         coordinator, in net-id order. The fallback candidate is built
+         here, after the fan-out, so healthy nets' results are untouched. *)
       let sink = rc.Runctx.sink in
-      Array.iter
-        (fun (_, s) ->
-          Instrument.incr sink Instrument.Codesign "raw" s.Codesign.raw;
-          Instrument.incr sink Instrument.Codesign "kept" s.Codesign.kept;
-          Instrument.incr sink Instrument.Codesign "pruned"
-            (s.Codesign.raw - s.Codesign.kept))
-        results;
-      let ctx = Selection.make_ctx params (Array.map fst results) in
+      let cand_lists =
+        Array.mapi
+          (fun i result ->
+            match result with
+            | Ok (cands, s) ->
+                Instrument.incr sink Instrument.Codesign "raw" s.Codesign.raw;
+                Instrument.incr sink Instrument.Codesign "kept" s.Codesign.kept;
+                Instrument.incr sink Instrument.Codesign "pruned"
+                  (s.Codesign.raw - s.Codesign.kept);
+                cands
+            | Error (e, bt) ->
+                degrade_or_raise rc ~stage:Instrument.Codesign
+                  ~net:hnets.(i).Hypernet.id e bt;
+                Codesign.electrical_only params hnets.(i))
+          results
+      in
+      let quarantined = Runctx.quarantined rc in
+      if Array.length quarantined > 0 then
+        Instrument.incr sink Instrument.Codesign "quarantined"
+          (Array.length quarantined);
+      let ctx = Selection.make_ctx params cand_lists in
       (design, hnets, ctx))
 
 type selected = {
@@ -102,28 +158,69 @@ type selected = {
   s_seconds : float;
   s_ilp : Ilp_select.result option;
   s_lr : Lr_select.result option;
+  s_solver_path : string;
 }
 
+(* Selection runs a fallback chain with explicit budgets: the configured
+   engine first (ILP under its wall-clock/pivot budget, LR under its
+   iteration/wall-clock budget), then the cheaper engines in order, down
+   to the solver-free greedy feasibility repair. Every hop is recorded as
+   a Select-stage fault; strict mode stops at the first one. *)
 let stage_select =
   Pipeline.stage Instrument.Select (fun rc (design, hnets, ctx) ->
       let cfg = rc.Runctx.config in
       let sink = rc.Runctx.sink in
-      let choice, seconds, ilp, lr =
-        match cfg.Runctx.mode with
-        | Ilp ->
-            let r = Ilp_select.select ~budget_seconds:cfg.Runctx.ilp_budget ctx in
-            Instrument.incr sink Instrument.Select "components" r.Ilp_select.components;
-            Instrument.incr sink Instrument.Select "timed_out" r.Ilp_select.timed_out;
-            Instrument.incr sink Instrument.Select "nodes" r.Ilp_select.nodes;
-            (r.Ilp_select.choice, r.Ilp_select.elapsed, Some r, None)
-        | Lr ->
-            let r = Lr_select.select ctx in
-            Instrument.incr sink Instrument.Select "iterations" r.Lr_select.iterations;
-            Instrument.incr sink Instrument.Select "demoted" r.Lr_select.demoted;
-            (r.Lr_select.choice, r.Lr_select.elapsed, None, Some r)
+      let path = ref [] in
+      let attempt name f =
+        path := name :: !path;
+        match f () with
+        | r -> Some r
+        | exception e ->
+            let bt = Printexc.get_raw_backtrace () in
+            degrade_or_raise rc ~stage:Instrument.Select ?net:None e bt;
+            Instrument.incr sink Instrument.Select "fallbacks" 1;
+            None
       in
+      let run_ilp () =
+        Runctx.check_inject rc ~stage:Instrument.Select ();
+        let r = Ilp_select.select ~budget_seconds:cfg.Runctx.ilp_budget ctx in
+        Instrument.incr sink Instrument.Select "components" r.Ilp_select.components;
+        Instrument.incr sink Instrument.Select "timed_out" r.Ilp_select.timed_out;
+        Instrument.incr sink Instrument.Select "nodes" r.Ilp_select.nodes;
+        (r.Ilp_select.choice, r.Ilp_select.elapsed, Some r, None)
+      in
+      let run_lr () =
+        Runctx.check_inject rc ~stage:Instrument.Select ();
+        let r = Lr_select.select ~budget_seconds:cfg.Runctx.ilp_budget ctx in
+        Instrument.incr sink Instrument.Select "iterations" r.Lr_select.iterations;
+        Instrument.incr sink Instrument.Select "demoted" r.Lr_select.demoted;
+        (r.Lr_select.choice, r.Lr_select.elapsed, None, Some r)
+      in
+      let run_greedy () =
+        (* Terminal repair: deterministic, solver-free, always feasible. *)
+        let choice, dt =
+          Timer.time (fun () -> Selection.polish ctx (Selection.greedy ctx))
+        in
+        (choice, dt, None, None)
+      in
+      let chain =
+        match cfg.Runctx.mode with
+        | Ilp -> [ ("ilp", run_ilp); ("lr", run_lr); ("greedy", run_greedy) ]
+        | Lr -> [ ("lr", run_lr); ("greedy", run_greedy) ]
+      in
+      let rec first = function
+        | [] ->
+            (* Even the greedy repair crashed: the all-electrical
+               selection (the paper's Eq. 6 baseline) cannot fail. *)
+            path := "electrical" :: !path;
+            (Selection.all_electrical ctx, 0.0, None, None)
+        | (name, f) :: rest -> (
+            match attempt name f with Some r -> r | None -> first rest)
+      in
+      let choice, seconds, ilp, lr = first chain in
       { s_design = design; s_hnets = hnets; s_ctx = ctx; s_choice = choice;
-        s_seconds = seconds; s_ilp = ilp; s_lr = lr })
+        s_seconds = seconds; s_ilp = ilp; s_lr = lr;
+        s_solver_path = String.concat "->" (List.rev !path) })
 
 let stage_wdm =
   Pipeline.stage Instrument.Wdm (fun rc sel ->
@@ -155,7 +252,10 @@ let stage_assign =
         lr = sel.s_lr;
         placement;
         assignment;
-        trace = sink })
+        trace = sink;
+        faults = Runctx.faults rc;
+        quarantined_nets = Runctx.quarantined rc;
+        solver_path = sel.s_solver_path })
 
 let prepare_pipeline processing =
   Pipeline.(stage_processing processing >>> stage_baselines >>> stage_codesign)
@@ -179,7 +279,9 @@ let prepare ?processing ?(max_cands_per_net = 10) ?(exec = Executor.sequential)
       Runctx.max_cands_per_net;
       jobs = Executor.jobs exec }
   in
-  let rc = { Runctx.config; rng; exec; sink = sink_or_fresh sink } in
+  let rc =
+    { (Runctx.create ~rng config) with Runctx.exec; sink = sink_or_fresh sink }
+  in
   let _, hnets, ctx = Pipeline.run rc (prepare_pipeline processing) design in
   (hnets, ctx)
 
@@ -187,16 +289,16 @@ let run_prepared ?(mode = Lr) ?(ilp_budget = 3000.0) ?sink params design hnets c
   (* Selection and the WDM stages draw no randomness; the context's PRNG
      only feeds the (already finished) processing stage. *)
   let config = { (Runctx.default_config params) with Runctx.mode; ilp_budget } in
-  let rc =
-    { Runctx.config; rng = Prng.create 0; exec = Executor.sequential;
-      sink = sink_or_fresh sink }
-  in
+  let rc = { (Runctx.create ~seed:0 config) with Runctx.sink = sink_or_fresh sink } in
   Pipeline.run rc select_pipeline (design, hnets, ctx)
 
 let run ?processing ?(max_cands_per_net = 10) ?(mode = Lr) ?(ilp_budget = 3000.0)
     ?(exec = Executor.sequential) ?sink rng params design =
   let config =
-    { Runctx.params; mode; ilp_budget; max_cands_per_net; jobs = Executor.jobs exec }
+    { (Runctx.default_config params) with
+      Runctx.mode; ilp_budget; max_cands_per_net; jobs = Executor.jobs exec }
   in
-  let rc = { Runctx.config; rng; exec; sink = sink_or_fresh sink } in
+  let rc =
+    { (Runctx.create ~rng config) with Runctx.exec; sink = sink_or_fresh sink }
+  in
   run_ctx ?processing rc design

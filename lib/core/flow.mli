@@ -12,7 +12,17 @@
     counters into. The per-hypernet baseline and co-design work fans out
     on the executor; results are merged in net-id order and each net owns
     a pre-split PRNG stream, so runs are bit-identical whatever [jobs]
-    setting executed them. *)
+    setting executed them.
+
+    Fault tolerance: unless [config.strict] is set, a per-net failure in
+    the Baselines or Codesign stages quarantines just that hyper net —
+    it is routed with the deterministic all-electrical fallback
+    ({!Codesign.electrical_only}) while every healthy net's result is
+    bit-identical to a fault-free run. Selection failures walk a
+    fallback chain (ILP -> LR -> greedy repair -> all-electrical), each
+    hop recorded in the run's {!Operon_engine.Fault.log}. Strict mode
+    re-raises the first structured {!Operon_engine.Fault.Error} with its
+    original backtrace instead. *)
 
 open Operon_util
 open Operon_optical
@@ -33,6 +43,11 @@ type t = {
   placement : Wdm_place.placement;
   assignment : Assign.result;
   trace : Instrument.sink;  (** per-stage seconds and counters *)
+  faults : Fault.t list;  (** chronological degradations of this run *)
+  quarantined_nets : int array;
+      (** hyper nets routed with the all-electrical fallback *)
+  solver_path : string;
+      (** selection engines tried, in order, e.g. ["ilp->lr->greedy"] *)
 }
 
 val run_ctx : ?processing:Processing.config -> Runctx.t -> Signal.design -> t

@@ -24,7 +24,8 @@ let path_crossings (c : Candidate.t) p (other : Candidate.t) =
    own paths become x-linear rows so a block move can never break them —
    the invariant "the global selection stays feasible" holds after every
    block. Returns the updated choices and whether optimality was proven. *)
-let solve_block ?(max_cands_per_net = max_int) ctx ~budget ~current block =
+let solve_block ?(max_cands_per_net = max_int) ?(max_pivots = max_int) ctx ~budget
+    ~current block =
   let params = ctx.Selection.params in
   let l_max = params.Params.l_max in
   let in_block = Hashtbl.create 16 in
@@ -222,7 +223,7 @@ let solve_block ?(max_cands_per_net = max_int) ctx ~budget ~current block =
       Some { Ilp.objective = Lp.eval_objective model seed_values; values = seed_values }
     else None
   in
-  let outcome, stats = Ilp.solve ?incumbent ~budget model ~binary:binaries in
+  let outcome, stats = Ilp.solve ?incumbent ~budget ~max_pivots model ~binary:binaries in
   let adopt (sol : Ilp.solution) =
     Array.iter
       (fun (i, js) ->
@@ -272,7 +273,8 @@ let blocks_of_component ctx comp ~max_block =
       let hi = Stdlib.min n (lo + max_block) in
       Array.sub nets lo (hi - lo))
 
-let select ?(budget_seconds = 3000.0) ?(max_component_vars = 150) ctx =
+let select ?(budget_seconds = 3000.0) ?(max_pivots = max_int)
+    ?(max_component_vars = 150) ctx =
   let t0 = Timer.now () in
   (* Always-feasible starting point: repaired greedy. *)
   let current = Selection.polish ctx (Selection.greedy ctx) in
@@ -328,7 +330,7 @@ let select ?(budget_seconds = 3000.0) ?(max_component_vars = 150) ctx =
         in
         let budget = Timer.budget comp_budget_s in
         if var_estimate <= max_component_vars then begin
-          let ok, stats = solve_block ctx ~budget ~current comp in
+          let ok, stats = solve_block ~max_pivots ctx ~budget ~current comp in
           nodes := !nodes + stats.Ilp.nodes;
           if not ok then begin
             proven := false;
@@ -353,8 +355,8 @@ let select ?(budget_seconds = 3000.0) ?(max_component_vars = 150) ctx =
                 if not (Timer.expired budget) then begin
                   let block_budget = Timer.budget per_solve in
                   let _, stats =
-                    solve_block ~max_cands_per_net:5 ctx ~budget:block_budget ~current
-                      block
+                    solve_block ~max_cands_per_net:5 ~max_pivots ctx
+                      ~budget:block_budget ~current block
                   in
                   nodes := !nodes + stats.Ilp.nodes
                 end)

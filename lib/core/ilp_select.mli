@@ -34,11 +34,14 @@ type result = {
 
 val select :
   ?budget_seconds:float ->
+  ?max_pivots:int ->
   ?max_component_vars:int ->
   Selection.ctx ->
   result
 (** [select ctx] runs the ILP per interaction component.
     [budget_seconds] (default 3000, the paper's cap) is shared across
-    components; [max_component_vars] (default 150) is the model-size cap
-    above which a component is declared timed out immediately. The
-    returned selection is always feasible. *)
+    components; [max_pivots] (default unlimited) caps each node LP's
+    simplex pivots, downgrading affected components to unproven;
+    [max_component_vars] (default 150) is the model-size cap above which
+    a component is declared timed out immediately. The returned
+    selection is always feasible. *)

@@ -28,9 +28,11 @@ let make_crossing_cache params ctx =
         Hashtbl.add cache key arr;
         arr
 
-let select ?(max_iterations = 10) ?(initial_multiplier_scale = 0.01)
-    ?(step_scale = 0.05) ?(converge_ratio = 0.01) ctx =
+let select ?(max_iterations = 10) ?(budget_seconds = 0.0)
+    ?(initial_multiplier_scale = 0.01) ?(step_scale = 0.05)
+    ?(converge_ratio = 0.01) ctx =
   let t0 = Timer.now () in
+  let budget = Timer.budget budget_seconds in
   let params = ctx.Selection.params in
   let l_max = params.Params.l_max in
   let n = Array.length ctx.Selection.cands in
@@ -62,7 +64,7 @@ let select ?(max_iterations = 10) ?(initial_multiplier_scale = 0.01)
   in
   let iterations = ref 0 in
   let converged = ref false in
-  while (not !converged) && !iterations < max_iterations do
+  while (not !converged) && !iterations < max_iterations && not (Timer.expired budget) do
     incr iterations;
     let prev = Array.copy !choice in
     (* Candidate re-selection with the relaxed weighted objective. *)

@@ -31,6 +31,7 @@ type result = {
 
 val select :
   ?max_iterations:int ->
+  ?budget_seconds:float ->
   ?initial_multiplier_scale:float ->
   ?step_scale:float ->
   ?converge_ratio:float ->
@@ -39,4 +40,7 @@ val select :
 (** Defaults follow the paper: [max_iterations]=10, multipliers
     initialised proportionally to the electrical power of each net
     ([initial_multiplier_scale]=0.01 of [p_e] per dB), subgradient step
-    [step_scale]=0.05 diminishing as 1/k, [converge_ratio]=0.01. *)
+    [step_scale]=0.05 diminishing as 1/k, [converge_ratio]=0.01.
+    [budget_seconds] additionally caps the subgradient loop by
+    wall-clock (0, the default, means unlimited); the repair pass always
+    runs, so the result is feasible even at 0 completed iterations. *)

@@ -65,6 +65,27 @@ let ratio_cell x base =
 let seconds_cell ?(cap = infinity) v =
   if v >= cap then Printf.sprintf "> %.0f" cap else Printf.sprintf "%.1f" v
 
+let degradation_summary (r : Flow.t) =
+  match r.Flow.faults with
+  | [] -> None
+  | faults ->
+      let open Operon_engine in
+      let buf = Buffer.create 256 in
+      Buffer.add_string buf
+        (Printf.sprintf "degraded run: %d fault%s, %d net%s quarantined, solver path %s\n"
+           (List.length faults)
+           (if List.length faults = 1 then "" else "s")
+           (Array.length r.Flow.quarantined_nets)
+           (if Array.length r.Flow.quarantined_nets = 1 then "" else "s")
+           r.Flow.solver_path);
+      List.iter
+        (fun f ->
+          Buffer.add_string buf "  - ";
+          Buffer.add_string buf (Fault.to_string f);
+          Buffer.add_char buf '\n')
+        faults;
+      Some (Buffer.contents buf)
+
 let stage_table ?title sink =
   let open Operon_engine in
   let rows =

@@ -21,3 +21,9 @@ val seconds_cell : ?cap:float -> float -> string
 val stage_table : ?title:string -> Operon_engine.Instrument.sink -> string
 (** Render a pipeline instrumentation sink as the per-stage
     seconds/counters table the CLI prints under [--trace]. *)
+
+val degradation_summary : Flow.t -> string option
+(** Multi-line summary of a degraded run — fault count, quarantined
+    nets, solver fallback path, then one line per fault. [None] when
+    the run completed without any fault, so callers can print nothing
+    on the happy path. *)

@@ -10,6 +10,10 @@ let stage_name = function
   | Wdm -> "wdm"
   | Assign -> "assign"
 
+let stage_of_string s =
+  let s = String.lowercase_ascii s in
+  List.find_opt (fun stage -> stage_name stage = s) all_stages
+
 type record = {
   stage : stage;
   mutable seconds : float;

@@ -20,6 +20,10 @@ val all_stages : stage list
 
 val stage_name : stage -> string
 
+val stage_of_string : string -> stage option
+(** Case-insensitive inverse of {!stage_name} — used by the fault
+    injection spec parser. *)
+
 type record = {
   stage : stage;
   mutable seconds : float;

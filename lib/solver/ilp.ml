@@ -42,7 +42,8 @@ let snap_binaries binaries x =
   List.iter (fun v -> y.(v) <- Float.round y.(v)) binaries;
   y
 
-let solve ?(budget = Operon_util.Timer.budget 0.0) ?incumbent model ~binary =
+let solve ?(budget = Operon_util.Timer.budget 0.0) ?(max_pivots = max_int) ?incumbent
+    model ~binary =
   let t0 = Operon_util.Timer.now () in
   (* Base model: the caller's rows plus x <= 1 for each binary. *)
   let base = with_fixings model [] in
@@ -50,6 +51,10 @@ let solve ?(budget = Operon_util.Timer.budget 0.0) ?incumbent model ~binary =
   let best = ref incumbent in
   let nodes = ref 0 and lp_solves = ref 0 in
   let out_of_time = ref false in
+  (* A node LP that hit its pivot budget is undecided: the node is
+     dropped without branching, so the search can no longer certify
+     optimality — same downgrade as running out of wall-clock. *)
+  let degraded = ref false in
   (* DFS over fixing lists. The diving child (value nearest to the LP
      fraction) is pushed last so it is explored first. *)
   let stack = ref [ [] ] in
@@ -63,8 +68,9 @@ let solve ?(budget = Operon_util.Timer.budget 0.0) ?incumbent model ~binary =
         if Operon_util.Timer.expired budget then out_of_time := true
         else begin
           incr lp_solves;
-          match Simplex.solve (with_fixings base fixings) with
+          match Simplex.solve ~max_pivots (with_fixings base fixings) with
           | Simplex.Infeasible | Simplex.Unbounded -> ()
+          | Simplex.Aborted -> degraded := true
           | Simplex.Optimal { objective; solution } ->
               let beaten =
                 match !best with
@@ -96,7 +102,7 @@ let solve ?(budget = Operon_util.Timer.budget 0.0) ?incumbent model ~binary =
   let elapsed = Operon_util.Timer.now () -. t0 in
   let stats = { nodes = !nodes; lp_solves = !lp_solves; elapsed } in
   let outcome =
-    match (!best, !out_of_time) with
+    match (!best, !out_of_time || !degraded) with
     | Some b, false -> Proven b
     | Some b, true -> Best b
     | None, false -> No_solution

@@ -21,6 +21,7 @@ type stats = { nodes : int; lp_solves : int; elapsed : float }
 
 val solve :
   ?budget:Operon_util.Timer.budget ->
+  ?max_pivots:int ->
   ?incumbent:solution ->
   Lp.t ->
   binary:int list ->
@@ -29,4 +30,7 @@ val solve :
     or 1 (upper-bound rows for them are added internally; remaining
     variables stay continuous and non-negative). An [incumbent] must be
     feasible for [model]; it is returned unchanged if nothing better is
-    found. *)
+    found. [max_pivots] (default unlimited) caps each node LP's simplex
+    pivots; a node whose LP aborts is dropped without branching and the
+    outcome is downgraded from {!Proven} to {!Best}, exactly like a
+    wall-clock time-out. *)

@@ -2,6 +2,7 @@ type status =
   | Optimal of { objective : float; solution : float array }
   | Infeasible
   | Unbounded
+  | Aborted
 
 let eps = 1e-9
 
@@ -35,8 +36,9 @@ let pivot t ~row ~col =
   t.basis.(row) <- col
 
 (* One simplex phase: minimize cost^T x over the current tableau. The cost
-   row is maintained as reduced costs z. Returns `Optimal or `Unbounded. *)
-let run_phase t cost =
+   row is maintained as reduced costs z. Returns `Optimal, `Unbounded or
+   `Aborted once [pivots] (shared across phases) reaches [max_pivots]. *)
+let run_phase ~max_pivots ~pivots t cost =
   (* reduced cost vector and objective offset for current basis *)
   let z = Array.make (t.total + 1) 0.0 in
   let recompute_z () =
@@ -92,9 +94,11 @@ let run_phase t cost =
         end
       done;
       if !leave = -1 then `Unbounded
+      else if !pivots >= max_pivots then `Aborted
       else begin
         if !best_ratio <= eps then incr degenerate_streak
         else degenerate_streak := 0;
+        incr pivots;
         pivot t ~row:!leave ~col;
         recompute_z ();
         iterate ()
@@ -103,7 +107,8 @@ let run_phase t cost =
   in
   iterate ()
 
-let solve model =
+let solve ?(max_pivots = max_int) model =
+  let pivots = ref 0 in
   let n = Lp.nvars model in
   let rows = Lp.constraints model in
   let m = List.length rows in
@@ -159,8 +164,9 @@ let solve model =
     for j = art_start to total - 1 do
       cost1.(j) <- 1.0
     done;
-    (match run_phase t cost1 with
+    (match run_phase ~max_pivots ~pivots t cost1 with
      | `Unbounded -> Infeasible (* cannot happen: phase-1 objective >= 0 *)
+     | `Aborted -> Aborted
      | `Optimal ->
          let phase1_value =
            let acc = ref 0.0 in
@@ -193,8 +199,9 @@ let solve model =
            for j = art_start to total - 1 do
              cost2.(j) <- 1e18
            done;
-           match run_phase t cost2 with
+           match run_phase ~max_pivots ~pivots t cost2 with
            | `Unbounded -> Unbounded
+           | `Aborted -> Aborted
            | `Optimal ->
                let solution = Array.make n 0.0 in
                for r = 0 to t.m - 1 do

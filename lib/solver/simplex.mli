@@ -11,6 +11,13 @@ type status =
       (** Minimizing objective value and a primal solution point. *)
   | Infeasible
   | Unbounded
+  | Aborted
+      (** The pivot budget ran out before either phase converged. The
+          model is undecided — callers must treat this as "no proof",
+          never as infeasibility. *)
 
-val solve : Lp.t -> status
-(** Solve the minimization model (variables implicitly >= 0). *)
+val solve : ?max_pivots:int -> Lp.t -> status
+(** Solve the minimization model (variables implicitly >= 0).
+    [max_pivots] (default unlimited) caps the total pivot count across
+    both phases — the fault-tolerance budget that bounds a degenerate or
+    adversarial model instead of spinning the whole run. *)

@@ -41,5 +41,13 @@ val parallel_map : t -> ('a -> 'b) -> 'a array -> 'b array
 val parallel_mapi : t -> (int -> 'a -> 'b) -> 'a array -> 'b array
 (** Index-aware {!parallel_map}. *)
 
+val try_parallel_mapi :
+  t -> (int -> 'a -> 'b) -> 'a array -> ('b, exn * Printexc.raw_backtrace) result array
+(** Like {!parallel_mapi}, but never re-raises: each item's outcome is
+    returned as [Ok y] or [Error (exn, backtrace)] in input order. This
+    is the fault-tolerant fan-out primitive — callers decide per item
+    whether to quarantine (substitute a fallback) or propagate, instead
+    of losing the whole batch to its lowest-index failure. *)
+
 val parallel_iter : t -> ('a -> unit) -> 'a array -> unit
 (** [parallel_map] for effects only. *)

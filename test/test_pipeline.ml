@@ -72,6 +72,69 @@ let test_executor_first_exception_wins () =
              xs))
   done
 
+exception Deep_failure of int
+
+(* Raised from a named helper so the surviving backtrace has a frame to
+   point at. [@inline never] keeps flambda from erasing it. *)
+let[@inline never] raise_deep i = raise (Deep_failure i)
+
+let test_executor_backtrace_survives () =
+  (* The worker captures the raw backtrace at the raise site; the
+     coordinator must re-raise with that backtrace, not a fresh one. *)
+  let was_recording = Printexc.backtrace_status () in
+  Printexc.record_backtrace true;
+  Fun.protect
+    ~finally:(fun () -> Printexc.record_backtrace was_recording)
+    (fun () ->
+      let exec = Executor.create ~jobs:4 in
+      let xs = Array.init 48 (fun i -> i) in
+      match
+        Executor.parallel_mapi exec
+          (fun i () -> if i = 17 then raise_deep i else i)
+          (Array.map (fun _ -> ()) xs)
+      with
+      | _ -> Alcotest.fail "expected Deep_failure"
+      | exception Deep_failure i ->
+          let bt = Printexc.get_backtrace () in
+          Alcotest.(check int) "failing index" 17 i;
+          Alcotest.(check bool) "backtrace non-empty" true
+            (String.length (String.trim bt) > 0))
+
+let test_try_parallel_mapi_partial_failure () =
+  (* Per-item results: failures land as Error at their own index while
+     every other item still yields Ok — on both backends. *)
+  List.iter
+    (fun (name, exec) ->
+      let xs = Array.init 40 (fun i -> i) in
+      let results =
+        Executor.try_parallel_mapi exec
+          (fun i x -> if i mod 13 = 5 then raise (Deep_failure i) else 2 * x)
+          xs
+      in
+      Alcotest.(check int) (name ^ ": length") 40 (Array.length results);
+      Array.iteri
+        (fun i r ->
+          match r with
+          | Ok y ->
+              Alcotest.(check bool) (name ^ ": no Ok at failing index") true
+                (i mod 13 <> 5);
+              Alcotest.(check int) (name ^ ": value") (2 * i) y
+          | Error (Deep_failure j, _) ->
+              Alcotest.(check int) (name ^ ": error index") i j;
+              Alcotest.(check bool) (name ^ ": failing index") true
+                (i mod 13 = 5)
+          | Error (e, _) -> raise e)
+        results)
+    [ ("sequential", Executor.sequential); ("pool", Executor.create ~jobs:4) ]
+
+let test_try_parallel_mapi_all_ok () =
+  let exec = Executor.create ~jobs:3 in
+  let xs = Array.init 25 (fun i -> i) in
+  let results = Executor.try_parallel_mapi exec (fun i x -> i + x) xs in
+  Alcotest.(check (array int)) "all Ok, in order"
+    (Array.map (fun x -> 2 * x) xs)
+    (Array.map (function Ok y -> y | Error (e, _) -> raise e) results)
+
 let test_executor_batch_completes_after_failure () =
   (* A failing task must not abandon the rest of the batch: every other
      task still runs (exceptions are collected, then re-raised). *)
@@ -190,6 +253,12 @@ let () =
             test_executor_exception_propagates;
           Alcotest.test_case "first exception wins" `Quick
             test_executor_first_exception_wins;
+          Alcotest.test_case "backtrace survives re-raise" `Quick
+            test_executor_backtrace_survives;
+          Alcotest.test_case "try_parallel_mapi partial failure" `Quick
+            test_try_parallel_mapi_partial_failure;
+          Alcotest.test_case "try_parallel_mapi all ok" `Quick
+            test_try_parallel_mapi_all_ok;
           Alcotest.test_case "batch completes after failure" `Quick
             test_executor_batch_completes_after_failure ] );
       ( "instrument",
