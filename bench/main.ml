@@ -22,7 +22,13 @@ let params = Params.default
 
 let ilp_budget =
   match Sys.getenv_opt "OPERON_ILP_BUDGET" with
-  | Some s -> (try float_of_string s with _ -> 120.0)
+  | Some s -> (
+      match float_of_string_opt (String.trim s) with
+      | Some v -> v
+      | None ->
+          Printf.eprintf
+            "bench: ignoring malformed OPERON_ILP_BUDGET=%S (using 120 s)\n%!" s;
+          120.0)
   | None -> 120.0
 
 (* ------------------------------------------------------------------ *)
@@ -54,15 +60,21 @@ let run_case spec =
   let design = Gen.generate spec in
   let p_elec = Baseline.electrical_power params design in
   let prep_sink = Instrument.create () in
-  let hnets, ctx = Flow.prepare ~sink:prep_sink (Prng.create 42) params design in
+  let hnets, ctx = Flow.prepare_with ~sink:prep_sink (Flow.Config.default params) design in
   let adjusted = ctx.Selection.params in
   let nets, hn, hp = Processing.stats hnets in
   let glow = Baseline.glow adjusted hnets in
   let lr_sink = Instrument.create () in
-  let lr = Flow.run_prepared ~mode:Flow.Lr ~sink:lr_sink params design hnets ctx in
+  let lr =
+    Flow.select_with ~sink:lr_sink
+      (Flow.Config.make ~mode:Flow.Lr params)
+      design hnets ctx
+  in
   let ilp_sink = Instrument.create () in
   let ilp =
-    Flow.run_prepared ~mode:Flow.Ilp ~ilp_budget ~sink:ilp_sink params design hnets ctx
+    Flow.select_with ~sink:ilp_sink
+      (Flow.Config.make ~mode:Flow.Ilp ~ilp_budget params)
+      design hnets ctx
   in
   let ilp_r = Option.get ilp.Flow.ilp in
   { name = spec.Gen.name;
@@ -100,7 +112,27 @@ let rec ensure_dir path =
 
 let stage_seconds sink stage = Instrument.seconds sink stage
 
-let write_results rows =
+(* Rows of the cached-vs-uncached selection comparison (the "cache"
+   target); serialized into latest.json next to the Table 1 cases. *)
+type cache_row = {
+  c_name : string;
+  c_cached_s : float;
+  c_uncached_s : float;
+  c_hits : int;
+  c_misses : int;
+  c_uncached_queries : int;
+  c_pairs : int;
+  c_entries : int;
+  c_build_s : float;
+  c_identical : bool;  (** cached and uncached selections agree bit-for-bit *)
+}
+
+(* One results file serves both targets: whichever ran last rewrites
+   latest.json with every section accumulated so far this process. *)
+let table1_results : table1_row list ref = ref []
+let cache_results : cache_row list ref = ref []
+
+let write_results () =
   let jf = Printf.sprintf "%.6f" in
   let case_json r =
     Printf.sprintf
@@ -117,10 +149,22 @@ let write_results rows =
       (Export.trace_to_json r.lr_sink)
       (Export.trace_to_json r.ilp_sink)
   in
+  let cache_json r =
+    Printf.sprintf
+      {|    {"name":"%s","cached_seconds":%s,"uncached_seconds":%s,"speedup":%s,
+     "hits":%d,"misses":%d,"uncached_queries":%d,
+     "pairs":%d,"entries":%d,"build_seconds":%s,"choice_identical":%b}|}
+      r.c_name (jf r.c_cached_s) (jf r.c_uncached_s)
+      (jf (r.c_uncached_s /. Float.max 1e-9 r.c_cached_s))
+      r.c_hits r.c_misses r.c_uncached_queries r.c_pairs r.c_entries
+      (jf r.c_build_s) r.c_identical
+  in
   let json =
-    Printf.sprintf "{\n  \"ilp_budget\": %s,\n  \"cases\": [\n%s\n  ]\n}\n"
+    Printf.sprintf
+      "{\n  \"ilp_budget\": %s,\n  \"cases\": [\n%s\n  ],\n  \"cache_bench\": [\n%s\n  ]\n}\n"
       (jf ilp_budget)
-      (String.concat ",\n" (List.map case_json rows))
+      (String.concat ",\n" (List.map case_json !table1_results))
+      (String.concat ",\n" (List.map cache_json !cache_results))
   in
   ensure_dir results_dir;
   let path = Filename.concat results_dir "latest.json" in
@@ -187,7 +231,93 @@ let table1 () =
   Printf.printf
     "\npaper reference ratios (vs Optical): electrical 3.565, ILP 0.860, LR 0.889\n\n%!";
   stage_timing_table rows;
-  write_results rows
+  table1_results := rows;
+  write_results ()
+
+(* ------------------------------------------------------------------ *)
+(* Crossing-matrix cache: cached vs uncached selection wall-clock     *)
+(* ------------------------------------------------------------------ *)
+
+(* Cases to compare; OPERON_CACHE_CASES=<name,name,...> (I1..I5, small,
+   tiny) restricts the sweep — CI uses a small subset. *)
+let cache_designs () =
+  match Sys.getenv_opt "OPERON_CACHE_CASES" with
+  | None | Some "" ->
+      List.map (fun spec -> (spec.Gen.name, Gen.generate spec)) Cases.all
+  | Some s ->
+      String.split_on_char ',' s
+      |> List.filter_map (fun name ->
+             let name = String.trim name in
+             if name = "" then None
+             else
+               match Cases.by_name name with
+               | Some spec -> Some (spec.Gen.name, Gen.generate spec)
+               | None -> (
+                   match String.lowercase_ascii name with
+                   | "small" -> Some ("small", Cases.small ())
+                   | "tiny" -> Some ("tiny", Cases.tiny ())
+                   | _ ->
+                       Printf.eprintf
+                         "bench: unknown OPERON_CACHE_CASES entry %S (skipped)\n%!"
+                         name;
+                       None))
+
+let cache_bench () =
+  print_endline "=== crossing-matrix cache: cached vs uncached LR selection ===";
+  let rows =
+    List.map
+      (fun (name, design) ->
+        let _, ctx = Flow.prepare_with (Flow.Config.default params) design in
+        let build = Xmatrix.stats ctx.Selection.xmat in
+        (* Attribute hit/miss counters to the selection runs only. *)
+        Xmatrix.reset_counters ctx.Selection.xmat;
+        let cached = Lr_select.select ctx in
+        let after = Xmatrix.stats ctx.Selection.xmat in
+        let ctx_u = Selection.uncached ctx in
+        let uncached = Lr_select.select ctx_u in
+        let ustats = Xmatrix.stats ctx_u.Selection.xmat in
+        let identical =
+          cached.Lr_select.choice = uncached.Lr_select.choice
+          && cached.Lr_select.power = uncached.Lr_select.power
+        in
+        if not identical then
+          Printf.eprintf "bench: cache parity violation on %s!\n%!" name;
+        { c_name = name;
+          c_cached_s = cached.Lr_select.elapsed;
+          c_uncached_s = uncached.Lr_select.elapsed;
+          c_hits = after.Xmatrix.hits;
+          c_misses = after.Xmatrix.misses;
+          c_uncached_queries = ustats.Xmatrix.misses;
+          c_pairs = build.Xmatrix.pairs;
+          c_entries = build.Xmatrix.entries;
+          c_build_s = build.Xmatrix.build_seconds;
+          c_identical = identical })
+      (cache_designs ())
+  in
+  let render r =
+    [ r.c_name;
+      Printf.sprintf "%.3f" r.c_build_s;
+      string_of_int r.c_pairs;
+      string_of_int r.c_entries;
+      Printf.sprintf "%.3f" r.c_cached_s;
+      Printf.sprintf "%.3f" r.c_uncached_s;
+      Printf.sprintf "%.2fx" (r.c_uncached_s /. Float.max 1e-9 r.c_cached_s);
+      string_of_int r.c_hits;
+      string_of_int r.c_misses;
+      (if r.c_identical then "yes" else "NO") ]
+  in
+  print_endline
+    (Report.table
+       ~headers:
+         [ "Bench"; "build(s)"; "pairs"; "entries"; "cached(s)"; "uncached(s)";
+           "speedup"; "hits"; "misses"; "identical" ]
+       ~align:
+         [ Report.Left; Report.Right; Report.Right; Report.Right; Report.Right;
+           Report.Right; Report.Right; Report.Right; Report.Right; Report.Right ]
+       (List.map render rows));
+  print_endline "";
+  cache_results := rows;
+  write_results ()
 
 (* ------------------------------------------------------------------ *)
 (* Fig. 3(b)                                                          *)
@@ -262,8 +392,8 @@ let fig8 () =
     List.fold_left
       (fun (rows, reds) spec ->
         let design = Gen.generate spec in
-        let hnets, ctx = Flow.prepare (Prng.create 42) params design in
-        let lr = Flow.run_prepared ~mode:Flow.Lr params design hnets ctx in
+        let hnets, ctx = Flow.prepare_with (Flow.Config.default params) design in
+        let lr = Flow.select_with (Flow.Config.default params) design hnets ctx in
         let conns = Array.length lr.Flow.placement.Wdm_place.conns in
         let a = lr.Flow.assignment in
         let norm v =
@@ -294,9 +424,9 @@ let fig8 () =
 let fig9 () =
   print_endline "=== Fig. 9: power hotspot maps of I2 (GLOW vs OPERON) ===";
   let design = Gen.generate Cases.i2 in
-  let hnets, ctx = Flow.prepare (Prng.create 42) params design in
+  let hnets, ctx = Flow.prepare_with (Flow.Config.default params) design in
   let adjusted = ctx.Selection.params in
-  let lr = Flow.run_prepared ~mode:Flow.Lr params design hnets ctx in
+  let lr = Flow.select_with (Flow.Config.default params) design hnets ctx in
   let glow = Baseline.glow adjusted hnets in
   let die = design.Signal.die in
   let operon_maps = Hotspot.of_selection ~nx:48 ~ny:24 ~die ctx lr.Flow.choice in
@@ -331,7 +461,7 @@ let micro () =
   let open Toolkit in
   (* Fixed small workloads exercising each experiment's kernel. *)
   let design = Cases.small ~seed:7 () in
-  let _, ctx = Flow.prepare (Prng.create 42) params design in
+  let _, ctx = Flow.prepare_with (Flow.Config.default params) design in
   let centers =
     [| Operon_geom.Point.make 0.0 2.0; Operon_geom.Point.make (-1.2) 0.0;
        Operon_geom.Point.make 1.2 0.0; Operon_geom.Point.make 2.0 2.5 |]
@@ -464,7 +594,7 @@ let ablate () =
   (* 2. Section 3.3 crossing-variable reduction. *)
   print_endline "--- (2) interaction reduction (bbox overlap -> geometry-refined) ---";
   let design = Gen.generate { Cases.i1 with Gen.n_groups = 150 } in
-  let _, ctx = Flow.prepare (Prng.create 42) params design in
+  let _, ctx = Flow.prepare_with (Flow.Config.default params) design in
   let n = Array.length ctx.Selection.cands in
   let all_pairs = n * (n - 1) / 2 in
   let bbox_pairs =
@@ -491,7 +621,7 @@ let ablate () =
   (* 3. LR iteration budget (Algorithm 1's <=10 rule). *)
   print_endline "--- (3) Lagrangian-relaxation iteration budget (case I1) ---";
   let design = Gen.generate Cases.i1 in
-  let _, ctx = Flow.prepare (Prng.create 42) params design in
+  let _, ctx = Flow.prepare_with (Flow.Config.default params) design in
   let rows =
     List.map
       (fun k ->
@@ -510,7 +640,8 @@ let ablate () =
   (* 4. WDM stages: sweep placement alone vs + flow-based assignment,
      plus the wavelength-level spatial reuse of the Channels extension. *)
   print_endline "--- (4) WDM sharing stages (case I1) ---";
-  let lr = Flow.run_prepared ~mode:Flow.Lr params design
+  let lr =
+    Flow.select_with (Flow.Config.default params) design
       (Processing.run (Prng.create 42) params design) ctx
   in
   let a = lr.Flow.assignment in
@@ -555,8 +686,8 @@ let ablate () =
     List.map
       (fun spec ->
         let design = Gen.generate spec in
-        let hnets, ctx = Flow.prepare (Prng.create 42) params design in
-        let lr = Flow.run_prepared ~mode:Flow.Lr params design hnets ctx in
+        let hnets, ctx = Flow.prepare_with (Flow.Config.default params) design in
+        let lr = Flow.select_with (Flow.Config.default params) design hnets ctx in
         let sel = Timing.selection d ctx lr.Flow.choice in
         let reference = Timing.electrical_reference d ctx in
         [ spec.Gen.name;
@@ -575,8 +706,8 @@ let ablate () =
      against the physical waveguide geometry? *)
   print_endline "--- (7) post-route loss signoff (case I1) ---";
   let design = Gen.generate Cases.i1 in
-  let hnets, ctx = Flow.prepare (Prng.create 42) params design in
-  let lr = Flow.run_prepared ~mode:Flow.Lr params design hnets ctx in
+  let hnets, ctx = Flow.prepare_with (Flow.Config.default params) design in
+  let lr = Flow.select_with (Flow.Config.default params) design hnets ctx in
   let s =
     Signoff.run ctx.Selection.params ctx lr.Flow.choice lr.Flow.placement
       lr.Flow.assignment
@@ -598,12 +729,13 @@ let () =
   let targets =
     match Array.to_list Sys.argv with
     | _ :: (_ :: _ as rest) -> rest
-    | _ -> [ "fig3b"; "fig5"; "table1"; "fig8"; "fig9"; "ablate"; "micro" ]
+    | _ -> [ "fig3b"; "fig5"; "table1"; "cache"; "fig8"; "fig9"; "ablate"; "micro" ]
   in
   List.iter
     (fun t ->
       match String.lowercase_ascii t with
       | "table1" -> table1 ()
+      | "cache" -> cache_bench ()
       | "fig3b" -> fig3b ()
       | "fig5" -> fig5 ()
       | "fig8" -> fig8 ()
@@ -611,6 +743,7 @@ let () =
       | "ablate" -> ablate ()
       | "micro" -> micro ()
       | other ->
-          Printf.eprintf "unknown target %S (table1 fig3b fig5 fig8 fig9 ablate micro)\n" other;
+          Printf.eprintf
+            "unknown target %S (table1 cache fig3b fig5 fig8 fig9 ablate micro)\n" other;
           exit 2)
     targets

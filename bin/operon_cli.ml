@@ -56,6 +56,14 @@ let strict_arg =
   in
   Arg.(value & flag & info [ "strict" ] ~doc)
 
+let no_cache_arg =
+  let doc =
+    "Disable the precomputed crossing-matrix cache and recompute \
+     crossing geometry per query. Results are bit-identical; selection \
+     is slower. Mainly for benchmarking and debugging."
+  in
+  Arg.(value & flag & info [ "no-cache" ] ~doc)
+
 let inject_arg =
   let doc =
     "Inject a deterministic fault at STAGE:NET:KIND (net may be * for \
@@ -99,15 +107,15 @@ let validate_injections specs =
   | Ok injections -> injections
   | Error msg -> fail_usage "bad --inject-fault/OPERON_FAULTS spec: %s" msg
 
-let make_runctx params mode budget jobs strict inject_specs =
+let make_runctx ?(no_cache = false) params mode budget jobs strict inject_specs =
   let jobs = validate_jobs jobs in
   let jobs = if jobs = 0 then Operon_util.Executor.default_jobs () else jobs in
-  let config =
-    { Operon_engine.Runctx.params; mode = validate_mode mode;
-      ilp_budget = budget; max_cands_per_net = 10; jobs; strict;
-      injections = validate_injections inject_specs }
+  let cfg =
+    Flow.Config.make ~mode:(validate_mode mode) ~ilp_budget:budget ~jobs ~strict
+      ~injections:(validate_injections inject_specs) ~cache:(not no_cache) params
   in
-  Operon_engine.Runctx.create ~seed:42 config
+  Operon_engine.Runctx.create ~seed:cfg.Flow.Config.seed
+    (Flow.Config.to_runctx_config cfg)
 
 let print_trace result =
   print_endline
@@ -135,11 +143,11 @@ let with_design name seed f =
         exit 1)
 
 let run_cmd =
-  let run case seed mode budget jobs trace strict inject =
+  let run case seed mode budget jobs trace strict inject no_cache =
     let seed = validate_seed seed in
     with_design case seed (fun design ->
         let params = Operon_optical.Params.default in
-        let rc = make_runctx params mode budget jobs strict inject in
+        let rc = make_runctx ~no_cache params mode budget jobs strict inject in
         let result = Flow.run_ctx rc design in
         let nets, hnets, hpins = Processing.stats result.Flow.hnets in
         Printf.printf "case %s: #Net=%d #HNet=%d #HPin=%d\n" case nets hnets hpins;
@@ -186,7 +194,7 @@ let run_cmd =
   let doc = "Run the full OPERON flow on a case." in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(const run $ case_arg $ seed_arg $ mode_arg $ budget_arg $ jobs_arg
-          $ trace_arg $ strict_arg $ inject_arg)
+          $ trace_arg $ strict_arg $ inject_arg $ no_cache_arg)
 
 let stats_cmd =
   let run case seed =
@@ -246,11 +254,11 @@ let export_cmd =
     let doc = "Output file (default: stdout)." in
     Arg.(value & opt (some string) None & info [ "output"; "o" ] ~docv:"FILE" ~doc)
   in
-  let run case seed mode budget jobs strict inject out =
+  let run case seed mode budget jobs strict inject no_cache out =
     let seed = validate_seed seed in
     with_design case seed (fun design ->
         let params = Operon_optical.Params.default in
-        let rc = make_runctx params mode budget jobs strict inject in
+        let rc = make_runctx ~no_cache params mode budget jobs strict inject in
         let result = Flow.run_ctx rc design in
         let conns = result.Flow.placement.Wdm_place.conns in
         let plan =
@@ -269,7 +277,7 @@ let export_cmd =
   let doc = "Run the flow and export the synthesized design as JSON." in
   Cmd.v (Cmd.info "export" ~doc)
     Term.(const run $ case_arg $ seed_arg $ mode_arg $ budget_arg $ jobs_arg
-          $ strict_arg $ inject_arg $ out_arg)
+          $ strict_arg $ inject_arg $ no_cache_arg $ out_arg)
 
 let timing_cmd =
   let run case seed mode budget jobs =

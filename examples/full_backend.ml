@@ -8,7 +8,6 @@
    on the physical waveguide geometry, check the timing win, and hand the
    result to downstream tooling as JSON. *)
 
-open Operon_util
 open Operon_optical
 open Operon
 open Operon_benchgen
@@ -21,7 +20,7 @@ let () =
     (Array.length design.Signal.groups);
 
   (* 1. synthesis *)
-  let result = Flow.run ~mode:Flow.Lr (Prng.create 42) params design in
+  let result = Flow.synthesize (Flow.Config.default params) design in
   let adjusted = result.Flow.ctx.Selection.params in
   Printf.printf "power %.2f across %d hyper nets; %d WDM waveguides\n\n"
     result.Flow.power

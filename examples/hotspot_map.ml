@@ -7,7 +7,6 @@
    electrical layers first, then OPERON's. OPERON's electrical layer
    should be visibly cooler while the optical layers look alike. *)
 
-open Operon_util
 open Operon_optical
 open Operon
 open Operon_benchgen
@@ -15,7 +14,7 @@ open Operon_benchgen
 let () =
   let params = Params.default in
   let design = Gen.generate { Cases.i1 with Gen.n_groups = 120; seed = 42 } in
-  let result = Flow.run ~mode:Flow.Lr (Prng.create 42) params design in
+  let result = Flow.synthesize (Flow.Config.default params) design in
   let adjusted = result.Flow.ctx.Selection.params in
   let glow = Baseline.glow adjusted result.Flow.hnets in
 

@@ -36,11 +36,10 @@ let () =
            bus "noc_flit" ~src:(pt 0.3 2.5) ~dsts:[ pt 2.5 0.4; pt 2.7 1.8 ] ~bits:8 |]
   in
   let params = Params.default in
-  let rng = Operon_util.Prng.create 2024 in
 
   (* One call runs the whole paper flow: clustering, baseline topologies,
      co-design DP, Lagrangian selection, WDM placement + assignment. *)
-  let result = Flow.run ~mode:Flow.Lr rng params design in
+  let result = Flow.synthesize (Flow.Config.make ~seed:2024 params) design in
 
   let nets, hnets, hpins = Processing.stats result.Flow.hnets in
   Printf.printf "design: %d bits -> %d hyper nets, %d hyper pins\n\n" nets hnets hpins;

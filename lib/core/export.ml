@@ -103,6 +103,19 @@ let degradation_to_json (r : Flow.t) =
         jlist (Array.to_list r.Flow.quarantined_nets |> List.map string_of_int) );
       ("solver_path", jstr r.Flow.solver_path) ]
 
+(* Schema history: 1 = original export, 2 = added "degradation",
+   3 = added "schema_version" itself and the "cache" block. *)
+let schema_version = 3
+
+let cache_to_json (s : Xmatrix.stats) =
+  jobj
+    [ ("enabled", string_of_bool s.Xmatrix.enabled);
+      ("pairs", string_of_int s.Xmatrix.pairs);
+      ("entries", string_of_int s.Xmatrix.entries);
+      ("build_seconds", jfloat s.Xmatrix.build_seconds);
+      ("hits", string_of_int s.Xmatrix.hits);
+      ("misses", string_of_int s.Xmatrix.misses) ]
+
 let flow_to_json ?channels (r : Flow.t) =
   let die = r.Flow.design.Signal.die in
   let design =
@@ -160,14 +173,16 @@ let flow_to_json ?channels (r : Flow.t) =
         ("final_tracks", string_of_int r.Flow.assignment.Assign.final_count) ]
   in
   let base =
-    [ ("design", design);
+    [ ("schema_version", string_of_int schema_version);
+      ("design", design);
       ("mode", jstr (match r.Flow.mode with Flow.Ilp -> "ilp" | Flow.Lr -> "lr"));
       ("power", jfloat r.Flow.power);
       ("hypernets", jlist hypernets);
       ("routes", jlist routes);
       ("wdm", wdm);
       ("trace", trace_to_json r.Flow.trace);
-      ("degradation", degradation_to_json r) ]
+      ("degradation", degradation_to_json r);
+      ("cache", cache_to_json r.Flow.cache) ]
   in
   let with_channels =
     match channels with

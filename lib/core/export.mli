@@ -6,9 +6,21 @@
     viewers, power integrity, scripts) can consume. Hand-rolled writer,
     no external dependencies; numbers use enough digits to round-trip. *)
 
+val schema_version : int
+(** Version of the export document layout, emitted as the
+    [schema_version] field. History: 1 = original export, 2 = added
+    [degradation], 3 = added [schema_version] itself and the [cache]
+    block. Bump on any breaking change; see README for the full schema. *)
+
 val flow_to_json : ?channels:Channels.plan -> Flow.t -> string
-(** The full result as a JSON object with fields [design], [hypernets],
-    [routes], [wdm], [trace], [degradation] and optionally [channels]. *)
+(** The full result as a JSON object with fields [schema_version],
+    [design], [hypernets], [routes], [wdm], [trace], [degradation],
+    [cache] and optionally [channels]. *)
+
+val cache_to_json : Xmatrix.stats -> string
+(** The crossing-matrix statistics block: [enabled], [pairs], [entries],
+    [build_seconds], [hits], [misses]. Embedded in {!flow_to_json} and
+    reused by the bench results file. *)
 
 val degradation_to_json : Flow.t -> string
 (** Just the degradation summary object: [faults] (stage, net, kind,

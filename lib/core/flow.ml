@@ -4,6 +4,55 @@ open Operon_engine
 
 type mode = Runctx.mode = Ilp | Lr
 
+module Config = struct
+  type t = {
+    params : Operon_optical.Params.t;
+    processing : Processing.config option;
+    mode : mode;
+    ilp_budget : float;
+    max_cands_per_net : int;
+    jobs : int;
+    strict : bool;
+    injections : Fault.injection list;
+    cache : bool;
+    seed : int;
+  }
+
+  let default params =
+    { params;
+      processing = None;
+      mode = Lr;
+      ilp_budget = 3000.0;
+      max_cands_per_net = 10;
+      jobs = 1;
+      strict = false;
+      injections = [];
+      cache = true;
+      seed = 42 }
+
+  let make ?processing ?(mode = Lr) ?(ilp_budget = 3000.0)
+      ?(max_cands_per_net = 10) ?(jobs = 1) ?(strict = false)
+      ?(injections = []) ?(cache = true) ?(seed = 42) params =
+    { params; processing; mode; ilp_budget; max_cands_per_net; jobs; strict;
+      injections; cache; seed }
+
+  let with_mode mode t = { t with mode }
+  let with_jobs jobs t = { t with jobs }
+  let with_cache cache t = { t with cache }
+  let with_processing processing t = { t with processing = Some processing }
+  let with_seed seed t = { t with seed }
+
+  let to_runctx_config t =
+    { Runctx.params = t.params;
+      mode = t.mode;
+      ilp_budget = t.ilp_budget;
+      max_cands_per_net = t.max_cands_per_net;
+      jobs = t.jobs;
+      strict = t.strict;
+      injections = t.injections;
+      cache = t.cache }
+end
+
 type t = {
   design : Signal.design;
   hnets : Hypernet.t array;
@@ -20,6 +69,7 @@ type t = {
   faults : Fault.t list;
   quarantined_nets : int array;
   solver_path : string;
+  cache : Xmatrix.stats;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -147,7 +197,17 @@ let stage_codesign =
       if Array.length quarantined > 0 then
         Instrument.incr sink Instrument.Codesign "quarantined"
           (Array.length quarantined);
-      let ctx = Selection.make_ctx params cand_lists in
+      let ctx =
+        Selection.make_ctx ~exec:rc.Runctx.exec
+          ~cache:rc.Runctx.config.Runctx.cache params cand_lists
+      in
+      let xs = Xmatrix.stats ctx.Selection.xmat in
+      if xs.Xmatrix.enabled then begin
+        Instrument.incr sink Instrument.Codesign "xmatrix_pairs" xs.Xmatrix.pairs;
+        Instrument.incr sink Instrument.Codesign "xmatrix_entries" xs.Xmatrix.entries;
+        Instrument.incr sink Instrument.Codesign "xmatrix_build_ms"
+          (int_of_float (Float.round (xs.Xmatrix.build_seconds *. 1000.0)))
+      end;
       (design, hnets, ctx))
 
 type selected = {
@@ -217,7 +277,13 @@ let stage_select =
         | (name, f) :: rest -> (
             match attempt name f with Some r -> r | None -> first rest)
       in
+      let before = Xmatrix.stats ctx.Selection.xmat in
       let choice, seconds, ilp, lr = first chain in
+      let after = Xmatrix.stats ctx.Selection.xmat in
+      Instrument.incr sink Instrument.Select "cache_hits"
+        (after.Xmatrix.hits - before.Xmatrix.hits);
+      Instrument.incr sink Instrument.Select "cache_misses"
+        (after.Xmatrix.misses - before.Xmatrix.misses);
       { s_design = design; s_hnets = hnets; s_ctx = ctx; s_choice = choice;
         s_seconds = seconds; s_ilp = ilp; s_lr = lr;
         s_solver_path = String.concat "->" (List.rev !path) })
@@ -255,7 +321,8 @@ let stage_assign =
         trace = sink;
         faults = Runctx.faults rc;
         quarantined_nets = Runctx.quarantined rc;
-        solver_path = sel.s_solver_path })
+        solver_path = sel.s_solver_path;
+        cache = Xmatrix.stats sel.s_ctx.Selection.xmat })
 
 let prepare_pipeline processing =
   Pipeline.(stage_processing processing >>> stage_baselines >>> stage_codesign)
@@ -270,35 +337,56 @@ let full_pipeline processing = Pipeline.(prepare_pipeline processing >>> select_
 
 let run_ctx ?processing rc design = Pipeline.run rc (full_pipeline processing) design
 
-let sink_or_fresh = function Some s -> s | None -> Instrument.create ()
+(* A fresh run-context for one Config-driven entry point. The optional
+   [rng] override exists only for the deprecated wrappers, whose old
+   signatures took a PRNG positionally; Config callers seed via
+   [Config.seed]. *)
+let runctx_of ?rng ?sink (cfg : Config.t) =
+  let rc = Runctx.create ?rng ~seed:cfg.Config.seed (Config.to_runctx_config cfg) in
+  match sink with None -> rc | Some sink -> { rc with Runctx.sink = sink }
+
+let synthesize ?sink config design =
+  let rc = runctx_of ?sink config in
+  Pipeline.run rc (full_pipeline config.Config.processing) design
+
+let prepare_with ?sink config design =
+  let rc = runctx_of ?sink config in
+  let _, hnets, ctx =
+    Pipeline.run rc (prepare_pipeline config.Config.processing) design
+  in
+  (hnets, ctx)
+
+let select_with ?sink config design hnets ctx =
+  (* Selection and the WDM stages draw no randomness; the seed only
+     matters to the (already finished) processing stage. *)
+  let rc = runctx_of ?sink config in
+  Pipeline.run rc select_pipeline (design, hnets, ctx)
+
+(* ------------------------------------------------------------------ *)
+(* Deprecated optional-argument wrappers (pre-Config API).             *)
+(* ------------------------------------------------------------------ *)
 
 let prepare ?processing ?(max_cands_per_net = 10) ?(exec = Executor.sequential)
     ?sink rng params design =
-  let config =
-    { (Runctx.default_config params) with
-      Runctx.max_cands_per_net;
-      jobs = Executor.jobs exec }
+  let cfg =
+    { (Config.default params) with
+      Config.processing; max_cands_per_net; jobs = Executor.jobs exec }
   in
-  let rc =
-    { (Runctx.create ~rng config) with Runctx.exec; sink = sink_or_fresh sink }
-  in
+  (* Config cannot carry the caller's PRNG; thread it underneath. *)
+  let rc = runctx_of ~rng ?sink cfg in
   let _, hnets, ctx = Pipeline.run rc (prepare_pipeline processing) design in
   (hnets, ctx)
 
 let run_prepared ?(mode = Lr) ?(ilp_budget = 3000.0) ?sink params design hnets ctx =
-  (* Selection and the WDM stages draw no randomness; the context's PRNG
-     only feeds the (already finished) processing stage. *)
-  let config = { (Runctx.default_config params) with Runctx.mode; ilp_budget } in
-  let rc = { (Runctx.create ~seed:0 config) with Runctx.sink = sink_or_fresh sink } in
-  Pipeline.run rc select_pipeline (design, hnets, ctx)
+  let cfg = { (Config.default params) with Config.mode; ilp_budget; seed = 0 } in
+  select_with ?sink cfg design hnets ctx
 
 let run ?processing ?(max_cands_per_net = 10) ?(mode = Lr) ?(ilp_budget = 3000.0)
     ?(exec = Executor.sequential) ?sink rng params design =
-  let config =
-    { (Runctx.default_config params) with
-      Runctx.mode; ilp_budget; max_cands_per_net; jobs = Executor.jobs exec }
+  let cfg =
+    { (Config.default params) with
+      Config.processing; mode; ilp_budget; max_cands_per_net;
+      jobs = Executor.jobs exec }
   in
-  let rc =
-    { (Runctx.create ~rng config) with Runctx.exec; sink = sink_or_fresh sink }
-  in
+  let rc = runctx_of ~rng ?sink cfg in
   run_ctx ?processing rc design

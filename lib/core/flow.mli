@@ -14,9 +14,16 @@
     a pre-split PRNG stream, so runs are bit-identical whatever [jobs]
     setting executed them.
 
-    Fault tolerance: unless [config.strict] is set, a per-net failure in
-    the Baselines or Codesign stages quarantines just that hyper net —
-    it is routed with the deterministic all-electrical fallback
+    Entry points take a {!Config.t}: build one with {!Config.default} or
+    {!Config.make}, refine it with the [with_*] setters, and hand it to
+    {!synthesize} (whole flow), {!prepare_with} (candidate generation
+    only) or {!select_with} (selection + WDM on existing candidates).
+    The pre-Config optional-argument entry points remain as thin
+    deprecated wrappers.
+
+    Fault tolerance: unless [strict] is set, a per-net failure in the
+    Baselines or Codesign stages quarantines just that hyper net — it is
+    routed with the deterministic all-electrical fallback
     ({!Codesign.electrical_only}) while every healthy net's result is
     bit-identical to a fault-free run. Selection failures walk a
     fallback chain (ILP -> LR -> greedy repair -> all-electrical), each
@@ -29,6 +36,55 @@ open Operon_optical
 open Operon_engine
 
 type mode = Runctx.mode = Ilp | Lr
+
+(** Everything a flow run is parameterized by, in one value. *)
+module Config : sig
+  type t = {
+    params : Params.t;  (** optical device/loss parameters *)
+    processing : Processing.config option;
+        (** signal-processing overrides ([None] = defaults) *)
+    mode : mode;
+    ilp_budget : float;  (** selection wall-clock cap, seconds *)
+    max_cands_per_net : int;  (** co-design candidates kept per hyper net *)
+    jobs : int;  (** executor workers; 1 = sequential *)
+    strict : bool;  (** fail fast instead of degrading gracefully *)
+    injections : Fault.injection list;
+        (** deterministic fault-injection sites (tests/CI) *)
+    cache : bool;
+        (** precompute the {!Xmatrix} crossing cache (default [true];
+            results are bit-identical either way) *)
+    seed : int;  (** PRNG seed of the run *)
+  }
+
+  val default : Params.t -> t
+  (** LR mode, 3000 s budget (the paper's cap), 10 candidates per net,
+      sequential, graceful degradation, no injections, cache enabled,
+      seed 42 (the repo-wide reproducibility seed). *)
+
+  val make :
+    ?processing:Processing.config ->
+    ?mode:mode ->
+    ?ilp_budget:float ->
+    ?max_cands_per_net:int ->
+    ?jobs:int ->
+    ?strict:bool ->
+    ?injections:Fault.injection list ->
+    ?cache:bool ->
+    ?seed:int ->
+    Params.t ->
+    t
+  (** Labelled constructor over the same defaults as {!default}. *)
+
+  val with_mode : mode -> t -> t
+  val with_jobs : int -> t -> t
+  val with_cache : bool -> t -> t
+  val with_processing : Processing.config -> t -> t
+  val with_seed : int -> t -> t
+
+  val to_runctx_config : t -> Runctx.config
+  (** The engine-level view of this configuration (drops [processing]
+      and [seed], which live above the run-context). *)
+end
 
 type t = {
   design : Signal.design;
@@ -48,12 +104,44 @@ type t = {
       (** hyper nets routed with the all-electrical fallback *)
   solver_path : string;
       (** selection engines tried, in order, e.g. ["ilp->lr->greedy"] *)
+  cache : Xmatrix.stats;
+      (** crossing-matrix statistics at the end of selection: build
+          size/time plus hit/miss counters *)
 }
 
+val synthesize : ?sink:Instrument.sink -> Config.t -> Signal.design -> t
+(** The complete flow under a configuration. The returned selection is
+    feasible and the WDM stages are run on it. [sink] overrides the
+    fresh per-run instrumentation sink (pass one to accumulate several
+    runs into a single report). *)
+
+val prepare_with :
+  ?sink:Instrument.sink ->
+  Config.t ->
+  Signal.design ->
+  Hypernet.t array * Selection.ctx
+(** Processing plus candidate generation: hyper nets, then co-design
+    candidates for each (crossing estimates taken against the other
+    nets' optical baselines). The returned context carries the crossing
+    cache per [config.cache]. *)
+
+val select_with :
+  ?sink:Instrument.sink ->
+  Config.t ->
+  Signal.design ->
+  Hypernet.t array ->
+  Selection.ctx ->
+  t
+(** Selection + WDM stages on an existing candidate context — lets
+    Table 1 compare ILP and LR on identical candidates without
+    re-preparing. Only [mode], [ilp_budget], [strict] and [injections]
+    of the configuration still matter here; the context already fixed
+    the candidate set and its cache. *)
+
 val run_ctx : ?processing:Processing.config -> Runctx.t -> Signal.design -> t
-(** The whole pipeline under an explicit run-context — what the CLI's
-    [--jobs]/[--trace] path uses. The context's sink accumulates the
-    stage report returned in [trace]. *)
+(** The whole pipeline under an explicit run-context — the low-level
+    escape hatch when the caller owns the {!Runctx.t} (custom executor,
+    shared fault log). Most callers want {!synthesize}. *)
 
 val prepare :
   ?processing:Processing.config ->
@@ -64,11 +152,7 @@ val prepare :
   Params.t ->
   Signal.design ->
   Hypernet.t array * Selection.ctx
-(** Processing plus candidate generation: hyper nets, then co-design
-    candidates for each (crossing estimates taken against the other nets'
-    optical baselines). [exec] parallelizes the per-net work (default
-    sequential); [sink] collects stage timings (default: a fresh sink
-    that is dropped). *)
+[@@deprecated "use Flow.prepare_with with a Flow.Config.t"]
 
 val run :
   ?processing:Processing.config ->
@@ -81,9 +165,7 @@ val run :
   Params.t ->
   Signal.design ->
   t
-(** The complete flow ([mode] defaults to [Lr]; [ilp_budget] defaults to
-    3000 s as in the paper). The returned selection is feasible and the
-    WDM stages are run on it. *)
+[@@deprecated "use Flow.synthesize with a Flow.Config.t"]
 
 val run_prepared :
   ?mode:mode ->
@@ -94,5 +176,4 @@ val run_prepared :
   Hypernet.t array ->
   Selection.ctx ->
   t
-(** Selection + WDM stages on an existing candidate context — lets Table 1
-    compare ILP and LR on identical candidates without re-preparing. *)
+[@@deprecated "use Flow.select_with with a Flow.Config.t"]

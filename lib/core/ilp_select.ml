@@ -13,11 +13,6 @@ type result = {
   elapsed : float;
 }
 
-(* Crossing count between one path of candidate (i,j) and the optical
-   geometry of candidate (m,n). *)
-let path_crossings (c : Candidate.t) p (other : Candidate.t) =
-  Segment.count_crossings c.Candidate.paths.(p).segments other.Candidate.opt_segments
-
 (* Solve the Formula (3) ILP for the nets of [block], with every net
    outside the block frozen at [current]. Frozen neighbours contribute
    constants to the block nets' path constraints, and the frozen nets'
@@ -35,6 +30,7 @@ let solve_block ?(max_cands_per_net = max_int) ?(max_pivots = max_int) ctx ~budg
      and the electrical fallback always qualify. To keep the linearized
      model dense-simplex-sized, only the cheapest few candidates per net
      enter the block program (the rest are dominated in practice). *)
+  let xmat = ctx.Selection.xmat in
   let frozen_intrinsic i j =
     let c = ctx.Selection.cands.(i).(j) in
     Array.mapi
@@ -44,9 +40,7 @@ let solve_block ?(max_cands_per_net = max_int) ?(max_pivots = max_int) ctx ~budg
             (fun acc m ->
               if Hashtbl.mem in_block m then acc
               else
-                acc
-                +. Candidate.crossing_loss_on_path params c p
-                     ctx.Selection.cands.(m).(current.(m)))
+                acc +. Xmatrix.loss_on_path xmat params ~i ~j ~p ~m ~n:current.(m))
             0.0 ctx.Selection.neighbors.(i)
         in
         path.Candidate.intrinsic_loss +. frozen)
@@ -119,9 +113,9 @@ let solve_block ?(max_cands_per_net = max_int) ?(max_pivots = max_int) ctx ~budg
                 (fun m ->
                   if Hashtbl.mem in_block m && m <> i then
                     Array.iteri
-                      (fun n other ->
+                      (fun n _ ->
                         if Hashtbl.mem x_var (m, n) then begin
-                          let crossings = path_crossings c p other in
+                          let crossings = Xmatrix.count xmat ~i ~j ~p ~m ~n in
                           if crossings > 0 then
                             terms :=
                               (y_of (i, j) (m, n), Loss.crossing_bundled params crossings)
@@ -156,8 +150,8 @@ let solve_block ?(max_cands_per_net = max_int) ?(max_pivots = max_int) ctx ~budg
                       if Hashtbl.mem in_block k then acc
                       else
                         acc
-                        +. Candidate.crossing_loss_on_path params fc q
-                             ctx.Selection.cands.(k).(current.(k)))
+                        +. Xmatrix.loss_on_path xmat params ~i:m ~j:current.(m) ~p:q
+                             ~m:k ~n:current.(k))
                     path.Candidate.intrinsic_loss
                     ctx.Selection.neighbors.(m)
                 in
@@ -166,11 +160,10 @@ let solve_block ?(max_cands_per_net = max_int) ?(max_pivots = max_int) ctx ~budg
                   (fun k ->
                     if Hashtbl.mem in_block k then
                       Array.iteri
-                        (fun n other ->
+                        (fun n _ ->
                           if Hashtbl.mem x_var (k, n) then begin
                             let crossings =
-                              Segment.count_crossings path.Candidate.segments
-                                other.Candidate.opt_segments
+                              Xmatrix.count xmat ~i:m ~j:current.(m) ~p:q ~m:k ~n
                             in
                             if crossings > 0 then
                               terms :=

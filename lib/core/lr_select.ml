@@ -10,24 +10,6 @@ type result = {
   elapsed : float;
 }
 
-(* Crossing loss per path of candidate (i,j) caused by candidate (m,n),
-   memoized — the same pairs recur across LR iterations. *)
-let make_crossing_cache params ctx =
-  let cache : (int * int * int * int, float array) Hashtbl.t = Hashtbl.create 1024 in
-  fun (i, j) (m, n) ->
-    let key = (i, j, m, n) in
-    match Hashtbl.find_opt cache key with
-    | Some arr -> arr
-    | None ->
-        let c = ctx.Selection.cands.(i).(j) in
-        let other = ctx.Selection.cands.(m).(n) in
-        let arr =
-          Array.init (Array.length c.Candidate.paths) (fun p ->
-              Candidate.crossing_loss_on_path params c p other)
-        in
-        Hashtbl.add cache key arr;
-        arr
-
 let select ?(max_iterations = 10) ?(budget_seconds = 0.0)
     ?(initial_multiplier_scale = 0.01) ?(step_scale = 0.05)
     ?(converge_ratio = 0.01) ctx =
@@ -36,7 +18,7 @@ let select ?(max_iterations = 10) ?(budget_seconds = 0.0)
   let params = ctx.Selection.params in
   let l_max = params.Params.l_max in
   let n = Array.length ctx.Selection.cands in
-  let crossing_of = make_crossing_cache params ctx in
+  let xmat = ctx.Selection.xmat in
   (* One multiplier per (net, candidate, path) — the paths P(Hsol) of
      Formula (4). Initialised proportional to each net's electrical
      power, as Algorithm 1 line 1 prescribes. *)
@@ -49,6 +31,10 @@ let select ?(max_iterations = 10) ?(budget_seconds = 0.0)
           ctx.Selection.cands.(i))
   in
   let choice = ref (Selection.greedy ctx) in
+  (* Persistent incremental evaluator: across subgradient iterations only
+     the nets whose selection actually flipped (plus their neighbours)
+     get their path losses re-derived. *)
+  let ev = Selection.Eval.create ctx !choice in
   let prev_power = ref (Selection.power ctx !choice) in
   let prev_violation = ref infinity in
   (* The subgradient iterates are not monotone; keep the best feasible
@@ -82,7 +68,7 @@ let select ?(max_iterations = 10) ?(budget_seconds = 0.0)
               let crossing =
                 Array.fold_left
                   (fun acc m ->
-                    acc +. (crossing_of (i, j) (m, prev.(m))).(p))
+                    acc +. Xmatrix.loss_on_path xmat params ~i ~j ~p ~m ~n:prev.(m))
                   0.0 ctx.Selection.neighbors.(i)
               in
               own := !own +. (lambda.(i).(j).(p) *. (path.Candidate.intrinsic_loss +. crossing)))
@@ -93,10 +79,12 @@ let select ?(max_iterations = 10) ?(budget_seconds = 0.0)
           Array.iter
             (fun m ->
               let nsel = prev.(m) in
-              let arr = crossing_of (m, nsel) (i, j) in
+              let counts = Xmatrix.path_counts xmat ~i:m ~j:nsel ~m:i ~n:j in
               Array.iteri
-                (fun p loss -> foreign := !foreign +. (lambda.(m).(nsel).(p) *. loss))
-                arr)
+                (fun p cnt ->
+                  foreign :=
+                    !foreign +. (lambda.(m).(nsel).(p) *. Loss.crossing_bundled params cnt))
+                counts)
             ctx.Selection.neighbors.(i);
           let w = c.Candidate.power +. !own +. !foreign in
           if w < !best_w then begin
@@ -107,6 +95,7 @@ let select ?(max_iterations = 10) ?(budget_seconds = 0.0)
       next.(i) <- !best
     done;
     choice := next;
+    Array.iteri (fun i j -> Selection.Eval.set ev i j) next;
     (* Subgradient step on every multiplier. A path of the selected
        candidate sees its actual loss; a path of an unselected candidate
        has LHS = 0 in constraint (3c), so its subgradient is -l_max and
@@ -116,7 +105,7 @@ let select ?(max_iterations = 10) ?(budget_seconds = 0.0)
     let total_violation = ref 0.0 in
     for i = 0 to n - 1 do
       let j = next.(i) in
-      let losses = Selection.net_path_losses ctx next i in
+      let losses = Selection.Eval.losses ev i in
       Array.iteri
         (fun j' paths ->
           Array.iteri

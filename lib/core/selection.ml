@@ -1,5 +1,6 @@
 open Operon_geom
 open Operon_optical
+open Operon_util
 
 type ctx = {
   params : Params.t;
@@ -7,6 +8,7 @@ type ctx = {
   bboxes : Rect.t option array;
   neighbors : int array array;
   elec_idx : int array;
+  xmat : Xmatrix.t;
 }
 
 let optical_bbox (cands : Candidate.t array) =
@@ -20,7 +22,7 @@ let optical_bbox (cands : Candidate.t array) =
     cands;
   match !pts with [] -> None | l -> Some (Rect.of_points (Array.of_list l))
 
-let make_ctx params cand_lists =
+let make_ctx ?(exec = Executor.sequential) ?(cache = true) params cand_lists =
   let cands = Array.map Array.of_list cand_lists in
   Array.iteri
     (fun i arr ->
@@ -74,7 +76,12 @@ let make_ctx params cand_lists =
         done
   done;
   let neighbors = Array.map (fun l -> Array.of_list (List.rev l)) lists in
-  { params; cands; bboxes; neighbors; elec_idx }
+  let xmat =
+    if cache then Xmatrix.build ~exec cands neighbors else Xmatrix.direct cands
+  in
+  { params; cands; bboxes; neighbors; elec_idx; xmat }
+
+let uncached ctx = { ctx with xmat = Xmatrix.direct ctx.cands }
 
 let selected ctx choice i = ctx.cands.(i).(choice.(i))
 
@@ -83,16 +90,21 @@ let power ctx choice =
   Array.iteri (fun i j -> acc := !acc +. ctx.cands.(i).(j).Candidate.power) choice;
   !acc
 
+(* Canonical per-net loss evaluation; everything else (full recompute,
+   incremental Eval, signoff) derives its numbers from this one function
+   so they are bit-identical by construction. Summation runs over the
+   neighbours in array order; a neighbour without optical geometry
+   contributes a bundled zero (exactly 0.0), matching the pre-cache
+   skip. *)
 let net_path_losses ctx choice i =
-  let c = selected ctx choice i in
+  let j = choice.(i) in
+  let c = ctx.cands.(i).(j) in
   Array.mapi
     (fun p (path : Candidate.path) ->
       let crossing =
         Array.fold_left
           (fun acc m ->
-            let other = selected ctx choice m in
-            if Array.length other.Candidate.opt_segments = 0 then acc
-            else acc +. Candidate.crossing_loss_on_path ctx.params c p other)
+            acc +. Xmatrix.loss_on_path ctx.xmat ctx.params ~i ~j ~p ~m ~n:choice.(m))
           0.0 ctx.neighbors.(i)
       in
       path.Candidate.intrinsic_loss +. crossing)
@@ -124,30 +136,99 @@ let greedy ctx =
       !best)
     ctx.cands
 
-(* Does net i currently sit on any violated path, either as the owner of
-   the path or as a crosser of a neighbour's path? Checking only i and its
-   neighbours keeps repair local. *)
-let net_ok ctx choice i =
-  let l_max = ctx.params.Params.l_max in
-  let check m =
-    Array.for_all (fun loss -> loss <= l_max +. 1e-9) (net_path_losses ctx choice m)
-  in
-  check i && Array.for_all check ctx.neighbors.(i)
+(* ------------------------------------------------------------------ *)
+(* Incremental selection evaluation.                                  *)
+(* ------------------------------------------------------------------ *)
+
+module Eval = struct
+  type eval = {
+    ctx : ctx;
+    choice : int array;
+    losses : float array array;
+    dirty : bool array;
+    mutable recomputes : int;
+  }
+
+  type t = eval
+
+  let create ctx choice0 =
+    let n = Array.length ctx.cands in
+    { ctx;
+      choice = Array.copy choice0;
+      losses = Array.make n [||];
+      dirty = Array.make n true;
+      recomputes = 0 }
+
+  (* Invariant after [refresh t i]: [t.losses.(i)] equals
+     [net_path_losses t.ctx t.choice i] — the canonical evaluation of the
+     current assignment. Because crossing terms couple only neighbour
+     pairs, flipping net [i] can change the loss arrays of [i] and of
+     [ctx.neighbors.(i)] only; everyone else's cached array stays
+     canonical untouched. *)
+  let refresh t i =
+    if t.dirty.(i) then begin
+      t.losses.(i) <- net_path_losses t.ctx t.choice i;
+      t.dirty.(i) <- false;
+      t.recomputes <- t.recomputes + 1
+    end
+
+  let get t i = t.choice.(i)
+
+  let choice t = Array.copy t.choice
+
+  let set t i j =
+    if t.choice.(i) <> j then begin
+      t.choice.(i) <- j;
+      t.dirty.(i) <- true;
+      Array.iter (fun m -> t.dirty.(m) <- true) t.ctx.neighbors.(i)
+    end
+
+  let losses t i =
+    refresh t i;
+    t.losses.(i)
+
+  let power t = power t.ctx t.choice
+
+  let worst_violation t =
+    let l_max = t.ctx.params.Params.l_max in
+    let worst = ref neg_infinity in
+    Array.iteri
+      (fun i _ ->
+        Array.iter
+          (fun loss -> if loss -. l_max > !worst then worst := loss -. l_max)
+          (losses t i))
+      t.ctx.cands;
+    if !worst = neg_infinity then 0.0 else !worst
+
+  let feasible t = worst_violation t <= 1e-9
+
+  (* Does net i currently sit on any violated path, either as the owner
+     of the path or as a crosser of a neighbour's path? Checking only i
+     and its neighbours keeps repair local. *)
+  let net_ok t i =
+    let l_max = t.ctx.params.Params.l_max in
+    let check m =
+      Array.for_all (fun loss -> loss <= l_max +. 1e-9) (losses t m)
+    in
+    check i && Array.for_all check t.ctx.neighbors.(i)
+
+  let recomputes t = t.recomputes
+end
 
 let polish ?(rounds = 3) ctx choice0 =
   let n = Array.length ctx.cands in
-  let choice = Array.copy choice0 in
+  let ev = Eval.create ctx choice0 in
   (* Repair: demote offending nets to their electrical fallback until the
      selection is feasible. Electrical candidates have no optical paths
      and no crossings, so this terminates at the all-electrical point. *)
   let guard = ref 0 in
-  while (not (feasible ctx choice)) && !guard <= n do
+  while (not (Eval.feasible ev)) && !guard <= n do
     incr guard;
     let fixed = ref false in
     for i = 0 to n - 1 do
-      if (not !fixed) && choice.(i) <> ctx.elec_idx.(i) && not (net_ok ctx choice i)
+      if (not !fixed) && Eval.get ev i <> ctx.elec_idx.(i) && not (Eval.net_ok ev i)
       then begin
-        choice.(i) <- ctx.elec_idx.(i);
+        Eval.set ev i ctx.elec_idx.(i);
         fixed := true
       end
     done;
@@ -156,31 +237,32 @@ let polish ?(rounds = 3) ctx choice0 =
          first non-electrical net outright. *)
       (try
          for i = 0 to n - 1 do
-           if choice.(i) <> ctx.elec_idx.(i) then begin
-             choice.(i) <- ctx.elec_idx.(i);
+           if Eval.get ev i <> ctx.elec_idx.(i) then begin
+             Eval.set ev i ctx.elec_idx.(i);
              raise Exit
            end
          done
        with Exit -> ())
   done;
   (* Improve: per net, adopt the cheapest candidate that keeps the local
-     neighbourhood (and hence the whole selection) feasible. *)
+     neighbourhood (and hence the whole selection) feasible. Only the
+     flipped net and its neighbours are re-evaluated per trial. *)
   for _ = 1 to rounds do
     for i = 0 to n - 1 do
-      let current_power = ctx.cands.(i).(choice.(i)).Candidate.power in
-      let old = choice.(i) in
+      let old = Eval.get ev i in
+      let current_power = ctx.cands.(i).(old).Candidate.power in
       let best = ref old and best_power = ref current_power in
       Array.iteri
         (fun j (c : Candidate.t) ->
           if j <> old && c.Candidate.power < !best_power then begin
-            choice.(i) <- j;
-            if net_ok ctx choice i then begin
+            Eval.set ev i j;
+            if Eval.net_ok ev i then begin
               best := j;
               best_power := c.Candidate.power
             end
           end)
         ctx.cands.(i);
-      choice.(i) <- !best
+      Eval.set ev i !best
     done
   done;
-  choice
+  Eval.choice ev

@@ -2,10 +2,18 @@
 
     A {!ctx} precomputes, for the whole design: the candidate arrays, the
     optical bounding box of every hyper net, the Section 3.3 interaction
-    neighbourhoods (only nets with overlapping boxes can cross), and each
-    net's electrical fallback. Both the ILP and the Lagrangian solver
-    evaluate selections through this context, so "feasible" and "power"
-    mean exactly the same thing to both. *)
+    neighbourhoods (only nets with overlapping boxes can cross), each
+    net's electrical fallback, and the {!Xmatrix} crossing-count cache
+    shared by every consumer of the pairwise crossing term. Both the ILP
+    and the Lagrangian solver evaluate selections through this context,
+    so "feasible" and "power" mean exactly the same thing to both.
+
+    Evaluation comes in two forms: the stateless {!net_path_losses} /
+    {!worst_violation} full recompute, and the incremental {!Eval}
+    evaluator that tracks one assignment and re-derives only the nets a
+    flip actually touched (the flipped net and its neighbours). Both read
+    crossing counts through [ctx.xmat] and both produce bit-identical
+    floats, cache on or off. *)
 
 open Operon_geom
 open Operon_optical
@@ -20,11 +28,27 @@ type ctx = {
       (** nets whose optical boxes overlap this net's box *)
   elec_idx : int array;  (** per net: index of its cheapest pure-electrical
                              candidate — the Formula (3) [a_ie] variable *)
+  xmat : Xmatrix.t;
+      (** shared crossing-count matrix over the neighbour pairs; a direct
+          (uncached) oracle when the context was built with [~cache:false] *)
 }
 
-val make_ctx : Params.t -> Candidate.t list array -> ctx
-(** Raises [Invalid_argument] if some net has no candidates or lacks a
-    pure-electrical fallback. *)
+val make_ctx :
+  ?exec:Operon_util.Executor.t ->
+  ?cache:bool ->
+  Params.t ->
+  Candidate.t list array ->
+  ctx
+(** Build the selection context. With [cache] (default [true]) the
+    crossing matrix is precomputed for every neighbour pair, fanning the
+    per-pair work out on [exec] (default sequential — pass the run's
+    executor to parallelize). Raises [Invalid_argument] if some net has
+    no candidates or lacks a pure-electrical fallback. *)
+
+val uncached : ctx -> ctx
+(** The same context with the crossing cache replaced by a direct
+    (recompute-per-query) oracle with fresh counters — identical numbers,
+    none of the speed. Used by parity tests and the cache benchmark. *)
 
 val selected : ctx -> int array -> int -> Candidate.t
 (** Candidate currently chosen for a net. *)
@@ -49,8 +73,55 @@ val greedy : ctx -> int array
 (** Min-power candidate per net, ignoring crossing coupling (intrinsic
     feasibility is guaranteed by construction). May be infeasible. *)
 
+(** Incremental evaluation of one evolving assignment.
+
+    An {!Eval.t} owns a private copy of a choice vector together with the
+    per-net path-loss arrays of that assignment. {!Eval.set} flips one
+    net's candidate and marks just the affected nets — the flipped net
+    and its neighbours — for re-derivation; every read re-derives a dirty
+    net with the {e same} canonical function the full recompute uses, so
+    an [Eval] never disagrees with {!net_path_losses} /
+    {!worst_violation} on the same assignment, bit for bit. The LR
+    subgradient loop and the greedy repair both run on top of this. *)
+module Eval : sig
+  type t
+
+  val create : ctx -> int array -> t
+  (** Evaluator positioned at a copy of the given assignment. *)
+
+  val set : t -> int -> int -> unit
+  (** [set t i j] flips net [i] to candidate [j] (no-op when already
+      there), invalidating the stored losses of [i] and its neighbours. *)
+
+  val get : t -> int -> int
+  (** Current candidate index of a net. *)
+
+  val choice : t -> int array
+  (** Copy of the current assignment. *)
+
+  val losses : t -> int -> float array
+  (** Path losses of a net under the current assignment (re-derived on
+      demand if a neighbour flipped). Shared with the evaluator — do not
+      mutate. *)
+
+  val power : t -> float
+
+  val worst_violation : t -> float
+  (** Equals [worst_violation ctx (choice t)] exactly. *)
+
+  val feasible : t -> bool
+
+  val net_ok : t -> int -> bool
+  (** No path of net [i] or of its neighbours exceeds the loss budget. *)
+
+  val recomputes : t -> int
+  (** Per-net loss re-derivations performed so far — the incremental
+      work metric (a full recompute costs one per net). *)
+end
+
 val polish : ?rounds:int -> ctx -> int array -> int array
 (** Local improvement: first repair (nets on violated paths revert to
     their electrical fallback until feasible), then greedily retry
-    cheaper candidates per net while global feasibility holds. The result
-    is always feasible. *)
+    cheaper candidates per net while global feasibility holds. Runs on an
+    incremental {!Eval}, so each trial flip re-evaluates only the flipped
+    net's neighbourhood. The result is always feasible. *)

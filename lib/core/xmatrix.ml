@@ -1,0 +1,146 @@
+open Operon_geom
+open Operon_optical
+open Operon_util
+
+type stats = {
+  enabled : bool;
+  pairs : int;
+  entries : int;
+  build_seconds : float;
+  hits : int;
+  misses : int;
+}
+
+(* Live counters; [stats] snapshots them. Coordinator-domain only. *)
+type counters = { mutable hits : int; mutable misses : int }
+
+type table = {
+  (* rows.(i).(k).(j).(n) = per-path crossing counts of candidate (i, j)
+     against candidate (neighbors.(i).(k), n); [None] rows are all-zero
+     and resolve to the shared [zeros.(i).(j)] array. *)
+  rows : int array option array array array array;
+  pos : (int, int) Hashtbl.t array;  (* net i -> neighbour id -> slot k *)
+  zeros : int array array array;  (* i -> j -> canonical all-zero counts *)
+  pairs : int;
+  entries : int;
+  build_seconds : float;
+}
+
+type t = {
+  cands : Candidate.t array array;
+  table : table option;  (* [None] = direct (uncached) mode *)
+  counters : counters;
+}
+
+let compute_counts cands i j m n =
+  let c = cands.(i).(j) and other = cands.(m).(n) in
+  Array.init (Array.length c.Candidate.paths) (fun p ->
+      Segment.count_crossings c.Candidate.paths.(p).Candidate.segments
+        other.Candidate.opt_segments)
+
+(* One directed pair (i, m): counts for every candidate pair, sparsified. *)
+let build_pair cands i m =
+  let ni = Array.length cands.(i) and nm = Array.length cands.(m) in
+  Array.init ni (fun j ->
+      let c = cands.(i).(j) in
+      let npaths = Array.length c.Candidate.paths in
+      Array.init nm (fun n ->
+          let other = cands.(m).(n) in
+          if npaths = 0 || Array.length other.Candidate.opt_segments = 0 then None
+          else
+            let counts = compute_counts cands i j m n in
+            if Array.for_all (fun x -> x = 0) counts then None else Some counts))
+
+let build ?(exec = Executor.sequential) cands neighbors =
+  let t0 = Timer.now () in
+  let tasks =
+    Array.concat
+      (Array.to_list
+         (Array.mapi (fun i ms -> Array.map (fun m -> (i, m)) ms) neighbors))
+  in
+  let built = Executor.parallel_map exec (fun (i, m) -> build_pair cands i m) tasks in
+  let n = Array.length cands in
+  let rows = Array.map (fun ms -> Array.make (Array.length ms) [||]) neighbors in
+  let pos =
+    Array.map
+      (fun ms ->
+        let h = Hashtbl.create (Stdlib.max 1 (Array.length ms)) in
+        Array.iteri (fun k m -> Hashtbl.replace h m k) ms;
+        h)
+      neighbors
+  in
+  let entries = ref 0 in
+  Array.iteri
+    (fun t (i, m) ->
+      let k = Hashtbl.find pos.(i) m in
+      rows.(i).(k) <- built.(t);
+      Array.iter
+        (Array.iter (function Some _ -> incr entries | None -> ()))
+        built.(t))
+    tasks;
+  let zeros =
+    Array.init n (fun i ->
+        Array.map
+          (fun (c : Candidate.t) -> Array.make (Array.length c.Candidate.paths) 0)
+          cands.(i))
+  in
+  { cands;
+    table =
+      Some
+        { rows;
+          pos;
+          zeros;
+          pairs = Array.length tasks;
+          entries = !entries;
+          build_seconds = Timer.now () -. t0 };
+    counters = { hits = 0; misses = 0 } }
+
+let direct cands = { cands; table = None; counters = { hits = 0; misses = 0 } }
+
+let enabled t = t.table <> None
+
+let path_counts t ~i ~j ~m ~n =
+  match t.table with
+  | Some tb -> (
+      match Hashtbl.find_opt tb.pos.(i) m with
+      | Some k ->
+          t.counters.hits <- t.counters.hits + 1;
+          (match tb.rows.(i).(k).(j).(n) with
+           | Some counts -> counts
+           | None -> tb.zeros.(i).(j))
+      | None ->
+          (* Not a neighbour pair: fall through to the geometry. *)
+          t.counters.misses <- t.counters.misses + 1;
+          compute_counts t.cands i j m n)
+  | None ->
+      t.counters.misses <- t.counters.misses + 1;
+      compute_counts t.cands i j m n
+
+let count t ~i ~j ~p ~m ~n =
+  match t.table with
+  | Some _ -> (path_counts t ~i ~j ~m ~n).(p)
+  | None ->
+      t.counters.misses <- t.counters.misses + 1;
+      Segment.count_crossings
+        t.cands.(i).(j).Candidate.paths.(p).Candidate.segments
+        t.cands.(m).(n).Candidate.opt_segments
+
+let loss_on_path t params ~i ~j ~p ~m ~n =
+  Loss.crossing_bundled params (count t ~i ~j ~p ~m ~n)
+
+let stats t =
+  let pairs, entries, build_seconds =
+    match t.table with
+    | Some tb -> (tb.pairs, tb.entries, tb.build_seconds)
+    | None -> (0, 0, 0.0)
+  in
+  { enabled = t.table <> None;
+    pairs;
+    entries;
+    build_seconds;
+    hits = t.counters.hits;
+    misses = t.counters.misses }
+
+let reset_counters t =
+  t.counters.hits <- 0;
+  t.counters.misses <- 0

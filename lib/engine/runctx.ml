@@ -13,6 +13,7 @@ type config = {
   jobs : int;
   strict : bool;
   injections : Fault.injection list;
+  cache : bool;
 }
 
 let default_config params =
@@ -22,7 +23,8 @@ let default_config params =
     max_cands_per_net = 10;
     jobs = 1;
     strict = false;
-    injections = [] }
+    injections = [];
+    cache = true }
 
 type t = {
   config : config;

@@ -27,11 +27,15 @@ type config = {
       (** fail fast with {!Fault.Error} instead of degrading gracefully *)
   injections : Fault.injection list;
       (** deterministic fault-injection sites (tests/CI) *)
+  cache : bool;
+      (** precompute the crossing-matrix cache during candidate-context
+          construction (numbers are bit-identical either way) *)
 }
 
 val default_config : Params.t -> config
 (** LR mode, 3000 s ILP budget (the paper's cap), 10 candidates per net,
-    sequential execution, graceful degradation, no injections. *)
+    sequential execution, graceful degradation, no injections, crossing
+    cache enabled. *)
 
 type t = {
   config : config;

@@ -71,7 +71,7 @@ let test_channels_bits_conserved () =
 
 let test_channels_on_flow () =
   let design = Cases.small ~seed:3 () in
-  let r = Flow.run ~mode:Flow.Lr (Prng.create 42) params design in
+  let r = Flow.synthesize (Flow.Config.default params) design in
   let conns = r.Flow.placement.Wdm_place.conns in
   let plan = Channels.assign params conns r.Flow.assignment in
   match Channels.verify params conns plan with
@@ -103,7 +103,7 @@ let test_delay_crossover () =
 
 let test_timing_on_selection () =
   let design = Cases.small ~seed:3 () in
-  let r = Flow.run ~mode:Flow.Lr (Prng.create 42) params design in
+  let r = Flow.synthesize (Flow.Config.default params) design in
   let sel = Timing.selection d r.Flow.ctx r.Flow.choice in
   let reference = Timing.electrical_reference d r.Flow.ctx in
   Alcotest.(check bool) "positive delays" true (sel.Timing.mean_worst_ps > 0.0);
@@ -141,7 +141,7 @@ let test_timing_two_pin_exact () =
 
 let test_export_structure () =
   let design = Cases.tiny () in
-  let r = Flow.run ~mode:Flow.Lr (Prng.create 42) params design in
+  let r = Flow.synthesize (Flow.Config.default params) design in
   let conns = r.Flow.placement.Wdm_place.conns in
   let plan = Channels.assign params conns r.Flow.assignment in
   let json = Export.flow_to_json ~channels:plan r in
@@ -172,7 +172,7 @@ let test_export_structure () =
 let test_export_escaping () =
   (* the writer must escape control characters and quotes *)
   let design = Cases.tiny () in
-  let r = Flow.run ~mode:Flow.Lr (Prng.create 42) params design in
+  let r = Flow.synthesize (Flow.Config.default params) design in
   let json = Export.flow_to_json r in
   String.iter
     (fun c -> Alcotest.(check bool) "no raw control chars" false (Char.code c < 0x20 && c <> '\n'))

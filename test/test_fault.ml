@@ -3,7 +3,6 @@
    selection fallback chain, strict fail-fast, solver budgets and the
    structured Channels capacity error. *)
 
-open Operon_util
 open Operon_optical
 open Operon
 open Operon_benchgen
@@ -216,7 +215,7 @@ let test_clean_run_reports_nothing () =
 
 let make_ctx () =
   let design = Cases.tiny ~seed:3 () in
-  let _, ctx = Flow.prepare (Prng.create 42) Params.default design in
+  let _, ctx = Flow.prepare_with (Flow.Config.default Params.default) design in
   ctx
 
 let test_lr_wallclock_budget () =

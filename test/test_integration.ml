@@ -3,7 +3,6 @@
    (OPERON <= GLOW-feasible <= electrical shape), WDM stage integration
    and hotspot maps. *)
 
-open Operon_util
 open Operon_optical
 open Operon
 open Operon_benchgen
@@ -12,7 +11,7 @@ let params = Params.default
 
 let run_small ?(mode = Flow.Lr) ?(seed = 7) () =
   let design = Cases.small ~seed () in
-  Flow.run ~mode ~ilp_budget:20.0 (Prng.create 42) params design
+  Flow.synthesize (Flow.Config.make ~mode ~ilp_budget:20.0 params) design
 
 let test_flow_runs_lr () =
   let r = run_small () in
@@ -31,9 +30,9 @@ let test_selection_feasible () =
 
 let test_ilp_not_worse_than_lr () =
   let design = Cases.small ~seed:3 () in
-  let hnets, ctx = Flow.prepare (Prng.create 42) params design in
-  let lr = Flow.run_prepared ~mode:Flow.Lr params design hnets ctx in
-  let ilp = Flow.run_prepared ~mode:Flow.Ilp ~ilp_budget:30.0 params design hnets ctx in
+  let hnets, ctx = Flow.prepare_with (Flow.Config.default params) design in
+  let lr = Flow.select_with (Flow.Config.default params) design hnets ctx in
+  let ilp = Flow.select_with (Flow.Config.make ~mode:Flow.Ilp ~ilp_budget:30.0 params) design hnets ctx in
   Alcotest.(check bool)
     (Printf.sprintf "ilp %.2f <= lr %.2f" ilp.Flow.power lr.Flow.power)
     true
@@ -50,7 +49,7 @@ let test_power_ordering_table1_shape () =
   List.iter
     (fun seed ->
       let design = Cases.small ~seed () in
-      let r = Flow.run ~mode:Flow.Lr (Prng.create 42) params design in
+      let r = Flow.synthesize (Flow.Config.default params) design in
       let adjusted = r.Flow.ctx.Selection.params in
       let electrical = Baseline.electrical_power adjusted design in
       Alcotest.(check bool)
@@ -94,7 +93,7 @@ let test_wdm_stage_consistent () =
 
 let test_hotspot_maps () =
   let design = Cases.small ~seed:5 () in
-  let r = Flow.run ~mode:Flow.Lr (Prng.create 42) params design in
+  let r = Flow.synthesize (Flow.Config.default params) design in
   let maps =
     Hotspot.of_selection ~die:design.Signal.die r.Flow.ctx r.Flow.choice
   in
@@ -137,7 +136,7 @@ let test_glow_vs_operon_hotspot_story () =
   List.iter
     (fun seed ->
       let design = Gen.generate { Cases.i1 with Gen.n_groups = 60; seed } in
-      let r = Flow.run ~mode:Flow.Lr (Prng.create 42) params design in
+      let r = Flow.synthesize (Flow.Config.default params) design in
       let adjusted = r.Flow.ctx.Selection.params in
       let glow = Baseline.glow adjusted r.Flow.hnets in
       if Selection.feasible glow.Baseline.ctx glow.Baseline.choice then begin
@@ -181,7 +180,7 @@ let test_trivial_design () =
       ~sinks:[| Operon_geom.Point.make 0.9 0.9 |]
   in
   let design = Signal.design ~die ~groups:[| Signal.group ~name:"one" ~bits:[| b |] |] in
-  let r = Flow.run ~mode:Flow.Lr (Prng.create 1) params design in
+  let r = Flow.synthesize (Flow.Config.make ~seed:1 params) design in
   Alcotest.(check int) "one hnet" 1 (Array.length r.Flow.hnets);
   Alcotest.(check bool) "feasible" true (Selection.feasible r.Flow.ctx r.Flow.choice)
 
@@ -190,7 +189,7 @@ let prop_flow_feasible_many_seeds =
     QCheck.(int_range 0 1000)
     (fun seed ->
       let design = Cases.tiny ~seed () in
-      let r = Flow.run ~mode:Flow.Lr (Prng.create seed) params design in
+      let r = Flow.synthesize (Flow.Config.make ~seed params) design in
       Selection.feasible r.Flow.ctx r.Flow.choice
       && r.Flow.assignment.Assign.final_count
          <= r.Flow.assignment.Assign.initial_count)

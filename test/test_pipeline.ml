@@ -181,7 +181,7 @@ let test_sink_accumulates () =
 
 let run_with exec design =
   let params = Params.default in
-  Flow.run ~mode:Flow.Lr ~exec (Prng.create 42) params design
+  Flow.synthesize (Flow.Config.make ~jobs:(Executor.jobs exec) params) design
 
 let check_identical name design =
   let seq = run_with Executor.sequential design in
@@ -236,8 +236,8 @@ let test_prepared_matches_run () =
   let design = Cases.tiny () in
   let params = Params.default in
   let exec = Executor.create ~jobs:4 in
-  let hnets, ctx = Flow.prepare ~exec (Prng.create 42) params design in
-  let a = Flow.run_prepared ~mode:Flow.Lr params design hnets ctx in
+  let hnets, ctx = Flow.prepare_with (Flow.Config.make ~jobs:(Executor.jobs exec) params) design in
+  let a = Flow.select_with (Flow.Config.default params) design hnets ctx in
   let b = run_with Executor.sequential design in
   Alcotest.(check (float 0.0)) "same power" b.Flow.power a.Flow.power;
   Alcotest.(check (array int)) "same choice" b.Flow.choice a.Flow.choice

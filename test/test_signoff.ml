@@ -1,7 +1,6 @@
 (* Tests for the post-route loss signoff: physical route lengths, real
    waveguide crossing counts, and the estimate-vs-physical comparison. *)
 
-open Operon_util
 open Operon_optical
 open Operon
 open Operon_benchgen
@@ -14,7 +13,7 @@ let signoff_of_flow (r : Flow.t) =
 
 let test_signoff_small_flow () =
   let design = Cases.small ~seed:3 () in
-  let r = Flow.run ~mode:Flow.Lr (Prng.create 42) params design in
+  let r = Flow.synthesize (Flow.Config.default params) design in
   let s = signoff_of_flow r in
   Alcotest.(check bool) "checked some nets" true (s.Signoff.nets_checked > 0);
   Alcotest.(check bool) "paths >= nets" true
@@ -24,7 +23,7 @@ let test_signoff_small_flow () =
 
 let test_signoff_counts_crossings () =
   let design = Gen.generate { Cases.i1 with Gen.n_groups = 80 } in
-  let r = Flow.run ~mode:Flow.Lr (Prng.create 42) params design in
+  let r = Flow.synthesize (Flow.Config.default params) design in
   let s = signoff_of_flow r in
   (* a corridor design with both H and V traffic has physical crossings *)
   Alcotest.(check bool) "waveguides cross" true (s.Signoff.waveguide_crossings >= 0);
@@ -37,7 +36,7 @@ let test_signoff_no_optical_nets () =
   (* a design so tight-budgeted everything is electrical: nothing to check *)
   let tight = { params with Params.l_max = 0.01 } in
   let design = Cases.tiny () in
-  let r = Flow.run ~mode:Flow.Lr (Prng.create 42) tight design in
+  let r = Flow.synthesize (Flow.Config.default tight) design in
   let s = signoff_of_flow r in
   Alcotest.(check int) "no optical nets" 0 s.Signoff.nets_checked;
   Alcotest.(check int) "no paths" 0 s.Signoff.paths_checked;
@@ -45,8 +44,8 @@ let test_signoff_no_optical_nets () =
 
 let test_signoff_deterministic () =
   let design = Cases.small ~seed:9 () in
-  let r1 = Flow.run ~mode:Flow.Lr (Prng.create 42) params design in
-  let r2 = Flow.run ~mode:Flow.Lr (Prng.create 42) params design in
+  let r1 = Flow.synthesize (Flow.Config.default params) design in
+  let r2 = Flow.synthesize (Flow.Config.default params) design in
   let s1 = signoff_of_flow r1 and s2 = signoff_of_flow r2 in
   Alcotest.(check (float 1e-9)) "same worst loss" s1.Signoff.worst_loss_db
     s2.Signoff.worst_loss_db;
@@ -58,7 +57,7 @@ let prop_signoff_sane =
     QCheck.(int_range 0 1000)
     (fun seed ->
       let design = Cases.small ~seed () in
-      let r = Flow.run ~mode:Flow.Lr (Prng.create seed) params design in
+      let r = Flow.synthesize (Flow.Config.make ~seed params) design in
       let s = signoff_of_flow r in
       s.Signoff.mean_detour_ratio >= 1.0 -. 1e-9
       && s.Signoff.violations <= s.Signoff.paths_checked
