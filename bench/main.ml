@@ -7,6 +7,7 @@
      dune exec bench/main.exe fig5       # Fig. 5 co-design candidates
      dune exec bench/main.exe fig8       # Fig. 8 WDM counts
      dune exec bench/main.exe fig9       # Fig. 9 hotspot maps (case I2)
+     dune exec bench/main.exe serve      # batch service throughput/latency
      dune exec bench/main.exe micro      # Bechamel kernel micro-benchmarks
 
    The ILP wall-clock budget per case defaults to 120 s (the paper used
@@ -127,10 +128,26 @@ type cache_row = {
   c_identical : bool;  (** cached and uncached selections agree bit-for-bit *)
 }
 
-(* One results file serves both targets: whichever ran last rewrites
+(* Rows of the batch-service benchmark (the "serve" target). *)
+type serve_row = {
+  s_name : string;
+  s_workers : int;
+  s_jobs : int;  (** repeat jobs measured (after the cold first submit) *)
+  s_wall_s : float;  (** wall-clock of the repeat batch *)
+  s_throughput : float;  (** repeat jobs per second *)
+  s_p50_ms : float;
+  s_p95_ms : float;
+  s_first_s : float;  (** cold submit->result latency (registry miss) *)
+  s_repeat_s : float;  (** mean repeat latency (registry hits) *)
+  s_hits : int;
+  s_misses : int;
+}
+
+(* One results file serves every target: whichever ran last rewrites
    latest.json with every section accumulated so far this process. *)
 let table1_results : table1_row list ref = ref []
 let cache_results : cache_row list ref = ref []
+let serve_results : serve_row list ref = ref []
 
 let write_results () =
   let jf = Printf.sprintf "%.6f" in
@@ -159,12 +176,24 @@ let write_results () =
       r.c_hits r.c_misses r.c_uncached_queries r.c_pairs r.c_entries
       (jf r.c_build_s) r.c_identical
   in
+  let serve_json r =
+    Printf.sprintf
+      {|    {"name":"%s","workers":%d,"jobs":%d,"wall_seconds":%s,
+     "throughput_jobs_per_s":%s,"p50_ms":%s,"p95_ms":%s,
+     "first_submit_seconds":%s,"repeat_submit_seconds":%s,"registry_speedup":%s,
+     "registry":{"hits":%d,"misses":%d}}|}
+      r.s_name r.s_workers r.s_jobs (jf r.s_wall_s) (jf r.s_throughput)
+      (jf r.s_p50_ms) (jf r.s_p95_ms) (jf r.s_first_s) (jf r.s_repeat_s)
+      (jf (r.s_first_s /. Float.max 1e-9 r.s_repeat_s))
+      r.s_hits r.s_misses
+  in
   let json =
     Printf.sprintf
-      "{\n  \"ilp_budget\": %s,\n  \"cases\": [\n%s\n  ],\n  \"cache_bench\": [\n%s\n  ]\n}\n"
+      "{\n  \"ilp_budget\": %s,\n  \"cases\": [\n%s\n  ],\n  \"cache_bench\": [\n%s\n  ],\n  \"serve\": [\n%s\n  ]\n}\n"
       (jf ilp_budget)
       (String.concat ",\n" (List.map case_json !table1_results))
       (String.concat ",\n" (List.map cache_json !cache_results))
+      (String.concat ",\n" (List.map serve_json !serve_results))
   in
   ensure_dir results_dir;
   let path = Filename.concat results_dir "latest.json" in
@@ -238,12 +267,11 @@ let table1 () =
 (* Crossing-matrix cache: cached vs uncached selection wall-clock     *)
 (* ------------------------------------------------------------------ *)
 
-(* Cases to compare; OPERON_CACHE_CASES=<name,name,...> (I1..I5, small,
-   tiny) restricts the sweep — CI uses a small subset. *)
-let cache_designs () =
-  match Sys.getenv_opt "OPERON_CACHE_CASES" with
-  | None | Some "" ->
-      List.map (fun spec -> (spec.Gen.name, Gen.generate spec)) Cases.all
+(* Named-case selection from an env var; unknown entries are warned
+   about by name and skipped, defaults apply when unset/empty. *)
+let designs_of_env var default =
+  match Sys.getenv_opt var with
+  | None | Some "" -> default ()
   | Some s ->
       String.split_on_char ',' s
       |> List.filter_map (fun name ->
@@ -257,10 +285,15 @@ let cache_designs () =
                    | "small" -> Some ("small", Cases.small ())
                    | "tiny" -> Some ("tiny", Cases.tiny ())
                    | _ ->
-                       Printf.eprintf
-                         "bench: unknown OPERON_CACHE_CASES entry %S (skipped)\n%!"
-                         name;
+                       Printf.eprintf "bench: unknown %s entry %S (skipped)\n%!"
+                         var name;
                        None))
+
+(* Cases to compare; OPERON_CACHE_CASES=<name,name,...> (I1..I5, small,
+   tiny) restricts the sweep — CI uses a small subset. *)
+let cache_designs () =
+  designs_of_env "OPERON_CACHE_CASES" (fun () ->
+      List.map (fun spec -> (spec.Gen.name, Gen.generate spec)) Cases.all)
 
 let cache_bench () =
   print_endline "=== crossing-matrix cache: cached vs uncached LR selection ===";
@@ -317,6 +350,97 @@ let cache_bench () =
        (List.map render rows));
   print_endline "";
   cache_results := rows;
+  write_results ()
+
+(* ------------------------------------------------------------------ *)
+(* Batch synthesis service: throughput, latency, registry reuse       *)
+(* ------------------------------------------------------------------ *)
+
+(* Cases via OPERON_SERVE_CASES (default tiny + small — the service adds
+   orchestration around the same flow Table 1 already times); repeat-job
+   count via OPERON_SERVE_JOBS. *)
+let serve_designs () =
+  designs_of_env "OPERON_SERVE_CASES" (fun () ->
+      [ ("tiny", Cases.tiny ()); ("small", Cases.small ()) ])
+
+let serve_bench () =
+  print_endline
+    "=== batch synthesis service: throughput / latency / registry reuse ===";
+  let open Operon_service in
+  let n_jobs =
+    match Sys.getenv_opt "OPERON_SERVE_JOBS" with
+    | Some s -> (
+        match int_of_string_opt (String.trim s) with
+        | Some v when v > 0 -> v
+        | _ ->
+            Printf.eprintf
+              "bench: ignoring malformed OPERON_SERVE_JOBS=%S (using 12)\n%!" s;
+            12)
+    | None -> 12
+  in
+  let workers = Stdlib.min 4 (Executor.default_jobs ()) in
+  let config = Flow.Config.make ~mode:Flow.Lr params in
+  let rows =
+    List.map
+      (fun (name, design) ->
+        let sch = Scheduler.create ~workers ~capacity:(n_jobs + 1) () in
+        Scheduler.start sch;
+        let submit () =
+          match Scheduler.submit sch ~config design with
+          | Ok id -> id
+          | Error _ -> failwith "bench: serve submit rejected"
+        in
+        (* Cold first job: pays the prepare (registry miss). *)
+        let t0 = Timer.now () in
+        ignore (Scheduler.wait sch (submit ()));
+        let first_s = Timer.now () -. t0 in
+        (* Repeat batch: every job reuses the prepared entry. *)
+        let t1 = Timer.now () in
+        let ids = List.init n_jobs (fun _ -> submit ()) in
+        List.iter (fun id -> ignore (Scheduler.wait sch id)) ids;
+        let wall = Timer.now () -. t1 in
+        let c = Scheduler.counters sch in
+        Scheduler.shutdown sch;
+        let lat = Scheduler.latencies sch in
+        (* latencies are completion-ordered; the cold job finished alone
+           first, so the repeat jobs are everything after index 0. *)
+        let repeat = Array.sub lat 1 (Array.length lat - 1) in
+        { s_name = name;
+          s_workers = workers;
+          s_jobs = n_jobs;
+          s_wall_s = wall;
+          s_throughput = float_of_int n_jobs /. Float.max 1e-9 wall;
+          s_p50_ms = 1000.0 *. Stats.percentile repeat 50.0;
+          s_p95_ms = 1000.0 *. Stats.percentile repeat 95.0;
+          s_first_s = first_s;
+          s_repeat_s = Stats.mean repeat;
+          s_hits = c.Scheduler.registry.Registry.hits;
+          s_misses = c.Scheduler.registry.Registry.misses })
+      (serve_designs ())
+  in
+  let render r =
+    [ r.s_name;
+      string_of_int r.s_workers;
+      string_of_int r.s_jobs;
+      Printf.sprintf "%.1f" r.s_throughput;
+      Printf.sprintf "%.1f" r.s_p50_ms;
+      Printf.sprintf "%.1f" r.s_p95_ms;
+      Printf.sprintf "%.3f" r.s_first_s;
+      Printf.sprintf "%.3f" r.s_repeat_s;
+      Printf.sprintf "%.2fx" (r.s_first_s /. Float.max 1e-9 r.s_repeat_s);
+      Printf.sprintf "%d/%d" r.s_hits (r.s_hits + r.s_misses) ]
+  in
+  print_endline
+    (Report.table
+       ~headers:
+         [ "Bench"; "workers"; "jobs"; "jobs/s"; "p50(ms)"; "p95(ms)";
+           "first(s)"; "repeat(s)"; "reuse speedup"; "reg hits" ]
+       ~align:
+         [ Report.Left; Report.Right; Report.Right; Report.Right; Report.Right;
+           Report.Right; Report.Right; Report.Right; Report.Right; Report.Right ]
+       (List.map render rows));
+  print_endline "";
+  serve_results := rows;
   write_results ()
 
 (* ------------------------------------------------------------------ *)
@@ -729,13 +853,16 @@ let () =
   let targets =
     match Array.to_list Sys.argv with
     | _ :: (_ :: _ as rest) -> rest
-    | _ -> [ "fig3b"; "fig5"; "table1"; "cache"; "fig8"; "fig9"; "ablate"; "micro" ]
+    | _ ->
+        [ "fig3b"; "fig5"; "table1"; "cache"; "serve"; "fig8"; "fig9"; "ablate";
+          "micro" ]
   in
   List.iter
     (fun t ->
       match String.lowercase_ascii t with
       | "table1" -> table1 ()
       | "cache" -> cache_bench ()
+      | "serve" -> serve_bench ()
       | "fig3b" -> fig3b ()
       | "fig5" -> fig5 ()
       | "fig8" -> fig8 ()
@@ -744,6 +871,7 @@ let () =
       | "micro" -> micro ()
       | other ->
           Printf.eprintf
-            "unknown target %S (table1 cache fig3b fig5 fig8 fig9 ablate micro)\n" other;
+            "unknown target %S (table1 cache serve fig3b fig5 fig8 fig9 ablate micro)\n"
+            other;
           exit 2)
     targets

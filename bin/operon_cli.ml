@@ -4,7 +4,8 @@
      run      - full flow on a named case (I1..I5, small, tiny)
      stats    - signal-processing statistics (#Net/#HNet/#HPin)
      splitter - Y-branch cascade table (the Fig. 3b simulation)
-     wdm      - WDM placement + assignment summary (Fig. 8 datapoint) *)
+     wdm      - WDM placement + assignment summary (Fig. 8 datapoint)
+     serve    - batch synthesis service over NDJSON on stdin/stdout *)
 
 open Cmdliner
 open Operon
@@ -97,15 +98,27 @@ let validate_seed = function
   | Some s when s <= 0 -> fail_usage "--seed must be positive (got %d)" s
   | seed -> seed
 
+(* A typo'd --inject-fault is a usage error (exit 2); a typo'd
+   OPERON_FAULTS token is warned about by name and skipped, mirroring the
+   bench harness's OPERON_ILP_BUDGET policy — the variable may linger in
+   an environment that never meant it for this invocation, and silently
+   injecting nothing would hide the typo. *)
 let validate_injections specs =
-  let env =
+  let from_env =
     match Sys.getenv_opt "OPERON_FAULTS" with
-    | Some s when String.trim s <> "" -> [ s ]
+    | Some s when String.trim s <> "" ->
+        let injections, bad = Operon_engine.Fault.injections_of_string_lenient s in
+        List.iter
+          (fun (token, msg) ->
+            Printf.eprintf
+              "operon: ignoring malformed OPERON_FAULTS token %S: %s\n%!" token msg)
+          bad;
+        injections
     | _ -> []
   in
-  match Operon_engine.Fault.injections_of_string (String.concat "," (env @ specs)) with
-  | Ok injections -> injections
-  | Error msg -> fail_usage "bad --inject-fault/OPERON_FAULTS spec: %s" msg
+  match Operon_engine.Fault.injections_of_string (String.concat "," specs) with
+  | Ok injections -> from_env @ injections
+  | Error msg -> fail_usage "bad --inject-fault spec: %s" msg
 
 let make_runctx ?(no_cache = false) params mode budget jobs strict inject_specs =
   let jobs = validate_jobs jobs in
@@ -254,7 +267,17 @@ let export_cmd =
     let doc = "Output file (default: stdout)." in
     Arg.(value & opt (some string) None & info [ "output"; "o" ] ~docv:"FILE" ~doc)
   in
-  let run case seed mode budget jobs strict inject no_cache out =
+  let no_timings_arg =
+    let doc =
+      "Emit exactly the serve protocol's result payload: omit the \
+       wall-clock-dependent fields (the per-stage trace and the cache \
+       timing counters) and the channels block, so the document is a \
+       pure function of design and configuration — byte-comparable \
+       across runs and against $(b,operon serve) results."
+    in
+    Arg.(value & flag & info [ "no-timings" ] ~doc)
+  in
+  let run case seed mode budget jobs strict inject no_cache no_timings out =
     let seed = validate_seed seed in
     with_design case seed (fun design ->
         let params = Operon_optical.Params.default in
@@ -264,7 +287,10 @@ let export_cmd =
         let plan =
           Channels.assign result.Flow.ctx.Selection.params conns result.Flow.assignment
         in
-        let json = Export.flow_to_json ~channels:plan result in
+        let json =
+          if no_timings then Export.flow_to_json ~timings:false result
+          else Export.flow_to_json ~channels:plan result
+        in
         (match Report.degradation_summary result with
          | Some summary -> prerr_string summary
          | None -> ());
@@ -277,7 +303,7 @@ let export_cmd =
   let doc = "Run the flow and export the synthesized design as JSON." in
   Cmd.v (Cmd.info "export" ~doc)
     Term.(const run $ case_arg $ seed_arg $ mode_arg $ budget_arg $ jobs_arg
-          $ strict_arg $ inject_arg $ no_cache_arg $ out_arg)
+          $ strict_arg $ inject_arg $ no_cache_arg $ no_timings_arg $ out_arg)
 
 let timing_cmd =
   let run case seed mode budget jobs =
@@ -304,10 +330,46 @@ let timing_cmd =
   Cmd.v (Cmd.info "timing" ~doc)
     Term.(const run $ case_arg $ seed_arg $ mode_arg $ budget_arg $ jobs_arg)
 
+let serve_cmd =
+  let capacity_arg =
+    let doc =
+      "Bounded job-queue capacity: a submit that would exceed it is \
+       rejected with a structured $(i,busy) response instead of \
+       blocking the client."
+    in
+    Arg.(value & opt int 64 & info [ "queue-capacity" ] ~docv:"N" ~doc)
+  in
+  let run jobs capacity =
+    let jobs = validate_jobs jobs in
+    let workers =
+      if jobs = 0 then Operon_util.Executor.default_jobs () else jobs
+    in
+    if capacity < 1 then
+      fail_usage "--queue-capacity must be >= 1 (got %d)" capacity;
+    let svc =
+      Operon_service.Service.create ~workers ~capacity
+        ~resolve:(fun ~case ~seed -> design_of_case case seed)
+        ~params:Operon_optical.Params.default ()
+    in
+    Operon_service.Service.serve svc stdin stdout
+  in
+  let doc =
+    "Batch synthesis service: newline-delimited JSON requests on stdin, \
+     one response per line on stdout. Results are byte-identical to \
+     $(b,operon export --no-timings) for the same case and options, \
+     whatever the worker count."
+  in
+  let jobs_arg =
+    let doc = "Worker domains serving jobs (0 = one per core)." in
+    Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+  in
+  Cmd.v (Cmd.info "serve" ~doc) Term.(const run $ jobs_arg $ capacity_arg)
+
 let () =
   let doc = "OPERON: optical-electrical power-efficient route synthesis" in
   let info = Cmd.info "operon" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval
        (Cmd.group info
-          [ run_cmd; stats_cmd; splitter_cmd; wdm_cmd; export_cmd; timing_cmd ]))
+          [ run_cmd; stats_cmd; splitter_cmd; wdm_cmd; export_cmd; timing_cmd;
+            serve_cmd ]))

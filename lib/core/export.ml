@@ -107,16 +107,19 @@ let degradation_to_json (r : Flow.t) =
    3 = added "schema_version" itself and the "cache" block. *)
 let schema_version = 3
 
-let cache_to_json (s : Xmatrix.stats) =
+let cache_to_json ?(timings = true) (s : Xmatrix.stats) =
   jobj
-    [ ("enabled", string_of_bool s.Xmatrix.enabled);
-      ("pairs", string_of_int s.Xmatrix.pairs);
-      ("entries", string_of_int s.Xmatrix.entries);
-      ("build_seconds", jfloat s.Xmatrix.build_seconds);
-      ("hits", string_of_int s.Xmatrix.hits);
-      ("misses", string_of_int s.Xmatrix.misses) ]
+    ([ ("enabled", string_of_bool s.Xmatrix.enabled);
+       ("pairs", string_of_int s.Xmatrix.pairs);
+       ("entries", string_of_int s.Xmatrix.entries) ]
+    @
+    if timings then
+      [ ("build_seconds", jfloat s.Xmatrix.build_seconds);
+        ("hits", string_of_int s.Xmatrix.hits);
+        ("misses", string_of_int s.Xmatrix.misses) ]
+    else [])
 
-let flow_to_json ?channels (r : Flow.t) =
+let flow_to_json ?channels ?(timings = true) (r : Flow.t) =
   let die = r.Flow.design.Signal.die in
   let design =
     jobj
@@ -179,10 +182,10 @@ let flow_to_json ?channels (r : Flow.t) =
       ("power", jfloat r.Flow.power);
       ("hypernets", jlist hypernets);
       ("routes", jlist routes);
-      ("wdm", wdm);
-      ("trace", trace_to_json r.Flow.trace);
-      ("degradation", degradation_to_json r);
-      ("cache", cache_to_json r.Flow.cache) ]
+      ("wdm", wdm) ]
+    @ (if timings then [ ("trace", trace_to_json r.Flow.trace) ] else [])
+    @ [ ("degradation", degradation_to_json r);
+        ("cache", cache_to_json ~timings r.Flow.cache) ]
   in
   let with_channels =
     match channels with

@@ -12,15 +12,21 @@ val schema_version : int
     [degradation], 3 = added [schema_version] itself and the [cache]
     block. Bump on any breaking change; see README for the full schema. *)
 
-val flow_to_json : ?channels:Channels.plan -> Flow.t -> string
+val flow_to_json : ?channels:Channels.plan -> ?timings:bool -> Flow.t -> string
 (** The full result as a JSON object with fields [schema_version],
     [design], [hypernets], [routes], [wdm], [trace], [degradation],
-    [cache] and optionally [channels]. *)
+    [cache] and optionally [channels]. With [~timings:false] the
+    wall-clock-dependent parts are omitted — no [trace] field, and the
+    [cache] block carries only [enabled]/[pairs]/[entries] — so the
+    document is a pure function of (design, configuration): two runs of
+    the same job, whether single-shot or served from the batch service,
+    produce byte-identical output. *)
 
-val cache_to_json : Xmatrix.stats -> string
+val cache_to_json : ?timings:bool -> Xmatrix.stats -> string
 (** The crossing-matrix statistics block: [enabled], [pairs], [entries],
     [build_seconds], [hits], [misses]. Embedded in {!flow_to_json} and
-    reused by the bench results file. *)
+    reused by the bench results file. [~timings:false] keeps only the
+    deterministic [enabled]/[pairs]/[entries] fields. *)
 
 val degradation_to_json : Flow.t -> string
 (** Just the degradation summary object: [faults] (stage, net, kind,

@@ -337,12 +337,10 @@ let full_pipeline processing = Pipeline.(prepare_pipeline processing >>> select_
 
 let run_ctx ?processing rc design = Pipeline.run rc (full_pipeline processing) design
 
-(* A fresh run-context for one Config-driven entry point. The optional
-   [rng] override exists only for the deprecated wrappers, whose old
-   signatures took a PRNG positionally; Config callers seed via
-   [Config.seed]. *)
-let runctx_of ?rng ?sink (cfg : Config.t) =
-  let rc = Runctx.create ?rng ~seed:cfg.Config.seed (Config.to_runctx_config cfg) in
+(* A fresh run-context for one Config-driven entry point; callers seed
+   via [Config.seed]. *)
+let runctx_of ?sink (cfg : Config.t) =
+  let rc = Runctx.create ~seed:cfg.Config.seed (Config.to_runctx_config cfg) in
   match sink with None -> rc | Some sink -> { rc with Runctx.sink = sink }
 
 let synthesize ?sink config design =
@@ -361,32 +359,3 @@ let select_with ?sink config design hnets ctx =
      matters to the (already finished) processing stage. *)
   let rc = runctx_of ?sink config in
   Pipeline.run rc select_pipeline (design, hnets, ctx)
-
-(* ------------------------------------------------------------------ *)
-(* Deprecated optional-argument wrappers (pre-Config API).             *)
-(* ------------------------------------------------------------------ *)
-
-let prepare ?processing ?(max_cands_per_net = 10) ?(exec = Executor.sequential)
-    ?sink rng params design =
-  let cfg =
-    { (Config.default params) with
-      Config.processing; max_cands_per_net; jobs = Executor.jobs exec }
-  in
-  (* Config cannot carry the caller's PRNG; thread it underneath. *)
-  let rc = runctx_of ~rng ?sink cfg in
-  let _, hnets, ctx = Pipeline.run rc (prepare_pipeline processing) design in
-  (hnets, ctx)
-
-let run_prepared ?(mode = Lr) ?(ilp_budget = 3000.0) ?sink params design hnets ctx =
-  let cfg = { (Config.default params) with Config.mode; ilp_budget; seed = 0 } in
-  select_with ?sink cfg design hnets ctx
-
-let run ?processing ?(max_cands_per_net = 10) ?(mode = Lr) ?(ilp_budget = 3000.0)
-    ?(exec = Executor.sequential) ?sink rng params design =
-  let cfg =
-    { (Config.default params) with
-      Config.processing; mode; ilp_budget; max_cands_per_net;
-      jobs = Executor.jobs exec }
-  in
-  let rc = runctx_of ~rng ?sink cfg in
-  run_ctx ?processing rc design

@@ -18,8 +18,6 @@
     {!Config.make}, refine it with the [with_*] setters, and hand it to
     {!synthesize} (whole flow), {!prepare_with} (candidate generation
     only) or {!select_with} (selection + WDM on existing candidates).
-    The pre-Config optional-argument entry points remain as thin
-    deprecated wrappers.
 
     Fault tolerance: unless [strict] is set, a per-net failure in the
     Baselines or Codesign stages quarantines just that hyper net — it is
@@ -31,7 +29,6 @@
     re-raises the first structured {!Operon_engine.Fault.Error} with its
     original backtrace instead. *)
 
-open Operon_util
 open Operon_optical
 open Operon_engine
 
@@ -142,38 +139,3 @@ val run_ctx : ?processing:Processing.config -> Runctx.t -> Signal.design -> t
 (** The whole pipeline under an explicit run-context — the low-level
     escape hatch when the caller owns the {!Runctx.t} (custom executor,
     shared fault log). Most callers want {!synthesize}. *)
-
-val prepare :
-  ?processing:Processing.config ->
-  ?max_cands_per_net:int ->
-  ?exec:Executor.t ->
-  ?sink:Instrument.sink ->
-  Prng.t ->
-  Params.t ->
-  Signal.design ->
-  Hypernet.t array * Selection.ctx
-[@@deprecated "use Flow.prepare_with with a Flow.Config.t"]
-
-val run :
-  ?processing:Processing.config ->
-  ?max_cands_per_net:int ->
-  ?mode:mode ->
-  ?ilp_budget:float ->
-  ?exec:Executor.t ->
-  ?sink:Instrument.sink ->
-  Prng.t ->
-  Params.t ->
-  Signal.design ->
-  t
-[@@deprecated "use Flow.synthesize with a Flow.Config.t"]
-
-val run_prepared :
-  ?mode:mode ->
-  ?ilp_budget:float ->
-  ?sink:Instrument.sink ->
-  Params.t ->
-  Signal.design ->
-  Hypernet.t array ->
-  Selection.ctx ->
-  t
-[@@deprecated "use Flow.select_with with a Flow.Config.t"]

@@ -101,6 +101,17 @@ let injections_of_string s =
   in
   go [] specs
 
+let injections_of_string_lenient s =
+  String.split_on_char ',' s |> List.map String.trim
+  |> List.filter (fun spec -> spec <> "")
+  |> List.fold_left
+       (fun (oks, bads) spec ->
+         match injection_of_string spec with
+         | Ok inj -> (inj :: oks, bads)
+         | Stdlib.Error msg -> (oks, (spec, msg) :: bads))
+       ([], [])
+  |> fun (oks, bads) -> (List.rev oks, List.rev bads)
+
 let injection_matching injections ~stage ~net =
   List.find_opt
     (fun inj ->

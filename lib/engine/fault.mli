@@ -63,6 +63,15 @@ val injection_of_string : string -> (injection, string) result
 val injections_of_string : string -> (injection list, string) result
 (** Comma-separated list of specs; the empty string parses to []. *)
 
+val injections_of_string_lenient : string -> injection list * (string * string) list
+(** Like {!injections_of_string}, but a malformed token never poisons the
+    whole list: well-formed specs are kept and each bad token is returned
+    as [(token, parse error)] so the caller can warn about it by name.
+    This is the policy for environment-variable input ([OPERON_FAULTS]),
+    mirroring the bench harness's [OPERON_ILP_BUDGET] handling — a typo'd
+    env var degrades to a warning instead of silently injecting nothing
+    (or aborting a run the variable may not even have been meant for). *)
+
 val injection_matching :
   injection list -> stage:Instrument.stage -> net:int option -> injection option
 (** First injection matching a (stage, net) site, if any. *)

@@ -1,4 +1,4 @@
-type stage = Processing | Baselines | Codesign | Select | Wdm | Assign
+type stage = Processing | Baselines | Codesign | Select | Wdm | Assign | Serve
 
 let all_stages = [ Processing; Baselines; Codesign; Select; Wdm; Assign ]
 
@@ -9,10 +9,11 @@ let stage_name = function
   | Select -> "select"
   | Wdm -> "wdm"
   | Assign -> "assign"
+  | Serve -> "serve"
 
 let stage_of_string s =
   let s = String.lowercase_ascii s in
-  List.find_opt (fun stage -> stage_name stage = s) all_stages
+  List.find_opt (fun stage -> stage_name stage = s) (all_stages @ [ Serve ])
 
 type record = {
   stage : stage;

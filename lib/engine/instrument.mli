@@ -10,13 +10,17 @@
     coordinator after the fan-out completes (the executor merges results
     in input order first), so recording stays deterministic. *)
 
-type stage = Processing | Baselines | Codesign | Select | Wdm | Assign
-(** The six pipeline stages of the OPERON flow (paper Figure 2): signal
+type stage = Processing | Baselines | Codesign | Select | Wdm | Assign | Serve
+(** The six pipeline stages of the OPERON flow (paper Figure 2) — signal
     processing, BI1S baseline generation, co-design DP candidates,
-    candidate selection, WDM sweep placement, network-flow assignment. *)
+    candidate selection, WDM sweep placement, network-flow assignment —
+    plus [Serve], the batch-synthesis service layer that schedules whole
+    flows as jobs (per-job and queue counters live under it). *)
 
 val all_stages : stage list
-(** In pipeline order. *)
+(** The pipeline stages in pipeline order. [Serve] is not a pipeline
+    stage and is deliberately excluded (a single flow run never touches
+    it); {!stage_of_string} still parses ["serve"]. *)
 
 val stage_name : stage -> string
 

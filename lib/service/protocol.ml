@@ -1,0 +1,417 @@
+let schema_version = 1
+
+(* ------------------------------------------------------------------ *)
+(* Minimal JSON reader (the Export writer's missing half)             *)
+(* ------------------------------------------------------------------ *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  exception Bad of string
+
+  let fail fmt = Printf.ksprintf (fun m -> raise (Bad m)) fmt
+
+  type cursor = { src : string; mutable pos : int }
+
+  let peek c = if c.pos < String.length c.src then Some c.src.[c.pos] else None
+
+  let advance c = c.pos <- c.pos + 1
+
+  let rec skip_ws c =
+    match peek c with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance c;
+        skip_ws c
+    | _ -> ()
+
+  let expect c ch =
+    match peek c with
+    | Some x when x = ch -> advance c
+    | Some x -> fail "expected %C at offset %d, got %C" ch c.pos x
+    | None -> fail "expected %C at offset %d, got end of input" ch c.pos
+
+  let literal c word value =
+    let n = String.length word in
+    if c.pos + n <= String.length c.src && String.sub c.src c.pos n = word then begin
+      c.pos <- c.pos + n;
+      value
+    end
+    else fail "bad literal at offset %d" c.pos
+
+  (* UTF-8 encode one code point (surrogate pairs already combined). *)
+  let add_utf8 buf cp =
+    if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+    else if cp < 0x800 then begin
+      Buffer.add_char buf (Char.chr (0xC0 lor (cp lsr 6)));
+      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+    end
+    else if cp < 0x10000 then begin
+      Buffer.add_char buf (Char.chr (0xE0 lor (cp lsr 12)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+    end
+    else begin
+      Buffer.add_char buf (Char.chr (0xF0 lor (cp lsr 18)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 12) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+    end
+
+  let hex4 c =
+    let v = ref 0 in
+    for _ = 1 to 4 do
+      (match peek c with
+       | Some ch ->
+           let d =
+             match ch with
+             | '0' .. '9' -> Char.code ch - Char.code '0'
+             | 'a' .. 'f' -> Char.code ch - Char.code 'a' + 10
+             | 'A' .. 'F' -> Char.code ch - Char.code 'A' + 10
+             | _ -> fail "bad \\u escape at offset %d" c.pos
+           in
+           v := (!v * 16) + d
+       | None -> fail "truncated \\u escape at offset %d" c.pos);
+      advance c
+    done;
+    !v
+
+  let parse_string c =
+    expect c '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek c with
+      | None -> fail "unterminated string at offset %d" c.pos
+      | Some '"' -> advance c
+      | Some '\\' -> (
+          advance c;
+          match peek c with
+          | None -> fail "truncated escape at offset %d" c.pos
+          | Some e ->
+              advance c;
+              (match e with
+               | '"' -> Buffer.add_char buf '"'
+               | '\\' -> Buffer.add_char buf '\\'
+               | '/' -> Buffer.add_char buf '/'
+               | 'b' -> Buffer.add_char buf '\b'
+               | 'f' -> Buffer.add_char buf '\012'
+               | 'n' -> Buffer.add_char buf '\n'
+               | 'r' -> Buffer.add_char buf '\r'
+               | 't' -> Buffer.add_char buf '\t'
+               | 'u' ->
+                   let cp = hex4 c in
+                   let cp =
+                     (* Combine a UTF-16 surrogate pair when present. *)
+                     if cp >= 0xD800 && cp <= 0xDBFF
+                        && c.pos + 1 < String.length c.src
+                        && c.src.[c.pos] = '\\'
+                        && c.src.[c.pos + 1] = 'u'
+                     then begin
+                       advance c;
+                       advance c;
+                       let lo = hex4 c in
+                       if lo >= 0xDC00 && lo <= 0xDFFF then
+                         0x10000 + ((cp - 0xD800) lsl 10) + (lo - 0xDC00)
+                       else fail "unpaired surrogate at offset %d" c.pos
+                     end
+                     else cp
+                   in
+                   add_utf8 buf cp
+               | _ -> fail "bad escape '\\%c' at offset %d" e c.pos);
+              go ()
+          )
+      | Some ch ->
+          advance c;
+          Buffer.add_char buf ch;
+          go ()
+    in
+    go ();
+    Buffer.contents buf
+
+  let parse_number c =
+    let start = c.pos in
+    let consume_while pred =
+      let rec go () =
+        match peek c with
+        | Some ch when pred ch ->
+            advance c;
+            go ()
+        | _ -> ()
+      in
+      go ()
+    in
+    (match peek c with Some '-' -> advance c | _ -> ());
+    consume_while (function '0' .. '9' -> true | _ -> false);
+    (match peek c with
+     | Some '.' ->
+         advance c;
+         consume_while (function '0' .. '9' -> true | _ -> false)
+     | _ -> ());
+    (match peek c with
+     | Some ('e' | 'E') ->
+         advance c;
+         (match peek c with Some ('+' | '-') -> advance c | _ -> ());
+         consume_while (function '0' .. '9' -> true | _ -> false)
+     | _ -> ());
+    let text = String.sub c.src start (c.pos - start) in
+    match float_of_string_opt text with
+    | Some v -> v
+    | None -> fail "bad number %S at offset %d" text start
+
+  let rec parse_value c =
+    skip_ws c;
+    match peek c with
+    | None -> fail "unexpected end of input at offset %d" c.pos
+    | Some '{' ->
+        advance c;
+        skip_ws c;
+        if peek c = Some '}' then begin
+          advance c;
+          Obj []
+        end
+        else begin
+          let rec members acc =
+            skip_ws c;
+            let key = parse_string c in
+            skip_ws c;
+            expect c ':';
+            let v = parse_value c in
+            skip_ws c;
+            match peek c with
+            | Some ',' ->
+                advance c;
+                members ((key, v) :: acc)
+            | Some '}' ->
+                advance c;
+                List.rev ((key, v) :: acc)
+            | _ -> fail "expected ',' or '}' at offset %d" c.pos
+          in
+          Obj (members [])
+        end
+    | Some '[' ->
+        advance c;
+        skip_ws c;
+        if peek c = Some ']' then begin
+          advance c;
+          Arr []
+        end
+        else begin
+          let rec items acc =
+            let v = parse_value c in
+            skip_ws c;
+            match peek c with
+            | Some ',' ->
+                advance c;
+                items (v :: acc)
+            | Some ']' ->
+                advance c;
+                List.rev (v :: acc)
+            | _ -> fail "expected ',' or ']' at offset %d" c.pos
+          in
+          Arr (items [])
+        end
+    | Some '"' -> Str (parse_string c)
+    | Some 't' -> literal c "true" (Bool true)
+    | Some 'f' -> literal c "false" (Bool false)
+    | Some 'n' -> literal c "null" Null
+    | Some ('-' | '0' .. '9') -> Num (parse_number c)
+    | Some ch -> fail "unexpected %C at offset %d" ch c.pos
+
+  let parse s =
+    let c = { src = s; pos = 0 } in
+    match parse_value c with
+    | v ->
+        skip_ws c;
+        if c.pos <> String.length s then
+          Error (Printf.sprintf "trailing garbage at offset %d" c.pos)
+        else Ok v
+    | exception Bad msg -> Error msg
+
+  let member key = function
+    | Obj fields -> List.assoc_opt key fields
+    | _ -> None
+end
+
+(* ------------------------------------------------------------------ *)
+(* Raw-fragment writers (same conventions as the Export writer)       *)
+(* ------------------------------------------------------------------ *)
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let jstr s = "\"" ^ escape s ^ "\""
+
+let jint = string_of_int
+
+let jfloat v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.1f" v
+  else Printf.sprintf "%.9g" v
+
+let jbool = string_of_bool
+
+let jobj fields =
+  "{" ^ String.concat "," (List.map (fun (k, v) -> jstr k ^ ":" ^ v) fields) ^ "}"
+
+(* ------------------------------------------------------------------ *)
+(* Requests                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type submit = {
+  sub_job : string option;
+  sub_case : string;
+  sub_seed : int option;
+  sub_mode : Operon_engine.Runctx.mode;
+  sub_budget : float;
+  sub_priority : int;
+  sub_deadline : float option;
+  sub_cache : bool;
+}
+
+type request =
+  | Submit of submit
+  | Status of string
+  | Result of string
+  | Cancel of string
+  | Stats
+
+type error = {
+  err_op : string option;
+  err_kind : string;
+  err_detail : string;
+}
+
+exception Invalid of string
+
+let invalid fmt = Printf.ksprintf (fun m -> raise (Invalid m)) fmt
+
+let str_field ?default json key =
+  match Json.member key json with
+  | Some (Json.Str s) -> s
+  | Some _ -> invalid "field %S must be a string" key
+  | None -> (
+      match default with
+      | Some d -> d
+      | None -> invalid "missing required field %S" key)
+
+let opt_str_field json key =
+  match Json.member key json with
+  | Some (Json.Str s) -> Some s
+  | Some Json.Null | None -> None
+  | Some _ -> invalid "field %S must be a string" key
+
+let opt_num_field json key =
+  match Json.member key json with
+  | Some (Json.Num v) -> Some v
+  | Some Json.Null | None -> None
+  | Some _ -> invalid "field %S must be a number" key
+
+let opt_int_field json key =
+  match opt_num_field json key with
+  | None -> None
+  | Some v ->
+      if Float.is_integer v then Some (int_of_float v)
+      else invalid "field %S must be an integer" key
+
+let bool_field ~default json key =
+  match Json.member key json with
+  | Some (Json.Bool b) -> b
+  | None -> default
+  | Some _ -> invalid "field %S must be a boolean" key
+
+let parse_submit json =
+  let sub_case = str_field json "case" in
+  let sub_job = opt_str_field json "job" in
+  (match sub_job with
+   | Some "" -> invalid "field \"job\" must not be empty"
+   | _ -> ());
+  let sub_seed =
+    match opt_int_field json "seed" with
+    | Some s when s <= 0 -> invalid "field \"seed\" must be positive (got %d)" s
+    | seed -> seed
+  in
+  let sub_mode =
+    match String.lowercase_ascii (str_field ~default:"lr" json "mode") with
+    | "lr" -> Operon_engine.Runctx.Lr
+    | "ilp" -> Operon_engine.Runctx.Ilp
+    | other -> invalid "unknown mode %S (expected lr or ilp)" other
+  in
+  let sub_budget =
+    match opt_num_field json "ilp_budget" with
+    | Some v when v <= 0.0 -> invalid "field \"ilp_budget\" must be positive"
+    | Some v -> v
+    | None -> 60.0
+  in
+  let sub_priority =
+    match opt_int_field json "priority" with Some p -> p | None -> 0
+  in
+  let sub_deadline =
+    match opt_num_field json "deadline" with
+    | Some v when v < 0.0 -> invalid "field \"deadline\" must be >= 0"
+    | d -> d
+  in
+  let sub_cache = bool_field ~default:true json "cache" in
+  Submit
+    { sub_job; sub_case; sub_seed; sub_mode; sub_budget; sub_priority;
+      sub_deadline; sub_cache }
+
+let parse_request line =
+  match Json.parse line with
+  | Error msg -> Error { err_op = None; err_kind = "parse"; err_detail = msg }
+  | Ok json -> (
+      match
+        match json with
+        | Json.Obj _ -> (
+            let op = str_field json "op" in
+            ( Some op,
+              match String.lowercase_ascii op with
+              | "submit" -> parse_submit json
+              | "status" -> Status (str_field json "job")
+              | "result" -> Result (str_field json "job")
+              | "cancel" -> Cancel (str_field json "job")
+              | "stats" -> Stats
+              | other ->
+                  invalid
+                    "unknown op %S (expected submit, status, result, cancel or stats)"
+                    other ))
+        | _ -> invalid "request must be a JSON object"
+      with
+      | _, request -> Ok request
+      | exception Invalid detail ->
+          let err_op =
+            match Json.member "op" json with Some (Json.Str s) -> Some s | _ -> None
+          in
+          Error { err_op; err_kind = "validation"; err_detail = detail })
+
+(* ------------------------------------------------------------------ *)
+(* Response envelopes                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let envelope ?job ?op ~ok fields =
+  jobj
+    ([ ("schema_version", jint schema_version); ("ok", jbool ok) ]
+    @ (match op with Some op -> [ ("op", jstr op) ] | None -> [])
+    @ (match job with Some j -> [ ("job", jstr j) ] | None -> [])
+    @ fields)
+
+let ok ?job ~op fields = envelope ?job ~op ~ok:true fields
+
+let error ?job ?op ~kind ~detail () =
+  envelope ?job ?op ~ok:false
+    [ ("error", jobj [ ("kind", jstr kind); ("detail", jstr detail) ]) ]

@@ -1,0 +1,96 @@
+(** Versioned newline-delimited JSON protocol of the batch synthesis
+    service.
+
+    One request per line on the way in, one response per line on the way
+    out. Every response is an {e envelope} stamped with the protocol's
+    [schema_version] and an [ok] flag; failures carry an [error] object
+    with a machine-readable [kind] and a human-readable [detail] —
+    exactly the shape {!Operon.Export} uses for per-fault records, so a
+    client parses degradations and protocol errors with one code path.
+
+    The five operations:
+
+    {v
+      {"op":"submit","case":"tiny", ...}   enqueue a synthesis job
+      {"op":"status","job":"job-1"}        non-blocking state probe
+      {"op":"result","job":"job-1"}        block until done, return JSON
+      {"op":"cancel","job":"job-1"}        cancel a still-queued job
+      {"op":"stats"}                       service counters
+    v}
+
+    The protocol is transport-free (the CLI speaks it over stdin/stdout)
+    and its parser is hand-rolled like the {!Operon.Export} writer — no
+    external JSON dependency. *)
+
+val schema_version : int
+(** Version of the request/response layout, echoed in every response.
+    History: 1 = initial protocol (submit/status/result/cancel/stats). *)
+
+(** {2 Minimal JSON values} *)
+
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  val parse : string -> (t, string) result
+  (** Parse one complete JSON document; trailing garbage is an error. *)
+
+  val member : string -> t -> t option
+  (** Field lookup on an [Obj]; [None] otherwise. *)
+end
+
+(** {2 Requests} *)
+
+type submit = {
+  sub_job : string option;  (** client-chosen job id ([None] = server picks) *)
+  sub_case : string;  (** design case name (registry key source) *)
+  sub_seed : int option;  (** case generation seed override *)
+  sub_mode : Operon_engine.Runctx.mode;
+  sub_budget : float;  (** selection wall-clock budget, seconds *)
+  sub_priority : int;  (** higher runs first; FIFO within a priority *)
+  sub_deadline : float option;
+      (** seconds from submission the job must finish within *)
+  sub_cache : bool;  (** build the crossing-matrix cache *)
+}
+
+type request =
+  | Submit of submit
+  | Status of string
+  | Result of string
+  | Cancel of string
+  | Stats
+
+type error = {
+  err_op : string option;  (** the request's [op], when it parsed that far *)
+  err_kind : string;  (** ["parse"] or ["validation"] *)
+  err_detail : string;
+}
+
+val parse_request : string -> (request, error) result
+(** Parse and validate one request line. Unknown fields are ignored;
+    wrong types, unknown [op]s and out-of-range values are
+    ["validation"] errors, malformed JSON is a ["parse"] error. *)
+
+(** {2 Response envelopes}
+
+    Field values are raw JSON fragments — pass them through {!jstr} /
+    {!jint} / {!jfloat} / {!jbool}, or embed a pre-rendered document
+    (e.g. [Export.flow_to_json]) verbatim. *)
+
+val ok : ?job:string -> op:string -> (string * string) list -> string
+(** [{"schema_version":V,"ok":true,"op":...,"job":...,<fields>}] *)
+
+val error : ?job:string -> ?op:string -> kind:string -> detail:string -> unit -> string
+(** [{"schema_version":V,"ok":false,...,"error":{"kind":...,"detail":...}}].
+    Kinds used by the service: ["parse"], ["validation"], ["busy"],
+    ["unknown_job"], ["cancelled"], ["deadline"], ["fault"]. *)
+
+val jstr : string -> string
+val jint : int -> string
+val jfloat : float -> string
+val jbool : bool -> string

@@ -1,0 +1,123 @@
+open Operon
+open Operon_geom
+
+type entry = {
+  e_design : Signal.design;
+  e_config : Flow.Config.t;  (* the preparing submission's config *)
+  e_lock : Mutex.t;
+  mutable e_prepared : (Hypernet.t array * Selection.ctx) option;
+  mutable e_uses : int;
+}
+
+type t = {
+  mu : Mutex.t;
+  tbl : (string, entry) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+type stats = { entries : int; hits : int; misses : int }
+
+let create () =
+  { mu = Mutex.create (); tbl = Hashtbl.create 16; hits = 0; misses = 0 }
+
+let with_lock mu f =
+  Mutex.lock mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mu) f
+
+(* %h renders the exact bit pattern of a float, so the fingerprint can
+   never identify two designs that differ by less than a print format. *)
+let add_point buf (p : Point.t) =
+  Buffer.add_string buf (Printf.sprintf "%h,%h;" p.Point.x p.Point.y)
+
+let fingerprint (design : Signal.design) =
+  let buf = Buffer.create 4096 in
+  let die = design.Signal.die in
+  Buffer.add_string buf
+    (Printf.sprintf "die:%h,%h,%h,%h\n" die.Rect.xmin die.Rect.ymin
+       die.Rect.xmax die.Rect.ymax);
+  Array.iter
+    (fun (g : Signal.group) ->
+      Buffer.add_string buf "group:";
+      Buffer.add_string buf g.Signal.name;
+      Buffer.add_char buf '\n';
+      Array.iter
+        (fun (b : Signal.bit) ->
+          Buffer.add_string buf "bit:";
+          add_point buf b.Signal.source;
+          Array.iter (add_point buf) b.Signal.sinks;
+          Buffer.add_char buf '\n')
+        g.Signal.bits)
+    design.Signal.groups;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+let key (config : Flow.Config.t) design =
+  (* Only the preparation-relevant configuration participates: what
+     [Flow.prepare_with] reads. Params and processing overrides are
+     records of immediates, so the polymorphic hash is stable within a
+     process — the registry never outlives one. *)
+  let prep_bits =
+    Printf.sprintf "seed=%d;cands=%d;cache=%b;params=%d;processing=%d"
+      config.Flow.Config.seed config.Flow.Config.max_cands_per_net
+      config.Flow.Config.cache
+      (Hashtbl.hash config.Flow.Config.params)
+      (Hashtbl.hash config.Flow.Config.processing)
+  in
+  fingerprint design ^ ":" ^ Digest.to_hex (Digest.string prep_bits)
+
+let find_or_prepare ?sink t ~config design =
+  let key = key config design in
+  let entry, reused =
+    with_lock t.mu (fun () ->
+        match Hashtbl.find_opt t.tbl key with
+        | Some e ->
+            e.e_uses <- e.e_uses + 1;
+            t.hits <- t.hits + 1;
+            (e, true)
+        | None ->
+            t.misses <- t.misses + 1;
+            let e =
+              { e_design = design;
+                e_config = config;
+                e_lock = Mutex.create ();
+                e_prepared = None;
+                e_uses = 1 }
+            in
+            Hashtbl.add t.tbl key e;
+            (e, false))
+  in
+  (* Prepare outside the registry mutex: a slow first-sight design must
+     not stall lookups (or preparations) of other designs. Concurrent
+     submissions of the same design block here until the first one's
+     preparation lands. *)
+  (try
+     with_lock entry.e_lock (fun () ->
+         match entry.e_prepared with
+         | Some _ -> ()
+         | None ->
+             entry.e_prepared <-
+               Some (Flow.prepare_with ?sink entry.e_config entry.e_design))
+   with e ->
+     (* A faulting preparation must not leave a poisoned entry behind:
+        evict it so a later submission retries from scratch. *)
+     let bt = Printexc.get_raw_backtrace () in
+     with_lock t.mu (fun () ->
+         match Hashtbl.find_opt t.tbl key with
+         | Some cur when cur == entry && cur.e_prepared = None ->
+             Hashtbl.remove t.tbl key
+         | _ -> ());
+     Printexc.raise_with_backtrace e bt);
+  (entry, reused)
+
+let with_prepared entry f =
+  with_lock entry.e_lock (fun () ->
+      match entry.e_prepared with
+      | Some prepared -> f prepared
+      | None ->
+          (* Unreachable through [find_or_prepare], which never publishes
+             an unprepared entry. *)
+          invalid_arg "Registry.with_prepared: entry not prepared")
+
+let stats t =
+  with_lock t.mu (fun () ->
+      { entries = Hashtbl.length t.tbl; hits = t.hits; misses = t.misses })

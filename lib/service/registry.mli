@@ -1,0 +1,67 @@
+(** In-memory store of prepared designs, keyed by content hash.
+
+    The expensive front half of the flow — signal processing, BI1S
+    baselines, the co-design DP and the crossing-matrix build
+    ([Flow.prepare_with]) — depends only on the design's content and the
+    preparation-relevant slice of the configuration (seed, candidate
+    cap, cache flag, optical parameters). The registry computes that key
+    once per submission and hands repeated requests the already-prepared
+    [(hnets, ctx)], so a fleet of jobs against the same design pays for
+    candidate generation once.
+
+    Thread model: the registry itself is guarded by one mutex (cheap
+    lookups only); each entry carries its own lock, held while the entry
+    is being prepared and while a selection runs on its shared
+    {!Operon.Selection.ctx}. The context's crossing matrix keeps plain
+    mutable hit/miss counters, so selections on the {e same} entry are
+    serialized by that lock; jobs on different designs run fully in
+    parallel. Selection results are bit-identical to a fresh
+    single-shot run — the cache never changes what is computed. *)
+
+open Operon
+
+type t
+
+type entry
+(** One prepared design. *)
+
+type stats = {
+  entries : int;  (** designs currently held *)
+  hits : int;  (** submissions that reused a prepared design *)
+  misses : int;  (** submissions that had to prepare *)
+}
+
+val create : unit -> t
+
+val fingerprint : Signal.design -> string
+(** Content hash (hex digest) of a design: die rectangle plus every
+    group's name and exact pin coordinates. Equal designs — however they
+    were produced — share a fingerprint. *)
+
+val key : Flow.Config.t -> Signal.design -> string
+(** Registry key: the design {!fingerprint} combined with the
+    preparation-relevant configuration (seed, candidate cap, cache flag,
+    optical parameters, processing overrides). Selection-only settings
+    (mode, budget) deliberately do not participate, so an ILP and an LR
+    job against one design share the prepared entry. *)
+
+val find_or_prepare :
+  ?sink:Operon_engine.Instrument.sink ->
+  t ->
+  config:Flow.Config.t ->
+  Signal.design ->
+  entry * bool
+(** Look the design up, preparing it on first sight (the preparation
+    runs outside the registry mutex, under the entry's own lock, so
+    other designs are not blocked). Returns [(entry, reused)]; [reused]
+    is [false] for the submission that performed the preparation.
+    [sink] receives the preparation stages' instrumentation when this
+    call prepares. *)
+
+val with_prepared :
+  entry -> (Hypernet.t array * Selection.ctx -> 'a) -> 'a
+(** Run [f] on the entry's prepared data while holding the entry lock —
+    the required discipline for anything that queries the shared
+    crossing matrix (selection, signoff). *)
+
+val stats : t -> stats

@@ -1,0 +1,148 @@
+open Operon
+open Operon_engine
+
+type t = {
+  scheduler : Scheduler.t;
+  resolve : case:string -> seed:int option -> Signal.design option;
+  params : Operon_optical.Params.t;
+}
+
+let create ?workers ?capacity ~resolve ~params () =
+  { scheduler = Scheduler.create ?workers ?capacity (); resolve; params }
+
+let scheduler t = t.scheduler
+
+let start t = Scheduler.start t.scheduler
+
+let shutdown t = Scheduler.shutdown t.scheduler
+
+(* ------------------------------------------------------------------ *)
+(* Request handlers                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let config_of_submit t (s : Protocol.submit) =
+  (* Mirrors the single-shot CLI defaults ([make_runctx]): seed 42 for
+     the flow PRNG (the submit seed reshapes the generated case, exactly
+     like [--seed]), sequential execution inside the job. *)
+  Flow.Config.make ~mode:s.Protocol.sub_mode ~ilp_budget:s.Protocol.sub_budget
+    ~cache:s.Protocol.sub_cache t.params
+
+let handle_submit t (s : Protocol.submit) =
+  match t.resolve ~case:s.Protocol.sub_case ~seed:s.Protocol.sub_seed with
+  | None ->
+      Protocol.error ?job:s.Protocol.sub_job ~op:"submit" ~kind:"validation"
+        ~detail:(Printf.sprintf "unknown case %S" s.Protocol.sub_case)
+        ()
+  | Some design -> (
+      let config = config_of_submit t s in
+      match
+        Scheduler.submit t.scheduler ?job:s.Protocol.sub_job
+          ~priority:s.Protocol.sub_priority ?deadline:s.Protocol.sub_deadline
+          ~config design
+      with
+      | Ok id ->
+          let c = Scheduler.counters t.scheduler in
+          Protocol.ok ~job:id ~op:"submit"
+            [ ("state", Protocol.jstr "queued");
+              ("queue_depth", Protocol.jint c.Scheduler.queue_depth) ]
+      | Error (`Busy detail) ->
+          Protocol.error ?job:s.Protocol.sub_job ~op:"submit" ~kind:"busy"
+            ~detail ()
+      | Error (`Duplicate id) ->
+          Protocol.error ~job:id ~op:"submit" ~kind:"validation"
+            ~detail:(Printf.sprintf "job id %S already exists" id)
+            ())
+
+let unknown_job ~op id =
+  Protocol.error ~job:id ~op ~kind:"unknown_job"
+    ~detail:(Printf.sprintf "no such job %S" id)
+    ()
+
+let handle_status t id =
+  match Scheduler.state t.scheduler id with
+  | None -> unknown_job ~op:"status" id
+  | Some st ->
+      Protocol.ok ~job:id ~op:"status"
+        [ ("state", Protocol.jstr (Scheduler.state_name st)) ]
+
+let handle_result t id =
+  match Scheduler.wait t.scheduler id with
+  | None -> unknown_job ~op:"result" id
+  | Some (Scheduler.Completed flow) ->
+      Protocol.ok ~job:id ~op:"result"
+        [ ("state", Protocol.jstr "completed");
+          ("power", Protocol.jfloat flow.Flow.power);
+          ("solver_path", Protocol.jstr flow.Flow.solver_path);
+          ("result", Export.flow_to_json ~timings:false flow) ]
+  | Some (Scheduler.Failed fault) ->
+      Protocol.error ~job:id ~op:"result" ~kind:"fault"
+        ~detail:(Fault.to_string fault) ()
+  | Some Scheduler.Cancelled ->
+      Protocol.error ~job:id ~op:"result" ~kind:"cancelled"
+        ~detail:"job was cancelled before a worker ran it" ()
+  | Some (Scheduler.Expired late) ->
+      Protocol.error ~job:id ~op:"result" ~kind:"deadline"
+        ~detail:
+          (Printf.sprintf "deadline expired %.3f s before the job started" late)
+        ()
+
+let handle_cancel t id =
+  match Scheduler.cancel t.scheduler id with
+  | `Cancelled ->
+      Protocol.ok ~job:id ~op:"cancel" [ ("state", Protocol.jstr "cancelled") ]
+  | `Already st ->
+      Protocol.error ~job:id ~op:"cancel" ~kind:"validation"
+        ~detail:
+          (Printf.sprintf "job is already %s" (Scheduler.state_name st))
+        ()
+  | `Unknown -> unknown_job ~op:"cancel" id
+
+let handle_stats t =
+  let c = Scheduler.counters t.scheduler in
+  Protocol.ok ~op:"stats"
+    [ ("submitted", Protocol.jint c.Scheduler.submitted);
+      ("completed", Protocol.jint c.Scheduler.completed);
+      ("failed", Protocol.jint c.Scheduler.failed);
+      ("rejected", Protocol.jint c.Scheduler.rejected);
+      ("cancelled", Protocol.jint c.Scheduler.cancelled);
+      ("expired", Protocol.jint c.Scheduler.expired);
+      ("queue_depth", Protocol.jint c.Scheduler.queue_depth);
+      ("workers", Protocol.jint (Scheduler.workers t.scheduler));
+      ( "registry",
+        Printf.sprintf "{\"entries\":%d,\"hits\":%d,\"misses\":%d}"
+          c.Scheduler.registry.Registry.entries
+          c.Scheduler.registry.Registry.hits
+          c.Scheduler.registry.Registry.misses ) ]
+
+let handle_line t line =
+  if String.trim line = "" then None
+  else
+    Some
+      (match Protocol.parse_request line with
+       | Error e ->
+           Protocol.error ?op:e.Protocol.err_op ~kind:e.Protocol.err_kind
+             ~detail:e.Protocol.err_detail ()
+       | Ok (Protocol.Submit s) -> handle_submit t s
+       | Ok (Protocol.Status id) -> handle_status t id
+       | Ok (Protocol.Result id) -> handle_result t id
+       | Ok (Protocol.Cancel id) -> handle_cancel t id
+       | Ok Protocol.Stats -> handle_stats t)
+
+let serve t ic oc =
+  start t;
+  Fun.protect
+    ~finally:(fun () -> shutdown t)
+    (fun () ->
+      let rec loop () =
+        match input_line ic with
+        | exception End_of_file -> ()
+        | line ->
+            (match handle_line t line with
+             | Some response ->
+                 output_string oc response;
+                 output_char oc '\n';
+                 flush oc
+             | None -> ());
+            loop ()
+      in
+      loop ())

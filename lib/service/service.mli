@@ -1,0 +1,52 @@
+(** The batch synthesis service: {!Protocol} front-end over a
+    {!Scheduler}.
+
+    A service reads newline-delimited JSON requests, translates them
+    into scheduler operations and renders response envelopes. It is
+    transport-free: {!handle_line} maps one request line to one
+    response line, and {!serve} merely loops that over a channel pair —
+    which is what [operon serve] runs on stdin/stdout, keeping the
+    whole stack exercisable in CI without sockets.
+
+    Designs are named by {e case}: the [resolve] callback maps a
+    submitted case name (plus optional seed) to a design, so the
+    service layer stays independent of the benchmark generator.
+
+    Result JSON is rendered with [Export.flow_to_json ~timings:false] —
+    a pure function of (design, configuration) — so a served result is
+    byte-identical to a single-shot [Flow.synthesize] of the same job,
+    whatever worker count executed it and whether or not the registry
+    reused a prepared design. *)
+
+open Operon
+
+type t
+
+val create :
+  ?workers:int ->
+  ?capacity:int ->
+  resolve:(case:string -> seed:int option -> Signal.design option) ->
+  params:Operon_optical.Params.t ->
+  unit ->
+  t
+(** A service over a fresh {!Scheduler.create}[ ~workers ~capacity].
+    Workers are not started yet — tests drive {!handle_line} against a
+    stopped pool to exercise queueing deterministically; {!serve}
+    starts them itself. *)
+
+val scheduler : t -> Scheduler.t
+
+val start : t -> unit
+
+val handle_line : t -> string -> string option
+(** One request line to one response line. [None] for blank lines.
+    Never raises: every failure becomes an error envelope. Blocking
+    semantics follow the protocol — [result] waits for the job's
+    terminal state, everything else answers immediately. *)
+
+val serve : t -> in_channel -> out_channel -> unit
+(** Start the workers, answer requests until end-of-input, then drain
+    and shut down. Responses are flushed per line. *)
+
+val shutdown : t -> unit
+(** Graceful drain: accepted jobs finish, workers are joined. *)

@@ -52,6 +52,36 @@ let test_injections_list_parsing () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "trailing bad spec must fail the whole list"
 
+let test_lenient_list_parsing () =
+  (* Env-var policy: keep the well-formed specs, return each bad token
+     with its diagnostic (the CLI warns by name on stderr). *)
+  let oks, bads =
+    Fault.injections_of_string_lenient
+      "select:*:budget, bogus, codesign:3:crash, wdm:droids"
+  in
+  (match oks with
+   | [ a; b ] ->
+       Alcotest.(check bool) "first kept" true
+         (a.Fault.inj_stage = Instrument.Select && a.Fault.inj_kind = Fault.Budget);
+       Alcotest.(check bool) "second kept" true
+         (b.Fault.inj_stage = Instrument.Codesign && b.Fault.inj_net = Some 3)
+   | _ -> Alcotest.fail "expected exactly the two well-formed specs kept");
+  (match bads with
+   | [ (t1, m1); (t2, m2) ] ->
+       Alcotest.(check string) "first bad token" "bogus" t1;
+       Alcotest.(check string) "second bad token" "wdm:droids" t2;
+       Alcotest.(check bool) "diagnostics non-empty" true
+         (String.length m1 > 0 && String.length m2 > 0)
+   | _ -> Alcotest.fail "expected exactly the two malformed tokens reported");
+  (* Degenerate inputs. *)
+  Alcotest.(check bool) "empty string" true
+    (Fault.injections_of_string_lenient "" = ([], []));
+  Alcotest.(check bool) "separators only" true
+    (Fault.injections_of_string_lenient " , ," = ([], []));
+  match Fault.injections_of_string_lenient "allbad" with
+  | [], [ ("allbad", _) ] -> ()
+  | _ -> Alcotest.fail "all-bad input keeps nothing and reports the token"
+
 let test_injection_matching () =
   let injections =
     match Fault.injections_of_string "codesign:1:injected,select:*:budget" with
@@ -292,6 +322,8 @@ let () =
     [ ( "injection",
         [ Alcotest.test_case "spec parsing" `Quick test_injection_parsing;
           Alcotest.test_case "list parsing" `Quick test_injections_list_parsing;
+          Alcotest.test_case "lenient env-var parsing" `Quick
+            test_lenient_list_parsing;
           Alcotest.test_case "matching" `Quick test_injection_matching ] );
       ( "quarantine",
         [ Alcotest.test_case "codesign fault quarantines one net" `Quick

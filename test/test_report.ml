@@ -1,0 +1,108 @@
+(* Golden-string tests for the Report renderers: the stage table and the
+   degradation summary are part of the CLI's observable surface (CI greps
+   them), so their exact layout is pinned here. *)
+
+open Operon_optical
+open Operon
+open Operon_benchgen
+open Operon_engine
+
+let params = Params.default
+
+(* ------------------------------------------------------------------ *)
+(* Stage table                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_stage_table_golden () =
+  (* A hand-built sink with fixed seconds: the table must be a pure
+     function of the recorded values, byte for byte. *)
+  let sink = Instrument.create () in
+  Instrument.add_seconds sink Instrument.Processing 0.012;
+  Instrument.incr sink Instrument.Processing "nets" 5;
+  Instrument.add_seconds sink Instrument.Select 1.5;
+  Instrument.incr sink Instrument.Select "iterations" 42;
+  Instrument.incr sink Instrument.Select "fallbacks" 1;
+  let expected =
+    String.concat "\n"
+      [ "+------------+---------+----------------------------+";
+        "| stage      | seconds | counters                   |";
+        "+------------+---------+----------------------------+";
+        "| processing |   0.012 | nets=5                     |";
+        "| select     |   1.500 | iterations=42  fallbacks=1 |";
+        "| total      |   1.512 |                            |";
+        "+------------+---------+----------------------------+" ]
+  in
+  Alcotest.(check string) "stage table" expected (Report.stage_table sink)
+
+let test_stage_table_title_and_serve () =
+  (* The optional title is a plain first line, and the Serve stage (the
+     service layer's counters) renders like any other stage. *)
+  let sink = Instrument.create () in
+  Instrument.add_seconds sink Instrument.Serve 2.25;
+  Instrument.incr sink Instrument.Serve "submitted" 3;
+  Instrument.incr sink Instrument.Serve "completed" 2;
+  let expected =
+    String.concat "\n"
+      [ "jobs";
+        "+-------+---------+--------------------------+";
+        "| stage | seconds | counters                 |";
+        "+-------+---------+--------------------------+";
+        "| serve |   2.250 | submitted=3  completed=2 |";
+        "| total |   2.250 |                          |";
+        "+-------+---------+--------------------------+" ]
+  in
+  Alcotest.(check string) "titled serve table" expected
+    (Report.stage_table ~title:"jobs" sink)
+
+(* ------------------------------------------------------------------ *)
+(* Degradation summary                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let run_tiny injections =
+  let design = Cases.tiny ~seed:3 () in
+  let injections =
+    match Fault.injections_of_string injections with
+    | Ok l -> l
+    | Error msg -> Alcotest.fail msg
+  in
+  Flow.synthesize (Flow.Config.make ~injections params) design
+
+let test_degradation_summary_fallback_golden () =
+  let r = run_tiny "select:*:budget" in
+  let expected =
+    "degraded run: 1 fault, 0 nets quarantined, solver path lr->greedy\n\
+    \  - select: budget: deterministic fault injection at this site\n"
+  in
+  match Report.degradation_summary r with
+  | Some summary -> Alcotest.(check string) "fallback summary" expected summary
+  | None -> Alcotest.fail "degraded run must produce a summary"
+
+let test_degradation_summary_quarantine_golden () =
+  (* Singular forms: exactly one fault, one quarantined net. *)
+  let r = run_tiny "codesign:1:crash" in
+  let expected =
+    "degraded run: 1 fault, 1 net quarantined, solver path lr\n\
+    \  - codesign/net1: crash: deterministic fault injection at this site\n"
+  in
+  match Report.degradation_summary r with
+  | Some summary -> Alcotest.(check string) "quarantine summary" expected summary
+  | None -> Alcotest.fail "degraded run must produce a summary"
+
+let test_degradation_summary_clean_none () =
+  match Report.degradation_summary (run_tiny "") with
+  | None -> ()
+  | Some s -> Alcotest.fail ("clean run produced a summary: " ^ s)
+
+let () =
+  Alcotest.run "report"
+    [ ( "stage-table",
+        [ Alcotest.test_case "golden layout" `Quick test_stage_table_golden;
+          Alcotest.test_case "title and serve stage" `Quick
+            test_stage_table_title_and_serve ] );
+      ( "degradation",
+        [ Alcotest.test_case "fallback chain golden" `Quick
+            test_degradation_summary_fallback_golden;
+          Alcotest.test_case "quarantine golden" `Quick
+            test_degradation_summary_quarantine_golden;
+          Alcotest.test_case "clean run yields none" `Quick
+            test_degradation_summary_clean_none ] ) ]

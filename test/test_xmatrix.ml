@@ -287,29 +287,6 @@ let test_eval_recompute_locality () =
     (Printf.sprintf "flip re-derives <= %d nets (got %d)" bound delta)
     true (delta <= bound)
 
-(* ------------------------------------------------------------------ *)
-(* Deprecated wrappers still agree with the Config entry points       *)
-(* ------------------------------------------------------------------ *)
-
-let test_wrappers_agree () =
-  let design = Cases.tiny ~seed:21 () in
-  let via_config = Flow.synthesize (Flow.Config.default params) design in
-  let[@alert "-deprecated"] via_wrapper =
-    Flow.run ~mode:Flow.Lr (Prng.create 42) params design
-  in
-  Alcotest.(check (array int)) "choice" via_config.Flow.choice
-    via_wrapper.Flow.choice;
-  Alcotest.(check (float 0.0)) "power" via_config.Flow.power
-    via_wrapper.Flow.power;
-  let[@alert "-deprecated"] hnets, ctx =
-    Flow.prepare (Prng.create 42) params design
-  in
-  let[@alert "-deprecated"] via_prepared =
-    Flow.run_prepared ~mode:Flow.Lr params design hnets ctx
-  in
-  Alcotest.(check (array int)) "prepared choice" via_config.Flow.choice
-    via_prepared.Flow.choice
-
 let () =
   Alcotest.run "xmatrix"
     [ ( "unit",
@@ -329,7 +306,4 @@ let () =
         [ Alcotest.test_case "eval = full recompute" `Quick
             test_eval_incremental_equivalence;
           Alcotest.test_case "eval recompute locality" `Quick
-            test_eval_recompute_locality ] );
-      ( "api",
-        [ Alcotest.test_case "deprecated wrappers agree" `Quick
-            test_wrappers_agree ] ) ]
+            test_eval_recompute_locality ] ) ]
