@@ -8,6 +8,7 @@
      dune exec bench/main.exe fig8       # Fig. 8 WDM counts
      dune exec bench/main.exe fig9       # Fig. 9 hotspot maps (case I2)
      dune exec bench/main.exe serve      # batch service throughput/latency
+     dune exec bench/main.exe eco        # incremental ECO vs cold re-synthesis
      dune exec bench/main.exe micro      # Bechamel kernel micro-benchmarks
 
    The ILP wall-clock budget per case defaults to 120 s (the paper used
@@ -113,6 +114,13 @@ let rec ensure_dir path =
 
 let stage_seconds sink stage = Instrument.seconds sink stage
 
+let run_stamp =
+  lazy
+    (let tm = Unix.gmtime (Unix.time ()) in
+     Printf.sprintf "%04d-%02d-%02dT%02d%02d%02dZ.json" (tm.Unix.tm_year + 1900)
+       (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+       tm.Unix.tm_sec)
+
 (* Rows of the cached-vs-uncached selection comparison (the "cache"
    target); serialized into latest.json next to the Table 1 cases. *)
 type cache_row = {
@@ -143,11 +151,26 @@ type serve_row = {
   s_misses : int;
 }
 
+(* Rows of the incremental-ECO benchmark (the "eco" target). *)
+type eco_row = {
+  e_name : string;
+  e_ratio : float;  (** fraction of signal groups displaced *)
+  e_nets : int;
+  e_reused : int;
+  e_recomputed : int;
+  e_xrows : int;  (** crossing-matrix rows aliased from the baseline *)
+  e_cold_s : float;  (** cold prepare + select wall-clock *)
+  e_eco_s : float;  (** incremental prepare + select wall-clock *)
+  e_identical : bool;  (** ECO and cold exports agree byte-for-byte *)
+  e_cold_fallback : bool;
+}
+
 (* One results file serves every target: whichever ran last rewrites
    latest.json with every section accumulated so far this process. *)
 let table1_results : table1_row list ref = ref []
 let cache_results : cache_row list ref = ref []
 let serve_results : serve_row list ref = ref []
+let eco_results : eco_row list ref = ref []
 
 let write_results () =
   let jf = Printf.sprintf "%.6f" in
@@ -187,18 +210,37 @@ let write_results () =
       (jf (r.s_first_s /. Float.max 1e-9 r.s_repeat_s))
       r.s_hits r.s_misses
   in
+  let eco_json r =
+    Printf.sprintf
+      {|    {"name":"%s","mutate_ratio":%s,"nets":%d,
+     "nets_reused":%d,"nets_recomputed":%d,"xrows_reused":%d,
+     "cold_seconds":%s,"eco_seconds":%s,"speedup":%s,
+     "identical":%b,"cold_fallback":%b}|}
+      r.e_name (jf r.e_ratio) r.e_nets r.e_reused r.e_recomputed r.e_xrows
+      (jf r.e_cold_s) (jf r.e_eco_s)
+      (jf (r.e_cold_s /. Float.max 1e-9 r.e_eco_s))
+      r.e_identical r.e_cold_fallback
+  in
   let json =
     Printf.sprintf
-      "{\n  \"ilp_budget\": %s,\n  \"cases\": [\n%s\n  ],\n  \"cache_bench\": [\n%s\n  ],\n  \"serve\": [\n%s\n  ]\n}\n"
+      "{\n  \"ilp_budget\": %s,\n  \"cases\": [\n%s\n  ],\n  \"cache_bench\": [\n%s\n  ],\n  \"serve\": [\n%s\n  ],\n  \"eco\": [\n%s\n  ]\n}\n"
       (jf ilp_budget)
       (String.concat ",\n" (List.map case_json !table1_results))
       (String.concat ",\n" (List.map cache_json !cache_results))
       (String.concat ",\n" (List.map serve_json !serve_results))
+      (String.concat ",\n" (List.map eco_json !eco_results))
   in
   ensure_dir results_dir;
   let path = Filename.concat results_dir "latest.json" in
   Export.write_file path json;
-  Printf.printf "wrote %s (%d bytes)\n\n%!" path (String.length json)
+  (* Also keep a per-run timestamped copy alongside latest.json, so
+     successive bench runs remain comparable after the fact. The stamp
+     is fixed once per process: every target of one run accumulates
+     into the same file. *)
+  let stamped = Filename.concat results_dir (Lazy.force run_stamp) in
+  Export.write_file stamped json;
+  Printf.printf "wrote %s and %s (%d bytes)\n\n%!" path stamped
+    (String.length json)
 
 let stage_timing_table rows =
   print_endline "=== per-stage wall-clock seconds (candidate stages shared by both engines) ===";
@@ -350,6 +392,83 @@ let cache_bench () =
        (List.map render rows));
   print_endline "";
   cache_results := rows;
+  write_results ()
+
+(* ------------------------------------------------------------------ *)
+(* Incremental ECO re-synthesis: cold vs eco wall-clock               *)
+(* ------------------------------------------------------------------ *)
+
+(* Cases via OPERON_ECO_CASES (default I2 — big enough that preparation
+   dominates and per-net reuse pays). Each case is prepared cold once,
+   then re-synthesized at several mutation ratios both cold and
+   incrementally; exports must agree byte-for-byte. *)
+let eco_designs () =
+  designs_of_env "OPERON_ECO_CASES" (fun () ->
+      match Cases.by_name "I2" with
+      | Some spec -> [ (spec.Gen.name, Gen.generate spec) ]
+      | None -> [ ("small", Cases.small ()) ])
+
+let eco_bench () =
+  print_endline "=== incremental ECO re-synthesis: cold vs eco wall-clock ===";
+  let config = Flow.Config.default params in
+  let ratios = [ 0.05; 0.1; 0.25 ] in
+  let rows =
+    List.concat_map
+      (fun (name, design) ->
+        let prev = Flow.prepare config design in
+        List.map
+          (fun ratio ->
+            let revised = Mutate.design ~ratio ~seed:9001 design in
+            let t0 = Timer.now () in
+            let cold_p = Flow.prepare config revised in
+            let cold_flow = Flow.select_prepared config cold_p in
+            let cold_s = Timer.now () -. t0 in
+            let t1 = Timer.now () in
+            let eco_p = Flow.prepare_eco ~prev config revised in
+            let eco_flow = Flow.select_prepared config eco_p in
+            let eco_s = Timer.now () -. t1 in
+            let identical =
+              Export.flow_to_json ~timings:false cold_flow
+              = Export.flow_to_json ~timings:false eco_flow
+            in
+            if not identical then
+              Printf.eprintf "bench: ECO parity violation on %s @ %g!\n%!" name
+                ratio;
+            let e = Option.get eco_p.Flow.p_eco in
+            { e_name = name;
+              e_ratio = ratio;
+              e_nets = Array.length eco_p.Flow.p_hnets;
+              e_reused = e.Flow.nets_reused;
+              e_recomputed = e.Flow.nets_recomputed;
+              e_xrows = e.Flow.xrows_reused;
+              e_cold_s = cold_s;
+              e_eco_s = eco_s;
+              e_identical = identical;
+              e_cold_fallback = e.Flow.cold_fallback })
+          ratios)
+      (eco_designs ())
+  in
+  let render r =
+    [ r.e_name;
+      Printf.sprintf "%g" r.e_ratio;
+      Printf.sprintf "%d/%d" r.e_recomputed r.e_nets;
+      string_of_int r.e_xrows;
+      Printf.sprintf "%.3f" r.e_cold_s;
+      Printf.sprintf "%.3f" r.e_eco_s;
+      Printf.sprintf "%.2fx" (r.e_cold_s /. Float.max 1e-9 r.e_eco_s);
+      (if r.e_identical then "yes" else "NO") ]
+  in
+  print_endline
+    (Report.table
+       ~headers:
+         [ "Bench"; "ratio"; "recomputed"; "xrows"; "cold(s)"; "eco(s)";
+           "speedup"; "identical" ]
+       ~align:
+         [ Report.Left; Report.Right; Report.Right; Report.Right; Report.Right;
+           Report.Right; Report.Right; Report.Right ]
+       (List.map render rows));
+  print_endline "";
+  eco_results := rows;
   write_results ()
 
 (* ------------------------------------------------------------------ *)
@@ -854,8 +973,8 @@ let () =
     match Array.to_list Sys.argv with
     | _ :: (_ :: _ as rest) -> rest
     | _ ->
-        [ "fig3b"; "fig5"; "table1"; "cache"; "serve"; "fig8"; "fig9"; "ablate";
-          "micro" ]
+        [ "fig3b"; "fig5"; "table1"; "cache"; "serve"; "eco"; "fig8"; "fig9";
+          "ablate"; "micro" ]
   in
   List.iter
     (fun t ->
@@ -863,6 +982,7 @@ let () =
       | "table1" -> table1 ()
       | "cache" -> cache_bench ()
       | "serve" -> serve_bench ()
+      | "eco" -> eco_bench ()
       | "fig3b" -> fig3b ()
       | "fig5" -> fig5 ()
       | "fig8" -> fig8 ()
@@ -871,7 +991,7 @@ let () =
       | "micro" -> micro ()
       | other ->
           Printf.eprintf
-            "unknown target %S (table1 cache serve fig3b fig5 fig8 fig9 ablate micro)\n"
+            "unknown target %S (table1 cache serve eco fig3b fig5 fig8 fig9 ablate micro)\n"
             other;
           exit 2)
     targets

@@ -75,6 +75,27 @@ let inject_arg =
   Arg.(value & opt_all string []
        & info [ "inject-fault" ] ~docv:"STAGE:NET:KIND" ~doc)
 
+let mutate_arg =
+  let doc =
+    "Displace this fraction of signal groups (ECO perturbation) before \
+     synthesis. Deterministic given $(b,--mutate-seed)."
+  in
+  Arg.(value & opt (some float) None & info [ "mutate" ] ~docv:"RATIO" ~doc)
+
+let mutate_seed_arg =
+  let doc = "PRNG seed of the $(b,--mutate) perturbation." in
+  Arg.(value & opt int 1 & info [ "mutate-seed" ] ~docv:"SEED" ~doc)
+
+let eco_from_arg =
+  let doc =
+    "Incremental (ECO) run: read the baseline design from a previous \
+     $(b,operon export) file, prepare it, then re-prepare the current \
+     design against it — only changed hyper nets and their interaction \
+     closure are recomputed. The result is bit-identical to a cold run."
+  in
+  Arg.(value & opt (some string) None
+       & info [ "eco-from" ] ~docv:"EXPORT.json" ~doc)
+
 (* --- validation: one-line diagnostic on stderr, exit code 2 --- *)
 
 let fail_usage fmt =
@@ -120,15 +141,60 @@ let validate_injections specs =
   | Ok injections -> from_env @ injections
   | Error msg -> fail_usage "bad --inject-fault spec: %s" msg
 
-let make_runctx ?(no_cache = false) params mode budget jobs strict inject_specs =
+let make_config ?(no_cache = false) params mode budget jobs strict inject_specs =
   let jobs = validate_jobs jobs in
   let jobs = if jobs = 0 then Operon_util.Executor.default_jobs () else jobs in
-  let cfg =
-    Flow.Config.make ~mode:(validate_mode mode) ~ilp_budget:budget ~jobs ~strict
-      ~injections:(validate_injections inject_specs) ~cache:(not no_cache) params
-  in
+  Flow.Config.make ~mode:(validate_mode mode) ~ilp_budget:budget ~jobs ~strict
+    ~injections:(validate_injections inject_specs) ~cache:(not no_cache) params
+
+let make_runctx ?no_cache params mode budget jobs strict inject_specs =
+  let cfg = make_config ?no_cache params mode budget jobs strict inject_specs in
   Operon_engine.Runctx.create ~seed:cfg.Flow.Config.seed
     (Flow.Config.to_runctx_config cfg)
+
+let apply_mutate mutate mutate_seed design =
+  match mutate with
+  | None -> design
+  | Some ratio ->
+      if ratio <= 0.0 || ratio > 1.0 then
+        fail_usage "--mutate must be in (0, 1] (got %g)" ratio;
+      if mutate_seed <= 0 then
+        fail_usage "--mutate-seed must be positive (got %d)" mutate_seed;
+      Mutate.design ~ratio ~seed:mutate_seed design
+
+(* The run/export back half: cold synthesis, or — with --eco-from — an
+   incremental re-preparation against the design recorded in a previous
+   export. Either way the flow result is bit-identical to a cold run of
+   [design]; the ECO path only reports what it saved, on stderr. *)
+let synthesize_cli ?eco_from config design =
+  match eco_from with
+  | None ->
+      let rc =
+        Operon_engine.Runctx.create ~seed:config.Flow.Config.seed
+          (Flow.Config.to_runctx_config config)
+      in
+      Flow.run_ctx rc design
+  | Some path -> (
+      match Operon_service.Design_io.load_export path with
+      | Error msg -> fail_usage "--eco-from: %s" msg
+      | Ok baseline ->
+          let prev = Flow.prepare config baseline in
+          let p = Flow.prepare_eco ~prev config design in
+          (match p.Flow.p_eco with
+           | Some e when e.Flow.cold_fallback ->
+               Printf.eprintf
+                 "eco: cold fallback (baseline not reusable); all %d nets \
+                  recomputed\n%!"
+                 e.Flow.nets_recomputed
+           | Some e ->
+               Printf.eprintf
+                 "eco: reused %d nets, recomputed %d (dirty %d, interaction \
+                  %d, added %d, removed %d), crossing rows reused %d\n%!"
+                 e.Flow.nets_reused e.Flow.nets_recomputed e.Flow.dirty
+                 e.Flow.interaction_dirty e.Flow.added e.Flow.removed
+                 e.Flow.xrows_reused
+           | None -> ());
+          Flow.select_prepared config p)
 
 let print_trace result =
   print_endline
@@ -156,12 +222,14 @@ let with_design name seed f =
         exit 1)
 
 let run_cmd =
-  let run case seed mode budget jobs trace strict inject no_cache =
+  let run case seed mode budget jobs trace strict inject no_cache mutate
+      mutate_seed eco_from =
     let seed = validate_seed seed in
     with_design case seed (fun design ->
+        let design = apply_mutate mutate mutate_seed design in
         let params = Operon_optical.Params.default in
-        let rc = make_runctx ~no_cache params mode budget jobs strict inject in
-        let result = Flow.run_ctx rc design in
+        let config = make_config ~no_cache params mode budget jobs strict inject in
+        let result = synthesize_cli ?eco_from config design in
         let nets, hnets, hpins = Processing.stats result.Flow.hnets in
         Printf.printf "case %s: #Net=%d #HNet=%d #HPin=%d\n" case nets hnets hpins;
         Printf.printf "electrical baseline power: %.2f\n"
@@ -207,7 +275,8 @@ let run_cmd =
   let doc = "Run the full OPERON flow on a case." in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(const run $ case_arg $ seed_arg $ mode_arg $ budget_arg $ jobs_arg
-          $ trace_arg $ strict_arg $ inject_arg $ no_cache_arg)
+          $ trace_arg $ strict_arg $ inject_arg $ no_cache_arg $ mutate_arg
+          $ mutate_seed_arg $ eco_from_arg)
 
 let stats_cmd =
   let run case seed =
@@ -277,12 +346,14 @@ let export_cmd =
     in
     Arg.(value & flag & info [ "no-timings" ] ~doc)
   in
-  let run case seed mode budget jobs strict inject no_cache no_timings out =
+  let run case seed mode budget jobs strict inject no_cache no_timings out
+      mutate mutate_seed eco_from =
     let seed = validate_seed seed in
     with_design case seed (fun design ->
+        let design = apply_mutate mutate mutate_seed design in
         let params = Operon_optical.Params.default in
-        let rc = make_runctx ~no_cache params mode budget jobs strict inject in
-        let result = Flow.run_ctx rc design in
+        let config = make_config ~no_cache params mode budget jobs strict inject in
+        let result = synthesize_cli ?eco_from config design in
         let conns = result.Flow.placement.Wdm_place.conns in
         let plan =
           Channels.assign result.Flow.ctx.Selection.params conns result.Flow.assignment
@@ -303,7 +374,8 @@ let export_cmd =
   let doc = "Run the flow and export the synthesized design as JSON." in
   Cmd.v (Cmd.info "export" ~doc)
     Term.(const run $ case_arg $ seed_arg $ mode_arg $ budget_arg $ jobs_arg
-          $ strict_arg $ inject_arg $ no_cache_arg $ no_timings_arg $ out_arg)
+          $ strict_arg $ inject_arg $ no_cache_arg $ no_timings_arg $ out_arg
+          $ mutate_arg $ mutate_seed_arg $ eco_from_arg)
 
 let timing_cmd =
   let run case seed mode budget jobs =
@@ -339,15 +411,27 @@ let serve_cmd =
     in
     Arg.(value & opt int 64 & info [ "queue-capacity" ] ~docv:"N" ~doc)
   in
-  let run jobs capacity =
+  let registry_capacity_arg =
+    let doc =
+      "Cap the prepared-design registry at N entries, evicting the \
+       least recently used beyond it (0 = unbounded, the default)."
+    in
+    Arg.(value & opt int 0 & info [ "registry-capacity" ] ~docv:"N" ~doc)
+  in
+  let run jobs capacity registry_capacity =
     let jobs = validate_jobs jobs in
     let workers =
       if jobs = 0 then Operon_util.Executor.default_jobs () else jobs
     in
     if capacity < 1 then
       fail_usage "--queue-capacity must be >= 1 (got %d)" capacity;
+    if registry_capacity < 0 then
+      fail_usage "--registry-capacity must be >= 0 (got %d)" registry_capacity;
+    let registry_capacity =
+      if registry_capacity = 0 then None else Some registry_capacity
+    in
     let svc =
-      Operon_service.Service.create ~workers ~capacity
+      Operon_service.Service.create ~workers ~capacity ?registry_capacity
         ~resolve:(fun ~case ~seed -> design_of_case case seed)
         ~params:Operon_optical.Params.default ()
     in
@@ -363,7 +447,8 @@ let serve_cmd =
     let doc = "Worker domains serving jobs (0 = one per core)." in
     Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
   in
-  Cmd.v (Cmd.info "serve" ~doc) Term.(const run $ jobs_arg $ capacity_arg)
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(const run $ jobs_arg $ capacity_arg $ registry_capacity_arg)
 
 let () =
   let doc = "OPERON: optical-electrical power-efficient route synthesis" in

@@ -94,30 +94,103 @@ let assign params conns orient live positions =
     (flows, !displacement)
   end
 
+(* Retire tracks lightest-first while a max-flow certificate shows the
+   rest still carries everything. Orientations are independent. Tracks
+   are handled by index so identical-looking tracks stay distinct.
+
+   One flow network serves the whole retirement pass: retiring track [w]
+   cancels the flow it carries (and the matching units on the arcs
+   feeding it, so conservation holds), zeroes its sink arc, and resumes
+   Dinic from the residual state. The max-flow value is a function of
+   the capacity-edited graph alone, so the resumed solve answers exactly
+   the question the old per-track rebuild asked — "do the remaining
+   tracks still carry every bit?" — at a fraction of the cost. A track
+   that carries no flow is retired outright (removing it cannot lower
+   the max flow below its current, already-maximal value); a failed
+   retirement restores the pre-edit snapshot. *)
+let survivors params conns orient all =
+  let mine = ref [] in
+  for i = Array.length all - 1 downto 0 do
+    if all.(i).Wdm.orient = orient then mine := i :: !mine
+  done;
+  let ordered =
+    List.sort (fun a b -> compare all.(a).Wdm.used all.(b).Wdm.used) !mine
+  in
+  let total = demand conns orient in
+  if total = 0 then []
+  else begin
+    let ord = Array.of_list ordered in
+    let nw = Array.length ord in
+    let nc = Array.length conns in
+    let source = 0 and sink = nc + nw + 1 in
+    let g = Maxflow.create (nc + nw + 2) in
+    let src_arc = Array.make nc (-1) in
+    let into = Array.make nw [] in
+    Array.iteri
+      (fun ci c ->
+        if Wdm.orientation_of c.Wdm.seg = orient then begin
+          src_arc.(ci) <-
+            Maxflow.add_edge g ~src:source ~dst:(1 + ci) ~cap:c.Wdm.bits;
+          Array.iteri
+            (fun wi i ->
+              if Wdm.track_distance all.(i) c <= params.Params.dis_u then
+                let h =
+                  Maxflow.add_edge g ~src:(1 + ci) ~dst:(1 + nc + wi)
+                    ~cap:c.Wdm.bits
+                in
+                into.(wi) <- (h, ci) :: into.(wi))
+            ord
+        end)
+      conns;
+    let sink_arc =
+      Array.mapi
+        (fun wi i ->
+          Maxflow.add_edge g ~src:(1 + nc + wi) ~dst:sink
+            ~cap:all.(i).Wdm.capacity)
+        ord
+    in
+    let flow0 = Maxflow.max_flow g ~source ~sink in
+    if flow0 < total then ordered (* infeasible even with every track: no
+                                     subset can do better, keep all *)
+    else begin
+      let live = Array.make nw true in
+      for wi = 0 to nw - 1 do
+        let f_w = Maxflow.flow_on g sink_arc.(wi) in
+        if f_w = 0 then begin
+          Maxflow.disable g sink_arc.(wi);
+          live.(wi) <- false
+        end
+        else begin
+          let saved = Maxflow.snapshot g in
+          List.iter
+            (fun (h, ci) ->
+              let f = Maxflow.flow_on g h in
+              if f > 0 then begin
+                Maxflow.cancel g h f;
+                Maxflow.cancel g src_arc.(ci) f
+              end)
+            into.(wi);
+          Maxflow.cancel g sink_arc.(wi) f_w;
+          Maxflow.disable g sink_arc.(wi);
+          let rerouted = Maxflow.max_flow g ~source ~sink in
+          if rerouted = f_w then live.(wi) <- false
+          else Maxflow.restore g saved
+        end
+      done;
+      let keep = ref [] in
+      for wi = nw - 1 downto 0 do
+        if live.(wi) then keep := ord.(wi) :: !keep
+      done;
+      !keep
+    end
+  end
+
 let run params (placement : Wdm_place.placement) =
   let conns = placement.Wdm_place.conns in
   let all = placement.Wdm_place.tracks in
   let initial_count = Array.length all in
-  (* Retire tracks lightest-first while a max-flow certificate shows the
-     rest still carries everything. Orientations are independent. Tracks
-     are handled by index so identical-looking tracks stay distinct. *)
-  let survivors orient =
-    let mine = ref [] in
-    for i = Array.length all - 1 downto 0 do
-      if all.(i).Wdm.orient = orient then mine := i :: !mine
-    done;
-    let ordered =
-      List.sort (fun a b -> compare all.(a).Wdm.used all.(b).Wdm.used) !mine
-    in
-    List.fold_left
-      (fun keep i ->
-        let without = List.filter (fun j -> j <> i) keep in
-        let live = List.map (fun j -> all.(j)) without in
-        if feasible params conns orient (Array.of_list live) then without else keep)
-      ordered ordered
-  in
-  let kept_h = survivors Wdm.Horizontal in
-  let kept_v = survivors Wdm.Vertical in
+  let kept_h = survivors params conns Wdm.Horizontal all in
+  let kept_v = survivors params conns Wdm.Vertical all in
   let final_idx = Array.of_list (kept_h @ kept_v) in
   let final_tracks = Array.map (fun i -> all.(i)) final_idx in
   let positions_of kept offset =

@@ -27,6 +27,23 @@ type result = {
   displacement_cost : float;  (** total perpendicular movement, cm-bits *)
 }
 
+val feasible :
+  Params.t -> Wdm.conn array -> Wdm.orientation -> Wdm.track array -> bool
+(** Max-flow certificate: can the given track subset (all of one
+    orientation) carry every bit of that orientation's connections?
+    This is the predicate the retirement pass answers incrementally;
+    it is exported so tests can check the incremental pass against the
+    direct rebuild-per-subset definition. *)
+
+val survivors :
+  Params.t -> Wdm.conn array -> Wdm.orientation -> Wdm.track array -> int list
+(** Indices (into the full track array) of one orientation's surviving
+    tracks, in retirement order (lightest-loaded first): visiting tracks
+    lightest-first, a track is retired whenever {!feasible} holds for
+    the remaining set. Computed on a single incrementally-edited flow
+    network; the result is identical to probing each subset from
+    scratch. *)
+
 val run : Params.t -> Wdm_place.placement -> result
 (** Raises nothing on well-formed placements; a placement is always a
     feasible assignment, so [final_count <= initial_count]. *)

@@ -186,8 +186,55 @@ let label_key (c : Candidate.t) =
 
 type gen_stats = { raw : int; deduped : int; kept : int }
 
-let for_hypernet_stats ?(max_cands = 16) ?(max_total = 10)
-    ?(crossing_est = fun _ -> 0) params hnet =
+type xcounts = int array array
+
+(* The queried segments of one hyper net are a pure function of its
+   terminals: every non-root node's parent edge, over every baseline
+   topology, in Bi1s.baselines order. Materializing the counts up front
+   (instead of letting the DP query lazily) pins that order down, which
+   is what lets an ECO re-preparation patch a cached count table with
+   only the changed nets' contributions and replay the DP bit-exactly. *)
+let crossing_counts ~crossing_est (hnet : Hypernet.t) : xcounts =
+  let terminals = Hypernet.centers hnet in
+  if Array.length terminals <= 1 then [||]
+  else
+    Array.of_list
+      (List.map
+         (fun topo ->
+           let root = Topology.root topo in
+           Array.init (Topology.node_count topo) (fun v ->
+               if v = root then 0
+               else crossing_est (Topology.segment_of_edge topo v)))
+         (Bi1s.baselines terminals ~root:0))
+
+let adjust_counts ~sub ~add (hnet : Hypernet.t) (cached : xcounts) =
+  let terminals = Hypernet.centers hnet in
+  if Array.length terminals <= 1 then
+    if cached = [||] then Some [||] else None
+  else begin
+    let baselines = Bi1s.baselines terminals ~root:0 in
+    if List.length baselines <> Array.length cached then None
+    else
+      try
+        Some
+          (Array.of_list
+             (List.mapi
+                (fun ti topo ->
+                  let xc = cached.(ti) in
+                  let n = Topology.node_count topo in
+                  if Array.length xc <> n then raise Exit;
+                  let root = Topology.root topo in
+                  Array.init n (fun v ->
+                      if v = root then xc.(v)
+                      else
+                        let s = Topology.segment_of_edge topo v in
+                        xc.(v) - sub s + add s))
+                baselines))
+      with Exit -> None
+  end
+
+let for_hypernet_counted ?(max_cands = 16) ?(max_total = 10) ~(counts : xcounts)
+    params hnet =
   let terminals = Hypernet.centers hnet in
   if Array.length terminals <= 1 then begin
     let topo = Bi1s.mst_tree Topology.L2 terminals ~root:0 in
@@ -195,14 +242,18 @@ let for_hypernet_stats ?(max_cands = 16) ?(max_total = 10)
   end
   else begin
     let baselines = Bi1s.baselines terminals ~root:0 in
+    if List.length baselines <> Array.length counts then
+      invalid_arg "Codesign.for_hypernet_counted: counts shape mismatch";
     let from_dp =
-      List.concat_map
-        (fun topo ->
-          let edge_crossings v =
-            crossing_est (Topology.segment_of_edge topo v)
-          in
-          enumerate ~max_cands ~edge_crossings params hnet topo)
-        baselines
+      List.concat
+        (List.mapi
+           (fun ti topo ->
+             let xc = counts.(ti) in
+             if Array.length xc <> Topology.node_count topo then
+               invalid_arg "Codesign.for_hypernet_counted: counts shape mismatch";
+             enumerate ~max_cands ~edge_crossings:(fun v -> xc.(v)) params hnet
+               topo)
+           baselines)
     in
     (* Dedicated rectilinear-Steiner electrical fallback: the best
        realisation of the a_ie variable. *)
@@ -246,6 +297,11 @@ let for_hypernet_stats ?(max_cands = 16) ?(max_total = 10)
         deduped = List.length uniq;
         kept = List.length kept } )
   end
+
+let for_hypernet_stats ?max_cands ?max_total ?(crossing_est = fun _ -> 0)
+    params hnet =
+  let counts = crossing_counts ~crossing_est hnet in
+  for_hypernet_counted ?max_cands ?max_total ~counts params hnet
 
 let for_hypernet ?max_cands ?max_total ?crossing_est params hnet =
   fst (for_hypernet_stats ?max_cands ?max_total ?crossing_est params hnet)

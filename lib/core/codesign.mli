@@ -65,7 +65,48 @@ val for_hypernet_stats :
   Hypernet.t ->
   Candidate.t list * gen_stats
 (** {!for_hypernet} plus generation/prune counters for the pipeline's
-    instrumentation sink. *)
+    instrumentation sink. Equivalent to {!crossing_counts} followed by
+    {!for_hypernet_counted}. *)
+
+type xcounts = int array array
+(** The crossing counts one hyper net's candidate generation consumes:
+    one row per baseline topology (in {!Bi1s.baselines} order), indexed
+    by node, holding the estimate for the node's parent edge (0 in the
+    root's slot). [[||]] for trivial single-pin nets. The shape and the
+    queried segments are a pure function of the hyper net's terminals. *)
+
+val crossing_counts : crossing_est:(Segment.t -> int) -> Hypernet.t -> xcounts
+(** Materialize every crossing estimate {!for_hypernet_counted} will
+    read. Splitting the queries from the DP is what makes the counts a
+    cacheable per-net artifact: an ECO re-preparation can patch them
+    instead of re-querying the whole design's segment index. *)
+
+val adjust_counts :
+  sub:(Segment.t -> int) ->
+  add:(Segment.t -> int) ->
+  Hypernet.t ->
+  xcounts ->
+  xcounts option
+(** [adjust_counts ~sub ~add hnet cached] re-derives the count table for
+    an unchanged hyper net when {e other} nets moved: each cached entry
+    becomes [cached - sub seg + add seg], with [sub]/[add] counting
+    crossings against only the changed nets' old/new baseline segments.
+    Exact because crossing counts are additive over any partition of the
+    design's segment set. [None] if [cached]'s shape does not match the
+    net's topologies (the net itself changed — the caller must fall back
+    to a full recount). *)
+
+val for_hypernet_counted :
+  ?max_cands:int ->
+  ?max_total:int ->
+  counts:xcounts ->
+  Params.t ->
+  Hypernet.t ->
+  Candidate.t list * gen_stats
+(** {!for_hypernet_stats} with every crossing estimate supplied up
+    front. Given the counts a cold run would have queried, the output is
+    bit-identical to the cold run's — the heart of the ECO per-net
+    memoization. Raises [Invalid_argument] on a shape mismatch. *)
 
 val electrical_only : Params.t -> Hypernet.t -> Candidate.t list
 (** The deterministic quarantine fallback: just the dedicated

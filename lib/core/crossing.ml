@@ -7,7 +7,16 @@ type index = {
   die : Rect.t;
   cells : int;
   buckets : entry list array;  (* cells x cells, row-major *)
+  flat : entry array option;
+      (* small indexes keep the raw entries and answer queries by linear
+         scan: a query visits every cell of its bbox rectangle, so a long
+         diagonal segment walks hundreds of near-empty buckets — far more
+         work than testing a few dozen entries directly. Both schemes
+         count exactly the proper crossings with an intersection point,
+         each once, so which one answers is pure performance. *)
 }
+
+let flat_threshold = 256
 
 let cell_range idx (r : Rect.t) =
   let die = idx.die in
@@ -18,17 +27,47 @@ let cell_range idx (r : Rect.t) =
   (fx r.Rect.xmin, fy r.Rect.ymin, fx r.Rect.xmax, fy r.Rect.ymax)
 
 let build_index ~die ?(cells = 32) segments =
-  let idx = { die; cells; buckets = Array.make (cells * cells) [] } in
-  Array.iter
-    (fun (net, seg) ->
-      let i0, j0, i1, j1 = cell_range idx (Segment.bbox seg) in
-      for j = j0 to j1 do
-        for i = i0 to i1 do
-          idx.buckets.((j * cells) + i) <- { net; seg } :: idx.buckets.((j * cells) + i)
-        done
-      done)
-    segments;
-  idx
+  if Array.length segments <= flat_threshold then
+    { die;
+      cells;
+      buckets = [||];
+      flat = Some (Array.map (fun (net, seg) -> { net; seg }) segments) }
+  else begin
+    let idx =
+      { die; cells; buckets = Array.make (cells * cells) []; flat = None }
+    in
+    Array.iter
+      (fun (net, seg) ->
+        let i0, j0, i1, j1 = cell_range idx (Segment.bbox seg) in
+        for j = j0 to j1 do
+          for i = i0 to i1 do
+            idx.buckets.((j * cells) + i) <- { net; seg } :: idx.buckets.((j * cells) + i)
+          done
+        done)
+      segments;
+    idx
+  end
+
+let flatten idx =
+  match idx.flat with
+  | Some _ -> idx
+  | None ->
+      (* Collapse the grid back to its distinct entries (a segment sits
+         in every bucket its bbox overlaps). Queries against the result
+         count exactly as against the grid — linear scan and bucket
+         attribution both count each proper crossing with an
+         intersection point once — but a query is one pass over the
+         entries instead of a walk over its bbox's bucket rectangle,
+         which is the cheaper regime when only a few nets are queried
+         (the ECO recount path). *)
+      let tbl = Hashtbl.create 256 in
+      Array.iter
+        (List.iter (fun e -> Hashtbl.replace tbl (e.net, e.seg) e))
+        idx.buckets;
+      let entries = Array.make (Hashtbl.length tbl) { net = 0; seg = Segment.make Point.origin Point.origin } in
+      let i = ref 0 in
+      Hashtbl.iter (fun _ e -> entries.(!i) <- e; incr i) tbl;
+      { idx with buckets = [||]; flat = Some entries }
 
 let cell_of_point idx p =
   let i0, j0, _, _ =
@@ -37,6 +76,19 @@ let cell_of_point idx p =
   (i0, j0)
 
 let count_crossings idx ~exclude_net query =
+  match idx.flat with
+  | Some entries ->
+      let count = ref 0 in
+      Array.iter
+        (fun e ->
+          if
+            e.net <> exclude_net
+            && Segment.crosses_properly e.seg query
+            && Segment.intersection_point e.seg query <> None
+          then incr count)
+        entries;
+      !count
+  | None ->
   let i0, j0, i1, j1 = cell_range idx (Segment.bbox query) in
   (* A segment sits in every bucket its bbox overlaps; to count each
      crossing exactly once without a seen-set, attribute it to the single

@@ -18,6 +18,14 @@ val build_index : die:Rect.t -> ?cells:int -> (int * Segment.t) array -> index
 (** [build_index ~die segments] indexes [(net_id, segment)] pairs on a
     uniform [cells] x [cells] bucket grid (default 32). *)
 
+val flatten : index -> index
+(** Convert a bucket-grid index into one that answers queries by linear
+    scan over its distinct entries. Counts are identical either way;
+    the flat form is faster when only a few nets will ever be queried
+    (a long segment's bbox covers most of the grid, so a bucket walk
+    touches far more entries than a single pass). Used by the ECO
+    recount path. Identity on already-flat indexes. *)
+
 val count_crossings : index -> exclude_net:int -> Segment.t -> int
 (** Proper crossings between a query segment and every indexed segment
     belonging to a different net. *)

@@ -1,0 +1,121 @@
+open Operon_geom
+
+type status = Clean | Dirty | InteractionDirty | Added
+
+let status_name = function
+  | Clean -> "clean"
+  | Dirty -> "dirty"
+  | InteractionDirty -> "interaction_dirty"
+  | Added -> "added"
+
+type t = {
+  compatible : bool;
+  status : status array;
+  closure : bool array;
+  n_clean : int;
+  n_dirty : int;
+  n_interaction : int;
+  n_added : int;
+  n_removed : int;
+}
+
+(* Content key of one hyper net. %h renders the exact bit pattern of
+   every float, mirroring the Registry fingerprint discipline: two hyper
+   nets share a key iff they are indistinguishable to every downstream
+   stage (baselines, co-design, selection all read only these fields). *)
+let hnet_key (h : Hypernet.t) =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "id=%d;group=%d;bits=%d;root=%d" h.Hypernet.id
+       h.Hypernet.group h.Hypernet.bits h.Hypernet.root);
+  Array.iter
+    (fun (p : Hypernet.hyper_pin) ->
+      Buffer.add_string buf
+        (Printf.sprintf "|%h,%h,%d,%d" p.Hypernet.center.Point.x
+           p.Hypernet.center.Point.y p.Hypernet.pin_count
+           p.Hypernet.source_count))
+    h.Hypernet.pins;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+let closure_size t =
+  Array.fold_left (fun acc c -> if c then acc + 1 else acc) 0 t.closure
+
+let diff ?neighbors (old_hnets : Hypernet.t array) (new_hnets : Hypernet.t array) =
+  let n_old = Array.length old_hnets in
+  let n_new = Array.length new_hnets in
+  let matched = Stdlib.min n_old n_new in
+  let status = Array.make n_new Added in
+  let changed_matched = ref [] in
+  for i = 0 to matched - 1 do
+    if hnet_key old_hnets.(i) = hnet_key new_hnets.(i) then status.(i) <- Clean
+    else begin
+      status.(i) <- Dirty;
+      changed_matched := i :: !changed_matched
+    end
+  done;
+  (* Geometry that appeared, moved or vanished. A clean net whose pin
+     bbox overlaps any of these regions may see different baseline
+     segments in its crossing estimates, so it joins the closure. *)
+  let changed_boxes = ref [] in
+  List.iter
+    (fun i ->
+      changed_boxes :=
+        Hypernet.bbox old_hnets.(i) :: Hypernet.bbox new_hnets.(i)
+        :: !changed_boxes)
+    !changed_matched;
+  for i = matched to n_new - 1 do
+    changed_boxes := Hypernet.bbox new_hnets.(i) :: !changed_boxes
+  done;
+  for i = matched to n_old - 1 do
+    changed_boxes := Hypernet.bbox old_hnets.(i) :: !changed_boxes
+  done;
+  let interaction = Array.make n_new false in
+  (* Crossing-pair closure, part 1: every previous Xmatrix neighbour of a
+     changed or removed net interacted with geometry that moved. *)
+  (match neighbors with
+   | None -> ()
+   | Some nb ->
+       let mark_neighbors_of i =
+         if i < Array.length nb then
+           Array.iter
+             (fun m -> if m < n_new && status.(m) = Clean then interaction.(m) <- true)
+             nb.(i)
+       in
+       List.iter mark_neighbors_of !changed_matched;
+       for i = matched to n_old - 1 do
+         mark_neighbors_of i
+       done);
+  (* Part 2: bbox overlap against any changed region (old or new),
+     covering nets whose baseline-crossing estimates could shift even
+     without a previously cached crossing pair. *)
+  Array.iteri
+    (fun i s ->
+      if s = Clean && not interaction.(i) then
+        let bi = Hypernet.bbox new_hnets.(i) in
+        if List.exists (fun b -> Rect.overlaps bi b) !changed_boxes then
+          interaction.(i) <- true)
+    status;
+  let closure =
+    Array.mapi (fun i s -> s <> Clean || interaction.(i)) status
+  in
+  let n_clean = ref 0 and n_dirty = ref 0 and n_interaction = ref 0 in
+  Array.iteri
+    (fun i s ->
+      match s with
+      | Clean -> if interaction.(i) then incr n_interaction else incr n_clean
+      | Dirty -> incr n_dirty
+      | InteractionDirty | Added -> ())
+    status;
+  let status =
+    Array.mapi
+      (fun i s -> if s = Clean && interaction.(i) then InteractionDirty else s)
+      status
+  in
+  { compatible = n_old = n_new;
+    status;
+    closure;
+    n_clean = !n_clean;
+    n_dirty = !n_dirty;
+    n_interaction = !n_interaction;
+    n_added = n_new - matched;
+    n_removed = n_old - matched }

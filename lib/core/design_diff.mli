@@ -1,0 +1,65 @@
+(** Hyper-net level diff between two revisions of a design — the first
+    half of the ECO re-synthesis path.
+
+    Both revisions are compared {e after} signal processing, as hyper-net
+    arrays, because that is the granularity every expensive artifact
+    (baseline, candidate set, Xmatrix row) is keyed by. Hyper nets are
+    matched positionally — processing assigns dense sequential ids, so
+    position [i] in both arrays names "the same" net — and classified by
+    exact content key:
+
+    - {e clean}: identical key; its per-net artifacts may be reused;
+    - {e dirty}: same slot, different key (pins moved, clustering
+      shifted);
+    - {e interaction-dirty}: clean, but inside the {e dirty closure} —
+      it was a previous Xmatrix neighbour of a changed net, or its pin
+      bbox overlaps a changed net's old or new bbox, so its crossing
+      estimates (taken against other nets' baselines) could differ;
+    - {e added}: a slot beyond the old array's length.
+
+    Nets past the new array's length are {e removed}. Either makes the
+    revisions [compatible = false]: the per-slot artifact store cannot
+    line up and the caller must fall back to a cold preparation (the
+    classification counts are still reported).
+
+    Soundness of reuse rests on geometry containment: a net's baseline
+    segments and candidate paths stay inside its pin bounding box, so a
+    clean net outside every changed bbox sees bit-identical crossing
+    estimates and therefore produces bit-identical candidates. The
+    closure errs toward recomputation — overlap does not imply actual
+    crossings. *)
+
+type status = Clean | Dirty | InteractionDirty | Added
+
+val status_name : status -> string
+
+type t = {
+  compatible : bool;
+      (** same hyper-net count — the precondition for per-slot reuse *)
+  status : status array;  (** per new hyper net *)
+  closure : bool array;
+      (** per new hyper net: must be recomputed ([status <> Clean]) *)
+  n_clean : int;
+  n_dirty : int;
+  n_interaction : int;
+  n_added : int;
+  n_removed : int;
+}
+
+val hnet_key : Hypernet.t -> string
+(** Exact content key (hex digest) of one hyper net: id, group, bit
+    count, root and every hyper pin's exact centre coordinates and
+    counts. Equal keys iff every downstream stage would treat the nets
+    identically. *)
+
+val diff :
+  ?neighbors:int array array -> Hypernet.t array -> Hypernet.t array -> t
+(** [diff ~neighbors old_hnets new_hnets] classifies the new revision
+    against the old. [neighbors] is the {e old} preparation's
+    [Selection.ctx.neighbors] adjacency (indexed by old net id); when
+    given, previous crossing-pair neighbours of changed nets are pulled
+    into the closure directly, in addition to the bbox-overlap sweep. *)
+
+val closure_size : t -> int
+(** Number of nets in the dirty closure — the upper bound the ECO
+    invariant holds [nets_recomputed] to. *)

@@ -104,8 +104,18 @@ let degradation_to_json (r : Flow.t) =
       ("solver_path", jstr r.Flow.solver_path) ]
 
 (* Schema history: 1 = original export, 2 = added "degradation",
-   3 = added "schema_version" itself and the "cache" block. *)
-let schema_version = 3
+   3 = added "schema_version" itself and the "cache" block,
+   4 = the "design" block carries the full pin coordinates (exact %.17g
+   round-trip), so an export is a self-contained ECO baseline. *)
+let schema_version = 4
+
+(* Exact float round-trip: 17 significant decimal digits reconstruct any
+   binary64 bit pattern, so a re-imported design fingerprints (and
+   diffs) identically to the original. *)
+let jcoord v = Printf.sprintf "%.17g" v
+
+let jexact_point (p : Point.t) =
+  Printf.sprintf "[%s,%s]" (jcoord p.Point.x) (jcoord p.Point.y)
 
 let cache_to_json ?(timings = true) (s : Xmatrix.stats) =
   jobj
@@ -122,13 +132,29 @@ let cache_to_json ?(timings = true) (s : Xmatrix.stats) =
 let flow_to_json ?channels ?(timings = true) (r : Flow.t) =
   let die = r.Flow.design.Signal.die in
   let design =
+    let groups =
+      Array.to_list r.Flow.design.Signal.groups
+      |> List.map (fun (g : Signal.group) ->
+             jobj
+               [ ("name", jstr g.Signal.name);
+                 ( "bits",
+                   jlist
+                     (Array.to_list g.Signal.bits
+                     |> List.map (fun (b : Signal.bit) ->
+                            jobj
+                              [ ("source", jexact_point b.Signal.source);
+                                ( "sinks",
+                                  jlist
+                                    (Array.to_list b.Signal.sinks
+                                    |> List.map jexact_point) ) ])) ) ])
+    in
     jobj
       [ ( "die",
           jobj
-            [ ("xmin", jfloat die.Rect.xmin); ("ymin", jfloat die.Rect.ymin);
-              ("xmax", jfloat die.Rect.xmax); ("ymax", jfloat die.Rect.ymax) ] );
-        ("groups", string_of_int (Array.length r.Flow.design.Signal.groups));
-        ("nets", string_of_int (Signal.net_count r.Flow.design)) ]
+            [ ("xmin", jcoord die.Rect.xmin); ("ymin", jcoord die.Rect.ymin);
+              ("xmax", jcoord die.Rect.xmax); ("ymax", jcoord die.Rect.ymax) ] );
+        ("nets", string_of_int (Signal.net_count r.Flow.design));
+        ("groups", jlist groups) ]
   in
   let hypernets =
     Array.to_list r.Flow.hnets

@@ -10,7 +10,10 @@ val schema_version : int
 (** Version of the export document layout, emitted as the
     [schema_version] field. History: 1 = original export, 2 = added
     [degradation], 3 = added [schema_version] itself and the [cache]
-    block. Bump on any breaking change; see README for the full schema. *)
+    block, 4 = the [design] block carries the full pin coordinates with
+    exact ([%.17g]) round-trip, making an export a self-contained ECO
+    baseline ([--eco-from]). Bump on any breaking change; see README
+    for the full schema. *)
 
 val flow_to_json : ?channels:Channels.plan -> ?timings:bool -> Flow.t -> string
 (** The full result as a JSON object with fields [schema_version],

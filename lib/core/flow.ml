@@ -115,17 +115,22 @@ let stage_processing processing =
    and hence the crossing index — is identical whichever backend ran it.
    A net whose baseline task faults is quarantined: it contributes no
    optical segments and the codesign stage will route it all-electrical. *)
+(* The per-net contribution to the design-wide crossing index. Also the
+   unit of the ECO delta indices, so both paths share one definition. *)
+let baseline_tree_segments (hnet : Hypernet.t) =
+  let terminals = Hypernet.centers hnet in
+  if Array.length terminals <= 1 then [||]
+  else
+    let topo = Bi1s.build Topology.L2 terminals ~root:0 in
+    Array.map (fun s -> (hnet.Hypernet.id, s)) (Topology.segments topo)
+
 let stage_baselines =
   Pipeline.stage Instrument.Baselines (fun rc (design, params, hnets) ->
       let results =
         Executor.try_parallel_mapi rc.Runctx.exec
           (fun _ hnet ->
             Runctx.check_inject rc ~stage:Instrument.Baselines ~net:hnet.Hypernet.id ();
-            let terminals = Hypernet.centers hnet in
-            if Array.length terminals <= 1 then [||]
-            else
-              let topo = Bi1s.build Topology.L2 terminals ~root:0 in
-              Array.map (fun s -> (hnet.Hypernet.id, s)) (Topology.segments topo))
+            baseline_tree_segments hnet)
           hnets
       in
       let per_net =
@@ -167,25 +172,32 @@ let stage_codesign =
             let _net_rng = net_rngs.(i) in
             if is_quarantined hnet.Hypernet.id then
               (Codesign.electrical_only params hnet,
-               { Codesign.raw = 1; deduped = 1; kept = 1 })
+               { Codesign.raw = 1; deduped = 1; kept = 1 },
+               [||])
             else
               let crossing_est = Crossing.estimator index ~net:hnet.Hypernet.id in
-              Codesign.for_hypernet_stats ~max_total ~crossing_est params hnet)
+              let counts = Codesign.crossing_counts ~crossing_est hnet in
+              let cands, stats =
+                Codesign.for_hypernet_counted ~max_total ~counts params hnet
+              in
+              (cands, stats, counts))
           hnets
       in
       (* Merge counters — and quarantine per-net failures — on the
          coordinator, in net-id order. The fallback candidate is built
          here, after the fan-out, so healthy nets' results are untouched. *)
       let sink = rc.Runctx.sink in
+      let xcounts = Array.make (Array.length hnets) ([||] : Codesign.xcounts) in
       let cand_lists =
         Array.mapi
           (fun i result ->
             match result with
-            | Ok (cands, s) ->
+            | Ok (cands, s, counts) ->
                 Instrument.incr sink Instrument.Codesign "raw" s.Codesign.raw;
                 Instrument.incr sink Instrument.Codesign "kept" s.Codesign.kept;
                 Instrument.incr sink Instrument.Codesign "pruned"
                   (s.Codesign.raw - s.Codesign.kept);
+                xcounts.(i) <- counts;
                 cands
             | Error (e, bt) ->
                 degrade_or_raise rc ~stage:Instrument.Codesign
@@ -197,18 +209,29 @@ let stage_codesign =
       if Array.length quarantined > 0 then
         Instrument.incr sink Instrument.Codesign "quarantined"
           (Array.length quarantined);
+      (design, params, hnets, cand_lists, xcounts))
+
+(* Building the selection context is charged to Codesign, as it was when
+   the two lived in one stage; it is split out so the ECO path can build
+   the context with per-net reuse on recycled candidate lists. *)
+let record_xmatrix sink ctx =
+  let xs = Xmatrix.stats ctx.Selection.xmat in
+  if xs.Xmatrix.enabled then begin
+    Instrument.incr sink Instrument.Codesign "xmatrix_pairs" xs.Xmatrix.pairs;
+    Instrument.incr sink Instrument.Codesign "xmatrix_entries" xs.Xmatrix.entries;
+    Instrument.incr sink Instrument.Codesign "xmatrix_build_ms"
+      (int_of_float (Float.round (xs.Xmatrix.build_seconds *. 1000.0)))
+  end
+
+let stage_ctx =
+  Pipeline.stage Instrument.Codesign
+    (fun rc (design, params, hnets, cand_lists, xcounts) ->
       let ctx =
         Selection.make_ctx ~exec:rc.Runctx.exec
           ~cache:rc.Runctx.config.Runctx.cache params cand_lists
       in
-      let xs = Xmatrix.stats ctx.Selection.xmat in
-      if xs.Xmatrix.enabled then begin
-        Instrument.incr sink Instrument.Codesign "xmatrix_pairs" xs.Xmatrix.pairs;
-        Instrument.incr sink Instrument.Codesign "xmatrix_entries" xs.Xmatrix.entries;
-        Instrument.incr sink Instrument.Codesign "xmatrix_build_ms"
-          (int_of_float (Float.round (xs.Xmatrix.build_seconds *. 1000.0)))
-      end;
-      (design, hnets, ctx))
+      record_xmatrix rc.Runctx.sink ctx;
+      (design, params, hnets, cand_lists, xcounts, ctx))
 
 type selected = {
   s_design : Signal.design;
@@ -227,9 +250,12 @@ type selected = {
    to the solver-free greedy feasibility repair. Every hop is recorded as
    a Select-stage fault; strict mode stops at the first one. *)
 let stage_select =
-  Pipeline.stage Instrument.Select (fun rc (design, hnets, ctx) ->
+  Pipeline.stage Instrument.Select (fun rc (design, hnets, ctx, initial) ->
       let cfg = rc.Runctx.config in
       let sink = rc.Runctx.sink in
+      (match initial with
+       | Some _ -> Instrument.incr sink Instrument.Select "warm_start" 1
+       | None -> ());
       let path = ref [] in
       let attempt name f =
         path := name :: !path;
@@ -243,7 +269,9 @@ let stage_select =
       in
       let run_ilp () =
         Runctx.check_inject rc ~stage:Instrument.Select ();
-        let r = Ilp_select.select ~budget_seconds:cfg.Runctx.ilp_budget ctx in
+        let r =
+          Ilp_select.select ~budget_seconds:cfg.Runctx.ilp_budget ?initial ctx
+        in
         Instrument.incr sink Instrument.Select "components" r.Ilp_select.components;
         Instrument.incr sink Instrument.Select "timed_out" r.Ilp_select.timed_out;
         Instrument.incr sink Instrument.Select "nodes" r.Ilp_select.nodes;
@@ -251,7 +279,9 @@ let stage_select =
       in
       let run_lr () =
         Runctx.check_inject rc ~stage:Instrument.Select ();
-        let r = Lr_select.select ~budget_seconds:cfg.Runctx.ilp_budget ctx in
+        let r =
+          Lr_select.select ~budget_seconds:cfg.Runctx.ilp_budget ?initial ctx
+        in
         Instrument.incr sink Instrument.Select "iterations" r.Lr_select.iterations;
         Instrument.incr sink Instrument.Select "demoted" r.Lr_select.demoted;
         (r.Lr_select.choice, r.Lr_select.elapsed, None, Some r)
@@ -325,17 +355,48 @@ let stage_assign =
         cache = Xmatrix.stats sel.s_ctx.Selection.xmat })
 
 let prepare_pipeline processing =
-  Pipeline.(stage_processing processing >>> stage_baselines >>> stage_codesign)
+  Pipeline.(
+    stage_processing processing >>> stage_baselines >>> stage_codesign
+    >>> stage_ctx)
 
 let select_pipeline = Pipeline.(stage_select >>> stage_wdm >>> stage_assign)
 
-let full_pipeline processing = Pipeline.(prepare_pipeline processing >>> select_pipeline)
+(* ------------------------------------------------------------------ *)
+(* Prepared artifacts and the ECO re-preparation path.                *)
+(* ------------------------------------------------------------------ *)
+
+type eco_stats = {
+  nets_reused : int;
+  nets_recomputed : int;
+  xrows_reused : int;
+  dirty : int;
+  interaction_dirty : int;
+  added : int;
+  removed : int;
+  dirty_closure : int;
+  cold_fallback : bool;
+}
+
+type prepared = {
+  p_design : Signal.design;
+  p_config : Config.t;
+  p_hnets : Hypernet.t array;
+  p_cands : Candidate.t list array;
+  p_xcounts : Codesign.xcounts array;
+  p_ctx : Selection.ctx;
+  p_quarantined : int array;
+  p_eco : eco_stats option;
+}
 
 (* ------------------------------------------------------------------ *)
 (* Entry points.                                                      *)
 (* ------------------------------------------------------------------ *)
 
-let run_ctx ?processing rc design = Pipeline.run rc (full_pipeline processing) design
+let run_ctx ?processing rc design =
+  let design, _params, hnets, _cands, _xcounts, ctx =
+    Pipeline.run rc (prepare_pipeline processing) design
+  in
+  Pipeline.run rc select_pipeline (design, hnets, ctx, None)
 
 (* A fresh run-context for one Config-driven entry point; callers seed
    via [Config.seed]. *)
@@ -345,17 +406,294 @@ let runctx_of ?sink (cfg : Config.t) =
 
 let synthesize ?sink config design =
   let rc = runctx_of ?sink config in
-  Pipeline.run rc (full_pipeline config.Config.processing) design
+  run_ctx ?processing:config.Config.processing rc design
 
-let prepare_with ?sink config design =
+let prepare ?sink config design =
   let rc = runctx_of ?sink config in
-  let _, hnets, ctx =
+  let design, _params, hnets, cand_lists, xcounts, ctx =
     Pipeline.run rc (prepare_pipeline config.Config.processing) design
   in
-  (hnets, ctx)
+  { p_design = design;
+    p_config = config;
+    p_hnets = hnets;
+    p_cands = cand_lists;
+    p_xcounts = xcounts;
+    p_ctx = ctx;
+    p_quarantined = Runctx.quarantined rc;
+    p_eco = None }
 
-let select_with ?sink config design hnets ctx =
+let prepare_with ?sink config design =
+  let p = prepare ?sink config design in
+  (p.p_hnets, p.p_ctx)
+
+let select_with ?sink ?initial config design hnets ctx =
   (* Selection and the WDM stages draw no randomness; the seed only
      matters to the (already finished) processing stage. *)
   let rc = runctx_of ?sink config in
-  Pipeline.run rc select_pipeline (design, hnets, ctx)
+  Pipeline.run rc select_pipeline (design, hnets, ctx, initial)
+
+let select_prepared ?sink ?initial config p =
+  select_with ?sink ?initial config p.p_design p.p_hnets p.p_ctx
+
+(* --- ECO re-preparation --- *)
+
+(* The configuration slice [prepare] actually reads. Two preparations
+   with equal slices and equal designs produce identical artifacts, so
+   per-net reuse across them is sound. *)
+let prep_config_equal (a : Config.t) (b : Config.t) =
+  a.Config.seed = b.Config.seed
+  && a.Config.max_cands_per_net = b.Config.max_cands_per_net
+  && a.Config.cache = b.Config.cache
+  && a.Config.params = b.Config.params
+  && a.Config.processing = b.Config.processing
+
+let cold_eco_stats n =
+  { nets_reused = 0;
+    nets_recomputed = n;
+    xrows_reused = 0;
+    dirty = 0;
+    interaction_dirty = 0;
+    added = 0;
+    removed = 0;
+    dirty_closure = n;
+    cold_fallback = true }
+
+let prepare_eco ?sink ~(prev : prepared) config design =
+  let cold () =
+    let p = prepare ?sink config design in
+    (match sink with
+     | Some s -> Instrument.incr s Instrument.Eco "cold_fallback" 1
+     | None -> ());
+    { p with p_eco = Some (cold_eco_stats (Array.length p.p_hnets)) }
+  in
+  (* Gates: anything that could make the previous artifacts incomparable
+     to what a cold preparation of [design] would compute falls back to
+     the cold path. Injections perturb per-net work, a quarantined net's
+     stored candidates are fallbacks rather than true DP output, and a
+     differing preparation config changes every net's artifacts. *)
+  if
+    config.Config.injections <> []
+    || prev.p_config.Config.injections <> []
+    || Array.length prev.p_quarantined > 0
+    || not (prep_config_equal config prev.p_config)
+  then cold ()
+  else begin
+    let rc = runctx_of ?sink config in
+    let sink = rc.Runctx.sink in
+    (* Processing always runs in full: it is cheap, and running it makes
+       the hyper nets — and the PRNG state every later stage sees — the
+       cold run's, by construction. *)
+    let design, params, hnets =
+      Pipeline.run rc (stage_processing config.Config.processing) design
+    in
+    let diff =
+      Instrument.timed sink Instrument.Eco (fun () ->
+          Design_diff.diff ~neighbors:prev.p_ctx.Selection.neighbors
+            prev.p_hnets hnets)
+    in
+    if
+      (not diff.Design_diff.compatible)
+      || params <> prev.p_ctx.Selection.params
+    then cold ()
+    else begin
+      (* Baselines are recomputed for every net: the crossing index is a
+         single design-wide structure and rebuilding it exactly matches
+         the cold run's; per-net baseline cost is negligible next to the
+         co-design DP. *)
+      let design, params, hnets, index =
+        Pipeline.run rc stage_baselines (design, params, hnets)
+      in
+      let closure = diff.Design_diff.closure in
+      let status = diff.Design_diff.status in
+      let cand_lists, xcounts, ctx, reused =
+        Instrument.timed sink Instrument.Codesign (fun () ->
+            let max_total = rc.Runctx.config.Runctx.max_cands_per_net in
+            let upstream = Runctx.quarantined rc in
+            let is_quarantined id = Array.exists (fun q -> q = id) upstream in
+            (* Delta indices over just the changed nets' baseline trees,
+               old and new. Crossing counts are additive over any
+               partition of the design's segment set, and the grid
+               geometry (die, cell count) matches the design-wide index,
+               so for an unchanged net [cached - old_delta + new_delta]
+               is exactly the count a cold recount would produce.
+               [d_new] mirrors the design-wide index: a net the
+               baselines stage just quarantined contributes no segments
+               there, so it contributes none to the delta either. *)
+            let die = design.Signal.die in
+            let d_old =
+              let acc = ref [] in
+              Array.iteri
+                (fun i h ->
+                  if status.(i) = Design_diff.Dirty then
+                    acc := baseline_tree_segments h :: !acc)
+                prev.p_hnets;
+              Array.concat !acc
+            in
+            let d_new =
+              let acc = ref [] in
+              Array.iteri
+                (fun i h ->
+                  if
+                    status.(i) = Design_diff.Dirty
+                    && not (is_quarantined h.Hypernet.id)
+                  then
+                    match baseline_tree_segments h with
+                    | segs -> acc := segs :: !acc
+                    | exception _ -> ())
+                hnets;
+              Array.concat !acc
+            in
+            let idx_old = Crossing.build_index ~die d_old in
+            let idx_new = Crossing.build_index ~die d_new in
+            (* Same per-net split discipline as the cold stage: streams
+               are split for every net, reused or not, so the PRNG state
+               and any randomized per-net decision match the cold run. *)
+            let net_rngs =
+              Array.map (fun _ -> Prng.split rc.Runctx.rng) hnets
+            in
+            (* A recomputation whose output equals the previous candidate
+               list still certifies full reuse — the list is carried over
+               and its crossing-matrix rows and neighbour links stay
+               valid, since both depend only on the candidate values.
+               Only the refreshed counts must be kept: they are this
+               run's true counts, the base the next ECO patch builds on.
+               This matters because a moved net rarely changes its
+               neighbours' DP outcome: their counts shift, but the same
+               trees win, so most of the closure collapses back to
+               reuse. *)
+            let fresh i hnet counts =
+              let cands, s =
+                Codesign.for_hypernet_counted ~max_total ~counts params hnet
+              in
+              if cands = prev.p_cands.(i) then `Same counts
+              else `Fresh (cands, s, counts)
+            in
+            (* Dirty nets recount against the whole design, but only a
+               few nets ever query — the flat form of the same index
+               answers each query in one pass instead of a bucket walk,
+               with identical counts. *)
+            let flat_index = Crossing.flatten index in
+            let full_recount i (hnet : Hypernet.t) =
+              let crossing_est =
+                Crossing.estimator flat_index ~net:hnet.Hypernet.id
+              in
+              fresh i hnet (Codesign.crossing_counts ~crossing_est hnet)
+            in
+            let results =
+              Executor.try_parallel_mapi rc.Runctx.exec
+                (fun i hnet ->
+                  Runctx.check_inject rc ~stage:Instrument.Codesign
+                    ~net:hnet.Hypernet.id ();
+                  let _net_rng = net_rngs.(i) in
+                  if not closure.(i) then
+                    (* No changed geometry overlaps this net's bbox: no
+                       queried segment's count can have moved. *)
+                    `Reused
+                  else if is_quarantined hnet.Hypernet.id then
+                    `Fresh
+                      ( Codesign.electrical_only params hnet,
+                        { Codesign.raw = 1; deduped = 1; kept = 1 },
+                        ([||] : Codesign.xcounts) )
+                  else if status.(i) = Design_diff.Dirty then
+                    (* The net itself changed: cached counts are keyed to
+                       topologies that no longer exist. Recount against
+                       the design-wide index. *)
+                    full_recount i hnet
+                  else begin
+                    (* Clean content key, but inside the closure: same
+                       terminals, same topologies, same queried segments
+                       — patch the cached counts with the delta. Counts
+                       that come out unchanged certify the whole
+                       candidate list (and its Xmatrix rows) for reuse;
+                       changed counts replay the DP locally, with no
+                       design-wide index queries at all. *)
+                    let id = hnet.Hypernet.id in
+                    let sub s = Crossing.count_crossings idx_old ~exclude_net:id s in
+                    let add s = Crossing.count_crossings idx_new ~exclude_net:id s in
+                    match
+                      Codesign.adjust_counts ~sub ~add hnet prev.p_xcounts.(i)
+                    with
+                    | Some counts when counts = prev.p_xcounts.(i) -> `Reused
+                    | Some counts -> fresh i hnet counts
+                    | None ->
+                        (* Unreachable for a clean-keyed net (identical
+                           terminals imply identical topology shapes);
+                           recount from scratch to stay safe. *)
+                        full_recount i hnet
+                  end)
+                hnets
+            in
+            let xcounts =
+              Array.make (Array.length hnets) ([||] : Codesign.xcounts)
+            in
+            let reused = Array.make (Array.length hnets) false in
+            let cand_lists =
+              Array.mapi
+                (fun i result ->
+                  match result with
+                  | Ok `Reused ->
+                      reused.(i) <- true;
+                      xcounts.(i) <- prev.p_xcounts.(i);
+                      prev.p_cands.(i)
+                  | Ok (`Same counts) ->
+                      reused.(i) <- true;
+                      xcounts.(i) <- counts;
+                      prev.p_cands.(i)
+                  | Ok (`Fresh (cands, s, counts)) ->
+                      Instrument.incr sink Instrument.Codesign "raw"
+                        s.Codesign.raw;
+                      Instrument.incr sink Instrument.Codesign "kept"
+                        s.Codesign.kept;
+                      Instrument.incr sink Instrument.Codesign "pruned"
+                        (s.Codesign.raw - s.Codesign.kept);
+                      xcounts.(i) <- counts;
+                      cands
+                  | Error (e, bt) ->
+                      degrade_or_raise rc ~stage:Instrument.Codesign
+                        ~net:hnets.(i).Hypernet.id e bt;
+                      Codesign.electrical_only params hnets.(i))
+                results
+            in
+            let quarantined = Runctx.quarantined rc in
+            if Array.length quarantined > 0 then
+              Instrument.incr sink Instrument.Codesign "quarantined"
+                (Array.length quarantined);
+            (* A net that faulted during recomputation holds a fallback
+               candidate, not the cold DP output; it was never marked
+               reused, so it is never certified for Xmatrix row reuse. *)
+            let ctx =
+              Selection.make_ctx ~exec:rc.Runctx.exec
+                ~cache:rc.Runctx.config.Runctx.cache
+                ~reuse:(prev.p_ctx, reused) params cand_lists
+            in
+            record_xmatrix sink ctx;
+            (cand_lists, xcounts, ctx, reused))
+      in
+      let nets_reused =
+        Array.fold_left (fun acc r -> if r then acc + 1 else acc) 0 reused
+      in
+      let nets_recomputed = Array.length hnets - nets_reused in
+      let xrows_reused = Xmatrix.reused_rows ctx.Selection.xmat in
+      Instrument.incr sink Instrument.Eco "nets_reused" nets_reused;
+      Instrument.incr sink Instrument.Eco "nets_recomputed" nets_recomputed;
+      Instrument.incr sink Instrument.Eco "xrows_reused" xrows_reused;
+      { p_design = design;
+        p_config = config;
+        p_hnets = hnets;
+        p_cands = cand_lists;
+        p_xcounts = xcounts;
+        p_ctx = ctx;
+        p_quarantined = Runctx.quarantined rc;
+        p_eco =
+          Some
+            { nets_reused;
+              nets_recomputed;
+              xrows_reused;
+              dirty = diff.Design_diff.n_dirty;
+              interaction_dirty = diff.Design_diff.n_interaction;
+              added = diff.Design_diff.n_added;
+              removed = diff.Design_diff.n_removed;
+              dirty_closure = Design_diff.closure_size diff;
+              cold_fallback = false } }
+    end
+  end

@@ -112,18 +112,83 @@ val synthesize : ?sink:Instrument.sink -> Config.t -> Signal.design -> t
     fresh per-run instrumentation sink (pass one to accumulate several
     runs into a single report). *)
 
-val prepare_with :
-  ?sink:Instrument.sink ->
-  Config.t ->
-  Signal.design ->
-  Hypernet.t array * Selection.ctx
+(** Per-run statistics of an {!prepare_eco} incremental re-preparation.
+    Also mirrored into the run trace as [eco] counters ([nets_reused],
+    [nets_recomputed], [xrows_reused]). *)
+type eco_stats = {
+  nets_reused : int;  (** nets whose candidate sets were carried over *)
+  nets_recomputed : int;  (** nets re-run through the co-design DP *)
+  xrows_reused : int;  (** crossing-matrix rows aliased from the
+                           previous context *)
+  dirty : int;  (** nets whose own pins changed *)
+  interaction_dirty : int;
+      (** clean nets pulled into recomputation because a changed net
+          could affect their crossing estimates *)
+  added : int;
+  removed : int;
+  dirty_closure : int;  (** total nets in the recomputation closure *)
+  cold_fallback : bool;
+      (** the incremental path was not applicable (injections,
+          quarantined nets, config change, incompatible diff) and a
+          full cold preparation ran instead *)
+}
+
+(** The full output of a preparation, keyed for reuse: the per-net
+    candidate lists and the selection context (with its crossing
+    matrix), plus everything {!prepare_eco} needs to certify per-net
+    reuse against a revised design. *)
+type prepared = {
+  p_design : Signal.design;
+  p_config : Config.t;
+  p_hnets : Hypernet.t array;
+  p_cands : Candidate.t list array;
+  p_xcounts : Codesign.xcounts array;
+      (** per-net crossing counts the candidates were generated from —
+          the cacheable artifact an ECO re-preparation patches with the
+          changed nets' delta instead of re-querying the whole design *)
+  p_ctx : Selection.ctx;
+  p_quarantined : int array;
+  p_eco : eco_stats option;  (** [Some] iff produced by {!prepare_eco} *)
+}
+
+val prepare : ?sink:Instrument.sink -> Config.t -> Signal.design -> prepared
 (** Processing plus candidate generation: hyper nets, then co-design
     candidates for each (crossing estimates taken against the other
     nets' optical baselines). The returned context carries the crossing
     cache per [config.cache]. *)
 
+val prepare_eco :
+  ?sink:Instrument.sink ->
+  prev:prepared ->
+  Config.t ->
+  Signal.design ->
+  prepared
+(** Incremental re-preparation of a revised [design] against a previous
+    preparation. Hyper-net extraction and baselines always re-run in
+    full (they are cheap and fix the PRNG state to the cold run's);
+    {!Design_diff} then classifies each net, and only nets in the dirty
+    closure go back through the co-design DP — the rest reuse their
+    previous candidate lists and crossing-matrix rows.
+
+    Invariant: the returned artifacts are bit-identical to
+    [prepare config design], so any selection run on them matches a
+    cold run byte for byte. Whenever that cannot be certified — fault
+    injections on either run, quarantined nets in [prev], a different
+    preparation-relevant config, or an incompatible diff — the whole
+    preparation falls back to the cold path and [cold_fallback] is set
+    in the returned [p_eco]. *)
+
+val prepare_with :
+  ?sink:Instrument.sink ->
+  Config.t ->
+  Signal.design ->
+  Hypernet.t array * Selection.ctx
+(** [prepare] restricted to the pair of artifacts the selection entry
+    points consume. *)
+
 val select_with :
   ?sink:Instrument.sink ->
+  ?initial:int array ->
   Config.t ->
   Signal.design ->
   Hypernet.t array ->
@@ -133,7 +198,15 @@ val select_with :
     Table 1 compare ILP and LR on identical candidates without
     re-preparing. Only [mode], [ilp_budget], [strict] and [injections]
     of the configuration still matter here; the context already fixed
-    the candidate set and its cache. *)
+    the candidate set and its cache. [initial] warm-starts the solver
+    from a previous run's [choice] (see {!Ilp_select.select} and
+    {!Lr_select.select}); it is sanitized against the context and
+    silently dropped when infeasible, and it never changes the set of
+    feasible results — only how fast the solver reaches one. *)
+
+val select_prepared :
+  ?sink:Instrument.sink -> ?initial:int array -> Config.t -> prepared -> t
+(** [select_with] over a {!prepared} value's own design and artifacts. *)
 
 val run_ctx : ?processing:Processing.config -> Runctx.t -> Signal.design -> t
 (** The whole pipeline under an explicit run-context — the low-level

@@ -267,10 +267,29 @@ let blocks_of_component ctx comp ~max_block =
       Array.sub nets lo (hi - lo))
 
 let select ?(budget_seconds = 3000.0) ?(max_pivots = max_int)
-    ?(max_component_vars = 150) ctx =
+    ?(max_component_vars = 150) ?initial ctx =
   let t0 = Timer.now () in
-  (* Always-feasible starting point: repaired greedy. *)
-  let current = Selection.polish ctx (Selection.greedy ctx) in
+  (* Always-feasible starting point: repaired greedy — or, warm starting
+     (ECO), a sanitized previous selection when it is still feasible
+     under this context. Either way [current] is feasible, which the
+     block solver's incumbent logic requires. *)
+  let start =
+    let sanitize c =
+      let n = Array.length ctx.Selection.cands in
+      if Array.length c <> n then None
+      else
+        Some
+          (Array.mapi
+             (fun i j ->
+               if j >= 0 && j < Array.length ctx.Selection.cands.(i) then j
+               else ctx.Selection.elec_idx.(i))
+             c)
+    in
+    match Option.map sanitize initial with
+    | Some (Some w) when Selection.feasible ctx w -> w
+    | _ -> Selection.greedy ctx
+  in
+  let current = Selection.polish ctx start in
   let boxes =
     Array.map
       (function

@@ -36,9 +36,16 @@ val select :
   ?budget_seconds:float ->
   ?max_pivots:int ->
   ?max_component_vars:int ->
+  ?initial:int array ->
   Selection.ctx ->
   result
-(** [select ctx] runs the ILP per interaction component.
+(** [initial] warm-starts the incumbent from a previous selection (ECO
+    resubmission): sanitized to this context (out-of-range indices fall
+    to the electrical candidate), repaired by {!Selection.polish}, and
+    discarded for the cold greedy start when infeasible. Exactly solved
+    components reach their optimum from any incumbent.
+
+    [select ctx] runs the ILP per interaction component.
     [budget_seconds] (default 3000, the paper's cap) is shared across
     components; [max_pivots] (default unlimited) caps each node LP's
     simplex pivots, downgrading affected components to unproven;

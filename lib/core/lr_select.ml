@@ -10,9 +10,24 @@ type result = {
   elapsed : float;
 }
 
+(* Sanitize a warm-start vector against this context: wrong length is
+   unusable, out-of-range candidate indices (a net whose candidate set
+   shrank since the previous run) fall back to that net's electrical
+   candidate. Returns [None] when the vector cannot be mapped at all. *)
+let sanitize_initial ctx initial =
+  let n = Array.length ctx.Selection.cands in
+  if Array.length initial <> n then None
+  else
+    Some
+      (Array.mapi
+         (fun i j ->
+           if j >= 0 && j < Array.length ctx.Selection.cands.(i) then j
+           else ctx.Selection.elec_idx.(i))
+         initial)
+
 let select ?(max_iterations = 10) ?(budget_seconds = 0.0)
     ?(initial_multiplier_scale = 0.01) ?(step_scale = 0.05)
-    ?(converge_ratio = 0.01) ctx =
+    ?(converge_ratio = 0.01) ?initial ctx =
   let t0 = Timer.now () in
   let budget = Timer.budget budget_seconds in
   let params = ctx.Selection.params in
@@ -30,7 +45,16 @@ let select ?(max_iterations = 10) ?(budget_seconds = 0.0)
             Array.make (Array.length c.Candidate.paths) (initial_multiplier_scale *. pe))
           ctx.Selection.cands.(i))
   in
-  let choice = ref (Selection.greedy ctx) in
+  (* Warm start (ECO): a sanitized previous selection replaces the greedy
+     start when it is still feasible under this context; an infeasible or
+     unmappable one falls back to the cold start, so warm starting can
+     never degrade below the cold behaviour. *)
+  let start =
+    match Option.map (sanitize_initial ctx) initial with
+    | Some (Some w) when Selection.feasible ctx w -> w
+    | _ -> Selection.greedy ctx
+  in
+  let choice = ref start in
   (* Persistent incremental evaluator: across subgradient iterations only
      the nets whose selection actually flipped (plus their neighbours)
      get their path losses re-derived. *)

@@ -35,9 +35,15 @@ val select :
   ?initial_multiplier_scale:float ->
   ?step_scale:float ->
   ?converge_ratio:float ->
+  ?initial:int array ->
   Selection.ctx ->
   result
-(** Defaults follow the paper: [max_iterations]=10, multipliers
+(** [initial] warm-starts the subgradient trajectory from a previous
+    selection (ECO resubmission): indices out of range for this context
+    fall back to the net's electrical candidate, and a warm start that is
+    not feasible here is discarded in favour of the cold greedy start.
+
+    Defaults follow the paper: [max_iterations]=10, multipliers
     initialised proportionally to the electrical power of each net
     ([initial_multiplier_scale]=0.01 of [p_e] per dB), subgradient step
     [step_scale]=0.05 diminishing as 1/k, [converge_ratio]=0.01.

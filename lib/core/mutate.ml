@@ -1,0 +1,50 @@
+open Operon_geom
+open Operon_util
+
+let group_count ~ratio n =
+  if ratio <= 0.0 || n = 0 then 0
+  else Stdlib.min n (Stdlib.max 1 (int_of_float (Float.ceil (ratio *. float_of_int n))))
+
+let design ~ratio ~seed (d : Signal.design) =
+  let groups = d.Signal.groups in
+  let n = Array.length groups in
+  let k = group_count ~ratio n in
+  if k = 0 then d
+  else begin
+    let rng = Prng.create seed in
+    let order = Array.init n (fun i -> i) in
+    Prng.shuffle rng order;
+    let chosen = Array.make n false in
+    for i = 0 to k - 1 do
+      chosen.(order.(i)) <- true
+    done;
+    let die = d.Signal.die in
+    let w = die.Rect.xmax -. die.Rect.xmin in
+    let h = die.Rect.ymax -. die.Rect.ymin in
+    let clamp lo hi v = Float.min hi (Float.max lo v) in
+    let jitter g_rng (p : Point.t) =
+      let dx = Prng.float_range g_rng (-0.02 *. w) (0.02 *. w) in
+      let dy = Prng.float_range g_rng (-0.02 *. h) (0.02 *. h) in
+      { Point.x = clamp die.Rect.xmin die.Rect.xmax (p.Point.x +. dx);
+        Point.y = clamp die.Rect.ymin die.Rect.ymax (p.Point.y +. dy) }
+    in
+    (* Every group gets its own split stream whether or not it is chosen,
+       so a chosen group's displacement depends only on (seed, group),
+       never on which other groups the ratio swept in. *)
+    let groups =
+      Array.mapi
+        (fun i (g : Signal.group) ->
+          let g_rng = Prng.split rng in
+          if not chosen.(i) then g
+          else
+            { g with
+              Signal.bits =
+                Array.map
+                  (fun (b : Signal.bit) ->
+                    { Signal.source = jitter g_rng b.Signal.source;
+                      Signal.sinks = Array.map (jitter g_rng) b.Signal.sinks })
+                  g.Signal.bits })
+        groups
+    in
+    Signal.design ~die ~groups
+  end

@@ -22,7 +22,21 @@ let optical_bbox (cands : Candidate.t array) =
     cands;
   match !pts with [] -> None | l -> Some (Rect.of_points (Array.of_list l))
 
-let make_ctx ?(exec = Executor.sequential) ?(cache = true) params cand_lists =
+(* Is [j] in the sorted-ascending neighbour row [arr]? The rows built
+   below are ascending by construction (see the List.rev note), which the
+   ECO reuse path depends on. *)
+let mem_sorted arr j =
+  let lo = ref 0 and hi = ref (Array.length arr) in
+  let found = ref false in
+  while (not !found) && !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    let v = arr.(mid) in
+    if v = j then found := true else if v < j then lo := mid + 1 else hi := mid
+  done;
+  !found
+
+let make_ctx ?(exec = Executor.sequential) ?(cache = true) ?reuse params
+    cand_lists =
   let cands = Array.map Array.of_list cand_lists in
   Array.iteri
     (fun i arr ->
@@ -60,24 +74,57 @@ let make_ctx ?(exec = Executor.sequential) ?(cache = true) params cand_lists =
         |> Array.of_list)
       cands
   in
+  (* ECO reuse: [ok.(i)] certifies net [i]'s candidate list is carried
+     over from [prev] unchanged. For a pair of carried-over nets the
+     crossing geometry is identical, so the previous adjacency answers
+     the (expensive) pooled-crossing question exactly; any pair touching
+     a recomputed net falls back to the geometry. *)
+  let reuse =
+    match reuse with
+    | Some ((prev : ctx), ok)
+      when Array.length ok = n && Array.length prev.cands = n ->
+        Some (prev, ok)
+    | _ -> None
+  in
+  let crossing_pair i j =
+    match (bboxes.(i), bboxes.(j)) with
+    | Some bi, Some bj ->
+        Rect.overlaps bi bj && Segment.count_crossings pooled.(i) pooled.(j) > 0
+    | _ -> false
+  in
+  let linked =
+    match reuse with
+    | None -> crossing_pair
+    | Some (prev, ok) ->
+        fun i j ->
+          if ok.(i) && ok.(j) then mem_sorted prev.neighbors.(i) j
+          else crossing_pair i j
+  in
   let lists = Array.make n [] in
   for i = 0 to n - 1 do
-    match bboxes.(i) with
-    | None -> ()
-    | Some bi ->
-        for j = i + 1 to n - 1 do
-          match bboxes.(j) with
-          | Some bj
-            when Rect.overlaps bi bj
-                 && Segment.count_crossings pooled.(i) pooled.(j) > 0 ->
-              lists.(i) <- j :: lists.(i);
-              lists.(j) <- i :: lists.(j)
-          | _ -> ()
-        done
+    if bboxes.(i) <> None then
+      for j = i + 1 to n - 1 do
+        if bboxes.(j) <> None && linked i j then begin
+          lists.(i) <- j :: lists.(i);
+          lists.(j) <- i :: lists.(j)
+        end
+      done
   done;
+  (* Each row collects smaller partners first (prepended while [i] was the
+     inner index) and larger partners on top; the reversal therefore
+     leaves every row sorted ascending — the property [mem_sorted] and the
+     ECO diff rely on. *)
   let neighbors = Array.map (fun l -> Array.of_list (List.rev l)) lists in
   let xmat =
-    if cache then Xmatrix.build ~exec cands neighbors else Xmatrix.direct cands
+    if cache then
+      let xreuse =
+        Option.map
+          (fun ((prev : ctx), ok) ->
+            (prev.xmat, fun i m -> ok.(i) && ok.(m)))
+          reuse
+      in
+      Xmatrix.build ~exec ?reuse:xreuse cands neighbors
+    else Xmatrix.direct cands
   in
   { params; cands; bboxes; neighbors; elec_idx; xmat }
 

@@ -36,6 +36,7 @@ type ctx = {
 val make_ctx :
   ?exec:Operon_util.Executor.t ->
   ?cache:bool ->
+  ?reuse:ctx * bool array ->
   Params.t ->
   Candidate.t list array ->
   ctx
@@ -43,7 +44,16 @@ val make_ctx :
     crossing matrix is precomputed for every neighbour pair, fanning the
     per-pair work out on [exec] (default sequential — pass the run's
     executor to parallelize). Raises [Invalid_argument] if some net has
-    no candidates or lacks a pure-electrical fallback. *)
+    no candidates or lacks a pure-electrical fallback.
+
+    [reuse = (prev, ok)] is the ECO fast path: [ok.(i)] certifies that
+    net [i]'s candidate list is physically carried over from the
+    preparation that built [prev]. Pairs of carried-over nets answer the
+    neighbour test from [prev]'s adjacency (binary search on its sorted
+    rows) and share [prev]'s Xmatrix rows; pairs touching a recomputed
+    net evaluate the geometry as a cold build would. The resulting
+    context is bit-identical to a cold [make_ctx] on the same candidate
+    lists. Ignored when the array lengths disagree. *)
 
 val uncached : ctx -> ctx
 (** The same context with the crossing cache replaced by a direct

@@ -23,6 +23,7 @@ type table = {
   zeros : int array array array;  (* i -> j -> canonical all-zero counts *)
   pairs : int;
   entries : int;
+  reused : int;  (* directed pairs whose row came from a previous table *)
   build_seconds : float;
 }
 
@@ -51,14 +52,43 @@ let build_pair cands i m =
             let counts = compute_counts cands i j m n in
             if Array.for_all (fun x -> x = 0) counts then None else Some counts))
 
-let build ?(exec = Executor.sequential) cands neighbors =
+let build ?(exec = Executor.sequential) ?reuse cands neighbors =
   let t0 = Timer.now () in
+  (* ECO row sharing: a directed pair (i, m) whose two candidate arrays
+     were carried over unchanged has bit-identical crossing geometry, so
+     the previous table's row (an immutable array, safe to alias) is the
+     row a fresh build would produce. Pairs absent from the previous
+     adjacency — or involving any recomputed net — are built from the
+     geometry as usual. *)
+  let prev_row =
+    match reuse with
+    | Some ({ table = Some ptb; _ }, keep) ->
+        fun i m ->
+          if keep i m then
+            match Hashtbl.find_opt ptb.pos.(i) m with
+            | Some k -> Some ptb.rows.(i).(k)
+            | None -> None
+          else None
+    | _ -> fun _ _ -> None
+  in
   let tasks =
     Array.concat
       (Array.to_list
          (Array.mapi (fun i ms -> Array.map (fun m -> (i, m)) ms) neighbors))
   in
-  let built = Executor.parallel_map exec (fun (i, m) -> build_pair cands i m) tasks in
+  let reused =
+    Array.fold_left
+      (fun acc (i, m) -> if Option.is_some (prev_row i m) then acc + 1 else acc)
+      0 tasks
+  in
+  let built =
+    Executor.parallel_map exec
+      (fun (i, m) ->
+        match prev_row i m with
+        | Some row -> row
+        | None -> build_pair cands i m)
+      tasks
+  in
   let n = Array.length cands in
   let rows = Array.map (fun ms -> Array.make (Array.length ms) [||]) neighbors in
   let pos =
@@ -92,6 +122,7 @@ let build ?(exec = Executor.sequential) cands neighbors =
           zeros;
           pairs = Array.length tasks;
           entries = !entries;
+          reused;
           build_seconds = Timer.now () -. t0 };
     counters = { hits = 0; misses = 0 } }
 
@@ -140,6 +171,8 @@ let stats t =
     build_seconds;
     hits = t.counters.hits;
     misses = t.counters.misses }
+
+let reused_rows t = match t.table with Some tb -> tb.reused | None -> 0
 
 let reset_counters t =
   t.counters.hits <- 0;

@@ -42,6 +42,7 @@ type stats = {
 
 val build :
   ?exec:Operon_util.Executor.t ->
+  ?reuse:t * (int -> int -> bool) ->
   Candidate.t array array ->
   int array array ->
   t
@@ -50,7 +51,14 @@ val build :
     per-pair work fans out on [exec] (default sequential); results are
     merged in deterministic order, so the matrix contents do not depend
     on the backend. [neighbors] must be symmetric (as built by
-    [Selection.make_ctx]). *)
+    [Selection.make_ctx]).
+
+    [reuse = (prev, keep)] is the ECO fast path: when [keep i m] holds —
+    the caller certifies both nets' candidate arrays are carried over
+    from [prev] unchanged — and [prev] has a row for [(i, m)], that row
+    is aliased instead of recomputed. Contents are bit-identical either
+    way; only {!reused_rows} and the build time differ. A [direct]
+    [prev] contributes nothing. *)
 
 val direct : Candidate.t array array -> t
 (** A cache-free matrix over the same candidates: every query recomputes
@@ -73,6 +81,12 @@ val loss_on_path : t -> Params.t -> i:int -> j:int -> p:int -> m:int -> n:int ->
 
 val stats : t -> stats
 (** Immutable snapshot of the matrix statistics at this instant. *)
+
+val reused_rows : t -> int
+(** Directed pairs whose row was carried over from a previous matrix via
+    [build ~reuse] (0 for a cold build or a {!direct} matrix). Kept out
+    of {!stats} deliberately: stats feed the export, and an ECO run's
+    export must stay byte-identical to a cold run's. *)
 
 val reset_counters : t -> unit
 (** Zero the hit/miss counters (build statistics are kept) — used by the

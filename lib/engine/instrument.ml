@@ -1,4 +1,4 @@
-type stage = Processing | Baselines | Codesign | Select | Wdm | Assign | Serve
+type stage = Processing | Baselines | Codesign | Select | Wdm | Assign | Serve | Eco
 
 let all_stages = [ Processing; Baselines; Codesign; Select; Wdm; Assign ]
 
@@ -10,10 +10,11 @@ let stage_name = function
   | Wdm -> "wdm"
   | Assign -> "assign"
   | Serve -> "serve"
+  | Eco -> "eco"
 
 let stage_of_string s =
   let s = String.lowercase_ascii s in
-  List.find_opt (fun stage -> stage_name stage = s) (all_stages @ [ Serve ])
+  List.find_opt (fun stage -> stage_name stage = s) (all_stages @ [ Serve; Eco ])
 
 type record = {
   stage : stage;

@@ -57,6 +57,25 @@ let flow_on t handle =
   if handle < 0 || handle >= t.arcs then invalid_arg "Maxflow.flow_on: bad handle";
   t.orig_caps.(handle) - t.caps.(handle)
 
+let snapshot t = Array.sub t.caps 0 t.arcs
+
+let restore t saved =
+  if Array.length saved <> t.arcs then
+    invalid_arg "Maxflow.restore: snapshot taken on a different arc count";
+  Array.blit saved 0 t.caps 0 t.arcs
+
+let cancel t handle units =
+  if handle < 0 || handle >= t.arcs then invalid_arg "Maxflow.cancel: bad handle";
+  if units < 0 || units > flow_on t handle then
+    invalid_arg "Maxflow.cancel: units exceed the arc's flow";
+  t.caps.(handle) <- t.caps.(handle) + units;
+  t.caps.(handle lxor 1) <- t.caps.(handle lxor 1) - units
+
+let disable t handle =
+  if handle < 0 || handle >= t.arcs then invalid_arg "Maxflow.disable: bad handle";
+  t.caps.(handle) <- 0;
+  t.caps.(handle lxor 1) <- 0
+
 (* Dinic: BFS level graph + DFS blocking flows. *)
 let max_flow t ~source ~sink =
   if source = sink then invalid_arg "Maxflow.max_flow: source = sink";

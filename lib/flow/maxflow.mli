@@ -19,4 +19,32 @@ val max_flow : t -> source:int -> sink:int -> int
 val flow_on : t -> int -> int
 (** Flow currently routed through an arc handle. *)
 
+(** {2 Incremental editing}
+
+    These let a caller retire edges from a solved network and re-solve
+    from the residual state instead of rebuilding the graph — {!max_flow}
+    already continues from the current residuals, and the max-flow value
+    is a function of the (capacity-edited) graph alone, so a resumed
+    solve is exact. *)
+
+val snapshot : t -> int array
+(** Copy of the current residual capacities. Only valid for {!restore}
+    on the same network with the same arc count. *)
+
+val restore : t -> int array -> unit
+(** Reset the residual capacities to a {!snapshot}. Raises
+    [Invalid_argument] if arcs were added since the snapshot. *)
+
+val cancel : t -> int -> int -> unit
+(** [cancel t h units] removes [units] of flow from arc [h] (refunds the
+    forward capacity, debits the residual twin). The caller is
+    responsible for restoring conservation by cancelling matching units
+    on adjacent arcs. Raises [Invalid_argument] when [units] exceeds the
+    arc's current flow. *)
+
+val disable : t -> int -> unit
+(** Zero both an arc's forward and residual capacity, so no flow can
+    traverse it in either direction. Meant for arcs whose flow was first
+    {!cancel}led to zero. *)
+
 val vertex_count : t -> int

@@ -99,6 +99,64 @@ let solve_bounded t ~source ~sink ~max_flow =
   let dist = Array.make t.n infinity in
   let prev_arc = Array.make t.n (-1) in
   let visited = Array.make t.n false in
+  (* Lazy binary min-heap over (dist, vertex), ordered lexicographically —
+     the same selection order as an array scan (minimum distance, lowest
+     vertex on ties), so the augmenting paths and therefore the final
+     flows are identical, at O(E log V) per round instead of O(V^2).
+     Improvements push duplicates; stale entries are skipped on pop via
+     the visited flag (a vertex's first pop always carries its final
+     distance, since later improvements pushed strictly smaller keys). *)
+  let hd = ref (Array.make 256 0.0) in
+  let hv = ref (Array.make 256 0) in
+  let hsize = ref 0 in
+  let hless i j =
+    let d = !hd and v = !hv in
+    d.(i) < d.(j) || (d.(i) = d.(j) && v.(i) < v.(j))
+  in
+  let hswap i j =
+    let d = !hd and v = !hv in
+    let td = d.(i) and tv = v.(i) in
+    d.(i) <- d.(j); v.(i) <- v.(j);
+    d.(j) <- td; v.(j) <- tv
+  in
+  let hpush key vertex =
+    if !hsize = Array.length !hd then begin
+      let cap = 2 * !hsize in
+      let nd = Array.make cap 0.0 and nv = Array.make cap 0 in
+      Array.blit !hd 0 nd 0 !hsize;
+      Array.blit !hv 0 nv 0 !hsize;
+      hd := nd;
+      hv := nv
+    end;
+    !hd.(!hsize) <- key;
+    !hv.(!hsize) <- vertex;
+    incr hsize;
+    let i = ref (!hsize - 1) in
+    while !i > 0 && hless !i ((!i - 1) / 2) do
+      hswap !i ((!i - 1) / 2);
+      i := (!i - 1) / 2
+    done
+  in
+  let hpop () =
+    let top = !hv.(0) in
+    decr hsize;
+    !hd.(0) <- !hd.(!hsize);
+    !hv.(0) <- !hv.(!hsize);
+    let i = ref 0 in
+    let stop = ref false in
+    while not !stop do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let m = ref !i in
+      if l < !hsize && hless l !m then m := l;
+      if r < !hsize && hless r !m then m := r;
+      if !m = !i then stop := true
+      else begin
+        hswap !i !m;
+        i := !m
+      end
+    done;
+    top
+  in
   let total_flow = ref 0 and total_cost = ref 0.0 in
   let continue = ref true in
   while !continue && !total_flow < max_flow do
@@ -107,19 +165,11 @@ let solve_bounded t ~source ~sink ~max_flow =
     Array.fill prev_arc 0 t.n (-1);
     Array.fill visited 0 t.n false;
     dist.(source) <- 0.0;
-    (* Array-scan Dijkstra: O(V^2 + E), plenty for assignment networks whose
-       vertex count is #connections + #WDMs + 2. *)
-    let done_ = ref false in
-    while not !done_ do
-      let u = ref (-1) in
-      for v = 0 to t.n - 1 do
-        if (not visited.(v)) && dist.(v) < infinity
-           && (!u = -1 || dist.(v) < dist.(!u))
-        then u := v
-      done;
-      if !u = -1 then done_ := true
-      else begin
-        let u = !u in
+    hsize := 0;
+    hpush 0.0 source;
+    while !hsize > 0 do
+      let u = hpop () in
+      if not visited.(u) then begin
         visited.(u) <- true;
         let a = ref t.heads.(u) in
         while !a <> -1 do
@@ -129,7 +179,8 @@ let solve_bounded t ~source ~sink ~max_flow =
             let nd = dist.(u) +. Float.max 0.0 reduced in
             if nd < dist.(v) -. 1e-15 then begin
               dist.(v) <- nd;
-              prev_arc.(v) <- !a
+              prev_arc.(v) <- !a;
+              hpush nd v
             end
           end;
           a := t.nexts.(!a)

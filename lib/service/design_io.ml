@@ -1,0 +1,99 @@
+open Operon
+open Operon_geom
+
+(* Reading is structural, not positional: only the "design" block's
+   shape matters, so any export with a schema-4 design block loads,
+   whatever else the document carries. *)
+
+let ( let* ) = Result.bind
+
+let fail fmt = Printf.ksprintf (fun m -> Error m) fmt
+
+let member ctx key json =
+  match Protocol.Json.member key json with
+  | Some v -> Ok v
+  | None -> fail "%s: missing field %S" ctx key
+
+let number ctx = function
+  | Protocol.Json.Num v -> Ok v
+  | _ -> fail "%s: expected a number" ctx
+
+let string_ ctx = function
+  | Protocol.Json.Str s -> Ok s
+  | _ -> fail "%s: expected a string" ctx
+
+let list_ ctx = function
+  | Protocol.Json.Arr items -> Ok items
+  | _ -> fail "%s: expected an array" ctx
+
+let point ctx = function
+  | Protocol.Json.Arr [ Protocol.Json.Num x; Protocol.Json.Num y ] ->
+      Ok { Point.x; Point.y }
+  | _ -> fail "%s: expected a [x,y] pair" ctx
+
+let map_result f items =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | item :: rest ->
+        let* v = f item in
+        go (v :: acc) rest
+  in
+  go [] items
+
+let bit_of_json ctx json =
+  let* source = member ctx "source" json in
+  let* source = point (ctx ^ ".source") source in
+  let* sinks = member ctx "sinks" json in
+  let* sinks = list_ (ctx ^ ".sinks") sinks in
+  let* sinks = map_result (point (ctx ^ ".sinks")) sinks in
+  if sinks = [] then fail "%s: a bit needs at least one sink" ctx
+  else Ok (Signal.bit ~source ~sinks:(Array.of_list sinks))
+
+let group_of_json i json =
+  let ctx = Printf.sprintf "design.groups[%d]" i in
+  let* name = member ctx "name" json in
+  let* name = string_ (ctx ^ ".name") name in
+  let* bits = member ctx "bits" json in
+  let* bits = list_ (ctx ^ ".bits") bits in
+  let* bits = map_result (bit_of_json (ctx ^ ".bits")) bits in
+  if bits = [] then fail "%s: a group needs at least one bit" ctx
+  else Ok (Signal.group ~name ~bits:(Array.of_list bits))
+
+let design_of_export json =
+  let* design = member "export" "design" json in
+  let* die = member "design" "die" design in
+  let* xmin = Result.bind (member "design.die" "xmin" die) (number "xmin") in
+  let* ymin = Result.bind (member "design.die" "ymin" die) (number "ymin") in
+  let* xmax = Result.bind (member "design.die" "xmax" die) (number "xmax") in
+  let* ymax = Result.bind (member "design.die" "ymax" die) (number "ymax") in
+  let* groups = member "design" "groups" design in
+  let* groups =
+    match groups with
+    | Protocol.Json.Arr items ->
+        let* gs = map_result (fun (i, g) -> group_of_json i g)
+            (List.mapi (fun i g -> (i, g)) items)
+        in
+        if gs = [] then fail "design.groups: must not be empty" else Ok gs
+    | Protocol.Json.Num _ ->
+        fail
+          "design.groups is a count, not an array — this export predates \
+           schema 4 and cannot seed an ECO run"
+    | _ -> fail "design.groups: expected an array"
+  in
+  match Rect.make ~xmin ~ymin ~xmax ~ymax with
+  | exception Invalid_argument m -> fail "design.die: %s" m
+  | die -> (
+      match Signal.design ~die ~groups:(Array.of_list groups) with
+      | exception Invalid_argument m -> fail "design: %s" m
+      | d -> Ok d)
+
+let load_export path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error m -> Error m
+  | text -> (
+      match Protocol.Json.parse text with
+      | Error m -> Error (Printf.sprintf "%s: %s" path m)
+      | Ok json -> (
+          match design_of_export json with
+          | Error m -> Error (Printf.sprintf "%s: %s" path m)
+          | Ok d -> Ok d))

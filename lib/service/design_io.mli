@@ -1,0 +1,20 @@
+(** Reading a design back out of an {!Operon.Export} document.
+
+    Schema 4 exports carry the full design — die rectangle plus every
+    group's exact pin coordinates ([%.17g], bit-exact round-trip) — so
+    a result file doubles as an ECO baseline: [operon run --eco-from
+    old-export.json] re-prepares the current design incrementally
+    against the design recorded in the export. This module is that
+    reader; it is the inverse of the export writer's [design] block and
+    ignores every other field of the document. *)
+
+open Operon
+
+val design_of_export : Protocol.Json.t -> (Signal.design, string) result
+(** Extract the [design] block from a parsed export document. Exports
+    older than schema 4 (where [design.groups] was a count, not an
+    array) are rejected with an explanatory error. *)
+
+val load_export : string -> (Signal.design, string) result
+(** Read and parse the file at [path], then {!design_of_export}. I/O
+    and parse failures come back as [Error] — never an exception. *)

@@ -1,4 +1,4 @@
-let schema_version = 1
+let schema_version = 2
 
 (* ------------------------------------------------------------------ *)
 (* Minimal JSON reader (the Export writer's missing half)             *)
@@ -273,6 +273,8 @@ let jobj fields =
 (* Requests                                                           *)
 (* ------------------------------------------------------------------ *)
 
+type mutate_spec = { mut_ratio : float; mut_seed : int }
+
 type submit = {
   sub_job : string option;
   sub_case : string;
@@ -282,10 +284,26 @@ type submit = {
   sub_priority : int;
   sub_deadline : float option;
   sub_cache : bool;
+  sub_mutate : mutate_spec option;
+}
+
+type resubmit = {
+  re_parent : string;
+  re_job : string option;
+  re_case : string option;
+  re_seed : int option;
+  re_mode : Operon_engine.Runctx.mode;
+  re_budget : float;
+  re_priority : int;
+  re_deadline : float option;
+  re_cache : bool;
+  re_mutate : mutate_spec option;
+  re_warm : bool;
 }
 
 type request =
   | Submit of submit
+  | Resubmit of resubmit
   | Status of string
   | Result of string
   | Cancel of string
@@ -335,41 +353,86 @@ let bool_field ~default json key =
   | None -> default
   | Some _ -> invalid "field %S must be a boolean" key
 
-let parse_submit json =
-  let sub_case = str_field json "case" in
-  let sub_job = opt_str_field json "job" in
-  (match sub_job with
+(* The submission fields shared between [submit] and [resubmit]. *)
+let parse_job_fields json =
+  let job = opt_str_field json "job" in
+  (match job with
    | Some "" -> invalid "field \"job\" must not be empty"
    | _ -> ());
-  let sub_seed =
+  let seed =
     match opt_int_field json "seed" with
     | Some s when s <= 0 -> invalid "field \"seed\" must be positive (got %d)" s
     | seed -> seed
   in
-  let sub_mode =
+  let mode =
     match String.lowercase_ascii (str_field ~default:"lr" json "mode") with
     | "lr" -> Operon_engine.Runctx.Lr
     | "ilp" -> Operon_engine.Runctx.Ilp
     | other -> invalid "unknown mode %S (expected lr or ilp)" other
   in
-  let sub_budget =
+  let budget =
     match opt_num_field json "ilp_budget" with
     | Some v when v <= 0.0 -> invalid "field \"ilp_budget\" must be positive"
     | Some v -> v
     | None -> 60.0
   in
-  let sub_priority =
+  let priority =
     match opt_int_field json "priority" with Some p -> p | None -> 0
   in
-  let sub_deadline =
+  let deadline =
     match opt_num_field json "deadline" with
     | Some v when v < 0.0 -> invalid "field \"deadline\" must be >= 0"
     | d -> d
   in
-  let sub_cache = bool_field ~default:true json "cache" in
+  let cache = bool_field ~default:true json "cache" in
+  (job, seed, mode, budget, priority, deadline, cache)
+
+let parse_mutate json =
+  match Json.member "mutate" json with
+  | None | Some Json.Null -> None
+  | Some (Json.Obj _ as m) ->
+      let mut_ratio =
+        match opt_num_field m "ratio" with
+        | Some r when r > 0.0 && r <= 1.0 -> r
+        | Some _ -> invalid "field \"mutate.ratio\" must be in (0, 1]"
+        | None -> invalid "missing required field \"mutate.ratio\""
+      in
+      let mut_seed =
+        match opt_int_field m "seed" with
+        | Some s when s <= 0 ->
+            invalid "field \"mutate.seed\" must be positive (got %d)" s
+        | Some s -> s
+        | None -> 1
+      in
+      Some { mut_ratio; mut_seed }
+  | Some _ -> invalid "field \"mutate\" must be an object"
+
+let parse_submit json =
+  let sub_case = str_field json "case" in
+  let sub_job, sub_seed, sub_mode, sub_budget, sub_priority, sub_deadline,
+      sub_cache =
+    parse_job_fields json
+  in
+  let sub_mutate = parse_mutate json in
   Submit
     { sub_job; sub_case; sub_seed; sub_mode; sub_budget; sub_priority;
-      sub_deadline; sub_cache }
+      sub_deadline; sub_cache; sub_mutate }
+
+let parse_resubmit json =
+  let re_parent =
+    match str_field json "parent_job" with
+    | "" -> invalid "field \"parent_job\" must not be empty"
+    | p -> p
+  in
+  let re_job, re_seed, re_mode, re_budget, re_priority, re_deadline, re_cache =
+    parse_job_fields json
+  in
+  let re_case = opt_str_field json "case" in
+  let re_mutate = parse_mutate json in
+  let re_warm = bool_field ~default:false json "warm" in
+  Resubmit
+    { re_parent; re_job; re_case; re_seed; re_mode; re_budget; re_priority;
+      re_deadline; re_cache; re_mutate; re_warm }
 
 let parse_request line =
   match Json.parse line with
@@ -382,13 +445,15 @@ let parse_request line =
             ( Some op,
               match String.lowercase_ascii op with
               | "submit" -> parse_submit json
+              | "resubmit" -> parse_resubmit json
               | "status" -> Status (str_field json "job")
               | "result" -> Result (str_field json "job")
               | "cancel" -> Cancel (str_field json "job")
               | "stats" -> Stats
               | other ->
                   invalid
-                    "unknown op %S (expected submit, status, result, cancel or stats)"
+                    "unknown op %S (expected submit, resubmit, status, result, \
+                     cancel or stats)"
                     other ))
         | _ -> invalid "request must be a JSON object"
       with

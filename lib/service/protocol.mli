@@ -8,14 +8,15 @@
     exactly the shape {!Operon.Export} uses for per-fault records, so a
     client parses degradations and protocol errors with one code path.
 
-    The five operations:
+    The six operations:
 
     {v
-      {"op":"submit","case":"tiny", ...}   enqueue a synthesis job
-      {"op":"status","job":"job-1"}        non-blocking state probe
-      {"op":"result","job":"job-1"}        block until done, return JSON
-      {"op":"cancel","job":"job-1"}        cancel a still-queued job
-      {"op":"stats"}                       service counters
+      {"op":"submit","case":"tiny", ...}           enqueue a synthesis job
+      {"op":"resubmit","parent_job":"job-1", ...}  ECO re-run against a parent
+      {"op":"status","job":"job-1"}                non-blocking state probe
+      {"op":"result","job":"job-1"}                block until done, return JSON
+      {"op":"cancel","job":"job-1"}                cancel a still-queued job
+      {"op":"stats"}                               service counters
     v}
 
     The protocol is transport-free (the CLI speaks it over stdin/stdout)
@@ -24,7 +25,9 @@
 
 val schema_version : int
 (** Version of the request/response layout, echoed in every response.
-    History: 1 = initial protocol (submit/status/result/cancel/stats). *)
+    History: 1 = initial protocol (submit/status/result/cancel/stats);
+    2 = [resubmit] op, [mutate] design perturbation on submit/resubmit,
+    registry eviction/capacity stats. *)
 
 (** {2 Minimal JSON values} *)
 
@@ -46,6 +49,15 @@ end
 
 (** {2 Requests} *)
 
+type mutate_spec = {
+  mut_ratio : float;  (** fraction of signal groups to displace, (0, 1] *)
+  mut_seed : int;  (** PRNG seed of the perturbation (default 1) *)
+}
+(** A deterministic design perturbation ({!Operon.Mutate.design}) applied
+    server-side before synthesis — the ECO test loop's way of deriving a
+    revised design from a registered case without shipping coordinates
+    over the protocol. *)
+
 type submit = {
   sub_job : string option;  (** client-chosen job id ([None] = server picks) *)
   sub_case : string;  (** design case name (registry key source) *)
@@ -56,10 +68,28 @@ type submit = {
   sub_deadline : float option;
       (** seconds from submission the job must finish within *)
   sub_cache : bool;  (** build the crossing-matrix cache *)
+  sub_mutate : mutate_spec option;  (** perturb the design before synthesis *)
+}
+
+type resubmit = {
+  re_parent : string;  (** parent job id; its artifacts seed the ECO path *)
+  re_job : string option;
+  re_case : string option;  (** [None] = inherit the parent's design *)
+  re_seed : int option;
+  re_mode : Operon_engine.Runctx.mode;
+  re_budget : float;
+  re_priority : int;
+  re_deadline : float option;
+  re_cache : bool;
+  re_mutate : mutate_spec option;
+  re_warm : bool;
+      (** warm-start selection from the parent's choice vector
+          (default [false]; never changes the result, only its speed) *)
 }
 
 type request =
   | Submit of submit
+  | Resubmit of resubmit
   | Status of string
   | Result of string
   | Cancel of string

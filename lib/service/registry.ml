@@ -4,22 +4,42 @@ open Operon_geom
 type entry = {
   e_design : Signal.design;
   e_config : Flow.Config.t;  (* the preparing submission's config *)
+  e_key : string;
   e_lock : Mutex.t;
-  mutable e_prepared : (Hypernet.t array * Selection.ctx) option;
+  mutable e_prepared : Flow.prepared option;
   mutable e_uses : int;
+  mutable e_last_use : int;  (* registry tick of the latest lookup *)
 }
 
 type t = {
   mu : Mutex.t;
   tbl : (string, entry) Hashtbl.t;
+  capacity : int option;
+  mutable tick : int;
   mutable hits : int;
   mutable misses : int;
+  mutable evictions : int;
 }
 
-type stats = { entries : int; hits : int; misses : int }
+type stats = {
+  entries : int;
+  hits : int;
+  misses : int;
+  evictions : int;
+  capacity : int option;
+}
 
-let create () =
-  { mu = Mutex.create (); tbl = Hashtbl.create 16; hits = 0; misses = 0 }
+let create ?capacity () =
+  (match capacity with
+  | Some c when c < 1 -> invalid_arg "Registry.create: capacity must be >= 1"
+  | _ -> ());
+  { mu = Mutex.create ();
+    tbl = Hashtbl.create 16;
+    capacity;
+    tick = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0 }
 
 let with_lock mu f =
   Mutex.lock mu;
@@ -53,7 +73,7 @@ let fingerprint (design : Signal.design) =
 
 let key (config : Flow.Config.t) design =
   (* Only the preparation-relevant configuration participates: what
-     [Flow.prepare_with] reads. Params and processing overrides are
+     [Flow.prepare] reads. Params and processing overrides are
      records of immediates, so the polymorphic hash is stable within a
      process — the registry never outlives one. *)
   let prep_bits =
@@ -65,49 +85,104 @@ let key (config : Flow.Config.t) design =
   in
   fingerprint design ^ ":" ^ Digest.to_hex (Digest.string prep_bits)
 
-let find_or_prepare ?sink t ~config design =
-  let key = key config design in
-  let entry, reused =
-    with_lock t.mu (fun () ->
-        match Hashtbl.find_opt t.tbl key with
-        | Some e ->
-            e.e_uses <- e.e_uses + 1;
-            t.hits <- t.hits + 1;
-            (e, true)
-        | None ->
+(* Must hold [t.mu]. Evicts least-recently-used entries (never [keep])
+   until the table fits the capacity. In-flight users of an evicted
+   entry are unaffected: they hold the entry value itself, and the GC
+   keeps it alive until they finish. *)
+let enforce_capacity (t : t) ~keep =
+  match t.capacity with
+  | None -> ()
+  | Some cap ->
+      while Hashtbl.length t.tbl > cap do
+        let victim = ref None in
+        Hashtbl.iter
+          (fun _ e ->
+            if e != keep then
+              match !victim with
+              | Some v when v.e_last_use <= e.e_last_use -> ()
+              | _ -> victim := Some e)
+          t.tbl;
+        match !victim with
+        | None -> raise Exit (* only [keep] left; capacity >= 1 holds it *)
+        | Some v ->
+            Hashtbl.remove t.tbl v.e_key;
+            t.evictions <- t.evictions + 1
+      done
+
+let enforce_capacity t ~keep =
+  try enforce_capacity t ~keep with Exit -> ()
+
+let lookup t ~config design ~count design_key =
+  with_lock t.mu (fun () ->
+      t.tick <- t.tick + 1;
+      match Hashtbl.find_opt t.tbl design_key with
+      | Some e ->
+          e.e_uses <- e.e_uses + 1;
+          e.e_last_use <- t.tick;
+          if count then t.hits <- t.hits + 1;
+          Some (e, true)
+      | None ->
+          if not count then None
+          else begin
             t.misses <- t.misses + 1;
             let e =
               { e_design = design;
                 e_config = config;
+                e_key = design_key;
                 e_lock = Mutex.create ();
                 e_prepared = None;
-                e_uses = 1 }
+                e_uses = 1;
+                e_last_use = t.tick }
             in
-            Hashtbl.add t.tbl key e;
-            (e, false))
-  in
+            Hashtbl.add t.tbl design_key e;
+            enforce_capacity t ~keep:e;
+            Some (e, false)
+          end)
+
+let prepare_entry t ~key:design_key entry prep =
   (* Prepare outside the registry mutex: a slow first-sight design must
      not stall lookups (or preparations) of other designs. Concurrent
      submissions of the same design block here until the first one's
      preparation lands. *)
-  (try
-     with_lock entry.e_lock (fun () ->
-         match entry.e_prepared with
-         | Some _ -> ()
-         | None ->
-             entry.e_prepared <-
-               Some (Flow.prepare_with ?sink entry.e_config entry.e_design))
-   with e ->
-     (* A faulting preparation must not leave a poisoned entry behind:
-        evict it so a later submission retries from scratch. *)
-     let bt = Printexc.get_raw_backtrace () in
-     with_lock t.mu (fun () ->
-         match Hashtbl.find_opt t.tbl key with
-         | Some cur when cur == entry && cur.e_prepared = None ->
-             Hashtbl.remove t.tbl key
-         | _ -> ());
-     Printexc.raise_with_backtrace e bt);
+  try
+    with_lock entry.e_lock (fun () ->
+        match entry.e_prepared with
+        | Some _ -> ()
+        | None -> entry.e_prepared <- Some (prep ()))
+  with e ->
+    (* A faulting preparation must not leave a poisoned entry behind:
+       evict it so a later submission retries from scratch. *)
+    let bt = Printexc.get_raw_backtrace () in
+    with_lock t.mu (fun () ->
+        match Hashtbl.find_opt t.tbl design_key with
+        | Some cur when cur == entry && cur.e_prepared = None ->
+            Hashtbl.remove t.tbl design_key
+        | _ -> ());
+    Printexc.raise_with_backtrace e bt
+
+let find_or_prepare ?sink t ~config design =
+  let design_key = key config design in
+  let entry, reused =
+    Option.get (lookup t ~config design ~count:true design_key)
+  in
+  prepare_entry t ~key:design_key entry (fun () ->
+      Flow.prepare ?sink entry.e_config entry.e_design);
   (entry, reused)
+
+let find_or_prepare_eco ?sink t ~config ~prev design =
+  let design_key = key config design in
+  let entry, reused =
+    Option.get (lookup t ~config design ~count:true design_key)
+  in
+  prepare_entry t ~key:design_key entry (fun () ->
+      Flow.prepare_eco ?sink ~prev entry.e_config entry.e_design);
+  (entry, reused)
+
+let find_prepared t ~config design =
+  match lookup t ~config design ~count:false (key config design) with
+  | None -> None
+  | Some (entry, _) ->
+      with_lock entry.e_lock (fun () -> entry.e_prepared)
 
 let with_prepared entry f =
   with_lock entry.e_lock (fun () ->
@@ -118,6 +193,10 @@ let with_prepared entry f =
              an unprepared entry. *)
           invalid_arg "Registry.with_prepared: entry not prepared")
 
-let stats t =
+let stats (t : t) =
   with_lock t.mu (fun () ->
-      { entries = Hashtbl.length t.tbl; hits = t.hits; misses = t.misses })
+      { entries = Hashtbl.length t.tbl;
+        hits = t.hits;
+        misses = t.misses;
+        evictions = t.evictions;
+        capacity = t.capacity })

@@ -2,12 +2,20 @@
 
     The expensive front half of the flow — signal processing, BI1S
     baselines, the co-design DP and the crossing-matrix build
-    ([Flow.prepare_with]) — depends only on the design's content and the
+    ([Flow.prepare]) — depends only on the design's content and the
     preparation-relevant slice of the configuration (seed, candidate
     cap, cache flag, optical parameters). The registry computes that key
     once per submission and hands repeated requests the already-prepared
-    [(hnets, ctx)], so a fleet of jobs against the same design pays for
-    candidate generation once.
+    {!Operon.Flow.prepared}, so a fleet of jobs against the same design
+    pays for candidate generation once. ECO resubmissions go through
+    {!find_or_prepare_eco}, which re-prepares a revised design
+    incrementally against a previous entry's artifacts.
+
+    Capacity: by default the registry is unbounded. With
+    [create ~capacity], inserting past the cap evicts the
+    least-recently-used entries (the just-inserted entry is never the
+    victim). Eviction only drops the registry's reference — jobs still
+    running on an evicted entry keep it alive and are unaffected.
 
     Thread model: the registry itself is guarded by one mutex (cheap
     lookups only); each entry carries its own lock, held while the entry
@@ -29,9 +37,12 @@ type stats = {
   entries : int;  (** designs currently held *)
   hits : int;  (** submissions that reused a prepared design *)
   misses : int;  (** submissions that had to prepare *)
+  evictions : int;  (** entries dropped by the LRU capacity cap *)
+  capacity : int option;  (** the cap; [None] = unbounded *)
 }
 
-val create : unit -> t
+val create : ?capacity:int -> unit -> t
+(** [capacity], when given, must be at least 1. *)
 
 val fingerprint : Signal.design -> string
 (** Content hash (hex digest) of a design: die rectangle plus every
@@ -58,8 +69,26 @@ val find_or_prepare :
     [sink] receives the preparation stages' instrumentation when this
     call prepares. *)
 
-val with_prepared :
-  entry -> (Hypernet.t array * Selection.ctx -> 'a) -> 'a
+val find_or_prepare_eco :
+  ?sink:Operon_engine.Instrument.sink ->
+  t ->
+  config:Flow.Config.t ->
+  prev:Flow.prepared ->
+  Signal.design ->
+  entry * bool
+(** Like {!find_or_prepare}, but a first-sight design is prepared with
+    {!Operon.Flow.prepare_eco} against [prev] — per-net incremental,
+    bit-identical to the cold preparation. A revised design already in
+    the registry is reused as-is ([reused = true]) without consulting
+    [prev]. *)
+
+val find_prepared : t -> config:Flow.Config.t -> Signal.design -> Flow.prepared option
+(** Peek: the prepared artifacts for this (config, design) key if the
+    registry holds them, bumping the entry's recency but not the
+    hit/miss counters. This is how a resubmission locates its parent's
+    artifacts. *)
+
+val with_prepared : entry -> (Flow.prepared -> 'a) -> 'a
 (** Run [f] on the entry's prepared data while holding the entry lock —
     the required discipline for anything that queries the shared
     crossing matrix (selection, signoff). *)

@@ -36,7 +36,10 @@ type job = {
   deadline : float option;
   submitted_at : float;
   token : Jobq.Token.t;
+  parent : string option;  (* ECO resubmission: reuse this job's artifacts *)
+  initial : int array option;  (* warm-start selection vector *)
   mutable state : state;
+  mutable eco : Flow.eco_stats option;  (* set when the job ran the ECO path *)
 }
 
 type t = {
@@ -64,12 +67,12 @@ let with_lock t f =
   Mutex.lock t.mu;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
 
-let create ?(workers = 1) ?(capacity = 64) () =
+let create ?(workers = 1) ?(capacity = 64) ?registry_capacity () =
   let workers = Stdlib.max 1 workers in
   { mu = Mutex.create ();
     finished = Condition.create ();
     queue = Jobq.create ~capacity;
-    registry = Registry.create ();
+    registry = Registry.create ?capacity:registry_capacity ();
     jobs = Hashtbl.create 64;
     n_workers = workers;
     sink = Instrument.create ();
@@ -141,11 +144,36 @@ let run_job t job =
         in
         let job_sink = Instrument.create () in
         match
-          let entry, _reused =
-            Registry.find_or_prepare ~sink:job_sink t.registry ~config job.design
+          (* An ECO resubmission carries its parent job's id: when the
+             parent's prepared artifacts are still registered, a revised
+             design is prepared incrementally against them. A missing
+             parent entry (evicted, or never prepared) silently degrades
+             to a cold preparation — results are identical either way. *)
+          let prev =
+            match job.parent with
+            | None -> None
+            | Some pid -> (
+                match
+                  with_lock t (fun () -> Hashtbl.find_opt t.jobs pid)
+                with
+                | None -> None
+                | Some pj ->
+                    Registry.find_prepared t.registry ~config:pj.config
+                      pj.design)
           in
-          Registry.with_prepared entry (fun (hnets, ctx) ->
-              Flow.select_with ~sink:job_sink config job.design hnets ctx)
+          let entry, _reused =
+            match prev with
+            | Some prev ->
+                Registry.find_or_prepare_eco ~sink:job_sink t.registry ~config
+                  ~prev job.design
+            | None ->
+                Registry.find_or_prepare ~sink:job_sink t.registry ~config
+                  job.design
+          in
+          Registry.with_prepared entry (fun p ->
+              job.eco <- p.Flow.p_eco;
+              Flow.select_with ~sink:job_sink ?initial:job.initial config
+                job.design p.Flow.p_hnets p.Flow.p_ctx)
         with
         | flow -> finish t job (Completed flow) ~job_sink:(Some job_sink)
         | exception Fault.Error f ->
@@ -182,7 +210,7 @@ let start t =
     with_lock t (fun () -> t.domains <- domains)
   end
 
-let submit t ?job ?(priority = 0) ?deadline ~config design =
+let submit t ?job ?(priority = 0) ?deadline ?parent ?initial ~config design =
   let now = Timer.now () in
   let token = Jobq.Token.create () in
   let prepared =
@@ -198,7 +226,7 @@ let submit t ?job ?(priority = 0) ?deadline ~config design =
         else begin
           let j =
             { id; config; design; deadline; submitted_at = now; token;
-              state = Queued }
+              parent; initial; state = Queued; eco = None }
           in
           Hashtbl.add t.jobs id j;
           Ok j
@@ -263,6 +291,16 @@ let result t id =
   match state t id with
   | Some (Finished (Completed flow)) -> Some flow
   | _ -> None
+
+let job_spec t id =
+  with_lock t (fun () ->
+      Option.map
+        (fun j -> (j.config, j.design))
+        (Hashtbl.find_opt t.jobs id))
+
+let eco_stats t id =
+  with_lock t (fun () ->
+      Option.bind (Hashtbl.find_opt t.jobs id) (fun j -> j.eco))
 
 let counters t =
   let registry = Registry.stats t.registry in

@@ -47,9 +47,12 @@ type counters = {
 
 type t
 
-val create : ?workers:int -> ?capacity:int -> unit -> t
+val create :
+  ?workers:int -> ?capacity:int -> ?registry_capacity:int -> unit -> t
 (** [workers] domains (default 1; at least 1) over a queue bounded at
-    [capacity] (default 64). Workers are not spawned until {!start}. *)
+    [capacity] (default 64). [registry_capacity] bounds the design
+    registry with LRU eviction (default unbounded). Workers are not
+    spawned until {!start}. *)
 
 val workers : t -> int
 
@@ -61,13 +64,22 @@ val submit :
   ?job:string ->
   ?priority:int ->
   ?deadline:float ->
+  ?parent:string ->
+  ?initial:int array ->
   config:Flow.Config.t ->
   Signal.design ->
   (string, [ `Busy of string | `Duplicate of string ]) result
 (** Enqueue a job; returns its id ([job] when given, else generated).
     [`Busy] when the queue is full or the scheduler is shutting down —
     the caller maps it to the protocol's [busy] envelope. [`Duplicate]
-    when [job] names an existing job. [deadline] is seconds from now. *)
+    when [job] names an existing job. [deadline] is seconds from now.
+
+    ECO resubmission: [parent] names an earlier job whose prepared
+    artifacts (if still registered) seed an incremental re-preparation
+    of this job's design; [initial] warm-starts the selection solver
+    from the parent's choice vector. Both are accelerators only — the
+    result is bit-identical with or without them, and a vanished parent
+    entry degrades silently to a cold preparation. *)
 
 val state : t -> string -> state option
 (** Non-blocking probe; [None] for an unknown id. *)
@@ -83,6 +95,14 @@ val cancel : t -> string -> [ `Cancelled | `Already of state | `Unknown ]
 
 val result : t -> string -> Flow.t option
 (** The flow of a completed job, if it is one. *)
+
+val job_spec : t -> string -> (Flow.Config.t * Signal.design) option
+(** The configuration and design a job was submitted with — how a
+    resubmission inherits its parent's design. *)
+
+val eco_stats : t -> string -> Flow.eco_stats option
+(** The ECO re-preparation statistics of a job, when its preparation
+    ran (rather than reused a registry hit) via the ECO path. *)
 
 val counters : t -> counters
 

@@ -7,8 +7,10 @@ type t = {
   params : Operon_optical.Params.t;
 }
 
-let create ?workers ?capacity ~resolve ~params () =
-  { scheduler = Scheduler.create ?workers ?capacity (); resolve; params }
+let create ?workers ?capacity ?registry_capacity ~resolve ~params () =
+  { scheduler = Scheduler.create ?workers ?capacity ?registry_capacity ();
+    resolve;
+    params }
 
 let scheduler t = t.scheduler
 
@@ -27,31 +29,89 @@ let config_of_submit t (s : Protocol.submit) =
   Flow.Config.make ~mode:s.Protocol.sub_mode ~ilp_budget:s.Protocol.sub_budget
     ~cache:s.Protocol.sub_cache t.params
 
+let apply_mutate design = function
+  | None -> design
+  | Some m ->
+      Mutate.design ~ratio:m.Protocol.mut_ratio ~seed:m.Protocol.mut_seed
+        design
+
+let enqueue t ~op ?job ?parent ?initial ~priority ?deadline ~config design =
+  match
+    Scheduler.submit t.scheduler ?job ~priority ?deadline ?parent ?initial
+      ~config design
+  with
+  | Ok id ->
+      let c = Scheduler.counters t.scheduler in
+      Protocol.ok ~job:id ~op
+        [ ("state", Protocol.jstr "queued");
+          ("queue_depth", Protocol.jint c.Scheduler.queue_depth) ]
+  | Error (`Busy detail) -> Protocol.error ?job ~op ~kind:"busy" ~detail ()
+  | Error (`Duplicate id) ->
+      Protocol.error ~job:id ~op ~kind:"validation"
+        ~detail:(Printf.sprintf "job id %S already exists" id)
+        ()
+
 let handle_submit t (s : Protocol.submit) =
   match t.resolve ~case:s.Protocol.sub_case ~seed:s.Protocol.sub_seed with
   | None ->
       Protocol.error ?job:s.Protocol.sub_job ~op:"submit" ~kind:"validation"
         ~detail:(Printf.sprintf "unknown case %S" s.Protocol.sub_case)
         ()
-  | Some design -> (
+  | Some design ->
+      let design = apply_mutate design s.Protocol.sub_mutate in
       let config = config_of_submit t s in
-      match
-        Scheduler.submit t.scheduler ?job:s.Protocol.sub_job
-          ~priority:s.Protocol.sub_priority ?deadline:s.Protocol.sub_deadline
-          ~config design
-      with
-      | Ok id ->
-          let c = Scheduler.counters t.scheduler in
-          Protocol.ok ~job:id ~op:"submit"
-            [ ("state", Protocol.jstr "queued");
-              ("queue_depth", Protocol.jint c.Scheduler.queue_depth) ]
-      | Error (`Busy detail) ->
-          Protocol.error ?job:s.Protocol.sub_job ~op:"submit" ~kind:"busy"
-            ~detail ()
-      | Error (`Duplicate id) ->
-          Protocol.error ~job:id ~op:"submit" ~kind:"validation"
-            ~detail:(Printf.sprintf "job id %S already exists" id)
-            ())
+      enqueue t ~op:"submit" ?job:s.Protocol.sub_job
+        ~priority:s.Protocol.sub_priority ?deadline:s.Protocol.sub_deadline
+        ~config design
+
+let handle_resubmit t (r : Protocol.resubmit) =
+  let op = "resubmit" in
+  let fail detail =
+    Protocol.error ?job:r.Protocol.re_job ~op ~kind:"validation" ~detail ()
+  in
+  (* The parent must have completed: its design anchors the ECO diff and
+     its choice vector is the warm start. *)
+  match Scheduler.state t.scheduler r.Protocol.re_parent with
+  | None ->
+      Protocol.error ?job:r.Protocol.re_job ~op ~kind:"unknown_job"
+        ~detail:(Printf.sprintf "no such parent job %S" r.Protocol.re_parent)
+        ()
+  | Some st -> (
+      match Scheduler.result t.scheduler r.Protocol.re_parent with
+      | None ->
+          fail
+            (Printf.sprintf "parent job %S is %s, not completed"
+               r.Protocol.re_parent
+               (Scheduler.state_name st))
+      | Some parent_flow -> (
+          let base =
+            match r.Protocol.re_case with
+            | Some case -> t.resolve ~case ~seed:r.Protocol.re_seed
+            | None ->
+                Option.map snd
+                  (Scheduler.job_spec t.scheduler r.Protocol.re_parent)
+          in
+          match base with
+          | None ->
+              fail
+                (match r.Protocol.re_case with
+                | Some case -> Printf.sprintf "unknown case %S" case
+                | None -> "parent job's design is no longer available")
+          | Some design ->
+              let design = apply_mutate design r.Protocol.re_mutate in
+              let config =
+                Flow.Config.make ~mode:r.Protocol.re_mode
+                  ~ilp_budget:r.Protocol.re_budget
+                  ~cache:r.Protocol.re_cache t.params
+              in
+              let initial =
+                if r.Protocol.re_warm then Some parent_flow.Flow.choice
+                else None
+              in
+              enqueue t ~op ?job:r.Protocol.re_job
+                ~parent:r.Protocol.re_parent ?initial
+                ~priority:r.Protocol.re_priority
+                ?deadline:r.Protocol.re_deadline ~config design))
 
 let unknown_job ~op id =
   Protocol.error ~job:id ~op ~kind:"unknown_job"
@@ -69,11 +129,29 @@ let handle_result t id =
   match Scheduler.wait t.scheduler id with
   | None -> unknown_job ~op:"result" id
   | Some (Scheduler.Completed flow) ->
+      (* ECO statistics ride in the envelope, never inside [result]: the
+         result document of an ECO resubmission is byte-identical to a
+         cold run's, and these fields are what varies. *)
+      let eco_fields =
+        match Scheduler.eco_stats t.scheduler id with
+        | None -> []
+        | Some e ->
+            [ ( "eco",
+                Printf.sprintf
+                  "{\"nets_reused\":%d,\"nets_recomputed\":%d,\
+                   \"xrows_reused\":%d,\"dirty\":%d,\"interaction_dirty\":%d,\
+                   \"added\":%d,\"removed\":%d,\"closure\":%d,\
+                   \"cold_fallback\":%b}"
+                  e.Flow.nets_reused e.Flow.nets_recomputed e.Flow.xrows_reused
+                  e.Flow.dirty e.Flow.interaction_dirty e.Flow.added
+                  e.Flow.removed e.Flow.dirty_closure e.Flow.cold_fallback ) ]
+      in
       Protocol.ok ~job:id ~op:"result"
-        [ ("state", Protocol.jstr "completed");
-          ("power", Protocol.jfloat flow.Flow.power);
-          ("solver_path", Protocol.jstr flow.Flow.solver_path);
-          ("result", Export.flow_to_json ~timings:false flow) ]
+        ([ ("state", Protocol.jstr "completed");
+           ("power", Protocol.jfloat flow.Flow.power);
+           ("solver_path", Protocol.jstr flow.Flow.solver_path) ]
+        @ eco_fields
+        @ [ ("result", Export.flow_to_json ~timings:false flow) ])
   | Some (Scheduler.Failed fault) ->
       Protocol.error ~job:id ~op:"result" ~kind:"fault"
         ~detail:(Fault.to_string fault) ()
@@ -109,10 +187,16 @@ let handle_stats t =
       ("queue_depth", Protocol.jint c.Scheduler.queue_depth);
       ("workers", Protocol.jint (Scheduler.workers t.scheduler));
       ( "registry",
-        Printf.sprintf "{\"entries\":%d,\"hits\":%d,\"misses\":%d}"
+        Printf.sprintf
+          "{\"entries\":%d,\"hits\":%d,\"misses\":%d,\"evictions\":%d,\
+           \"capacity\":%s}"
           c.Scheduler.registry.Registry.entries
           c.Scheduler.registry.Registry.hits
-          c.Scheduler.registry.Registry.misses ) ]
+          c.Scheduler.registry.Registry.misses
+          c.Scheduler.registry.Registry.evictions
+          (match c.Scheduler.registry.Registry.capacity with
+          | None -> "null"
+          | Some cap -> string_of_int cap) ) ]
 
 let handle_line t line =
   if String.trim line = "" then None
@@ -123,6 +207,7 @@ let handle_line t line =
            Protocol.error ?op:e.Protocol.err_op ~kind:e.Protocol.err_kind
              ~detail:e.Protocol.err_detail ()
        | Ok (Protocol.Submit s) -> handle_submit t s
+       | Ok (Protocol.Resubmit r) -> handle_resubmit t r
        | Ok (Protocol.Status id) -> handle_status t id
        | Ok (Protocol.Result id) -> handle_result t id
        | Ok (Protocol.Cancel id) -> handle_cancel t id

@@ -25,14 +25,15 @@ type t
 val create :
   ?workers:int ->
   ?capacity:int ->
+  ?registry_capacity:int ->
   resolve:(case:string -> seed:int option -> Signal.design option) ->
   params:Operon_optical.Params.t ->
   unit ->
   t
-(** A service over a fresh {!Scheduler.create}[ ~workers ~capacity].
-    Workers are not started yet — tests drive {!handle_line} against a
-    stopped pool to exercise queueing deterministically; {!serve}
-    starts them itself. *)
+(** A service over a fresh {!Scheduler.create}[ ~workers ~capacity
+    ~registry_capacity]. Workers are not started yet — tests drive
+    {!handle_line} against a stopped pool to exercise queueing
+    deterministically; {!serve} starts them itself. *)
 
 val scheduler : t -> Scheduler.t
 

@@ -1,0 +1,376 @@
+(* Incremental ECO re-synthesis: design-diff classification (QCheck),
+   byte parity of ECO re-preparation against cold runs, warm-started
+   selection parity, registry LRU capacity, the resubmit protocol op,
+   and the incremental track-retirement rewrite of Assign. *)
+
+open Operon_optical
+open Operon
+open Operon_benchgen
+open Operon_service
+
+let params = Params.default
+
+let config ?(jobs = 1) () = Flow.Config.make ~jobs params
+
+let export flow = Export.flow_to_json ~timings:false flow
+
+(* ------------------------------------------------------------------ *)
+(* Design_diff                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let diff_against (prev : Flow.prepared) (cur : Flow.prepared) =
+  Design_diff.diff ~neighbors:prev.Flow.p_ctx.Selection.neighbors
+    prev.Flow.p_hnets cur.Flow.p_hnets
+
+let test_identity_diff () =
+  List.iter
+    (fun design ->
+      let prev = Flow.prepare (config ()) design in
+      let d = diff_against prev prev in
+      Alcotest.(check bool) "compatible" true d.Design_diff.compatible;
+      Alcotest.(check int) "closure empty" 0 (Design_diff.closure_size d);
+      Array.iter
+        (fun s ->
+          Alcotest.(check string) "all clean" "clean"
+            (Design_diff.status_name s))
+        d.Design_diff.status)
+    [ Cases.tiny (); Cases.small () ]
+
+(* The diff invariants every mutation must satisfy: changed content keys
+   are Dirty, the previous interaction neighbourhood of every non-clean
+   net is inside the recomputation closure, and the classification is
+   independent of the preparing executor's worker count. *)
+let prop_diff_classification =
+  let design = Cases.small () in
+  let prev1 = Flow.prepare (config ~jobs:1 ()) design in
+  let prev4 = Flow.prepare (config ~jobs:4 ()) design in
+  QCheck.Test.make ~name:"mutated nets dirty, neighbours in closure" ~count:6
+    QCheck.(pair (int_range 1 1000) (int_range 1 3))
+    (fun (seed, r) ->
+      let ratio = float_of_int r /. 10.0 in
+      let revised = Mutate.design ~ratio ~seed design in
+      let cur1 = Flow.prepare (config ~jobs:1 ()) revised in
+      let cur4 = Flow.prepare (config ~jobs:4 ()) revised in
+      let d1 = diff_against prev1 cur1 in
+      let d4 = diff_against prev4 cur4 in
+      if not d1.Design_diff.compatible then
+        QCheck.Test.fail_report "diff incompatible on same-shape designs";
+      (* jobs-independence: the classification is bit-identical. *)
+      if d1.Design_diff.status <> d4.Design_diff.status then
+        QCheck.Test.fail_report "diff depends on the worker count";
+      let n = Array.length d1.Design_diff.status in
+      for i = 0 to n - 1 do
+        let key_changed =
+          Design_diff.hnet_key prev1.Flow.p_hnets.(i)
+          <> Design_diff.hnet_key cur1.Flow.p_hnets.(i)
+        in
+        (match (key_changed, d1.Design_diff.status.(i)) with
+         | true, Design_diff.Dirty -> ()
+         | true, s ->
+             QCheck.Test.fail_reportf
+               "net %d changed content but is %s, not dirty" i
+               (Design_diff.status_name s)
+         | false, Design_diff.Dirty ->
+             QCheck.Test.fail_reportf "net %d unchanged but marked dirty" i
+         | false, _ -> ());
+        (* closure = everything not clean *)
+        let expect_in_closure =
+          d1.Design_diff.status.(i) <> Design_diff.Clean
+        in
+        if d1.Design_diff.closure.(i) <> expect_in_closure then
+          QCheck.Test.fail_reportf "closure mismatch on net %d" i;
+        (* the previous neighbourhood of a dirty net is interaction-dirty *)
+        if d1.Design_diff.status.(i) = Design_diff.Dirty then
+          Array.iter
+            (fun j ->
+              if not d1.Design_diff.closure.(j) then
+                QCheck.Test.fail_reportf
+                  "net %d neighbours dirty net %d but is outside the closure"
+                  j i)
+            prev1.Flow.p_ctx.Selection.neighbors.(i)
+      done;
+      true)
+
+(* ------------------------------------------------------------------ *)
+(* ECO re-preparation byte parity                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_eco_byte_parity () =
+  List.iter
+    (fun (name, design) ->
+      let cfg = config () in
+      let prev = Flow.prepare cfg design in
+      let revised = Mutate.design ~ratio:0.1 ~seed:7 design in
+      let cold = Flow.select_prepared cfg (Flow.prepare cfg revised) in
+      let eco_p = Flow.prepare_eco ~prev cfg revised in
+      let eco = Flow.select_prepared cfg eco_p in
+      Alcotest.(check string)
+        (name ^ ": eco export byte-identical to cold")
+        (export cold) (export eco);
+      let e =
+        match eco_p.Flow.p_eco with
+        | Some e -> e
+        | None -> Alcotest.fail "prepare_eco returned no eco stats"
+      in
+      Alcotest.(check bool) (name ^ ": incremental path taken") false
+        e.Flow.cold_fallback;
+      Alcotest.(check bool)
+        (name ^ ": recomputation bounded by the dirty closure") true
+        (e.Flow.nets_recomputed <= e.Flow.dirty_closure);
+      Alcotest.(check int)
+        (name ^ ": reused + recomputed covers every net")
+        (Array.length eco_p.Flow.p_hnets)
+        (e.Flow.nets_reused + e.Flow.nets_recomputed))
+    [ ("tiny", Cases.tiny ()); ("small", Cases.small ()) ]
+
+let test_eco_cold_fallback () =
+  let design = Cases.tiny () in
+  let cfg = config () in
+  let prev = Flow.prepare cfg design in
+  let revised = Mutate.design ~ratio:0.2 ~seed:3 design in
+  (* A preparation-relevant config change cannot reuse anything. *)
+  let cfg2 = Flow.Config.make ~max_cands_per_net:6 params in
+  let eco_p = Flow.prepare_eco ~prev cfg2 revised in
+  (match eco_p.Flow.p_eco with
+   | Some e ->
+       Alcotest.(check bool) "fell back to cold" true e.Flow.cold_fallback;
+       Alcotest.(check int) "recomputed everything"
+         (Array.length eco_p.Flow.p_hnets)
+         e.Flow.nets_recomputed
+   | None -> Alcotest.fail "expected eco stats on the fallback path");
+  let cold = Flow.select_prepared cfg2 (Flow.prepare cfg2 revised) in
+  let eco = Flow.select_prepared cfg2 eco_p in
+  Alcotest.(check string) "fallback still byte-identical" (export cold)
+    (export eco)
+
+(* ------------------------------------------------------------------ *)
+(* Warm-started selection parity                                      *)
+(* ------------------------------------------------------------------ *)
+
+let warm_cases () =
+  let base = [ ("tiny", Cases.tiny ()); ("small", Cases.small ()) ] in
+  match Sys.getenv_opt "OPERON_HEAVY_TESTS" with
+  | Some ("1" | "true") ->
+      base
+      @ List.filter_map
+          (fun name ->
+            Option.map
+              (fun spec -> (name, Gen.generate spec))
+              (Cases.by_name name))
+          [ "I1"; "I2"; "I3" ]
+  | _ -> base
+
+let test_warm_start_parity () =
+  List.iter
+    (fun (name, design) ->
+      let cfg = config () in
+      let prev = Flow.prepare cfg design in
+      let initial =
+        (Flow.select_prepared cfg prev).Flow.choice
+      in
+      let revised = Mutate.design ~ratio:0.15 ~seed:11 design in
+      let p = Flow.prepare_eco ~prev cfg revised in
+      let ctx = p.Flow.p_ctx in
+      let lr_cold = Lr_select.select ctx in
+      let lr_warm = Lr_select.select ~initial ctx in
+      Alcotest.(check (array int))
+        (name ^ ": LR warm choice = cold")
+        lr_cold.Lr_select.choice lr_warm.Lr_select.choice;
+      Alcotest.(check (float 0.0))
+        (name ^ ": LR warm power = cold")
+        lr_cold.Lr_select.power lr_warm.Lr_select.power;
+      let ilp_cold = Ilp_select.select ~budget_seconds:60.0 ctx in
+      let ilp_warm = Ilp_select.select ~budget_seconds:60.0 ~initial ctx in
+      Alcotest.(check (array int))
+        (name ^ ": ILP warm choice = cold")
+        ilp_cold.Ilp_select.choice ilp_warm.Ilp_select.choice;
+      Alcotest.(check (float 0.0))
+        (name ^ ": ILP warm power = cold")
+        ilp_cold.Ilp_select.power ilp_warm.Ilp_select.power;
+      (* A nonsense warm start must sanitize away, not crash or drift. *)
+      let garbage = Array.make (Array.length initial) 9999 in
+      let lr_garbage = Lr_select.select ~initial:garbage ctx in
+      Alcotest.(check (array int))
+        (name ^ ": garbage warm start sanitized")
+        lr_cold.Lr_select.choice lr_garbage.Lr_select.choice)
+    (warm_cases ())
+
+(* ------------------------------------------------------------------ *)
+(* Registry LRU                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_registry_lru () =
+  let reg = Registry.create ~capacity:2 () in
+  let cfg = config () in
+  let designs = List.map (fun s -> Cases.tiny ~seed:s ()) [ 1; 2; 3 ] in
+  List.iter
+    (fun d -> ignore (Registry.find_or_prepare reg ~config:cfg d))
+    designs;
+  let s = Registry.stats reg in
+  Alcotest.(check int) "capacity recorded" 2 (Option.get s.Registry.capacity);
+  Alcotest.(check bool) "evicted at least once" true (s.Registry.evictions >= 1);
+  Alcotest.(check bool) "entries within capacity" true (s.Registry.entries <= 2);
+  (* The newest design survived; the oldest was the LRU victim. *)
+  Alcotest.(check bool) "newest still prepared" true
+    (Registry.find_prepared reg ~config:cfg (List.nth designs 2) <> None);
+  Alcotest.(check bool) "oldest evicted" true
+    (Registry.find_prepared reg ~config:cfg (List.nth designs 0) = None)
+
+(* ------------------------------------------------------------------ *)
+(* Resubmit over the NDJSON protocol                                  *)
+(* ------------------------------------------------------------------ *)
+
+let resolve ~case ~seed =
+  match String.lowercase_ascii case with
+  | "tiny" -> Some (Cases.tiny ?seed ())
+  | "small" -> Some (Cases.small ?seed ())
+  | _ -> None
+
+let handle svc line =
+  match Service.handle_line svc line with
+  | Some r -> r
+  | None -> Alcotest.fail (Printf.sprintf "no response to %s" line)
+
+let parse line =
+  match Protocol.Json.parse line with
+  | Ok j -> j
+  | Error e -> Alcotest.fail (Printf.sprintf "bad response %s: %s" line e)
+
+let ok_field j =
+  match Protocol.Json.member "ok" j with
+  | Some (Protocol.Json.Bool b) -> b
+  | _ -> Alcotest.fail "missing ok field"
+
+let error_kind j =
+  match Protocol.Json.member "error" j with
+  | Some e -> (
+      match Protocol.Json.member "kind" e with
+      | Some (Protocol.Json.Str s) -> s
+      | _ -> Alcotest.fail "missing error.kind")
+  | None -> Alcotest.fail "expected an error envelope"
+
+let find_sub haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i =
+    if i + n > h then None
+    else if String.sub haystack i n = needle then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let test_resubmit () =
+  let svc = Service.create ~workers:1 ~capacity:8 ~resolve ~params () in
+  Service.start svc;
+  Fun.protect
+    ~finally:(fun () -> Service.shutdown svc)
+    (fun () ->
+      let r1 = parse (handle svc {|{"op":"submit","case":"tiny","job":"a"}|}) in
+      Alcotest.(check bool) "submit accepted" true (ok_field r1);
+      Alcotest.(check bool) "parent completed" true
+        (ok_field (parse (handle svc {|{"op":"result","job":"a"}|})));
+      let line =
+        handle svc
+          {|{"op":"resubmit","parent_job":"a","job":"b","mutate":{"ratio":0.5,"seed":3},"warm":true}|}
+      in
+      Alcotest.(check bool) "resubmit accepted" true (ok_field (parse line));
+      let result = handle svc {|{"op":"result","job":"b"}|} in
+      let renv = parse result in
+      Alcotest.(check bool) "resubmit job completed" true (ok_field renv);
+      (* The envelope carries the eco stats... *)
+      (match Protocol.Json.member "eco" renv with
+       | Some eco -> (
+           match Protocol.Json.member "cold_fallback" eco with
+           | Some (Protocol.Json.Bool false) -> ()
+           | _ -> Alcotest.fail "expected eco.cold_fallback = false")
+       | None -> Alcotest.fail "expected an eco object in the result envelope");
+      (* ...while the result document is byte-identical to a cold run of
+         the same mutated design under the service's configuration. *)
+      let served_cfg = Flow.Config.make ~mode:Flow.Lr ~ilp_budget:60.0 params in
+      let revised = Mutate.design ~ratio:0.5 ~seed:3 (Cases.tiny ()) in
+      let expected = export (Flow.synthesize served_cfg revised) in
+      (match find_sub result expected with
+       | Some _ -> ()
+       | None ->
+           Alcotest.fail "served resubmit result differs from the cold run");
+      (* Validation corners. *)
+      Alcotest.(check string) "unknown parent" "unknown_job"
+        (error_kind
+           (parse (handle svc {|{"op":"resubmit","parent_job":"nope"}|})));
+      Alcotest.(check string) "bad mutate ratio" "validation"
+        (error_kind
+           (parse
+              (handle svc
+                 {|{"op":"resubmit","parent_job":"a","mutate":{"ratio":0.0}}|}))))
+
+let test_resubmit_requires_completed_parent () =
+  (* Workers never started: the parent stays queued, so resubmitting
+     against it is a validation error, not a hang. *)
+  let svc = Service.create ~workers:1 ~capacity:8 ~resolve ~params () in
+  Fun.protect
+    ~finally:(fun () -> Service.shutdown svc)
+    (fun () ->
+      Alcotest.(check bool) "parent queued" true
+        (ok_field (parse (handle svc {|{"op":"submit","case":"tiny","job":"a"}|})));
+      Alcotest.(check string) "parent not completed" "validation"
+        (error_kind (parse (handle svc {|{"op":"resubmit","parent_job":"a"}|}))))
+
+(* ------------------------------------------------------------------ *)
+(* Incremental track retirement (Assign.survivors)                    *)
+(* ------------------------------------------------------------------ *)
+
+(* The pre-rewrite reference: retire lightest-first, rebuilding the
+   feasibility max-flow from scratch for every trial subset. *)
+let reference_survivors params conns orient all =
+  let mine = ref [] in
+  for i = Array.length all - 1 downto 0 do
+    if all.(i).Wdm.orient = orient then mine := i :: !mine
+  done;
+  let ordered =
+    List.sort (fun a b -> compare all.(a).Wdm.used all.(b).Wdm.used) !mine
+  in
+  List.fold_left
+    (fun keep i ->
+      let without = List.filter (fun j -> j <> i) keep in
+      let live = List.map (fun j -> all.(j)) without in
+      if Assign.feasible params conns orient (Array.of_list live) then without
+      else keep)
+    ordered ordered
+
+let test_survivors_equivalence () =
+  List.iter
+    (fun (name, design) ->
+      let flow = Flow.synthesize (config ()) design in
+      let conns = flow.Flow.placement.Wdm_place.conns in
+      let all = flow.Flow.placement.Wdm_place.tracks in
+      let p = flow.Flow.ctx.Selection.params in
+      List.iter
+        (fun orient ->
+          Alcotest.(check (list int))
+            (name ^ ": incremental = rebuild-per-subset")
+            (reference_survivors p conns orient all)
+            (Assign.survivors p conns orient all))
+        [ Wdm.Horizontal; Wdm.Vertical ])
+    [ ("tiny", Cases.tiny ()); ("small", Cases.small ()) ]
+
+let () =
+  Alcotest.run "eco"
+    [ ( "design-diff",
+        [ Alcotest.test_case "identity diff all clean" `Quick
+            test_identity_diff;
+          QCheck_alcotest.to_alcotest prop_diff_classification ] );
+      ( "parity",
+        [ Alcotest.test_case "eco byte parity" `Quick test_eco_byte_parity;
+          Alcotest.test_case "cold fallback on config change" `Quick
+            test_eco_cold_fallback;
+          Alcotest.test_case "warm start parity" `Quick test_warm_start_parity
+        ] );
+      ( "registry",
+        [ Alcotest.test_case "LRU capacity + evictions" `Quick
+            test_registry_lru ] );
+      ( "resubmit",
+        [ Alcotest.test_case "resubmit end-to-end" `Quick test_resubmit;
+          Alcotest.test_case "parent must be completed" `Quick
+            test_resubmit_requires_completed_parent ] );
+      ( "assign",
+        [ Alcotest.test_case "incremental survivors" `Quick
+            test_survivors_equivalence ] ) ]
