@@ -8,6 +8,7 @@
      dune exec bench/main.exe fig8       # Fig. 8 WDM counts
      dune exec bench/main.exe fig9       # Fig. 9 hotspot maps (case I2)
      dune exec bench/main.exe serve      # batch service throughput/latency
+     dune exec bench/main.exe sustained  # multi-shard saturation + kill -9 scenario
      dune exec bench/main.exe eco        # incremental ECO vs cold re-synthesis
      dune exec bench/main.exe micro      # Bechamel kernel micro-benchmarks
 
@@ -151,6 +152,26 @@ type serve_row = {
   s_misses : int;
 }
 
+(* Rows of the sustained-load serving benchmark (the "sustained"
+   target): the multi-shard server driven as a subprocess at
+   saturation, per shard count, with an optional kill-one-shard-mid-load
+   scenario. Serialized into the same "serve" section of latest.json as
+   the in-process rows. *)
+type sustained_row = {
+  u_shards : int;
+  u_jobs : int;
+  u_wall_s : float;  (** submit of the first job to last terminal *)
+  u_throughput : float;  (** terminals per second at saturation *)
+  u_p50_ms : float;  (** completion-time percentiles from batch start *)
+  u_p95_ms : float;
+  u_p99_ms : float;
+  u_killed : bool;  (** one shard was kill -9'd mid-batch *)
+  u_completed : int;
+  u_crashed : int;  (** shard_crash terminals (retried-then-died) *)
+  u_restarts : int;  (** supervisor restart counter after the batch *)
+  u_crash_signals : int;
+}
+
 (* Rows of the incremental-ECO benchmark (the "eco" target). *)
 type eco_row = {
   e_name : string;
@@ -170,6 +191,7 @@ type eco_row = {
 let table1_results : table1_row list ref = ref []
 let cache_results : cache_row list ref = ref []
 let serve_results : serve_row list ref = ref []
+let sustained_results : sustained_row list ref = ref []
 let eco_results : eco_row list ref = ref []
 
 let write_results () =
@@ -210,6 +232,16 @@ let write_results () =
       (jf (r.s_first_s /. Float.max 1e-9 r.s_repeat_s))
       r.s_hits r.s_misses
   in
+  let sustained_json r =
+    Printf.sprintf
+      {|    {"name":"sustained","shards":%d,"jobs":%d,"wall_seconds":%s,
+     "throughput_jobs_per_s":%s,"p50_ms":%s,"p95_ms":%s,"p99_ms":%s,
+     "kill_one_shard":%b,"completed":%d,"shard_crash":%d,
+     "supervisor":{"restarts":%d,"crash_signals":%d}}|}
+      r.u_shards r.u_jobs (jf r.u_wall_s) (jf r.u_throughput) (jf r.u_p50_ms)
+      (jf r.u_p95_ms) (jf r.u_p99_ms) r.u_killed r.u_completed r.u_crashed
+      r.u_restarts r.u_crash_signals
+  in
   let eco_json r =
     Printf.sprintf
       {|    {"name":"%s","mutate_ratio":%s,"nets":%d,
@@ -227,7 +259,9 @@ let write_results () =
       (jf ilp_budget)
       (String.concat ",\n" (List.map case_json !table1_results))
       (String.concat ",\n" (List.map cache_json !cache_results))
-      (String.concat ",\n" (List.map serve_json !serve_results))
+      (String.concat ",\n"
+         (List.map serve_json !serve_results
+         @ List.map sustained_json !sustained_results))
       (String.concat ",\n" (List.map eco_json !eco_results))
   in
   ensure_dir results_dir;
@@ -560,6 +594,217 @@ let serve_bench () =
        (List.map render rows));
   print_endline "";
   serve_results := rows;
+  write_results ()
+
+(* ------------------------------------------------------------------ *)
+(* Sustained multi-shard serving: saturation latency per shard count   *)
+(* ------------------------------------------------------------------ *)
+
+(* The fleet is driven as a subprocess ([operon serve --shards N] over
+   stdio) rather than in-process: the supervisor must be able to fork,
+   and this harness creates Domains for the other targets. Shard counts
+   via OPERON_SUSTAINED_SHARDS=<n,n,...>, batch size via
+   OPERON_SUSTAINED_JOBS, CLI binary via OPERON_CLI. *)
+
+let find_sub haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i =
+    if i + n > h then None
+    else if String.sub haystack i n = needle then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let sustained_cli () =
+  match Sys.getenv_opt "OPERON_CLI" with
+  | Some p -> p
+  | None ->
+      (* _build/default/bench/main.exe -> _build/default/bin/operon_cli.exe *)
+      Filename.concat
+        (Filename.dirname (Filename.dirname Sys.executable_name))
+        (Filename.concat "bin" "operon_cli.exe")
+
+let sustained_shard_counts () =
+  match Sys.getenv_opt "OPERON_SUSTAINED_SHARDS" with
+  | None | Some "" -> [ 1; 2; 4 ]
+  | Some s ->
+      String.split_on_char ',' s
+      |> List.filter_map (fun x ->
+             match int_of_string_opt (String.trim x) with
+             | Some n when n > 0 -> Some n
+             | _ ->
+                 Printf.eprintf
+                   "bench: ignoring malformed OPERON_SUSTAINED_SHARDS entry %S\n%!"
+                   x;
+                 None)
+
+(* One server run: submit [jobs] distinct small cases up front, then
+   drain every terminal, timing each completion from the batch start.
+   [kill_one] additionally kill -9s one shard child right after the
+   last accept. *)
+let sustained_run ~cli ~shards ~jobs ~kill_one =
+  (* cloexec: the server must not inherit the write end of its own
+     stdin pipe, or it will never see EOF at shutdown
+     ([Unix.create_process] dup2s the ends it is given onto 0/1) *)
+  let in_r, in_w = Unix.pipe ~cloexec:true () in
+  let out_r, out_w = Unix.pipe ~cloexec:true () in
+  let pid =
+    Unix.create_process cli
+      [| cli; "serve"; "--shards"; string_of_int shards |]
+      in_r out_w Unix.stderr
+  in
+  Unix.close in_r;
+  Unix.close out_w;
+  let oc = Unix.out_channel_of_descr in_w in
+  let ic = Unix.in_channel_of_descr out_r in
+  let send line =
+    output_string oc line;
+    output_char oc '\n';
+    flush oc
+  in
+  let field_of line key =
+    (* minimal scrape of one top-level "key":int field *)
+    let needle = Printf.sprintf "\"%s\":" key in
+    match find_sub line needle with
+    | None -> None
+    | Some i ->
+        let start = i + String.length needle in
+        let stop = ref start in
+        while
+          !stop < String.length line
+          && (match line.[!stop] with '0' .. '9' | '-' -> true | _ -> false)
+        do
+          incr stop
+        done;
+        int_of_string_opt (String.sub line start (!stop - start))
+  in
+  let t0 = Timer.now () in
+  for i = 1 to jobs do
+    send
+      (Printf.sprintf
+         {|{"op":"submit","job":"u%d","case":"small","seed":%d,"mode":"lr"}|} i
+         i);
+    ignore (input_line ic)
+  done;
+  if kill_one then begin
+    (* direct children of the server are its shard processes *)
+    let children =
+      try
+        let f =
+          open_in (Printf.sprintf "/proc/%d/task/%d/children" pid pid)
+        in
+        let line = try input_line f with End_of_file -> "" in
+        close_in f;
+        String.split_on_char ' ' line
+        |> List.filter_map (fun s -> int_of_string_opt (String.trim s))
+      with Sys_error _ -> []
+    in
+    match children with
+    | victim :: _ -> Unix.kill victim Sys.sigkill
+    | [] -> Printf.eprintf "bench: no shard child found to kill\n%!"
+  end;
+  let completions = Array.make jobs 0.0 in
+  let completed = ref 0 and crashed = ref 0 in
+  for i = 1 to jobs do
+    send (Printf.sprintf {|{"op":"result","job":"u%d"}|} i);
+    let reply = input_line ic in
+    completions.(i - 1) <- Timer.now () -. t0;
+    if find_sub reply "\"ok\":true" <> None then incr completed
+    else if find_sub reply "\"kind\":\"shard_crash\"" <> None then
+      incr crashed
+  done;
+  let wall = Timer.now () -. t0 in
+  (* restart registration runs on a monitor thread behind the backoff
+     delay; poll stats briefly rather than racing it *)
+  let restarts = ref 0 and crash_signals = ref 0 in
+  let deadline = Timer.now () +. if kill_one then 15.0 else 0.0 in
+  let rec poll () =
+    send {|{"op":"stats"}|};
+    let line = input_line ic in
+    restarts := Option.value ~default:0 (field_of line "restarts");
+    crash_signals := Option.value ~default:0 (field_of line "crash_signals");
+    if kill_one && !restarts < 1 && Timer.now () < deadline then begin
+      Unix.sleepf 0.2;
+      poll ()
+    end
+  in
+  poll ();
+  close_out oc;
+  (try close_in ic with Sys_error _ -> ());
+  ignore (Unix.waitpid [] pid);
+  let pct p = 1000.0 *. Stats.percentile completions p in
+  { u_shards = shards;
+    u_jobs = jobs;
+    u_wall_s = wall;
+    u_throughput = float_of_int jobs /. Float.max 1e-9 wall;
+    u_p50_ms = pct 50.0;
+    u_p95_ms = pct 95.0;
+    u_p99_ms = pct 99.0;
+    u_killed = kill_one;
+    u_completed = !completed;
+    u_crashed = !crashed;
+    u_restarts = !restarts;
+    u_crash_signals = !crash_signals }
+
+let sustained_bench () =
+  print_endline
+    "=== sustained multi-shard serving: saturation latency per shard count ===";
+  let cli = sustained_cli () in
+  if not (Sys.file_exists cli) then begin
+    Printf.eprintf
+      "bench: CLI binary %s not found (set OPERON_CLI); skipping sustained\n%!"
+      cli;
+    sustained_results := []
+  end
+  else begin
+    let jobs =
+      match Sys.getenv_opt "OPERON_SUSTAINED_JOBS" with
+      | Some s -> (
+          match int_of_string_opt (String.trim s) with
+          | Some v when v > 0 -> v
+          | _ ->
+              Printf.eprintf
+                "bench: ignoring malformed OPERON_SUSTAINED_JOBS=%S (using 24)\n%!"
+                s;
+              24)
+      | None -> 24
+    in
+    let counts = sustained_shard_counts () in
+    let rows =
+      List.map (fun n -> sustained_run ~cli ~shards:n ~jobs ~kill_one:false)
+        counts
+    in
+    (* crash scenario at the widest fleet: same load, one shard killed *)
+    let rows =
+      match List.rev counts with
+      | [] -> rows
+      | widest :: _ ->
+          rows @ [ sustained_run ~cli ~shards:widest ~jobs ~kill_one:true ]
+    in
+    let render r =
+      [ string_of_int r.u_shards;
+        string_of_int r.u_jobs;
+        (if r.u_killed then "kill -9" else "-");
+        Printf.sprintf "%.1f" r.u_throughput;
+        Printf.sprintf "%.0f" r.u_p50_ms;
+        Printf.sprintf "%.0f" r.u_p95_ms;
+        Printf.sprintf "%.0f" r.u_p99_ms;
+        Printf.sprintf "%d/%d" r.u_completed r.u_jobs;
+        string_of_int r.u_restarts ]
+    in
+    print_endline
+      (Report.table
+         ~headers:
+           [ "shards"; "jobs"; "fault"; "jobs/s"; "p50(ms)"; "p95(ms)";
+             "p99(ms)"; "completed"; "restarts" ]
+         ~align:
+           [ Report.Right; Report.Right; Report.Left; Report.Right;
+             Report.Right; Report.Right; Report.Right; Report.Right;
+             Report.Right ]
+         (List.map render rows));
+    print_endline "";
+    sustained_results := rows
+  end;
   write_results ()
 
 (* ------------------------------------------------------------------ *)
@@ -973,8 +1218,8 @@ let () =
     match Array.to_list Sys.argv with
     | _ :: (_ :: _ as rest) -> rest
     | _ ->
-        [ "fig3b"; "fig5"; "table1"; "cache"; "serve"; "eco"; "fig8"; "fig9";
-          "ablate"; "micro" ]
+        [ "fig3b"; "fig5"; "table1"; "cache"; "serve"; "sustained"; "eco";
+          "fig8"; "fig9"; "ablate"; "micro" ]
   in
   List.iter
     (fun t ->
@@ -982,6 +1227,7 @@ let () =
       | "table1" -> table1 ()
       | "cache" -> cache_bench ()
       | "serve" -> serve_bench ()
+      | "sustained" -> sustained_bench ()
       | "eco" -> eco_bench ()
       | "fig3b" -> fig3b ()
       | "fig5" -> fig5 ()
@@ -991,7 +1237,7 @@ let () =
       | "micro" -> micro ()
       | other ->
           Printf.eprintf
-            "unknown target %S (table1 cache serve eco fig3b fig5 fig8 fig9 ablate micro)\n"
+            "unknown target %S (table1 cache serve sustained eco fig3b fig5 fig8 fig9 ablate micro)\n"
             other;
           exit 2)
     targets

@@ -418,7 +418,27 @@ let serve_cmd =
     in
     Arg.(value & opt int 0 & info [ "registry-capacity" ] ~docv:"N" ~doc)
   in
-  let run jobs capacity registry_capacity =
+  let shards_arg =
+    let doc =
+      "Fork N fault-isolated shard worker processes and consistent-hash \
+       designs across them; a crashed shard is restarted with backoff \
+       and its in-flight jobs are retried once on a survivor. 0 (the \
+       default) serves in-process without forking."
+    in
+    Arg.(value & opt int 0 & info [ "shards" ] ~docv:"N" ~doc)
+  in
+  let socket_arg =
+    let doc =
+      "Also listen on a Unix-domain socket at $(docv) (NDJSON, one \
+       concurrent session per connection)."
+    in
+    Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+  in
+  let tcp_arg =
+    let doc = "Also listen on loopback TCP port $(docv)." in
+    Arg.(value & opt (some int) None & info [ "tcp" ] ~docv:"PORT" ~doc)
+  in
+  let run jobs capacity registry_capacity shards socket tcp =
     let jobs = validate_jobs jobs in
     let workers =
       if jobs = 0 then Operon_util.Executor.default_jobs () else jobs
@@ -427,28 +447,112 @@ let serve_cmd =
       fail_usage "--queue-capacity must be >= 1 (got %d)" capacity;
     if registry_capacity < 0 then
       fail_usage "--registry-capacity must be >= 0 (got %d)" registry_capacity;
+    if shards < 0 then fail_usage "--shards must be >= 0 (got %d)" shards;
+    (match tcp with
+    | Some p when p < 0 || p > 65535 ->
+        fail_usage "--tcp port must be in [0, 65535] (got %d)" p
+    | _ -> ());
     let registry_capacity =
       if registry_capacity = 0 then None else Some registry_capacity
     in
-    let svc =
-      Operon_service.Service.create ~workers ~capacity ?registry_capacity
-        ~resolve:(fun ~case ~seed -> design_of_case case seed)
-        ~params:Operon_optical.Params.default ()
+    let resolve ~case ~seed = design_of_case case seed in
+    let params = Operon_optical.Params.default in
+    Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+    let listeners =
+      (match socket with
+      | Some path -> [ Operon_service.Transport.unix_listener path ]
+      | None -> [])
+      @
+      match tcp with
+      | Some port -> [ Operon_service.Transport.tcp_listener port ]
+      | None -> []
     in
-    Operon_service.Service.serve svc stdin stdout
+    let stdio_loop handle =
+      let rec loop () =
+        match input_line stdin with
+        | exception End_of_file -> ()
+        | line ->
+            (match handle line with
+            | Some response ->
+                print_string response;
+                print_char '\n';
+                flush Stdlib.stdout
+            | None -> ());
+            loop ()
+      in
+      loop ()
+    in
+    if shards = 0 then begin
+      (* In-process service. Sockets, when requested, share it with the
+         stdio session: Service.handle_line is thread-safe. *)
+      let svc =
+        Operon_service.Service.create ~workers ~capacity ?registry_capacity
+          ~resolve ~params ()
+      in
+      match listeners with
+      | [] -> Operon_service.Service.serve svc stdin stdout
+      | ls ->
+          Operon_service.Service.start svc;
+          let transport =
+            Operon_service.Transport.start ~listeners:ls
+              ~handle:(Operon_service.Service.handle_line svc)
+              ()
+          in
+          Fun.protect
+            ~finally:(fun () ->
+              Operon_service.Transport.stop transport;
+              Operon_service.Service.shutdown svc)
+            (fun () ->
+              stdio_loop (Operon_service.Service.handle_line svc))
+    end
+    else begin
+      (* Fault-isolated multi-process serving. The parent must stay
+         domain-free (the runtime refuses fork after any domain is
+         created), so it speaks only threads: stdio loop, socket
+         sessions, shard readers. *)
+      let sup =
+        Operon_service.Supervisor.create ~shards ~workers
+          ~queue_capacity:capacity ?registry_capacity ~resolve ~params ()
+      in
+      Operon_service.Supervisor.start sup;
+      let transport =
+        match listeners with
+        | [] -> None
+        | ls ->
+            let tr =
+              Operon_service.Transport.start ~listeners:ls
+                ~handle:(Operon_service.Supervisor.handle_line sup)
+                ()
+            in
+            Operon_service.Supervisor.on_child_fork sup (fun () ->
+                Operon_service.Transport.close_in_child tr);
+            Some tr
+      in
+      Fun.protect
+        ~finally:(fun () ->
+          Option.iter Operon_service.Transport.stop transport;
+          Operon_service.Supervisor.shutdown sup)
+        (fun () ->
+          stdio_loop (Operon_service.Supervisor.handle_line sup))
+    end
   in
   let doc =
-    "Batch synthesis service: newline-delimited JSON requests on stdin, \
-     one response per line on stdout. Results are byte-identical to \
-     $(b,operon export --no-timings) for the same case and options, \
-     whatever the worker count."
+    "Batch synthesis service: newline-delimited JSON requests on stdin \
+     (and, with $(b,--socket)/$(b,--tcp), on sockets), one response per \
+     line. With $(b,--shards) N, jobs are consistent-hashed across N \
+     fault-isolated forked worker processes with crash retry and \
+     deadline shedding. Results are byte-identical to $(b,operon export \
+     --no-timings) for the same case and options, whatever the worker \
+     or shard count."
   in
   let jobs_arg =
     let doc = "Worker domains serving jobs (0 = one per core)." in
     Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
   in
   Cmd.v (Cmd.info "serve" ~doc)
-    Term.(const run $ jobs_arg $ capacity_arg $ registry_capacity_arg)
+    Term.(
+      const run $ jobs_arg $ capacity_arg $ registry_capacity_arg $ shards_arg
+      $ socket_arg $ tcp_arg)
 
 let () =
   let doc = "OPERON: optical-electrical power-efficient route synthesis" in

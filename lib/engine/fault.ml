@@ -1,6 +1,14 @@
-type kind = Injected | Crash | Capacity | Budget | Validation
+type kind =
+  | Injected
+  | Crash
+  | Capacity
+  | Budget
+  | Validation
+  | Shard_crash
+  | Shed
 
-let all_kinds = [ Injected; Crash; Capacity; Budget; Validation ]
+let all_kinds =
+  [ Injected; Crash; Capacity; Budget; Validation; Shard_crash; Shed ]
 
 let kind_name = function
   | Injected -> "injected"
@@ -8,6 +16,8 @@ let kind_name = function
   | Capacity -> "capacity"
   | Budget -> "budget"
   | Validation -> "validation"
+  | Shard_crash -> "shard_crash"
+  | Shed -> "shed"
 
 let kind_of_string s =
   match String.lowercase_ascii s with
@@ -16,6 +26,8 @@ let kind_of_string s =
   | "capacity" -> Some Capacity
   | "budget" -> Some Budget
   | "validation" -> Some Validation
+  | "shard_crash" -> Some Shard_crash
+  | "shed" -> Some Shed
   | _ -> None
 
 type t = {

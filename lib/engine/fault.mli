@@ -19,6 +19,12 @@ type kind =
   | Capacity  (** a resource capacity violated (tracks, channels) *)
   | Budget  (** an iteration/pivot/wall-clock budget exhausted *)
   | Validation  (** malformed input rejected by a stage *)
+  | Shard_crash
+      (** a serving shard process died (signal or non-zero exit) with
+          this job in flight and the retry-once budget exhausted *)
+  | Shed
+      (** rejected at dispatch: the job's remaining deadline could not
+          cover the target shard's observed p95 service time *)
 
 val all_kinds : kind list
 

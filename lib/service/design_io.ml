@@ -92,7 +92,7 @@ let load_export path =
   | exception Sys_error m -> Error m
   | text -> (
       match Protocol.Json.parse text with
-      | Error m -> Error (Printf.sprintf "%s: %s" path m)
+      | Error (_, m) -> Error (Printf.sprintf "%s: %s" path m)
       | Ok json -> (
           match design_of_export json with
           | Error m -> Error (Printf.sprintf "%s: %s" path m)

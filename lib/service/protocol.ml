@@ -1,4 +1,4 @@
-let schema_version = 2
+let schema_version = 3
 
 (* ------------------------------------------------------------------ *)
 (* Minimal JSON reader (the Export writer's missing half)             *)
@@ -228,9 +228,12 @@ module Json = struct
     | v ->
         skip_ws c;
         if c.pos <> String.length s then
-          Error (Printf.sprintf "trailing garbage at offset %d" c.pos)
+          Error (c.pos, Printf.sprintf "trailing garbage at offset %d" c.pos)
         else Ok v
-    | exception Bad msg -> Error msg
+    (* [fail] raises at the offending position, so the cursor still
+       points at (or just past) it — close enough for a client to show a
+       caret into the line it sent. *)
+    | exception Bad msg -> Error (c.pos, msg)
 
   let member key = function
     | Obj fields -> List.assoc_opt key fields
@@ -313,6 +316,7 @@ type error = {
   err_op : string option;
   err_kind : string;
   err_detail : string;
+  err_offset : int option;  (* byte offset into the line, parse errors only *)
 }
 
 exception Invalid of string
@@ -436,7 +440,10 @@ let parse_resubmit json =
 
 let parse_request line =
   match Json.parse line with
-  | Error msg -> Error { err_op = None; err_kind = "parse"; err_detail = msg }
+  | Error (off, msg) ->
+      Error
+        { err_op = None; err_kind = "parse_error"; err_detail = msg;
+          err_offset = Some off }
   | Ok json -> (
       match
         match json with
@@ -462,7 +469,8 @@ let parse_request line =
           let err_op =
             match Json.member "op" json with Some (Json.Str s) -> Some s | _ -> None
           in
-          Error { err_op; err_kind = "validation"; err_detail = detail })
+          Error { err_op; err_kind = "validation"; err_detail = detail;
+                  err_offset = None })
 
 (* ------------------------------------------------------------------ *)
 (* Response envelopes                                                 *)
@@ -477,6 +485,60 @@ let envelope ?job ?op ~ok fields =
 
 let ok ?job ~op fields = envelope ?job ~op ~ok:true fields
 
-let error ?job ?op ~kind ~detail () =
+let error ?job ?op ?offset ~kind ~detail () =
   envelope ?job ?op ~ok:false
-    [ ("error", jobj [ ("kind", jstr kind); ("detail", jstr detail) ]) ]
+    [ ( "error",
+        jobj
+          ([ ("kind", jstr kind); ("detail", jstr detail) ]
+          @
+          match offset with
+          | Some o -> [ ("offset", jint o) ]
+          | None -> []) ) ]
+
+(* ------------------------------------------------------------------ *)
+(* Canonical request writers                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* The shard supervisor re-renders a parsed submission before forwarding
+   it: the shard must see the job id the parent assigned, and a retry
+   after a shard crash must replay byte-identical submission semantics
+   whatever quoting the client used. *)
+
+let mode_name = function
+  | Operon_engine.Runctx.Lr -> "lr"
+  | Operon_engine.Runctx.Ilp -> "ilp"
+
+let opt_field name render = function
+  | None -> []
+  | Some v -> [ (name, render v) ]
+
+let mutate_fields m =
+  opt_field "mutate"
+    (fun (m : mutate_spec) ->
+      jobj [ ("ratio", jfloat m.mut_ratio); ("seed", jint m.mut_seed) ])
+    m
+
+let submit_to_json ~job (s : submit) =
+  jobj
+    ([ ("op", jstr "submit"); ("job", jstr job); ("case", jstr s.sub_case) ]
+    @ opt_field "seed" jint s.sub_seed
+    @ [ ("mode", jstr (mode_name s.sub_mode));
+        ("ilp_budget", jfloat s.sub_budget);
+        ("priority", jint s.sub_priority) ]
+    @ opt_field "deadline" jfloat s.sub_deadline
+    @ [ ("cache", jbool s.sub_cache) ]
+    @ mutate_fields s.sub_mutate)
+
+let resubmit_to_json ~job (r : resubmit) =
+  jobj
+    ([ ("op", jstr "resubmit"); ("job", jstr job);
+       ("parent_job", jstr r.re_parent) ]
+    @ opt_field "case" jstr r.re_case
+    @ opt_field "seed" jint r.re_seed
+    @ [ ("mode", jstr (mode_name r.re_mode));
+        ("ilp_budget", jfloat r.re_budget);
+        ("priority", jint r.re_priority) ]
+    @ opt_field "deadline" jfloat r.re_deadline
+    @ [ ("cache", jbool r.re_cache) ]
+    @ mutate_fields r.re_mutate
+    @ [ ("warm", jbool r.re_warm) ])

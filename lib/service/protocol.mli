@@ -27,7 +27,10 @@ val schema_version : int
 (** Version of the request/response layout, echoed in every response.
     History: 1 = initial protocol (submit/status/result/cancel/stats);
     2 = [resubmit] op, [mutate] design perturbation on submit/resubmit,
-    registry eviction/capacity stats. *)
+    registry eviction/capacity stats;
+    3 = socket/multi-shard serving: ["parse_error"] kind (with byte
+    [offset]) replaces ["parse"], new ["shed"] and ["shard_crash"]
+    error kinds, per-shard restart/retry/shed counters in [stats]. *)
 
 (** {2 Minimal JSON values} *)
 
@@ -40,8 +43,10 @@ module Json : sig
     | Arr of t list
     | Obj of (string * t) list
 
-  val parse : string -> (t, string) result
-  (** Parse one complete JSON document; trailing garbage is an error. *)
+  val parse : string -> (t, int * string) result
+  (** Parse one complete JSON document; trailing garbage is an error.
+      [Error (offset, msg)] carries the byte offset the parse failed
+      at, for the ["parse_error"] envelope. *)
 
   val member : string -> t -> t option
   (** Field lookup on an [Obj]; [None] otherwise. *)
@@ -97,14 +102,17 @@ type request =
 
 type error = {
   err_op : string option;  (** the request's [op], when it parsed that far *)
-  err_kind : string;  (** ["parse"] or ["validation"] *)
+  err_kind : string;  (** ["parse_error"] or ["validation"] *)
   err_detail : string;
+  err_offset : int option;
+      (** byte offset into the request line, for ["parse_error"] *)
 }
 
 val parse_request : string -> (request, error) result
 (** Parse and validate one request line. Unknown fields are ignored;
     wrong types, unknown [op]s and out-of-range values are
-    ["validation"] errors, malformed JSON is a ["parse"] error. *)
+    ["validation"] errors, malformed JSON is a ["parse_error"] with the
+    failing byte offset. *)
 
 (** {2 Response envelopes}
 
@@ -115,10 +123,28 @@ val parse_request : string -> (request, error) result
 val ok : ?job:string -> op:string -> (string * string) list -> string
 (** [{"schema_version":V,"ok":true,"op":...,"job":...,<fields>}] *)
 
-val error : ?job:string -> ?op:string -> kind:string -> detail:string -> unit -> string
+val error :
+  ?job:string ->
+  ?op:string ->
+  ?offset:int ->
+  kind:string ->
+  detail:string ->
+  unit ->
+  string
 (** [{"schema_version":V,"ok":false,...,"error":{"kind":...,"detail":...}}].
-    Kinds used by the service: ["parse"], ["validation"], ["busy"],
-    ["unknown_job"], ["cancelled"], ["deadline"], ["fault"]. *)
+    Kinds used by the service: ["parse_error"] (with ["offset"]),
+    ["validation"], ["busy"], ["unknown_job"], ["cancelled"],
+    ["deadline"], ["fault"], ["shed"], ["shard_crash"]. *)
+
+(** {2 Canonical request writers}
+
+    The shard supervisor re-renders a parsed request before forwarding it
+    to a worker shard: the shard must see the job id the parent assigned,
+    and a retry after a shard crash must replay identical submission
+    semantics regardless of the client's original quoting. *)
+
+val submit_to_json : job:string -> submit -> string
+val resubmit_to_json : job:string -> resubmit -> string
 
 val jstr : string -> string
 val jint : int -> string

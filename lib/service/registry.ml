@@ -86,9 +86,14 @@ let key (config : Flow.Config.t) design =
   fingerprint design ^ ":" ^ Digest.to_hex (Digest.string prep_bits)
 
 (* Must hold [t.mu]. Evicts least-recently-used entries (never [keep])
-   until the table fits the capacity. In-flight users of an evicted
-   entry are unaffected: they hold the entry value itself, and the GC
-   keeps it alive until they finish. *)
+   until the table fits the capacity. An entry whose [e_lock] is held —
+   a preparation or a prepared-artifact user in flight — is not
+   evictable: removing it mid-preparation would let a concurrent submit
+   of the same content-hash re-create and re-prepare the design the
+   first thread is already preparing. The victim's lock is acquired
+   with [try_lock] and held across the [Hashtbl.remove] so nobody can
+   start using the entry between selection and removal. When every
+   candidate is locked the table temporarily overflows instead. *)
 let enforce_capacity (t : t) ~keep =
   match t.capacity with
   | None -> ()
@@ -100,13 +105,20 @@ let enforce_capacity (t : t) ~keep =
             if e != keep then
               match !victim with
               | Some v when v.e_last_use <= e.e_last_use -> ()
-              | _ -> victim := Some e)
+              | prev ->
+                  if Mutex.try_lock e.e_lock then begin
+                    (match prev with
+                    | Some v -> Mutex.unlock v.e_lock
+                    | None -> ());
+                    victim := Some e
+                  end)
           t.tbl;
         match !victim with
-        | None -> raise Exit (* only [keep] left; capacity >= 1 holds it *)
+        | None -> raise Exit (* nothing evictable: overflow until free *)
         | Some v ->
             Hashtbl.remove t.tbl v.e_key;
-            t.evictions <- t.evictions + 1
+            t.evictions <- t.evictions + 1;
+            Mutex.unlock v.e_lock
       done
 
 let enforce_capacity t ~keep =

@@ -14,8 +14,13 @@
     Capacity: by default the registry is unbounded. With
     [create ~capacity], inserting past the cap evicts the
     least-recently-used entries (the just-inserted entry is never the
-    victim). Eviction only drops the registry's reference — jobs still
-    running on an evicted entry keep it alive and are unaffected.
+    victim). An entry whose lock is held — mid-preparation, or running
+    a selection — is never evicted either: evicting it would let a
+    concurrent submit of the same content hash re-create and re-prepare
+    a design already being prepared. When every candidate is locked the
+    table overflows temporarily rather than drop one. Eviction only
+    drops the registry's reference — jobs still running on an evicted
+    entry keep it alive and are unaffected.
 
     Thread model: the registry itself is guarded by one mutex (cheap
     lookups only); each entry carries its own lock, held while the entry

@@ -198,20 +198,35 @@ let handle_stats t =
           | None -> "null"
           | Some cap -> string_of_int cap) ) ]
 
+let max_line_bytes = 1 lsl 20
+
 let handle_line t line =
   if String.trim line = "" then None
+  else if String.length line > max_line_bytes then
+    Some
+      (Protocol.error ~kind:"parse_error" ~offset:max_line_bytes
+         ~detail:
+           (Printf.sprintf "request line exceeds %d bytes" max_line_bytes)
+         ())
   else
     Some
-      (match Protocol.parse_request line with
-       | Error e ->
-           Protocol.error ?op:e.Protocol.err_op ~kind:e.Protocol.err_kind
-             ~detail:e.Protocol.err_detail ()
-       | Ok (Protocol.Submit s) -> handle_submit t s
-       | Ok (Protocol.Resubmit r) -> handle_resubmit t r
-       | Ok (Protocol.Status id) -> handle_status t id
-       | Ok (Protocol.Result id) -> handle_result t id
-       | Ok (Protocol.Cancel id) -> handle_cancel t id
-       | Ok Protocol.Stats -> handle_stats t)
+      (try
+         match Protocol.parse_request line with
+         | Error e ->
+             Protocol.error ?op:e.Protocol.err_op
+               ?offset:e.Protocol.err_offset ~kind:e.Protocol.err_kind
+               ~detail:e.Protocol.err_detail ()
+         | Ok (Protocol.Submit s) -> handle_submit t s
+         | Ok (Protocol.Resubmit r) -> handle_resubmit t r
+         | Ok (Protocol.Status id) -> handle_status t id
+         | Ok (Protocol.Result id) -> handle_result t id
+         | Ok (Protocol.Cancel id) -> handle_cancel t id
+         | Ok Protocol.Stats -> handle_stats t
+       with exn ->
+         (* the "never raise" guarantee the transport layer relies on: an
+            unexpected exception becomes a fault envelope, not a dropped
+            connection *)
+         Protocol.error ~kind:"fault" ~detail:(Printexc.to_string exn) ())
 
 let serve t ic oc =
   start t;

@@ -39,11 +39,18 @@ val scheduler : t -> Scheduler.t
 
 val start : t -> unit
 
+val max_line_bytes : int
+(** Longest request line accepted (1 MiB). Longer lines are answered
+    with a ["parse_error"] envelope instead of being parsed; socket
+    transports use the same cap to bound buffering before a newline. *)
+
 val handle_line : t -> string -> string option
 (** One request line to one response line. [None] for blank lines.
-    Never raises: every failure becomes an error envelope. Blocking
-    semantics follow the protocol — [result] waits for the job's
-    terminal state, everything else answers immediately. *)
+    Never raises: every failure becomes an error envelope — malformed
+    JSON a ["parse_error"] with its byte offset, an over-long line the
+    same without parsing, an unexpected exception a ["fault"].
+    Blocking semantics follow the protocol — [result] waits for the
+    job's terminal state, everything else answers immediately. *)
 
 val serve : t -> in_channel -> out_channel -> unit
 (** Start the workers, answer requests until end-of-input, then drain

@@ -1,0 +1,1000 @@
+open Operon
+open Operon_engine
+open Operon_util
+
+(* Fault-isolated serving: the parent process forks N shard workers and
+   consistent-hashes design content-hashes across them. The parent runs
+   systhreads only — never Domains — because the OCaml 5 runtime refuses
+   [Unix.fork] once any domain has ever been created in a process. Each
+   forked shard is free to spawn its Domain worker pool: domains created
+   after the fork are the child's own.
+
+   Wire protocol to a shard (NDJSON over a pipe pair):
+   - the parent forwards submit/resubmit/status/cancel/stats lines and
+     reads one sync reply per line, matched FIFO — every op a shard
+     answers synchronously is non-blocking, so there is no head-of-line
+     blocking on the pipe;
+   - the parent NEVER forwards the blocking [result] op. The shard
+     spawns a waiter thread per accepted job that pushes the terminal
+     result envelope asynchronously when the job finishes; the parent's
+     reader recognizes those pushes by their ["op":"result"] stamp and
+     parks/wakes its own clients.
+
+   The parent is the single answer point, which is what makes crash
+   retries idempotent: a job re-forwarded to a survivor shard recomputes
+   a byte-identical result (synthesis is a pure function of the
+   canonical request line), and whichever terminal envelope arrives
+   first wins. *)
+
+let serve_stage = Instrument.Serve
+
+(* ------------------------------------------------------------------ *)
+(* Consistent hash ring                                                *)
+(* ------------------------------------------------------------------ *)
+
+let vnodes_per_shard = 64
+
+let ring_hash s =
+  let d = Digest.string s in
+  let v = ref 0 in
+  for i = 0 to 6 do
+    v := (!v lsl 8) lor Char.code d.[i]
+  done;
+  !v
+
+(* ------------------------------------------------------------------ *)
+(* State                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type sync_waiter = {
+  mutable sw_reply : string option;
+  mutable sw_dead : bool;  (* the shard died before answering *)
+}
+
+type proc = {
+  pr_pid : int;
+  pr_wfd : Unix.file_descr;  (* parent -> shard requests *)
+  pr_ic : in_channel;  (* shard -> parent responses *)
+  pr_started : float;  (* Timer.now at fork *)
+  pr_wmu : Mutex.t;  (* serializes enqueue-waiter + write *)
+  pr_pending : sync_waiter Queue.t;  (* guarded by the supervisor mutex *)
+}
+
+type shard_state =
+  | Starting  (* (re)start scheduled; not accepting work *)
+  | Running of proc
+  | Broken  (* circuit breaker open: crash-looped *)
+
+let window_size = 64
+
+type shard = {
+  sh_index : int;
+  mutable sh_state : shard_state;
+  mutable sh_restarts : int;
+  mutable sh_consecutive : int;  (* fast crashes in a row *)
+  mutable sh_crash_exits : int;
+  mutable sh_crash_signals : int;
+  mutable sh_retries : int;  (* jobs adopted from or lost by a crash *)
+  mutable sh_shed : int;
+  sh_times : float array;  (* service-time window, circular *)
+  mutable sh_ntimes : int;  (* total ever recorded *)
+}
+
+type job = {
+  j_id : string;
+  j_line : string;  (* canonical request line, replayable verbatim *)
+  j_fp : string;  (* design fingerprint: the routing key *)
+  mutable j_shard : int;
+  mutable j_retried : bool;
+  mutable j_started : float;
+  mutable j_terminal : string option;  (* the result envelope *)
+}
+
+type t = {
+  shards : shard array;
+  ring : (int * int) array;  (* (point, shard index), sorted *)
+  workers : int;
+  queue_capacity : int option;
+  registry_capacity : int option;
+  min_uptime : float;
+  max_consecutive : int;
+  backoff_base : float;
+  backoff_cap : float;
+  resolve : case:string -> seed:int option -> Signal.design option;
+  params : Operon_optical.Params.t;
+  sink : Instrument.sink;
+  mu : Mutex.t;
+  cond : Condition.t;
+  jobs : (string, job) Hashtbl.t;
+  mutable next_job : int;
+  mutable stopping : bool;
+  mutable fork_hooks : (unit -> unit) list;
+  mutable monitor : Thread.t option;
+  mutable readers : Thread.t list;  (* ever-created shard reader threads *)
+}
+
+let with_mu t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+(* ------------------------------------------------------------------ *)
+(* Shard child                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let shard_write wmu wfd line =
+  Mutex.lock wmu;
+  let ok = Transport.write_all wfd (line ^ "\n") in
+  Mutex.unlock wmu;
+  ok
+
+let envelope_ok line =
+  match Protocol.Json.parse line with
+  | Ok j -> (
+      match Protocol.Json.member "ok" j with
+      | Some (Protocol.Json.Bool b) -> b
+      | _ -> false)
+  | Error _ -> false
+
+let line_op_job line =
+  match Protocol.Json.parse line with
+  | Ok j ->
+      let str k =
+        match Protocol.Json.member k j with
+        | Some (Protocol.Json.Str s) -> Some s
+        | _ -> None
+      in
+      (str "op", str "job")
+  | Error _ -> (None, None)
+
+(* The forked child's main loop: a full in-process [Service] (its Domain
+   pool is created after the fork, which the runtime allows) answering
+   sync ops in arrival order and pushing each accepted job's terminal
+   result envelope from a dedicated waiter thread. EOF on the request
+   pipe is the shutdown signal: drain accepted jobs, flush their
+   results, exit 0. *)
+let shard_main ~workers ~queue_capacity ~registry_capacity ~resolve ~params
+    ~rfd ~wfd =
+  let svc =
+    Service.create ~workers ?capacity:queue_capacity
+      ?registry_capacity ~resolve ~params ()
+  in
+  Service.start svc;
+  let wmu = Mutex.create () in
+  let waiters_mu = Mutex.create () in
+  let waiters = ref [] in
+  let push_result job =
+    let req = Printf.sprintf {|{"op":"result","job":%s}|} (Protocol.jstr job) in
+    match Service.handle_line svc req with
+    | Some env -> ignore (shard_write wmu wfd env)
+    | None -> ()
+  in
+  let ic = Unix.in_channel_of_descr rfd in
+  let rec loop () =
+    match input_line ic with
+    | exception End_of_file -> ()
+    | line -> (
+        match Service.handle_line svc line with
+        | None -> loop ()
+        | Some reply ->
+            ignore (shard_write wmu wfd reply);
+            (match line_op_job line with
+            | Some ("submit" | "resubmit"), Some id when envelope_ok reply ->
+                let th = Thread.create push_result id in
+                Mutex.lock waiters_mu;
+                waiters := th :: !waiters;
+                Mutex.unlock waiters_mu
+            | _ -> ());
+            loop ())
+  in
+  loop ();
+  Service.shutdown svc;
+  Mutex.lock waiters_mu;
+  let ws = !waiters in
+  Mutex.unlock waiters_mu;
+  List.iter Thread.join ws
+
+(* ------------------------------------------------------------------ *)
+(* Fork / reader / monitor                                             *)
+(* ------------------------------------------------------------------ *)
+
+let record_service_time shard dt =
+  shard.sh_times.(shard.sh_ntimes mod window_size) <- dt;
+  shard.sh_ntimes <- shard.sh_ntimes + 1
+
+let observed_p95 shard =
+  let n = min shard.sh_ntimes window_size in
+  if n < 8 then None
+  else Some (Stats.percentile (Array.sub shard.sh_times 0 n) 95.0)
+
+(* Reader thread: demultiplex one shard's output. ["op":"result"] lines
+   are asynchronous terminal pushes (the parent never forwards the
+   [result] op, so no sync reply can carry it); everything else answers
+   the oldest pending sync request. *)
+let reader_loop t shard proc =
+  let ic = proc.pr_ic in
+  let rec loop () =
+    match input_line ic with
+    | exception End_of_file -> ()
+    | line ->
+        (match line_op_job line with
+        | Some "result", Some id ->
+            with_mu t (fun () ->
+                (match Hashtbl.find_opt t.jobs id with
+                | Some j when j.j_terminal = None ->
+                    j.j_terminal <- Some line;
+                    record_service_time shard (Timer.now () -. j.j_started)
+                | _ -> ());
+                Condition.broadcast t.cond)
+        | _ ->
+            with_mu t (fun () ->
+                (match Queue.take_opt proc.pr_pending with
+                | Some sw -> sw.sw_reply <- Some line
+                | None -> ());
+                Condition.broadcast t.cond));
+        loop ()
+  in
+  loop ();
+  (* EOF: the shard is gone (or shutting down). Sync requesters must
+     not wait for replies that will never come. *)
+  with_mu t (fun () ->
+      Queue.iter (fun sw -> sw.sw_dead <- true) proc.pr_pending;
+      Queue.clear proc.pr_pending;
+      Condition.broadcast t.cond);
+  try close_in ic with Sys_error _ -> ()
+
+let close_quiet fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+(* A forked child inherits the parent's heap, including mutexes locked
+   by threads that do not exist on its side of the fork. If the child's
+   GC ever collects such a mutex, its finalizer ([pthread_mutex_destroy]
+   on a locked mutex) aborts the process. Anchoring the supervisor state
+   in a global root keeps every inherited mutex reachable for the
+   child's whole life, so none is ever finalized. *)
+let child_anchor : Obj.t ref = ref (Obj.repr ())
+
+(* Must hold [t.mu] (the fork snapshots sibling fds and publishes the
+   new proc atomically). The child never touches supervisor state: the
+   mutexes it inherits may be held by threads that do not exist on its
+   side of the fork. *)
+let spawn_locked t shard =
+  let req_r, req_w = Unix.pipe () in
+  let rsp_r, rsp_w = Unix.pipe () in
+  let sibling_fds =
+    Array.to_list t.shards
+    |> List.concat_map (fun s ->
+           match s.sh_state with
+           | Running p -> [ p.pr_wfd; Unix.descr_of_in_channel p.pr_ic ]
+           | _ -> [])
+  in
+  let hooks = t.fork_hooks in
+  match Unix.fork () with
+  | 0 ->
+      (try
+         child_anchor := Obj.repr t;
+         close_quiet req_w;
+         close_quiet rsp_r;
+         List.iter close_quiet sibling_fds;
+         List.iter (fun f -> try f () with _ -> ()) hooks;
+         Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+         shard_main ~workers:t.workers ~queue_capacity:t.queue_capacity
+           ~registry_capacity:t.registry_capacity ~resolve:t.resolve
+           ~params:t.params ~rfd:req_r ~wfd:rsp_w
+       with _ -> Unix._exit 1);
+      Unix._exit 0
+  | pid ->
+      close_quiet req_r;
+      close_quiet rsp_w;
+      let proc =
+        { pr_pid = pid;
+          pr_wfd = req_w;
+          pr_ic = Unix.in_channel_of_descr rsp_r;
+          pr_started = Timer.now ();
+          pr_wmu = Mutex.create ();
+          pr_pending = Queue.create () }
+      in
+      shard.sh_state <- Running proc;
+      t.readers <-
+        Thread.create (fun () -> reader_loop t shard proc) () :: t.readers;
+      proc
+
+(* Route a fingerprint to a live shard: the ring owner when it is
+   Running, else the next distinct Running shard clockwise. *)
+let route_locked t fp =
+  let n = Array.length t.ring in
+  if n = 0 then None
+  else begin
+    let h = ring_hash fp in
+    (* first ring point >= h, else wrap to 0 *)
+    let lo = ref 0 and hi = ref n in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if fst t.ring.(mid) < h then lo := mid + 1 else hi := mid
+    done;
+    let start = if !lo = n then 0 else !lo in
+    let rec walk i steps =
+      if steps >= n then None
+      else
+        let shard = t.shards.(snd t.ring.((start + i) mod n)) in
+        match shard.sh_state with
+        | Running proc -> Some (shard, proc)
+        | _ -> walk (i + 1) (steps + 1)
+    in
+    walk 0 0
+  end
+
+let crash_terminal ~job detail =
+  Protocol.error ~job ~op:"result"
+    ~kind:(Fault.kind_name Fault.Shard_crash)
+    ~detail ()
+
+(* Send one line to a shard and register a sync waiter for its reply.
+   The per-proc write mutex is held across enqueue+write so concurrent
+   senders cannot interleave their queue positions and their bytes in
+   different orders. Returns [None] when the shard is no longer that
+   incarnation. *)
+let send_sync t shard proc line =
+  Mutex.lock proc.pr_wmu;
+  let sw =
+    with_mu t (fun () ->
+        match shard.sh_state with
+        | Running p when p == proc ->
+            let sw = { sw_reply = None; sw_dead = false } in
+            Queue.push sw proc.pr_pending;
+            Some sw
+        | _ -> None)
+  in
+  let sent =
+    match sw with
+    | None -> None
+    | Some sw ->
+        if Transport.write_all proc.pr_wfd (line ^ "\n") then Some sw
+        else begin
+          (* broken pipe: the reader/monitor will fail the waiter *)
+          Some sw
+        end
+  in
+  Mutex.unlock proc.pr_wmu;
+  sent
+
+let await_sync t sw =
+  with_mu t (fun () ->
+      while sw.sw_reply = None && not sw.sw_dead do
+        Condition.wait t.cond t.mu
+      done;
+      sw.sw_reply)
+
+(* Re-forward a crash-orphaned job to a survivor, at most once. Runs in
+   a detached thread (the monitor must not block on pipe writes). The
+   ack is consumed here: no client waits on it — clients wait on the
+   job's terminal envelope. *)
+let retry_job t job =
+  let target = with_mu t (fun () -> route_locked t job.j_fp) in
+  match target with
+  | None ->
+      with_mu t (fun () ->
+          if job.j_terminal = None then begin
+            job.j_terminal <-
+              Some (crash_terminal ~job:job.j_id "shard died; no live shard to retry on");
+            Condition.broadcast t.cond
+          end)
+  | Some (shard, proc) ->
+      with_mu t (fun () ->
+          job.j_shard <- shard.sh_index;
+          job.j_started <- Timer.now ());
+      let reply =
+        match send_sync t shard proc job.j_line with
+        | None -> None
+        | Some sw -> await_sync t sw
+      in
+      with_mu t (fun () ->
+          match reply with
+          | Some r when envelope_ok r -> ()  (* requeued; terminal will come *)
+          | Some r ->
+              (* the survivor rejected the replay (e.g. full queue):
+                 that rejection is the job's terminal answer *)
+              if job.j_terminal = None then begin
+                job.j_terminal <- Some r;
+                Condition.broadcast t.cond
+              end
+          | None ->
+              if job.j_terminal = None then begin
+                job.j_terminal <-
+                  Some (crash_terminal ~job:job.j_id "shard died during retry");
+                Condition.broadcast t.cond
+              end)
+
+let backoff_delay t consecutive =
+  Float.min t.backoff_cap (t.backoff_base *. (2.0 ** float_of_int (consecutive - 1)))
+
+let rec schedule_restart t shard delay =
+  ignore
+    (Thread.create
+       (fun () ->
+         Thread.delay delay;
+         with_mu t (fun () ->
+             if (not t.stopping) && shard.sh_state = Starting then begin
+               shard.sh_restarts <- shard.sh_restarts + 1;
+               Instrument.incr t.sink serve_stage "shard_restarts" 1;
+               ignore (spawn_locked t shard)
+             end))
+       ())
+
+(* One shard death, as observed by [waitpid]: classify the crash, trip
+   or arm the breaker, re-route the shard's in-flight jobs (each at most
+   once — [j_retried] — so a poison-pill job cannot cascade through the
+   fleet), and schedule the restart. *)
+and handle_death t pid status =
+  let actions =
+    with_mu t (fun () ->
+        let found = ref None in
+        Array.iter
+          (fun s ->
+            match s.sh_state with
+            | Running p when p.pr_pid = pid -> found := Some (s, p)
+            | _ -> ())
+          t.shards;
+        match !found with
+        | None -> None
+        | Some (shard, proc) ->
+            close_quiet proc.pr_wfd;
+            Queue.iter (fun sw -> sw.sw_dead <- true) proc.pr_pending;
+            Queue.clear proc.pr_pending;
+            if t.stopping then begin
+              shard.sh_state <- Starting;
+              Condition.broadcast t.cond;
+              None
+            end
+            else begin
+              (match status with
+              | Unix.WEXITED _ ->
+                  shard.sh_crash_exits <- shard.sh_crash_exits + 1;
+                  Instrument.incr t.sink serve_stage "crash_exits" 1
+              | Unix.WSIGNALED _ | Unix.WSTOPPED _ ->
+                  shard.sh_crash_signals <- shard.sh_crash_signals + 1;
+                  Instrument.incr t.sink serve_stage "crash_signals" 1);
+              let uptime = Timer.now () -. proc.pr_started in
+              shard.sh_consecutive <-
+                (if uptime < t.min_uptime then shard.sh_consecutive + 1 else 1);
+              let broken = shard.sh_consecutive > t.max_consecutive in
+              shard.sh_state <- (if broken then Broken else Starting);
+              (* Orphans: this shard's in-flight jobs. *)
+              let orphans =
+                Hashtbl.fold
+                  (fun _ j acc ->
+                    if j.j_shard = shard.sh_index && j.j_terminal = None then
+                      j :: acc
+                    else acc)
+                  t.jobs []
+              in
+              let retry, fail =
+                List.partition (fun j -> not j.j_retried) orphans
+              in
+              List.iter
+                (fun j ->
+                  j.j_retried <- true;
+                  shard.sh_retries <- shard.sh_retries + 1;
+                  Instrument.incr t.sink serve_stage "shard_retries" 1)
+                retry;
+              List.iter
+                (fun j ->
+                  j.j_terminal <-
+                    Some
+                      (crash_terminal ~job:j.j_id
+                         "shard died re-running this job (retried once)"))
+                fail;
+              Condition.broadcast t.cond;
+              Some (shard, broken, retry)
+            end)
+  in
+  match actions with
+  | None -> ()
+  | Some (shard, broken, retry) ->
+      List.iter (fun j -> ignore (Thread.create (fun () -> retry_job t j) ())) retry;
+      if not broken then
+        schedule_restart t shard (backoff_delay t shard.sh_consecutive)
+
+let all_reaped t =
+  with_mu t (fun () ->
+      Array.for_all
+        (fun s -> match s.sh_state with Running _ -> false | _ -> true)
+        t.shards)
+
+let monitor_loop t =
+  let rec loop () =
+    match Unix.wait () with
+    | exception Unix.Unix_error (Unix.ECHILD, _, _) ->
+        if not t.stopping then begin
+          (* no children yet (all restarts pending): poll gently *)
+          Thread.delay 0.05;
+          loop ()
+        end
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+    | pid, status ->
+        handle_death t pid status;
+        if not (t.stopping && all_reaped t) then loop ()
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let create ?(shards = 2) ?(workers = 1) ?queue_capacity ?registry_capacity
+    ?(min_uptime = 1.0) ?(max_consecutive = 5) ?(backoff_base = 0.25)
+    ?(backoff_cap = 8.0) ~resolve ~params () =
+  if shards < 1 then invalid_arg "Supervisor.create: shards must be >= 1";
+  let shard i =
+    { sh_index = i;
+      sh_state = Starting;
+      sh_restarts = 0;
+      sh_consecutive = 0;
+      sh_crash_exits = 0;
+      sh_crash_signals = 0;
+      sh_retries = 0;
+      sh_shed = 0;
+      sh_times = Array.make window_size 0.0;
+      sh_ntimes = 0 }
+  in
+  let ring =
+    Array.init (shards * vnodes_per_shard) (fun k ->
+        let i = k / vnodes_per_shard and v = k mod vnodes_per_shard in
+        (ring_hash (Printf.sprintf "shard:%d:vnode:%d" i v), i))
+  in
+  Array.sort compare ring;
+  { shards = Array.init shards shard;
+    ring;
+    workers;
+    queue_capacity;
+    registry_capacity;
+    min_uptime;
+    max_consecutive;
+    backoff_base;
+    backoff_cap;
+    resolve;
+    params;
+    sink = Instrument.create ();
+    mu = Mutex.create ();
+    cond = Condition.create ();
+    jobs = Hashtbl.create 64;
+    next_job = 0;
+    stopping = false;
+    fork_hooks = [];
+    monitor = None;
+    readers = [] }
+
+let on_child_fork t f = with_mu t (fun () -> t.fork_hooks <- f :: t.fork_hooks)
+
+let start t =
+  with_mu t (fun () ->
+      Array.iter
+        (fun s -> if s.sh_state = Starting then ignore (spawn_locked t s))
+        t.shards);
+  t.monitor <- Some (Thread.create (fun () -> monitor_loop t) ())
+
+let sink t = t.sink
+
+let pids t =
+  with_mu t (fun () ->
+      Array.to_list t.shards
+      |> List.filter_map (fun s ->
+             match s.sh_state with Running p -> Some p.pr_pid | _ -> None))
+
+(* ------------------------------------------------------------------ *)
+(* Request handling                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let fresh_job_id_locked t =
+  let rec go () =
+    t.next_job <- t.next_job + 1;
+    let id = Printf.sprintf "job-%d" t.next_job in
+    if Hashtbl.mem t.jobs id then go () else id
+  in
+  go ()
+
+let duplicate_id ~op id =
+  Protocol.error ~job:id ~op ~kind:"validation"
+    ~detail:(Printf.sprintf "job id %S already exists" id)
+    ()
+
+let no_live_shard ~op ?job () =
+  Protocol.error ?job ~op ~kind:"busy" ~detail:"no live shard" ()
+
+(* Deadline-aware shedding: reject at dispatch when the job's whole
+   deadline cannot even cover the target shard's observed p95 service
+   time — the job would all but surely expire after consuming a shard
+   slot. Needs >= 8 observations before it trusts the window. *)
+let shed_check_locked t shard ~op ~job deadline =
+  match deadline with
+  | None -> None
+  | Some d -> (
+      match observed_p95 shard with
+      | Some p95 when d < p95 ->
+          shard.sh_shed <- shard.sh_shed + 1;
+          Instrument.incr t.sink serve_stage "jobs_shed" 1;
+          Some
+            (Protocol.error ~job ~op
+               ~kind:(Fault.kind_name Fault.Shed)
+               ~detail:
+                 (Printf.sprintf
+                    "deadline %.3fs below shard %d's observed p95 service \
+                     time %.3fs"
+                    d shard.sh_index p95)
+               ())
+      | _ -> None)
+
+(* Forward a registered job's canonical line and relay the shard's ack.
+   If the shard dies before acking, the monitor has either retried the
+   job (answer: accepted) or set its terminal (answer: that failure). *)
+let dispatch t shard proc job ~op =
+  let reply =
+    match send_sync t shard proc job.j_line with
+    | None -> None
+    | Some sw -> await_sync t sw
+  in
+  with_mu t (fun () ->
+      match reply with
+      | Some r ->
+          if not (envelope_ok r) then Hashtbl.remove t.jobs job.j_id;
+          r
+      | None -> (
+          match job.j_terminal with
+          | Some term when not (envelope_ok term) ->
+              Hashtbl.remove t.jobs job.j_id;
+              term
+          | _ ->
+              (* retried onto a survivor: accepted after all *)
+              Protocol.ok ~job:job.j_id ~op
+                [ ("state", Protocol.jstr "queued");
+                  ("retried", Protocol.jbool true) ]))
+
+let handle_submit t (s : Protocol.submit) =
+  let op = "submit" in
+  match t.resolve ~case:s.Protocol.sub_case ~seed:s.Protocol.sub_seed with
+  | None ->
+      Protocol.error ?job:s.Protocol.sub_job ~op ~kind:"validation"
+        ~detail:(Printf.sprintf "unknown case %S" s.Protocol.sub_case)
+        ()
+  | Some design ->
+      let design =
+        match s.Protocol.sub_mutate with
+        | None -> design
+        | Some m ->
+            Mutate.design ~ratio:m.Protocol.mut_ratio ~seed:m.Protocol.mut_seed
+              design
+      in
+      let fp = Registry.fingerprint design in
+      let outcome =
+        with_mu t (fun () ->
+            match s.Protocol.sub_job with
+            | Some id when Hashtbl.mem t.jobs id -> `Reply (duplicate_id ~op id)
+            | chosen -> (
+                match route_locked t fp with
+                | None -> `Reply (no_live_shard ~op ?job:chosen ())
+                | Some (shard, proc) -> (
+                    let id =
+                      match chosen with
+                      | Some id -> id
+                      | None -> fresh_job_id_locked t
+                    in
+                    match
+                      shed_check_locked t shard ~op ~job:id
+                        s.Protocol.sub_deadline
+                    with
+                    | Some shed -> `Reply shed
+                    | None ->
+                        let job =
+                          { j_id = id;
+                            j_line = Protocol.submit_to_json ~job:id s;
+                            j_fp = fp;
+                            j_shard = shard.sh_index;
+                            j_retried = false;
+                            j_started = Timer.now ();
+                            j_terminal = None }
+                        in
+                        Hashtbl.replace t.jobs id job;
+                        `Dispatch (shard, proc, job))))
+      in
+      (match outcome with
+      | `Reply r -> r
+      | `Dispatch (shard, proc, job) -> dispatch t shard proc job ~op)
+
+let handle_resubmit t (r : Protocol.resubmit) =
+  let op = "resubmit" in
+  let outcome =
+    with_mu t (fun () ->
+        match Hashtbl.find_opt t.jobs r.Protocol.re_parent with
+        | None ->
+            `Reply
+              (Protocol.error ?job:r.Protocol.re_job ~op ~kind:"unknown_job"
+                 ~detail:
+                   (Printf.sprintf "no such parent job %S" r.Protocol.re_parent)
+                 ())
+        | Some parent -> (
+            match r.Protocol.re_job with
+            | Some id when Hashtbl.mem t.jobs id -> `Reply (duplicate_id ~op id)
+            | chosen -> (
+                (* Affinity: the parent's shard holds the prepared
+                   artifacts the ECO path warm-starts from. *)
+                let home = t.shards.(parent.j_shard) in
+                match home.sh_state with
+                | Running proc -> (
+                    let id =
+                      match chosen with
+                      | Some id -> id
+                      | None -> fresh_job_id_locked t
+                    in
+                    match
+                      shed_check_locked t home ~op ~job:id
+                        r.Protocol.re_deadline
+                    with
+                    | Some shed -> `Reply shed
+                    | None ->
+                        let job =
+                          { j_id = id;
+                            j_line = Protocol.resubmit_to_json ~job:id r;
+                            j_fp = parent.j_fp;
+                            j_shard = home.sh_index;
+                            j_retried = false;
+                            j_started = Timer.now ();
+                            j_terminal = None }
+                        in
+                        Hashtbl.replace t.jobs id job;
+                        `Dispatch (home, proc, job))
+                | Starting | Broken ->
+                    `Reply
+                      (Protocol.error ?job:chosen ~op
+                         ~kind:(Fault.kind_name Fault.Shard_crash)
+                         ~detail:
+                           (Printf.sprintf
+                              "parent job %S's shard %d is down; its \
+                               artifacts are lost"
+                              r.Protocol.re_parent parent.j_shard)
+                         ()))))
+  in
+  match outcome with
+  | `Reply r -> r
+  | `Dispatch (shard, proc, job) -> dispatch t shard proc job ~op
+
+let unknown_job ~op id =
+  Protocol.error ~job:id ~op ~kind:"unknown_job"
+    ~detail:(Printf.sprintf "no such job %S" id)
+    ()
+
+(* Status/cancel of a finished job is answered from the parent's own
+   terminal record — a restarted shard has a fresh scheduler that no
+   longer knows jobs from before its crash. *)
+let terminal_state env =
+  if envelope_ok env then "completed"
+  else
+    match Protocol.Json.parse env with
+    | Ok j -> (
+        match Protocol.Json.member "error" j with
+        | Some e -> (
+            match Protocol.Json.member "kind" e with
+            | Some (Protocol.Json.Str "cancelled") -> "cancelled"
+            | Some (Protocol.Json.Str "deadline") -> "expired"
+            | _ -> "failed")
+        | None -> "failed")
+    | Error _ -> "failed"
+
+let forward_simple t ~op id =
+  let target =
+    with_mu t (fun () ->
+        match Hashtbl.find_opt t.jobs id with
+        | None -> `Unknown
+        | Some j -> (
+            match j.j_terminal with
+            | Some env -> `Terminal env
+            | None -> (
+                let shard = t.shards.(j.j_shard) in
+                match shard.sh_state with
+                | Running proc -> `Forward (shard, proc)
+                | Starting | Broken -> `Down)))
+  in
+  match target with
+  | `Unknown -> unknown_job ~op id
+  | `Terminal env -> (
+      let state = terminal_state env in
+      match op with
+      | "status" ->
+          Protocol.ok ~job:id ~op [ ("state", Protocol.jstr state) ]
+      | _ ->
+          Protocol.error ~job:id ~op ~kind:"validation"
+            ~detail:(Printf.sprintf "job is already %s" state)
+            ())
+  | `Down ->
+      Protocol.error ~job:id ~op ~kind:"busy"
+        ~detail:"job's shard is restarting; try again" ()
+  | `Forward (shard, proc) -> (
+      let line =
+        Printf.sprintf {|{"op":%s,"job":%s}|} (Protocol.jstr op)
+          (Protocol.jstr id)
+      in
+      match send_sync t shard proc line with
+      | None ->
+          Protocol.error ~job:id ~op ~kind:"busy"
+            ~detail:"job's shard is restarting; try again" ()
+      | Some sw -> (
+          match await_sync t sw with
+          | Some reply -> reply
+          | None ->
+              Protocol.error ~job:id ~op
+                ~kind:(Fault.kind_name Fault.Shard_crash)
+                ~detail:"shard died while answering" ()))
+
+let handle_result t id =
+  with_mu t (fun () ->
+      match Hashtbl.find_opt t.jobs id with
+      | None -> unknown_job ~op:"result" id
+      | Some j ->
+          while j.j_terminal = None do
+            Condition.wait t.cond t.mu
+          done;
+          Option.get j.j_terminal)
+
+(* Aggregated stats: the sum of every live shard's service counters,
+   plus the supervisor's own fault-tolerance counters (global and per
+   shard). Shards are queried synchronously one by one — every shard op
+   is non-blocking, so this is bounded by pipe round-trips. *)
+let handle_stats t =
+  let procs =
+    with_mu t (fun () ->
+        Array.to_list t.shards
+        |> List.filter_map (fun s ->
+               match s.sh_state with
+               | Running p -> Some (s, p)
+               | _ -> None))
+  in
+  let int_field j k =
+    match Protocol.Json.member k j with
+    | Some (Protocol.Json.Num n) -> int_of_float n
+    | _ -> 0
+  in
+  let totals = Hashtbl.create 8 in
+  let add k v = Hashtbl.replace totals k (v + Option.value ~default:0 (Hashtbl.find_opt totals k)) in
+  let reg_totals = Hashtbl.create 4 in
+  let add_reg k v = Hashtbl.replace reg_totals k (v + Option.value ~default:0 (Hashtbl.find_opt reg_totals k)) in
+  List.iter
+    (fun (shard, proc) ->
+      match send_sync t shard proc {|{"op":"stats"}|} with
+      | None -> ()
+      | Some sw -> (
+          match await_sync t sw with
+          | None -> ()
+          | Some line -> (
+              match Protocol.Json.parse line with
+              | Error _ -> ()
+              | Ok j ->
+                  List.iter
+                    (fun k -> add k (int_field j k))
+                    [ "submitted"; "completed"; "failed"; "rejected";
+                      "cancelled"; "expired"; "queue_depth"; "workers" ];
+                  (match Protocol.Json.member "registry" j with
+                  | Some reg ->
+                      List.iter
+                        (fun k -> add_reg k (int_field reg k))
+                        [ "entries"; "hits"; "misses"; "evictions" ]
+                  | None -> ()))))
+    procs;
+  let total k = Option.value ~default:0 (Hashtbl.find_opt totals k) in
+  let reg k = Option.value ~default:0 (Hashtbl.find_opt reg_totals k) in
+  let shard_json s =
+    let state =
+      match s.sh_state with
+      | Running _ -> "running"
+      | Starting -> "restarting"
+      | Broken -> "broken"
+    in
+    Printf.sprintf
+      "{\"index\":%d,\"state\":%s,\"restarts\":%d,\"retries\":%d,\"shed\":%d,\
+       \"crash_exits\":%d,\"crash_signals\":%d,\"samples\":%d,\"p95_seconds\":%s}"
+      s.sh_index (Protocol.jstr state) s.sh_restarts s.sh_retries s.sh_shed
+      s.sh_crash_exits s.sh_crash_signals
+      (min s.sh_ntimes window_size)
+      (match observed_p95 s with
+      | Some p -> Protocol.jfloat p
+      | None -> "null")
+  in
+  let shards_json, counters =
+    with_mu t (fun () ->
+        ( "["
+          ^ String.concat ","
+              (Array.to_list (Array.map shard_json t.shards))
+          ^ "]",
+          List.map
+            (fun name -> (name, Instrument.counter t.sink serve_stage name))
+            [ "shard_restarts"; "shard_retries"; "jobs_shed"; "crash_exits";
+              "crash_signals" ] ))
+  in
+  let counter name = List.assoc name counters in
+  Protocol.ok ~op:"stats"
+    ([ ("submitted", Protocol.jint (total "submitted"));
+       ("completed", Protocol.jint (total "completed"));
+       ("failed", Protocol.jint (total "failed"));
+       ("rejected", Protocol.jint (total "rejected"));
+       ("cancelled", Protocol.jint (total "cancelled"));
+       ("expired", Protocol.jint (total "expired"));
+       ("queue_depth", Protocol.jint (total "queue_depth"));
+       ("workers", Protocol.jint (total "workers"));
+       ( "registry",
+         Printf.sprintf
+           "{\"entries\":%d,\"hits\":%d,\"misses\":%d,\"evictions\":%d,\
+            \"capacity\":%s}"
+           (reg "entries") (reg "hits") (reg "misses") (reg "evictions")
+           (match t.registry_capacity with
+           | None -> "null"
+           | Some c -> string_of_int c) );
+       ( "supervisor",
+         Printf.sprintf
+           "{\"shards\":%d,\"restarts\":%d,\"retries\":%d,\"shed\":%d,\
+            \"crash_exits\":%d,\"crash_signals\":%d}"
+           (Array.length t.shards)
+           (counter "shard_restarts")
+           (counter "shard_retries")
+           (counter "jobs_shed")
+           (counter "crash_exits")
+           (counter "crash_signals") );
+       ("shards", shards_json) ])
+
+let handle_line t line =
+  if String.trim line = "" then None
+  else if String.length line > Service.max_line_bytes then
+    Some
+      (Protocol.error ~kind:"parse_error" ~offset:Service.max_line_bytes
+         ~detail:
+           (Printf.sprintf "request line exceeds %d bytes"
+              Service.max_line_bytes)
+         ())
+  else
+    Some
+      (try
+         match Protocol.parse_request line with
+         | Error e ->
+             Protocol.error ?op:e.Protocol.err_op
+               ?offset:e.Protocol.err_offset ~kind:e.Protocol.err_kind
+               ~detail:e.Protocol.err_detail ()
+         | Ok (Protocol.Submit s) -> handle_submit t s
+         | Ok (Protocol.Resubmit r) -> handle_resubmit t r
+         | Ok (Protocol.Status id) -> forward_simple t ~op:"status" id
+         | Ok (Protocol.Result id) -> handle_result t id
+         | Ok (Protocol.Cancel id) -> forward_simple t ~op:"cancel" id
+         | Ok Protocol.Stats -> handle_stats t
+       with exn ->
+         Protocol.error ~kind:"fault" ~detail:(Printexc.to_string exn) ())
+
+(* ------------------------------------------------------------------ *)
+(* Shutdown                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let shutdown t =
+  let procs =
+    with_mu t (fun () ->
+        t.stopping <- true;
+        Array.to_list t.shards
+        |> List.filter_map (fun s ->
+               match s.sh_state with
+               | Running p -> Some p
+               | _ -> None))
+  in
+  (* EOF on the request pipes: each shard drains its accepted jobs,
+     pushes their terminal envelopes and exits 0. *)
+  List.iter (fun p -> close_quiet p.pr_wfd) procs;
+  (match t.monitor with
+  | Some th -> Thread.join th
+  | None ->
+      List.iter
+        (fun p -> try ignore (Unix.waitpid [] p.pr_pid) with Unix.Unix_error _ -> ())
+        procs);
+  (* Readers see EOF once their shard exits; join them so no thread is
+     still inside supervisor state when the process tears down. *)
+  List.iter Thread.join t.readers;
+  (* Unblock any residual result waiters (jobs whose terminal never
+     arrived — e.g. a shard that died during the drain). *)
+  with_mu t (fun () ->
+      Hashtbl.iter
+        (fun _ j ->
+          if j.j_terminal = None then
+            j.j_terminal <-
+              Some (crash_terminal ~job:j.j_id "service shut down"))
+        t.jobs;
+      Condition.broadcast t.cond)

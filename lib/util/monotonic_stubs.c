@@ -1,0 +1,17 @@
+/* Monotonic clock for deadlines, backoff and latency measurement.
+ *
+ * Unix.gettimeofday is wall-clock time: an NTP step or a manual clock
+ * change moves it arbitrarily, which would expire (or immortalize) any
+ * in-flight deadline derived from it.  CLOCK_MONOTONIC only ever moves
+ * forward at one second per second. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <time.h>
+
+CAMLprim value operon_monotonic_seconds(value unit)
+{
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return caml_copy_double((double) ts.tv_sec + (double) ts.tv_nsec * 1e-9);
+}

@@ -1,4 +1,13 @@
-let now () = Unix.gettimeofday ()
+external monotonic_seconds : unit -> float = "operon_monotonic_seconds"
+
+(* Deadlines, budgets and latency measurement all read the monotonic
+   clock: a wall-clock step (NTP, DST, manual reset) must never expire a
+   job early or keep a budget alive forever. The epoch is arbitrary —
+   only differences between two [now] readings are meaningful. *)
+let now () = monotonic_seconds ()
+
+(* Export timestamps and anything user-facing keep real time. *)
+let wall_clock () = Unix.gettimeofday ()
 
 let time f =
   let t0 = now () in

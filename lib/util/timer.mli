@@ -1,8 +1,16 @@
-(** Wall-clock timing for the Table 1 CPU columns and for budgeted solver
-    runs (the ILP's 3000 s cap). *)
+(** Timing for the Table 1 CPU columns, budgeted solver runs (the ILP's
+    3000 s cap) and the serving layer's deadlines and backoff. *)
 
 val now : unit -> float
-(** Seconds since the epoch, sub-millisecond resolution. *)
+(** Monotonic seconds ([clock_gettime CLOCK_MONOTONIC]), sub-millisecond
+    resolution. The epoch is arbitrary: only differences are meaningful.
+    Immune to wall-clock jumps, which makes it the correct base for
+    deadlines, retry backoff and latency measurement. *)
+
+val wall_clock : unit -> float
+(** Seconds since the Unix epoch ([gettimeofday]) — for export
+    timestamps and other user-facing absolute times, never for
+    deadlines. *)
 
 val time : (unit -> 'a) -> 'a * float
 (** [time f] runs [f ()] and returns its result with elapsed seconds. *)

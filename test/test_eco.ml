@@ -234,7 +234,7 @@ let handle svc line =
 let parse line =
   match Protocol.Json.parse line with
   | Ok j -> j
-  | Error e -> Alcotest.fail (Printf.sprintf "bad response %s: %s" line e)
+  | Error (_, e) -> Alcotest.fail (Printf.sprintf "bad response %s: %s" line e)
 
 let ok_field j =
   match Protocol.Json.member "ok" j with

@@ -27,7 +27,7 @@ let handle svc line =
 let parse line =
   match Protocol.Json.parse line with
   | Ok j -> j
-  | Error e -> Alcotest.fail (Printf.sprintf "bad response %s: %s" line e)
+  | Error (_, e) -> Alcotest.fail (Printf.sprintf "bad response %s: %s" line e)
 
 let str_field k j =
   match Protocol.Json.member k j with
@@ -195,8 +195,19 @@ let test_protocol_errors () =
   let svc = make () in
   Alcotest.(check bool) "blank line ignored" true
     (Service.handle_line svc "   " = None);
-  Alcotest.(check string) "malformed json" "parse"
+  Alcotest.(check string) "malformed json" "parse_error"
     (error_kind (parse (handle svc "{nope")));
+  (let r = parse (handle svc "{nope") in
+   match
+     Protocol.Json.(member "error" r |> Option.get |> member "offset")
+   with
+   | Some (Protocol.Json.Num n) ->
+       Alcotest.(check bool) "parse offset in range" true
+         (n >= 0.0 && n <= 5.0)
+   | _ -> Alcotest.fail "parse_error envelope missing offset");
+  (let long = "{\"op\":\"stats\"," ^ String.make Service.max_line_bytes ' ' in
+   Alcotest.(check string) "oversized line" "parse_error"
+     (error_kind (parse (handle svc long))));
   Alcotest.(check string) "unknown op" "validation"
     (error_kind (parse (handle svc {|{"op":"frobnicate"}|})));
   Alcotest.(check string) "unknown case" "validation"
@@ -205,6 +216,63 @@ let test_protocol_errors () =
     (error_kind (parse (handle svc {|{"op":"status","job":"ghost"}|})));
   Alcotest.(check int) "protocol version stamped" Protocol.schema_version
     (int_field "schema_version" (parse (handle svc {|{"op":"stats"}|})))
+
+(* ------------------------------------------------------------------ *)
+(* Registry eviction vs. held entry locks                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Property: an entry whose lock is held (a preparation or selection in
+   flight) is never the LRU victim, however much eviction pressure
+   concurrent submits of other designs apply — and a racing submit of
+   the {e same} content-hash reuses that very entry once the lock
+   frees, instead of re-preparing a fresh one. *)
+let prop_locked_entry_survives_eviction =
+  QCheck.Test.make ~name:"locked entry survives eviction pressure" ~count:8
+    QCheck.(pair (int_range 4 12) (int_range 0 1000))
+    (fun (pressure, base_seed) ->
+      let reg = Registry.create ~capacity:1 () in
+      let cfg = Flow.Config.make ~jobs:1 params in
+      let locked_design = Cases.tiny ~seed:base_seed () in
+      let entry, _ = Registry.find_or_prepare reg ~config:cfg locked_design in
+      let release = Mutex.create () in
+      Mutex.lock release;
+      let held = Atomic.make false in
+      let holder =
+        Thread.create
+          (fun () ->
+            Registry.with_prepared entry (fun _ ->
+                Atomic.set held true;
+                (* park until the main thread frees us *)
+                Mutex.lock release;
+                Mutex.unlock release))
+          ()
+      in
+      while not (Atomic.get held) do
+        Thread.yield ()
+      done;
+      (* A racing submit of the same content-hash: blocks on the entry
+         lock, must land on the same (un-evicted) entry afterwards. *)
+      let racer =
+        Thread.create
+          (fun () -> Registry.find_or_prepare reg ~config:cfg locked_design)
+          ()
+      in
+      (* Eviction pressure: distinct designs against capacity 1. *)
+      for i = 1 to pressure do
+        ignore
+          (Registry.find_or_prepare reg ~config:cfg
+             (Cases.tiny ~seed:(base_seed + (1000 * i)) ()))
+      done;
+      (* The locked entry cannot be evicted, so the table overflows by
+         exactly one: the held entry plus the latest pressure design. *)
+      let during = Registry.stats reg in
+      Mutex.unlock release;
+      Thread.join holder;
+      Thread.join racer;
+      let after =
+        Registry.find_or_prepare reg ~config:cfg locked_design |> snd
+      in
+      during.Registry.entries = 2 && after)
 
 (* ------------------------------------------------------------------ *)
 (* (d) Exact counters over a scripted session                          *)
@@ -254,5 +322,7 @@ let () =
             test_cancel_and_deadline ] );
       ( "protocol",
         [ Alcotest.test_case "error envelopes" `Quick test_protocol_errors ] );
+      ( "registry",
+        [ QCheck_alcotest.to_alcotest prop_locked_entry_survives_eviction ] );
       ( "stats",
         [ Alcotest.test_case "exact counters" `Quick test_stats_exact ] ) ]
