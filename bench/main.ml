@@ -10,6 +10,8 @@
      dune exec bench/main.exe serve      # batch service throughput/latency
      dune exec bench/main.exe sustained  # multi-shard saturation + kill -9 scenario
      dune exec bench/main.exe eco        # incremental ECO vs cold re-synthesis
+     dune exec bench/main.exe solver     # dense tableau vs sparse revised simplex
+     dune exec bench/main.exe scale      # 10k-100k-net scale tiers vs wall-clock targets
      dune exec bench/main.exe micro      # Bechamel kernel micro-benchmarks
 
    The ILP wall-clock budget per case defaults to 120 s (the paper used
@@ -186,6 +188,37 @@ type eco_row = {
   e_cold_fallback : bool;
 }
 
+(* Rows of the solver-core comparison (the "solver" target): dense
+   tableau vs sparse revised simplex on the same prepared case. *)
+type solver_row = {
+  v_name : string;
+  v_nets : int;
+  v_dense_s : float;
+  v_sparse_s : float;
+  v_dense_pivots : int;
+  v_sparse_pivots : int;
+  v_refactorizations : int;  (** sparse-core basis rebuilds *)
+  v_dense_to : bool;  (** dense run hit the ILP budget *)
+  v_sparse_to : bool;
+  v_identical : bool;  (** choice and power agree bit-for-bit *)
+}
+
+(* Rows of the scale-tier benchmark (the "scale" target): end-to-end LR
+   synthesis wall-clock on the 10k-100k-net tiers, against each tier's
+   declared budget. *)
+type scale_row = {
+  g_name : string;
+  g_target_nets : int;
+  g_target_s : float;
+  g_nets : int;
+  g_hnets : int;
+  g_gen_s : float;
+  g_prep_s : float;
+  g_select_s : float;
+  g_power : float;
+  g_met : bool;  (** total wall-clock within the tier target *)
+}
+
 (* One results file serves every target: whichever ran last rewrites
    latest.json with every section accumulated so far this process. *)
 let table1_results : table1_row list ref = ref []
@@ -193,6 +226,8 @@ let cache_results : cache_row list ref = ref []
 let serve_results : serve_row list ref = ref []
 let sustained_results : sustained_row list ref = ref []
 let eco_results : eco_row list ref = ref []
+let solver_results : solver_row list ref = ref []
+let scale_results : scale_row list ref = ref []
 
 let write_results () =
   let jf = Printf.sprintf "%.6f" in
@@ -253,9 +288,30 @@ let write_results () =
       (jf (r.e_cold_s /. Float.max 1e-9 r.e_eco_s))
       r.e_identical r.e_cold_fallback
   in
+  let solver_json r =
+    Printf.sprintf
+      {|    {"name":"%s","nets":%d,"dense_seconds":%s,"sparse_seconds":%s,
+     "speedup":%s,"pivots":{"dense":%d,"sparse":%d},"refactorizations":%d,
+     "timed_out":{"dense":%b,"sparse":%b},"choice_identical":%b}|}
+      r.v_name r.v_nets (jf r.v_dense_s) (jf r.v_sparse_s)
+      (jf (r.v_dense_s /. Float.max 1e-9 r.v_sparse_s))
+      r.v_dense_pivots r.v_sparse_pivots r.v_refactorizations r.v_dense_to
+      r.v_sparse_to r.v_identical
+  in
+  let scale_json r =
+    Printf.sprintf
+      {|    {"name":"%s","target_nets":%d,"target_seconds":%s,
+     "nets":%d,"hnets":%d,"power":%s,
+     "generate_seconds":%s,"prepare_seconds":%s,"select_seconds":%s,
+     "total_seconds":%s,"target_met":%b}|}
+      r.g_name r.g_target_nets (jf r.g_target_s) r.g_nets r.g_hnets
+      (jf r.g_power) (jf r.g_gen_s) (jf r.g_prep_s) (jf r.g_select_s)
+      (jf (r.g_gen_s +. r.g_prep_s +. r.g_select_s))
+      r.g_met
+  in
   let json =
     Printf.sprintf
-      "{\n  \"ilp_budget\": %s,\n  \"cases\": [\n%s\n  ],\n  \"cache_bench\": [\n%s\n  ],\n  \"serve\": [\n%s\n  ],\n  \"eco\": [\n%s\n  ]\n}\n"
+      "{\n  \"ilp_budget\": %s,\n  \"cases\": [\n%s\n  ],\n  \"cache_bench\": [\n%s\n  ],\n  \"serve\": [\n%s\n  ],\n  \"eco\": [\n%s\n  ],\n  \"solver\": [\n%s\n  ],\n  \"scale_tiers\": [\n%s\n  ]\n}\n"
       (jf ilp_budget)
       (String.concat ",\n" (List.map case_json !table1_results))
       (String.concat ",\n" (List.map cache_json !cache_results))
@@ -263,6 +319,8 @@ let write_results () =
          (List.map serve_json !serve_results
          @ List.map sustained_json !sustained_results))
       (String.concat ",\n" (List.map eco_json !eco_results))
+      (String.concat ",\n" (List.map solver_json !solver_results))
+      (String.concat ",\n" (List.map scale_json !scale_results))
   in
   ensure_dir results_dir;
   let path = Filename.concat results_dir "latest.json" in
@@ -503,6 +561,159 @@ let eco_bench () =
        (List.map render rows));
   print_endline "";
   eco_results := rows;
+  write_results ()
+
+(* ------------------------------------------------------------------ *)
+(* Solver cores: dense tableau vs sparse revised simplex              *)
+(* ------------------------------------------------------------------ *)
+
+(* Cases via OPERON_SOLVER_CASES (default I1..I5). Each case is
+   prepared once, then ILP-selected with both cores against the same
+   context; choice and power must agree bit-for-bit whenever neither
+   run hit the wall-clock budget. *)
+let solver_designs () =
+  designs_of_env "OPERON_SOLVER_CASES" (fun () ->
+      List.map (fun spec -> (spec.Gen.name, Gen.generate spec)) Cases.all)
+
+let solver_bench () =
+  print_endline
+    "=== solver cores: dense tableau vs sparse revised simplex (ILP select) ===";
+  let rows =
+    List.map
+      (fun (name, design) ->
+        let hnets, ctx = Flow.prepare_with (Flow.Config.default params) design in
+        let nets, _, _ = Processing.stats hnets in
+        let run core =
+          Flow.select_with
+            (Flow.Config.make ~mode:Flow.Ilp ~ilp_budget ~solver_core:core
+               params)
+            design hnets ctx
+        in
+        let dense = run Operon_solver.Solver.Dense in
+        let sparse = run Operon_solver.Solver.Sparse in
+        let stats r = Option.get r.Flow.ilp in
+        let timed_out r = (stats r).Ilp_select.timed_out > 0 in
+        let identical =
+          dense.Flow.choice = sparse.Flow.choice
+          && dense.Flow.power = sparse.Flow.power
+        in
+        if (not identical) && not (timed_out dense || timed_out sparse) then
+          Printf.eprintf "bench: solver core parity violation on %s!\n%!" name;
+        { v_name = name;
+          v_nets = nets;
+          v_dense_s = dense.Flow.select_seconds;
+          v_sparse_s = sparse.Flow.select_seconds;
+          v_dense_pivots = (stats dense).Ilp_select.pivots;
+          v_sparse_pivots = (stats sparse).Ilp_select.pivots;
+          v_refactorizations = (stats sparse).Ilp_select.refactorizations;
+          v_dense_to = timed_out dense;
+          v_sparse_to = timed_out sparse;
+          v_identical = identical })
+      (solver_designs ())
+  in
+  let render r =
+    [ r.v_name;
+      string_of_int r.v_nets;
+      Printf.sprintf "%.3f%s" r.v_dense_s (if r.v_dense_to then "*" else "");
+      Printf.sprintf "%.3f%s" r.v_sparse_s (if r.v_sparse_to then "*" else "");
+      Printf.sprintf "%.2fx" (r.v_dense_s /. Float.max 1e-9 r.v_sparse_s);
+      string_of_int r.v_dense_pivots;
+      string_of_int r.v_sparse_pivots;
+      string_of_int r.v_refactorizations;
+      (if r.v_identical then "yes"
+       else if r.v_dense_to || r.v_sparse_to then "n/a"
+       else "NO") ]
+  in
+  print_endline
+    (Report.table
+       ~headers:
+         [ "Bench"; "#Net"; "dense(s)"; "sparse(s)"; "speedup"; "dense piv";
+           "sparse piv"; "refact"; "identical" ]
+       ~align:
+         [ Report.Left; Report.Right; Report.Right; Report.Right; Report.Right;
+           Report.Right; Report.Right; Report.Right; Report.Right ]
+       (List.map render rows));
+  print_endline "(* = run hit the ILP wall-clock budget)\n";
+  solver_results := rows;
+  write_results ()
+
+(* ------------------------------------------------------------------ *)
+(* Scale tiers: end-to-end wall-clock at 10k-100k nets                *)
+(* ------------------------------------------------------------------ *)
+
+(* Tiers via OPERON_SCALE_TIERS=<t10k,t30k,t100k> (default t10k — the
+   larger tiers are opt-in; t100k takes tens of minutes). Each tier is
+   synthesized end-to-end under LR and compared to its declared
+   wall-clock target. *)
+let scale_tiers_of_env () =
+  match Sys.getenv_opt "OPERON_SCALE_TIERS" with
+  | None | Some "" -> [ Cases.t10k ]
+  | Some s ->
+      String.split_on_char ',' s
+      |> List.filter_map (fun name ->
+             let name = String.trim name in
+             if name = "" then None
+             else
+               match Cases.tier_by_name name with
+               | Some t -> Some t
+               | None ->
+                   Printf.eprintf
+                     "bench: unknown OPERON_SCALE_TIERS entry %S (skipped)\n%!"
+                     name;
+                   None)
+
+let scale_bench () =
+  print_endline
+    "=== scale tiers: end-to-end LR synthesis wall-clock vs tier targets ===";
+  let config = Flow.Config.make ~mode:Flow.Lr params in
+  let rows =
+    List.map
+      (fun (t : Cases.tier) ->
+        let t0 = Timer.now () in
+        let design = Gen.generate t.Cases.t_spec in
+        let gen_s = Timer.now () -. t0 in
+        let t1 = Timer.now () in
+        let hnets, ctx = Flow.prepare_with config design in
+        let prep_s = Timer.now () -. t1 in
+        let nets, hn, _ = Processing.stats hnets in
+        let t2 = Timer.now () in
+        let r = Flow.select_with config design hnets ctx in
+        let select_s = Timer.now () -. t2 in
+        let total = gen_s +. prep_s +. select_s in
+        { g_name = t.Cases.t_name;
+          g_target_nets = t.Cases.t_target_nets;
+          g_target_s = t.Cases.t_target_seconds;
+          g_nets = nets;
+          g_hnets = hn;
+          g_gen_s = gen_s;
+          g_prep_s = prep_s;
+          g_select_s = select_s;
+          g_power = r.Flow.power;
+          g_met = total <= t.Cases.t_target_seconds })
+      (scale_tiers_of_env ())
+  in
+  let render r =
+    [ r.g_name;
+      string_of_int r.g_nets;
+      string_of_int r.g_hnets;
+      Printf.sprintf "%.2f" r.g_gen_s;
+      Printf.sprintf "%.2f" r.g_prep_s;
+      Printf.sprintf "%.2f" r.g_select_s;
+      Printf.sprintf "%.2f" (r.g_gen_s +. r.g_prep_s +. r.g_select_s);
+      Printf.sprintf "%.0f" r.g_target_s;
+      (if r.g_met then "yes" else "NO") ]
+  in
+  print_endline
+    (Report.table
+       ~headers:
+         [ "tier"; "#Net"; "#HNet"; "gen(s)"; "prepare(s)"; "select(s)";
+           "total(s)"; "target(s)"; "met" ]
+       ~align:
+         [ Report.Left; Report.Right; Report.Right; Report.Right; Report.Right;
+           Report.Right; Report.Right; Report.Right; Report.Right ]
+       (List.map render rows));
+  print_endline "";
+  scale_results := rows;
   write_results ()
 
 (* ------------------------------------------------------------------ *)
@@ -1219,7 +1430,7 @@ let () =
     | _ :: (_ :: _ as rest) -> rest
     | _ ->
         [ "fig3b"; "fig5"; "table1"; "cache"; "serve"; "sustained"; "eco";
-          "fig8"; "fig9"; "ablate"; "micro" ]
+          "solver"; "scale"; "fig8"; "fig9"; "ablate"; "micro" ]
   in
   List.iter
     (fun t ->
@@ -1229,6 +1440,8 @@ let () =
       | "serve" -> serve_bench ()
       | "sustained" -> sustained_bench ()
       | "eco" -> eco_bench ()
+      | "solver" -> solver_bench ()
+      | "scale" -> scale_bench ()
       | "fig3b" -> fig3b ()
       | "fig5" -> fig5 ()
       | "fig8" -> fig8 ()
@@ -1237,7 +1450,7 @@ let () =
       | "micro" -> micro ()
       | other ->
           Printf.eprintf
-            "unknown target %S (table1 cache serve sustained eco fig3b fig5 fig8 fig9 ablate micro)\n"
+            "unknown target %S (table1 cache serve sustained eco solver scale fig3b fig5 fig8 fig9 ablate micro)\n"
             other;
           exit 2)
     targets

@@ -57,6 +57,14 @@ let strict_arg =
   in
   Arg.(value & flag & info [ "strict" ] ~doc)
 
+let solver_core_arg =
+  let doc =
+    "LP core behind ILP selection: sparse (revised simplex, default) or \
+     dense (the pre-redesign tableau, kept for parity runs). Selections \
+     are identical either way; only the solve time differs."
+  in
+  Arg.(value & opt string "sparse" & info [ "solver-core" ] ~docv:"CORE" ~doc)
+
 let no_cache_arg =
   let doc =
     "Disable the precomputed crossing-matrix cache and recompute \
@@ -111,6 +119,11 @@ let validate_mode s =
   | "ilp" -> Flow.Ilp
   | other -> fail_usage "unknown --mode %S (expected lr or ilp)" other
 
+let validate_solver_core s =
+  match Operon_solver.Solver.core_of_name (String.lowercase_ascii s) with
+  | Some core -> core
+  | None -> fail_usage "unknown --solver-core %S (expected sparse or dense)" s
+
 let validate_jobs jobs =
   if jobs < 0 then fail_usage "--jobs must be >= 0 (got %d)" jobs;
   jobs
@@ -141,11 +154,13 @@ let validate_injections specs =
   | Ok injections -> from_env @ injections
   | Error msg -> fail_usage "bad --inject-fault spec: %s" msg
 
-let make_config ?(no_cache = false) params mode budget jobs strict inject_specs =
+let make_config ?(no_cache = false) ?(solver_core = "sparse") params mode budget
+    jobs strict inject_specs =
   let jobs = validate_jobs jobs in
   let jobs = if jobs = 0 then Operon_util.Executor.default_jobs () else jobs in
   Flow.Config.make ~mode:(validate_mode mode) ~ilp_budget:budget ~jobs ~strict
-    ~injections:(validate_injections inject_specs) ~cache:(not no_cache) params
+    ~injections:(validate_injections inject_specs) ~cache:(not no_cache)
+    ~solver_core:(validate_solver_core solver_core) params
 
 let make_runctx ?no_cache params mode budget jobs strict inject_specs =
   let cfg = make_config ?no_cache params mode budget jobs strict inject_specs in
@@ -222,13 +237,16 @@ let with_design name seed f =
         exit 1)
 
 let run_cmd =
-  let run case seed mode budget jobs trace strict inject no_cache mutate
-      mutate_seed eco_from =
+  let run case seed mode budget jobs trace strict inject no_cache solver_core
+      mutate mutate_seed eco_from =
     let seed = validate_seed seed in
     with_design case seed (fun design ->
         let design = apply_mutate mutate mutate_seed design in
         let params = Operon_optical.Params.default in
-        let config = make_config ~no_cache params mode budget jobs strict inject in
+        let config =
+          make_config ~no_cache ~solver_core params mode budget jobs strict
+            inject
+        in
         let result = synthesize_cli ?eco_from config design in
         let nets, hnets, hpins = Processing.stats result.Flow.hnets in
         Printf.printf "case %s: #Net=%d #HNet=%d #HPin=%d\n" case nets hnets hpins;
@@ -246,9 +264,12 @@ let run_cmd =
         (match result.Flow.ilp with
          | Some r ->
              Printf.printf
-               "  ILP: components=%d timed_out=%d nodes=%d proven=%b\n"
+               "  ILP: components=%d timed_out=%d nodes=%d pivots=%d \
+                refactorizations=%d proven=%b (%s core)\n"
                r.Ilp_select.components r.Ilp_select.timed_out r.Ilp_select.nodes
+               r.Ilp_select.pivots r.Ilp_select.refactorizations
                r.Ilp_select.proven
+               (Operon_solver.Solver.core_name config.Flow.Config.solver_core)
          | None -> ());
         (match result.Flow.lr with
          | Some r ->
@@ -275,8 +296,8 @@ let run_cmd =
   let doc = "Run the full OPERON flow on a case." in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(const run $ case_arg $ seed_arg $ mode_arg $ budget_arg $ jobs_arg
-          $ trace_arg $ strict_arg $ inject_arg $ no_cache_arg $ mutate_arg
-          $ mutate_seed_arg $ eco_from_arg)
+          $ trace_arg $ strict_arg $ inject_arg $ no_cache_arg
+          $ solver_core_arg $ mutate_arg $ mutate_seed_arg $ eco_from_arg)
 
 let stats_cmd =
   let run case seed =
@@ -346,13 +367,16 @@ let export_cmd =
     in
     Arg.(value & flag & info [ "no-timings" ] ~doc)
   in
-  let run case seed mode budget jobs strict inject no_cache no_timings out
-      mutate mutate_seed eco_from =
+  let run case seed mode budget jobs strict inject no_cache solver_core
+      no_timings out mutate mutate_seed eco_from =
     let seed = validate_seed seed in
     with_design case seed (fun design ->
         let design = apply_mutate mutate mutate_seed design in
         let params = Operon_optical.Params.default in
-        let config = make_config ~no_cache params mode budget jobs strict inject in
+        let config =
+          make_config ~no_cache ~solver_core params mode budget jobs strict
+            inject
+        in
         let result = synthesize_cli ?eco_from config design in
         let conns = result.Flow.placement.Wdm_place.conns in
         let plan =
@@ -374,8 +398,9 @@ let export_cmd =
   let doc = "Run the flow and export the synthesized design as JSON." in
   Cmd.v (Cmd.info "export" ~doc)
     Term.(const run $ case_arg $ seed_arg $ mode_arg $ budget_arg $ jobs_arg
-          $ strict_arg $ inject_arg $ no_cache_arg $ no_timings_arg $ out_arg
-          $ mutate_arg $ mutate_seed_arg $ eco_from_arg)
+          $ strict_arg $ inject_arg $ no_cache_arg $ solver_core_arg
+          $ no_timings_arg $ out_arg $ mutate_arg $ mutate_seed_arg
+          $ eco_from_arg)
 
 let timing_cmd =
   let run case seed mode budget jobs =

@@ -87,6 +87,63 @@ let i5 =
 
 let all = [ i1; i2; i3; i4; i5 ]
 
+(* Scale tiers: synthetic designs one to two orders of magnitude beyond
+   Table 1 (#Net counts of ~10k/30k/100k), used by the bench harness's
+   "scale" target to track end-to-end wall-clock against a per-tier
+   budget. A mostly-local mix (80%) on a big die keeps the crossing
+   structure sparse enough that selection stays the dominant cost
+   rather than the candidate explosion. #Net ~ n_groups * mean bits
+   (the same relation the I1-I5 specs were tuned by). *)
+
+type tier = {
+  t_name : string;
+  t_target_nets : int;
+  t_target_seconds : float;
+  t_spec : Gen.spec;
+}
+
+let die_scale = Rect.make ~xmin:0.0 ~ymin:0.0 ~xmax:12.0 ~ymax:12.0
+
+let scale_spec ~name ~seed ~n_groups =
+  { Gen.name;
+    seed;
+    die = die_scale;
+    n_blocks = 144;
+    partners_near = 4;
+    far_partner_prob = 0.25;
+    block_size = 0.3;
+    n_groups;
+    bits_min = 3;
+    bits_max = 5;
+    sink_blocks_min = 1;
+    sink_blocks_max = 2;
+    pitch = 0.002;
+    local_fraction = 0.8 }
+
+let t10k =
+  { t_name = "t10k";
+    t_target_nets = 10_000;
+    t_target_seconds = 120.0;
+    t_spec = scale_spec ~name:"t10k" ~seed:210 ~n_groups:2500 }
+
+let t30k =
+  { t_name = "t30k";
+    t_target_nets = 30_000;
+    t_target_seconds = 400.0;
+    t_spec = scale_spec ~name:"t30k" ~seed:230 ~n_groups:7500 }
+
+let t100k =
+  { t_name = "t100k";
+    t_target_nets = 100_000;
+    t_target_seconds = 1800.0;
+    t_spec = scale_spec ~name:"t100k" ~seed:2100 ~n_groups:25_000 }
+
+let tiers = [ t10k; t30k; t100k ]
+
+let tier_by_name name =
+  let target = String.lowercase_ascii name in
+  List.find_opt (fun t -> String.lowercase_ascii t.t_name = target) tiers
+
 let by_name name =
   let target = String.lowercase_ascii name in
   List.find_opt (fun s -> String.lowercase_ascii s.Gen.name = target) all

@@ -25,6 +25,33 @@ val all : Gen.spec list
 val by_name : string -> Gen.spec option
 (** Case lookup by (case-insensitive) name. *)
 
+type tier = {
+  t_name : string;
+  t_target_nets : int;  (** approximate #Net the spec generates *)
+  t_target_seconds : float;
+      (** end-to-end (generate + prepare + LR select) wall-clock budget
+          the tier is expected to meet on commodity hardware *)
+  t_spec : Gen.spec;
+}
+(** A scale tier: a synthetic design well beyond Table 1, paired with
+    the wall-clock target the bench harness's [scale] target checks. *)
+
+val t10k : tier
+(** ~10k nets (2500 groups of 3-5 bits, 12x12 die, 80% local). *)
+
+val t30k : tier
+(** ~30k nets — same structure, 3x the groups. *)
+
+val t100k : tier
+(** ~100k nets — the stress tier; preparation's pairwise crossing
+    filter and selection both become visible at this size. *)
+
+val tiers : tier list
+(** [t10k; t30k; t100k] in ascending order. *)
+
+val tier_by_name : string -> tier option
+(** Tier lookup by (case-insensitive) name. *)
+
 val small : ?seed:int -> unit -> Operon.Signal.design
 (** A miniature design (a few dozen nets) for unit tests, examples and
     quick smoke runs. *)

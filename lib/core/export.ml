@@ -106,8 +106,10 @@ let degradation_to_json (r : Flow.t) =
 (* Schema history: 1 = original export, 2 = added "degradation",
    3 = added "schema_version" itself and the "cache" block,
    4 = the "design" block carries the full pin coordinates (exact %.17g
-   round-trip), so an export is a self-contained ECO baseline. *)
-let schema_version = 4
+   round-trip), so an export is a self-contained ECO baseline,
+   5 = ILP runs emit a "solver" block (nodes/lp_solves/pivots/
+   refactorizations) alongside the trace. *)
+let schema_version = 5
 
 (* Exact float round-trip: 17 significant decimal digits reconstruct any
    binary64 bit pattern, so a re-imported design fingerprints (and
@@ -210,6 +212,23 @@ let flow_to_json ?channels ?(timings = true) (r : Flow.t) =
       ("routes", jlist routes);
       ("wdm", wdm) ]
     @ (if timings then [ ("trace", trace_to_json r.Flow.trace) ] else [])
+    (* Solver stats ride with the timings: pivot and refactorization
+       counts are core-specific, and no-timings exports must stay
+       byte-comparable across cores (the parity CI job diffs them). *)
+    @ (match r.Flow.ilp with
+       | Some ilp when timings ->
+           [ ( "solver",
+               jobj
+                 [ ("proven", string_of_bool ilp.Ilp_select.proven);
+                   ("components", string_of_int ilp.Ilp_select.components);
+                   ("timed_out", string_of_int ilp.Ilp_select.timed_out);
+                   ("nodes", string_of_int ilp.Ilp_select.nodes);
+                   ("lp_solves", string_of_int ilp.Ilp_select.lp_solves);
+                   ("pivots", string_of_int ilp.Ilp_select.pivots);
+                   ( "refactorizations",
+                     string_of_int ilp.Ilp_select.refactorizations );
+                   ("seconds", jfloat ilp.Ilp_select.elapsed) ] ) ]
+       | _ -> [])
     @ [ ("degradation", degradation_to_json r);
         ("cache", cache_to_json ~timings r.Flow.cache) ]
   in

@@ -12,18 +12,22 @@ val schema_version : int
     [degradation], 3 = added [schema_version] itself and the [cache]
     block, 4 = the [design] block carries the full pin coordinates with
     exact ([%.17g]) round-trip, making an export a self-contained ECO
-    baseline ([--eco-from]). Bump on any breaking change; see README
-    for the full schema. *)
+    baseline ([--eco-from]), 5 = ILP runs emit a [solver] block
+    ([proven], [components], [timed_out], [nodes], [lp_solves],
+    [pivots], [refactorizations], [seconds]) alongside the trace. Bump
+    on any breaking change; see README for the full schema. *)
 
 val flow_to_json : ?channels:Channels.plan -> ?timings:bool -> Flow.t -> string
 (** The full result as a JSON object with fields [schema_version],
-    [design], [hypernets], [routes], [wdm], [trace], [degradation],
-    [cache] and optionally [channels]. With [~timings:false] the
-    wall-clock-dependent parts are omitted — no [trace] field, and the
+    [design], [hypernets], [routes], [wdm], [trace], [solver] (ILP runs
+    only), [degradation], [cache] and optionally [channels]. With
+    [~timings:false] the wall-clock-dependent parts are omitted — no
+    [trace] or [solver] fields (pivot counts are core-specific), and the
     [cache] block carries only [enabled]/[pairs]/[entries] — so the
     document is a pure function of (design, configuration): two runs of
     the same job, whether single-shot or served from the batch service,
-    produce byte-identical output. *)
+    produce byte-identical output, whichever [jobs] count or solver core
+    ran them. *)
 
 val cache_to_json : ?timings:bool -> Xmatrix.stats -> string
 (** The crossing-matrix statistics block: [enabled], [pairs], [entries],

@@ -16,6 +16,7 @@ module Config = struct
     injections : Fault.injection list;
     cache : bool;
     seed : int;
+    solver_core : Operon_solver.Solver.core;
   }
 
   let default params =
@@ -28,19 +29,22 @@ module Config = struct
       strict = false;
       injections = [];
       cache = true;
-      seed = 42 }
+      seed = 42;
+      solver_core = Operon_solver.Solver.Sparse }
 
   let make ?processing ?(mode = Lr) ?(ilp_budget = 3000.0)
       ?(max_cands_per_net = 10) ?(jobs = 1) ?(strict = false)
-      ?(injections = []) ?(cache = true) ?(seed = 42) params =
+      ?(injections = []) ?(cache = true) ?(seed = 42)
+      ?(solver_core = Operon_solver.Solver.Sparse) params =
     { params; processing; mode; ilp_budget; max_cands_per_net; jobs; strict;
-      injections; cache; seed }
+      injections; cache; seed; solver_core }
 
   let with_mode mode t = { t with mode }
   let with_jobs jobs t = { t with jobs }
   let with_cache cache t = { t with cache }
   let with_processing processing t = { t with processing = Some processing }
   let with_seed seed t = { t with seed }
+  let with_solver_core solver_core t = { t with solver_core }
 
   let to_runctx_config t =
     { Runctx.params = t.params;
@@ -50,7 +54,8 @@ module Config = struct
       jobs = t.jobs;
       strict = t.strict;
       injections = t.injections;
-      cache = t.cache }
+      cache = t.cache;
+      solver_core = t.solver_core }
 end
 
 type t = {
@@ -270,11 +275,16 @@ let stage_select =
       let run_ilp () =
         Runctx.check_inject rc ~stage:Instrument.Select ();
         let r =
-          Ilp_select.select ~budget_seconds:cfg.Runctx.ilp_budget ?initial ctx
+          Ilp_select.select ~budget_seconds:cfg.Runctx.ilp_budget
+            ~core:cfg.Runctx.solver_core ?initial ctx
         in
         Instrument.incr sink Instrument.Select "components" r.Ilp_select.components;
         Instrument.incr sink Instrument.Select "timed_out" r.Ilp_select.timed_out;
         Instrument.incr sink Instrument.Select "nodes" r.Ilp_select.nodes;
+        Instrument.incr sink Instrument.Select "lp_solves" r.Ilp_select.lp_solves;
+        Instrument.incr sink Instrument.Select "pivots" r.Ilp_select.pivots;
+        Instrument.incr sink Instrument.Select "refactorizations"
+          r.Ilp_select.refactorizations;
         (r.Ilp_select.choice, r.Ilp_select.elapsed, Some r, None)
       in
       let run_lr () =

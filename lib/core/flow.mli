@@ -51,6 +51,10 @@ module Config : sig
         (** precompute the {!Xmatrix} crossing cache (default [true];
             results are bit-identical either way) *)
     seed : int;  (** PRNG seed of the run *)
+    solver_core : Operon_solver.Solver.core;
+        (** LP engine behind ILP selection (default [Sparse]; [Dense]
+            is the pre-redesign tableau core kept for parity runs —
+            selections are identical either way) *)
   }
 
   val default : Params.t -> t
@@ -68,6 +72,7 @@ module Config : sig
     ?injections:Fault.injection list ->
     ?cache:bool ->
     ?seed:int ->
+    ?solver_core:Operon_solver.Solver.core ->
     Params.t ->
     t
   (** Labelled constructor over the same defaults as {!default}. *)
@@ -77,6 +82,7 @@ module Config : sig
   val with_cache : bool -> t -> t
   val with_processing : Processing.config -> t -> t
   val with_seed : int -> t -> t
+  val with_solver_core : Operon_solver.Solver.core -> t -> t
 
   val to_runctx_config : t -> Runctx.config
   (** The engine-level view of this configuration (drops [processing]

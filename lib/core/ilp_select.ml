@@ -10,6 +10,9 @@ type result = {
   components : int;
   timed_out : int;
   nodes : int;
+  lp_solves : int;
+  pivots : int;
+  refactorizations : int;
   elapsed : float;
 }
 
@@ -19,8 +22,8 @@ type result = {
    own paths become x-linear rows so a block move can never break them —
    the invariant "the global selection stays feasible" holds after every
    block. Returns the updated choices and whether optimality was proven. *)
-let solve_block ?(max_cands_per_net = max_int) ?(max_pivots = max_int) ctx ~budget
-    ~current block =
+let solve_block ?(max_cands_per_net = max_int) ?(max_pivots = max_int)
+    ?(core = Solver.Sparse) ctx ~budget ~current block =
   let params = ctx.Selection.params in
   let l_max = params.Params.l_max in
   let in_block = Hashtbl.create 16 in
@@ -177,33 +180,50 @@ let solve_block ?(max_cands_per_net = max_int) ?(max_pivots = max_int) ctx ~budg
         ctx.Selection.neighbors.(i))
     block;
   let total_vars = Stdlib.max 1 (!nx + !ny) in
-  let model = Lp.create ~nvars:total_vars in
   let xv key = Hashtbl.find x_var key in
   let yv idx = !nx + idx in
-  Array.iter
-    (fun (i, js) ->
-      List.iter
-        (fun (j, _) ->
-          Lp.set_objective model (xv (i, j)) ctx.Selection.cands.(i).(j).Candidate.power)
-        js;
-      let row = List.map (fun (j, _) -> (xv (i, j), 1.0)) js in
-      Lp.add_constraint model row Lp.Eq 1.0)
-    admissible;
-  List.iter
-    (fun ((i, j), intrinsic, terms) ->
-      let row = (xv (i, j), intrinsic) :: List.map (fun (y, w) -> (yv y, w)) terms in
-      Lp.add_constraint model row Lp.Le l_max)
-    !block_rows;
-  List.iter
-    (fun (const, terms) ->
-      let row = List.map (fun (key, w) -> (xv key, w)) terms in
-      Lp.add_constraint model row Lp.Le (l_max -. const))
-    !frozen_rows;
+  (* Assemble the whole program as one immutable Problem: minimize the
+     selected candidates' power; x binaries carry their [0,1] range as
+     variable bounds (no synthetic bound rows), the y product variables
+     stay continuous and non-negative. *)
+  let obj =
+    Array.to_list admissible
+    |> List.concat_map (fun (i, js) ->
+           List.map
+             (fun (j, _) ->
+               (xv (i, j), ctx.Selection.cands.(i).(j).Candidate.power))
+             js)
+  in
+  let pick_rows =
+    Array.to_list admissible
+    |> List.map (fun (i, js) ->
+           (List.map (fun (j, _) -> (xv (i, j), 1.0)) js, Problem.Eq, 1.0))
+  in
+  let path_rows =
+    List.map
+      (fun ((i, j), intrinsic, terms) ->
+        ( (xv (i, j), intrinsic) :: List.map (fun (y, w) -> (yv y, w)) terms,
+          Problem.Le, l_max ))
+      !block_rows
+  in
+  let guard_rows =
+    List.map
+      (fun (const, terms) ->
+        (List.map (fun (key, w) -> (xv key, w)) terms, Problem.Le,
+         l_max -. const))
+      !frozen_rows
+  in
+  let link_rows = ref [] in
   Hashtbl.iter
     (fun (a, b) y ->
-      Lp.add_constraint model [ (xv a, 1.0); (xv b, 1.0); (yv y, -1.0) ] Lp.Le 1.0)
+      link_rows :=
+        ([ (xv a, 1.0); (xv b, 1.0); (yv y, -1.0) ], Problem.Le, 1.0)
+        :: !link_rows)
     y_var;
-  let binaries = Hashtbl.fold (fun _ v acc -> v :: acc) x_var [] in
+  let rows = pick_rows @ path_rows @ guard_rows @ !link_rows in
+  let upper = List.init !nx (fun v -> (v, 1.0)) in
+  let integer = List.init !nx (fun v -> v) in
+  let problem = Problem.of_rows ~nvars:total_vars ~obj ~upper ~integer rows in
   (* Incumbent: the current (feasible) selection restricted to the block. *)
   let seed_values = Array.make total_vars 0.0 in
   Array.iter (fun i -> seed_values.(xv (i, current.(i))) <- 1.0) block;
@@ -211,19 +231,26 @@ let solve_block ?(max_cands_per_net = max_int) ?(max_pivots = max_int) ctx ~budg
     (fun ((i, j), (m, n)) y ->
       if current.(i) = j && current.(m) = n then seed_values.(yv y) <- 1.0)
     y_var;
-  let incumbent : Ilp.solution option =
-    if Lp.feasible model seed_values then
-      Some { Ilp.objective = Lp.eval_objective model seed_values; values = seed_values }
+  let incumbent : Solver.solution option =
+    if Problem.feasible problem seed_values then
+      Some
+        { Solver.objective = Problem.eval_objective problem seed_values;
+          values = seed_values }
     else None
   in
-  let outcome, stats = Ilp.solve ?incumbent ~budget ~max_pivots model ~binary:binaries in
-  let adopt (sol : Ilp.solution) =
+  let res =
+    Solver.solve
+      ~opts:(Solver.opts ~core ~budget ~max_pivots ?incumbent ())
+      problem
+  in
+  let stats = res.Solver.Result.stats in
+  let adopt (sol : Solver.solution) =
     Array.iter
       (fun (i, js) ->
         let best = ref current.(i) and best_val = ref 0.5 in
         List.iter
           (fun (j, _) ->
-            let v = sol.Ilp.values.(xv (i, j)) in
+            let v = sol.Solver.values.(xv (i, j)) in
             if v > !best_val then begin
               best_val := v;
               best := j
@@ -232,14 +259,14 @@ let solve_block ?(max_cands_per_net = max_int) ?(max_pivots = max_int) ctx ~budg
         current.(i) <- !best)
       admissible
   in
-  match outcome with
-  | Ilp.Proven sol ->
+  match res.Solver.Result.status with
+  | Solver.Optimal sol ->
       adopt sol;
       (true, stats)
-  | Ilp.Best sol ->
+  | Solver.Feasible sol ->
       adopt sol;
       (false, stats)
-  | Ilp.No_solution | Ilp.Timed_out -> (false, stats)
+  | Solver.Infeasible | Solver.Unbounded | Solver.Unknown -> (false, stats)
 
 (* Split an oversized component into geographically compact blocks of at
    most [max_block] nets (sorted by bounding-box centre, snake order). *)
@@ -267,25 +294,14 @@ let blocks_of_component ctx comp ~max_block =
       Array.sub nets lo (hi - lo))
 
 let select ?(budget_seconds = 3000.0) ?(max_pivots = max_int)
-    ?(max_component_vars = 150) ?initial ctx =
+    ?(max_component_vars = 150) ?(core = Solver.Sparse) ?initial ctx =
   let t0 = Timer.now () in
   (* Always-feasible starting point: repaired greedy — or, warm starting
      (ECO), a sanitized previous selection when it is still feasible
      under this context. Either way [current] is feasible, which the
      block solver's incumbent logic requires. *)
   let start =
-    let sanitize c =
-      let n = Array.length ctx.Selection.cands in
-      if Array.length c <> n then None
-      else
-        Some
-          (Array.mapi
-             (fun i j ->
-               if j >= 0 && j < Array.length ctx.Selection.cands.(i) then j
-               else ctx.Selection.elec_idx.(i))
-             c)
-    in
-    match Option.map sanitize initial with
+    match Option.map (Selection.sanitize_initial ctx) initial with
     | Some (Some w) when Selection.feasible ctx w -> w
     | _ -> Selection.greedy ctx
   in
@@ -313,7 +329,15 @@ let select ?(budget_seconds = 3000.0) ?(max_pivots = max_int)
            | _ -> Array.of_list real :: singles)
     |> Array.of_list
   in
-  let proven = ref true and timed_out = ref 0 and nodes = ref 0 in
+  let proven = ref true and timed_out = ref 0 in
+  let nodes = ref 0 and lp_solves = ref 0 in
+  let pivots = ref 0 and refactorizations = ref 0 in
+  let absorb (s : Solver.stats) =
+    nodes := !nodes + s.Solver.nodes;
+    lp_solves := !lp_solves + s.Solver.lp_solves;
+    pivots := !pivots + s.Solver.pivots;
+    refactorizations := !refactorizations + s.Solver.refactorizations
+  in
   let remaining = ref (Array.length comps) in
   let overall = Timer.budget budget_seconds in
   Array.iter
@@ -342,8 +366,8 @@ let select ?(budget_seconds = 3000.0) ?(max_pivots = max_int)
         in
         let budget = Timer.budget comp_budget_s in
         if var_estimate <= max_component_vars then begin
-          let ok, stats = solve_block ~max_pivots ctx ~budget ~current comp in
-          nodes := !nodes + stats.Ilp.nodes;
+          let ok, stats = solve_block ~max_pivots ~core ctx ~budget ~current comp in
+          absorb stats;
           if not ok then begin
             proven := false;
             incr timed_out
@@ -367,10 +391,10 @@ let select ?(budget_seconds = 3000.0) ?(max_pivots = max_int)
                 if not (Timer.expired budget) then begin
                   let block_budget = Timer.budget per_solve in
                   let _, stats =
-                    solve_block ~max_cands_per_net:5 ~max_pivots ctx
+                    solve_block ~max_cands_per_net:5 ~max_pivots ~core ctx
                       ~budget:block_budget ~current block
                   in
-                  nodes := !nodes + stats.Ilp.nodes
+                  absorb stats
                 end)
               blocks
           done
@@ -387,4 +411,7 @@ let select ?(budget_seconds = 3000.0) ?(max_pivots = max_int)
     components = Array.length comps;
     timed_out = !timed_out;
     nodes = !nodes;
+    lp_solves = !lp_solves;
+    pivots = !pivots;
+    refactorizations = !refactorizations;
     elapsed = Timer.now () -. t0 }

@@ -5,7 +5,13 @@
     candidates quadratically. The standard linearization introduces a
     product variable [y = a_ij * a_mn] per interacting candidate pair with
     [y >= a_ij + a_mn - 1] (the only direction a <=-constraint needs), so
-    the program becomes a 0/1 ILP solved by {!Operon_solver.Ilp}.
+    the program becomes a 0/1 ILP.
+
+    Each component ILP is assembled as one immutable
+    {!Operon_solver.Solver.Problem.t} — binary ranges ride on the
+    variables as bounds rather than synthetic rows — and handed to
+    {!Operon_solver.Solver.solve}, which defaults to the sparse revised
+    simplex core ([core] selects the dense parity core instead).
 
     Two paper speed-ups are applied before solving:
     - crossing variables are dropped for hyper net pairs with
@@ -29,6 +35,9 @@ type result = {
   components : int;
   timed_out : int;  (** components that hit the budget or size cap *)
   nodes : int;  (** total branch-and-bound nodes *)
+  lp_solves : int;  (** total LP relaxations solved *)
+  pivots : int;  (** total simplex pivots (incl. bound flips) *)
+  refactorizations : int;  (** sparse-core basis rebuilds; 0 on dense *)
   elapsed : float;  (** seconds *)
 }
 
@@ -36,6 +45,7 @@ val select :
   ?budget_seconds:float ->
   ?max_pivots:int ->
   ?max_component_vars:int ->
+  ?core:Operon_solver.Solver.core ->
   ?initial:int array ->
   Selection.ctx ->
   result
@@ -49,6 +59,8 @@ val select :
     [budget_seconds] (default 3000, the paper's cap) is shared across
     components; [max_pivots] (default unlimited) caps each node LP's
     simplex pivots, downgrading affected components to unproven;
+    [core] picks the LP engine (default [Sparse]; [Dense] is the
+    pre-redesign tableau core kept for parity testing);
     [max_component_vars] (default 150) is the model-size cap above which
     a component is declared timed out immediately. The returned
     selection is always feasible. *)

@@ -10,21 +10,6 @@ type result = {
   elapsed : float;
 }
 
-(* Sanitize a warm-start vector against this context: wrong length is
-   unusable, out-of-range candidate indices (a net whose candidate set
-   shrank since the previous run) fall back to that net's electrical
-   candidate. Returns [None] when the vector cannot be mapped at all. *)
-let sanitize_initial ctx initial =
-  let n = Array.length ctx.Selection.cands in
-  if Array.length initial <> n then None
-  else
-    Some
-      (Array.mapi
-         (fun i j ->
-           if j >= 0 && j < Array.length ctx.Selection.cands.(i) then j
-           else ctx.Selection.elec_idx.(i))
-         initial)
-
 let select ?(max_iterations = 10) ?(budget_seconds = 0.0)
     ?(initial_multiplier_scale = 0.01) ?(step_scale = 0.05)
     ?(converge_ratio = 0.01) ?initial ctx =
@@ -50,7 +35,7 @@ let select ?(max_iterations = 10) ?(budget_seconds = 0.0)
      unmappable one falls back to the cold start, so warm starting can
      never degrade below the cold behaviour. *)
   let start =
-    match Option.map (sanitize_initial ctx) initial with
+    match Option.map (Selection.sanitize_initial ctx) initial with
     | Some (Some w) when Selection.feasible ctx w -> w
     | _ -> Selection.greedy ctx
   in

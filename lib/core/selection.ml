@@ -183,6 +183,17 @@ let greedy ctx =
       !best)
     ctx.cands
 
+let sanitize_initial ctx initial =
+  let n = Array.length ctx.cands in
+  if Array.length initial <> n then None
+  else
+    Some
+      (Array.mapi
+         (fun i j ->
+           if j >= 0 && j < Array.length ctx.cands.(i) then j
+           else ctx.elec_idx.(i))
+         initial)
+
 (* ------------------------------------------------------------------ *)
 (* Incremental selection evaluation.                                  *)
 (* ------------------------------------------------------------------ *)

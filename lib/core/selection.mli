@@ -83,6 +83,12 @@ val greedy : ctx -> int array
 (** Min-power candidate per net, ignoring crossing coupling (intrinsic
     feasibility is guaranteed by construction). May be infeasible. *)
 
+val sanitize_initial : ctx -> int array -> int array option
+(** Map a warm-start vector from a previous run onto this context: wrong
+    length is unusable ([None]); out-of-range candidate indices (a net
+    whose candidate set shrank since) fall back to that net's electrical
+    candidate. Shared by the ILP and LR selectors' ECO warm starts. *)
+
 (** Incremental evaluation of one evolving assignment.
 
     An {!Eval.t} owns a private copy of a choice vector together with the

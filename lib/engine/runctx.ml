@@ -14,6 +14,7 @@ type config = {
   strict : bool;
   injections : Fault.injection list;
   cache : bool;
+  solver_core : Operon_solver.Solver.core;
 }
 
 let default_config params =
@@ -24,7 +25,8 @@ let default_config params =
     jobs = 1;
     strict = false;
     injections = [];
-    cache = true }
+    cache = true;
+    solver_core = Operon_solver.Solver.Sparse }
 
 type t = {
   config : config;

@@ -30,12 +30,15 @@ type config = {
   cache : bool;
       (** precompute the crossing-matrix cache during candidate-context
           construction (numbers are bit-identical either way) *)
+  solver_core : Operon_solver.Solver.core;
+      (** LP engine behind ILP selection: [Sparse] (revised simplex,
+          the default) or [Dense] (pre-redesign tableau, parity runs) *)
 }
 
 val default_config : Params.t -> config
 (** LR mode, 3000 s ILP budget (the paper's cap), 10 candidates per net,
     sequential execution, graceful degradation, no injections, crossing
-    cache enabled. *)
+    cache enabled, sparse solver core. *)
 
 type t = {
   config : config;

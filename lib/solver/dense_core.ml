@@ -1,0 +1,236 @@
+(* The pre-redesign dense-tableau two-phase simplex, retargeted at
+   Problem.t. Kept verbatim in spirit as the parity reference for the
+   sparse revised core: same tolerances, same Dantzig/Bland pricing,
+   same phase-1 artificial scheme.
+
+   The dense tableau assumes x >= 0, so variable bounds are lowered onto
+   rows here — exactly the synthetic-bound-row representation the sparse
+   core eliminates: a finite upper bound becomes [x <= u], a positive
+   lower bound [x >= l], and a fixed variable [x = l]. Negative or
+   infinite lower bounds are outside this core's domain and raise. *)
+
+type status =
+  | Optimal of float array
+  | Infeasible
+  | Unbounded
+  | Aborted
+
+let eps = 1e-9
+
+type tableau = {
+  m : int;
+  total : int;
+  a : float array array; (* m rows x (total + 1) columns *)
+  basis : int array;
+}
+
+let pivot t ~row ~col =
+  let arow = t.a.(row) in
+  let pv = arow.(col) in
+  for j = 0 to t.total do
+    arow.(j) <- arow.(j) /. pv
+  done;
+  for r = 0 to t.m - 1 do
+    if r <> row then begin
+      let factor = t.a.(r).(col) in
+      if Float.abs factor > 0.0 then begin
+        let target = t.a.(r) in
+        for j = 0 to t.total do
+          target.(j) <- target.(j) -. (factor *. arow.(j))
+        done
+      end
+    end
+  done;
+  t.basis.(row) <- col
+
+(* One simplex phase: minimize cost^T x over the current tableau,
+   maintaining the reduced-cost row. Dantzig pricing, with Bland's
+   least-index rule after a degeneracy streak. *)
+let run_phase ~max_pivots ~pivots t cost =
+  let z = Array.make (t.total + 1) 0.0 in
+  let recompute_z () =
+    Array.fill z 0 (t.total + 1) 0.0;
+    Array.blit cost 0 z 0 t.total;
+    for r = 0 to t.m - 1 do
+      let cb = cost.(t.basis.(r)) in
+      if Float.abs cb > 0.0 then
+        for j = 0 to t.total do
+          z.(j) <- z.(j) -. (cb *. t.a.(r).(j))
+        done
+    done
+  in
+  recompute_z ();
+  let degenerate_streak = ref 0 in
+  let rec iterate () =
+    let use_bland = !degenerate_streak > 2 * (t.total + t.m) in
+    let enter = ref (-1) in
+    if use_bland then begin
+      let j = ref 0 in
+      while !enter = -1 && !j < t.total do
+        if z.(!j) < -.eps then enter := !j;
+        incr j
+      done
+    end
+    else begin
+      let best = ref (-.eps) in
+      for j = 0 to t.total - 1 do
+        if z.(j) < !best then begin
+          best := z.(j);
+          enter := j
+        end
+      done
+    end;
+    if !enter = -1 then `Optimal
+    else begin
+      let col = !enter in
+      let leave = ref (-1) and best_ratio = ref infinity in
+      for r = 0 to t.m - 1 do
+        let arc = t.a.(r).(col) in
+        if arc > eps then begin
+          let ratio = t.a.(r).(t.total) /. arc in
+          if ratio < !best_ratio -. eps
+             || (use_bland && Float.abs (ratio -. !best_ratio) <= eps
+                 && (!leave = -1 || t.basis.(r) < t.basis.(!leave)))
+          then begin
+            best_ratio := ratio;
+            leave := r
+          end
+        end
+      done;
+      if !leave = -1 then `Unbounded
+      else if !pivots >= max_pivots then `Aborted
+      else begin
+        if !best_ratio <= eps then incr degenerate_streak
+        else degenerate_streak := 0;
+        incr pivots;
+        pivot t ~row:!leave ~col;
+        recompute_z ();
+        iterate ()
+      end
+    end
+  in
+  iterate ()
+
+(* Bound rows derived from the (possibly branch-tightened) overlays, in
+   variable order after the problem's own rows. *)
+let bound_rows problem ~lower ~upper =
+  let n = Problem.nvars problem in
+  let acc = ref [] in
+  for v = n - 1 downto 0 do
+    let lo = lower.(v) and up = upper.(v) in
+    if not (Float.is_finite lo) || lo < 0.0 then
+      invalid_arg "Dense_core: requires finite non-negative lower bounds";
+    if lo = up then acc := ([ (v, 1.0) ], Problem.Eq, lo) :: !acc
+    else begin
+      if Float.is_finite up then acc := ([ (v, 1.0) ], Problem.Le, up) :: !acc;
+      if lo > 0.0 then acc := ([ (v, 1.0) ], Problem.Ge, lo) :: !acc
+    end
+  done;
+  !acc
+
+let solve problem ~lower ~upper ~max_pivots ~pivots =
+  let local = ref 0 in
+  let n = Problem.nvars problem in
+  let rows = Problem.rows_list problem @ bound_rows problem ~lower ~upper in
+  let m = List.length rows in
+  let finish st =
+    pivots := !pivots + !local;
+    st
+  in
+  if m = 0 then begin
+    (* Unconstrained non-negative minimization: 0 if all costs >= 0. *)
+    let solution = Array.make n 0.0 in
+    let unbounded = ref false in
+    for v = 0 to n - 1 do
+      if Problem.objective_coeff problem v < -.eps then unbounded := true
+    done;
+    finish (if !unbounded then Unbounded else Optimal solution)
+  end
+  else begin
+    let nslack =
+      List.fold_left
+        (fun acc (_, rel, _) ->
+          match rel with Problem.Le | Problem.Ge -> acc + 1 | Problem.Eq -> acc)
+        0 rows
+    in
+    let total = n + nslack + m in (* one artificial per row, some unused *)
+    let t =
+      { m;
+        total;
+        a = Array.init m (fun _ -> Array.make (total + 1) 0.0);
+        basis = Array.make m (-1) }
+    in
+    let art_start = n + nslack in
+    let slack_idx = ref n in
+    List.iteri
+      (fun r (coeffs, rel, rhs) ->
+        let arow = t.a.(r) in
+        List.iter (fun (v, c) -> arow.(v) <- arow.(v) +. c) coeffs;
+        arow.(total) <- rhs;
+        (match rel with
+         | Problem.Le ->
+             arow.(!slack_idx) <- 1.0;
+             incr slack_idx
+         | Problem.Ge ->
+             arow.(!slack_idx) <- -1.0;
+             incr slack_idx
+         | Problem.Eq -> ());
+        if arow.(total) < 0.0 then
+          for j = 0 to total do
+            arow.(j) <- -.arow.(j)
+          done;
+        arow.(art_start + r) <- 1.0;
+        t.basis.(r) <- art_start + r)
+      rows;
+    (* Phase 1: minimize the sum of artificials. *)
+    let cost1 = Array.make total 0.0 in
+    for j = art_start to total - 1 do
+      cost1.(j) <- 1.0
+    done;
+    match run_phase ~max_pivots ~pivots:local t cost1 with
+    | `Unbounded -> finish Infeasible (* cannot happen: phase-1 obj >= 0 *)
+    | `Aborted -> finish Aborted
+    | `Optimal ->
+        let phase1_value =
+          let acc = ref 0.0 in
+          for r = 0 to t.m - 1 do
+            if t.basis.(r) >= art_start then acc := !acc +. t.a.(r).(total)
+          done;
+          !acc
+        in
+        if phase1_value > 1e-6 then finish Infeasible
+        else begin
+          (* Drive any residual artificial out of the basis. *)
+          for r = 0 to t.m - 1 do
+            if t.basis.(r) >= art_start then begin
+              let col = ref (-1) in
+              for j = 0 to art_start - 1 do
+                if !col = -1 && Float.abs t.a.(r).(j) > eps then col := j
+              done;
+              if !col >= 0 then pivot t ~row:r ~col:!col
+            end
+          done;
+          (* Phase 2: original objective, artificials barred by a huge
+             cost so they never re-enter. *)
+          let cost2 = Array.make total 0.0 in
+          for v = 0 to n - 1 do
+            cost2.(v) <- Problem.objective_coeff problem v
+          done;
+          for j = art_start to total - 1 do
+            cost2.(j) <- 1e18
+          done;
+          match run_phase ~max_pivots ~pivots:local t cost2 with
+          | `Unbounded -> finish Unbounded
+          | `Aborted -> finish Aborted
+          | `Optimal ->
+              let solution = Array.make n 0.0 in
+              for r = 0 to t.m - 1 do
+                if t.basis.(r) < n then solution.(t.basis.(r)) <- t.a.(r).(total)
+              done;
+              for v = 0 to n - 1 do
+                if solution.(v) < 0.0 && solution.(v) > -1e-7 then
+                  solution.(v) <- 0.0
+              done;
+              finish (Optimal solution)
+        end
+  end

@@ -1,0 +1,190 @@
+type relation = Le | Ge | Eq
+
+type column = {
+  c_obj : float;
+  c_lower : float;
+  c_upper : float;
+  c_integer : bool;
+  c_entries : (int * float) list; (* ascending row, deduplicated *)
+}
+
+let column ?(obj = 0.0) ?(lower = 0.0) ?(upper = infinity) ?(integer = false)
+    entries =
+  if Float.is_nan obj || Float.is_nan lower || Float.is_nan upper then
+    invalid_arg "Problem.column: NaN objective or bound";
+  if lower > upper then invalid_arg "Problem.column: lower > upper";
+  if integer && not (Float.is_finite lower && Float.is_finite upper) then
+    invalid_arg "Problem.column: integer variable needs finite bounds";
+  List.iter
+    (fun (_, c) ->
+      if Float.is_nan c then invalid_arg "Problem.column: NaN coefficient")
+    entries;
+  (* Sort by row and merge duplicates so the CSC column is canonical. *)
+  let sorted = List.sort (fun (a, _) (b, _) -> compare a b) entries in
+  let merged =
+    List.fold_left
+      (fun acc (r, c) ->
+        match acc with
+        | (r', c') :: rest when r' = r -> (r', c' +. c) :: rest
+        | _ -> (r, c) :: acc)
+      [] sorted
+    |> List.rev
+  in
+  { c_obj = obj; c_lower = lower; c_upper = upper; c_integer = integer;
+    c_entries = merged }
+
+type t = {
+  nvars : int;
+  nrows : int;
+  obj : float array;
+  lower : float array;
+  upper : float array;
+  integer : bool array;
+  col_ptr : int array; (* nvars + 1 *)
+  row_ind : int array;
+  values : float array;
+  rel : relation array;
+  rhs : float array;
+}
+
+let make ~rows cols =
+  let nvars = Array.length cols in
+  if nvars = 0 then invalid_arg "Problem.make: need at least one variable";
+  let nrows = Array.length rows in
+  let nnz = Array.fold_left (fun acc c -> acc + List.length c.c_entries) 0 cols in
+  let col_ptr = Array.make (nvars + 1) 0 in
+  let row_ind = Array.make nnz 0 in
+  let values = Array.make nnz 0.0 in
+  let k = ref 0 in
+  Array.iteri
+    (fun v c ->
+      col_ptr.(v) <- !k;
+      List.iter
+        (fun (r, coeff) ->
+          if r < 0 || r >= nrows then
+            invalid_arg "Problem.make: row index out of range";
+          row_ind.(!k) <- r;
+          values.(!k) <- coeff;
+          incr k)
+        c.c_entries)
+    cols;
+  col_ptr.(nvars) <- !k;
+  Array.iter
+    (fun (_, b) ->
+      if Float.is_nan b then invalid_arg "Problem.make: NaN right-hand side")
+    rows;
+  { nvars;
+    nrows;
+    obj = Array.map (fun c -> c.c_obj) cols;
+    lower = Array.map (fun c -> c.c_lower) cols;
+    upper = Array.map (fun c -> c.c_upper) cols;
+    integer = Array.map (fun c -> c.c_integer) cols;
+    col_ptr;
+    row_ind;
+    values;
+    rel = Array.map fst rows;
+    rhs = Array.map snd rows }
+
+let of_rows ~nvars ?(obj = []) ?(lower = []) ?(upper = []) ?(integer = [])
+    rows =
+  if nvars <= 0 then invalid_arg "Problem.of_rows: need at least one variable";
+  let objs = Array.make nvars 0.0 in
+  let lowers = Array.make nvars 0.0 in
+  let uppers = Array.make nvars infinity in
+  let ints = Array.make nvars false in
+  let check v =
+    if v < 0 || v >= nvars then
+      invalid_arg "Problem.of_rows: variable out of range"
+  in
+  List.iter (fun (v, c) -> check v; objs.(v) <- c) obj;
+  List.iter (fun (v, b) -> check v; lowers.(v) <- b) lower;
+  List.iter (fun (v, b) -> check v; uppers.(v) <- b) upper;
+  List.iter (fun v -> check v; ints.(v) <- true) integer;
+  (* Transpose the row list into per-variable entry lists. *)
+  let entries = Array.make nvars [] in
+  List.iteri
+    (fun r (coeffs, _, _) ->
+      List.iter (fun (v, c) -> check v; entries.(v) <- (r, c) :: entries.(v)) coeffs)
+    rows;
+  let cols =
+    Array.init nvars (fun v ->
+        column ~obj:objs.(v) ~lower:lowers.(v) ~upper:uppers.(v)
+          ~integer:ints.(v) (List.rev entries.(v)))
+  in
+  let row_meta = Array.of_list (List.map (fun (_, rel, rhs) -> (rel, rhs)) rows) in
+  make ~rows:row_meta cols
+
+let nvars t = t.nvars
+let nrows t = t.nrows
+
+let check_var t v =
+  if v < 0 || v >= t.nvars then invalid_arg "Problem: variable out of range"
+
+let check_row t r =
+  if r < 0 || r >= t.nrows then invalid_arg "Problem: row out of range"
+
+let objective_coeff t v = check_var t v; t.obj.(v)
+let lower_bound t v = check_var t v; t.lower.(v)
+let upper_bound t v = check_var t v; t.upper.(v)
+let is_integer t v = check_var t v; t.integer.(v)
+
+let integer_vars t =
+  let acc = ref [] in
+  for v = t.nvars - 1 downto 0 do
+    if t.integer.(v) then acc := v :: !acc
+  done;
+  !acc
+
+let row_relation t r = check_row t r; t.rel.(r)
+let row_rhs t r = check_row t r; t.rhs.(r)
+
+let iter_col t v f =
+  check_var t v;
+  for k = t.col_ptr.(v) to t.col_ptr.(v + 1) - 1 do
+    f t.row_ind.(k) t.values.(k)
+  done
+
+let bounds_copy t = (Array.copy t.lower, Array.copy t.upper)
+
+let rows_list t =
+  (* Transpose CSC back to rows; within a row, walking variables in
+     ascending order yields ascending variable order for free. *)
+  let acc = Array.make t.nrows [] in
+  for v = t.nvars - 1 downto 0 do
+    for k = t.col_ptr.(v + 1) - 1 downto t.col_ptr.(v) do
+      let r = t.row_ind.(k) in
+      acc.(r) <- (v, t.values.(k)) :: acc.(r)
+    done
+  done;
+  List.init t.nrows (fun r -> (acc.(r), t.rel.(r), t.rhs.(r)))
+
+let eval_objective t x =
+  let acc = ref 0.0 in
+  for v = 0 to t.nvars - 1 do
+    acc := !acc +. (t.obj.(v) *. x.(v))
+  done;
+  !acc
+
+let feasible ?(eps = 1e-6) t x =
+  Array.length x = t.nvars
+  && (let ok = ref true in
+      for v = 0 to t.nvars - 1 do
+        if x.(v) < t.lower.(v) -. eps || x.(v) > t.upper.(v) +. eps then
+          ok := false
+      done;
+      !ok)
+  && (let lhs = Array.make t.nrows 0.0 in
+      for v = 0 to t.nvars - 1 do
+        if x.(v) <> 0.0 then
+          for k = t.col_ptr.(v) to t.col_ptr.(v + 1) - 1 do
+            lhs.(t.row_ind.(k)) <- lhs.(t.row_ind.(k)) +. (t.values.(k) *. x.(v))
+          done
+      done;
+      let ok = ref true in
+      for r = 0 to t.nrows - 1 do
+        (match t.rel.(r) with
+         | Le -> if lhs.(r) > t.rhs.(r) +. eps then ok := false
+         | Ge -> if lhs.(r) < t.rhs.(r) -. eps then ok := false
+         | Eq -> if Float.abs (lhs.(r) -. t.rhs.(r)) > eps then ok := false)
+      done;
+      !ok)

@@ -1,0 +1,208 @@
+module Problem = Problem
+
+type core = Sparse | Dense
+
+let core_name = function Sparse -> "sparse" | Dense -> "dense"
+
+let core_of_name = function
+  | "sparse" -> Some Sparse
+  | "dense" -> Some Dense
+  | _ -> None
+
+type solution = { objective : float; values : float array }
+
+type status =
+  | Optimal of solution
+  | Feasible of solution
+  | Infeasible
+  | Unbounded
+  | Unknown
+
+type stats = {
+  nodes : int;
+  lp_solves : int;
+  pivots : int;
+  refactorizations : int;
+  elapsed : float;
+}
+
+module Result = struct
+  type t = { status : status; stats : stats }
+end
+
+type opts = {
+  o_core : core;
+  o_budget : Operon_util.Timer.budget;
+  o_max_pivots : int;
+  o_incumbent : solution option;
+}
+
+let opts ?(core = Sparse) ?(budget = Operon_util.Timer.budget 0.0)
+    ?(max_pivots = max_int) ?incumbent () =
+  { o_core = core; o_budget = budget; o_max_pivots = max_pivots;
+    o_incumbent = incumbent }
+
+let default_opts = opts ()
+
+let integral_eps = 1e-6
+
+(* Core-independent view of one LP solve. *)
+type lp_outcome =
+  | Lp_optimal of float array
+  | Lp_infeasible
+  | Lp_unbounded
+  | Lp_aborted
+
+let most_fractional ints x =
+  let best_var = ref (-1) and best_gap = ref 0.0 in
+  List.iter
+    (fun v ->
+      let frac = Float.abs (x.(v) -. Float.round x.(v)) in
+      if frac > integral_eps && frac > !best_gap then begin
+        best_gap := frac;
+        best_var := v
+      end)
+    ints;
+  !best_var
+
+let snap_integers ints x =
+  let y = Array.copy x in
+  List.iter (fun v -> y.(v) <- Float.round y.(v)) ints;
+  y
+
+let solve ?(opts = default_opts) problem =
+  let t0 = Operon_util.Timer.now () in
+  let pivots = ref 0 and refactors = ref 0 in
+  let nodes = ref 0 and lp_solves = ref 0 in
+  (* Standardize once per solve; every B&B node reuses the matrix and
+     only overlays bounds. *)
+  let std =
+    match opts.o_core with
+    | Sparse -> Some (Sparse_core.prepare problem)
+    | Dense -> None
+  in
+  let solve_lp ~lower ~upper start =
+    incr lp_solves;
+    match opts.o_core with
+    | Sparse ->
+        let res, basis =
+          Sparse_core.solve (Option.get std) ~lower ~upper ?start
+            ~max_pivots:opts.o_max_pivots ~pivots ~refactors ()
+        in
+        let out =
+          match res with
+          | Sparse_core.Optimal x -> Lp_optimal x
+          | Sparse_core.Infeasible -> Lp_infeasible
+          | Sparse_core.Unbounded -> Lp_unbounded
+          | Sparse_core.Aborted -> Lp_aborted
+        in
+        (out, Some basis)
+    | Dense ->
+        let out =
+          match
+            Dense_core.solve problem ~lower ~upper
+              ~max_pivots:opts.o_max_pivots ~pivots
+          with
+          | Dense_core.Optimal x -> Lp_optimal x
+          | Dense_core.Infeasible -> Lp_infeasible
+          | Dense_core.Unbounded -> Lp_unbounded
+          | Dense_core.Aborted -> Lp_aborted
+        in
+        (out, None)
+  in
+  let finish status =
+    { Result.status;
+      stats =
+        { nodes = !nodes;
+          lp_solves = !lp_solves;
+          pivots = !pivots;
+          refactorizations = !refactors;
+          elapsed = Operon_util.Timer.now () -. t0 } }
+  in
+  let base_lo, base_up = Problem.bounds_copy problem in
+  let ints = Problem.integer_vars problem in
+  if ints = [] then begin
+    match solve_lp ~lower:base_lo ~upper:base_up None with
+    | Lp_optimal x, _ ->
+        finish (Optimal { objective = Problem.eval_objective problem x;
+                          values = x })
+    | Lp_infeasible, _ -> finish Infeasible
+    | Lp_unbounded, _ -> finish Unbounded
+    | Lp_aborted, _ -> finish Unknown
+  end
+  else begin
+    (* Branch and bound: DFS diving on the most fractional integer,
+       bound tightenings instead of pinning rows, incumbent pruning,
+       and — on the sparse core — each child LP warm-started from its
+       parent's final basis. *)
+    let best = ref opts.o_incumbent in
+    let degraded = ref false and out_of_time = ref false in
+    let root_unbounded = ref false in
+    (* A node is its bound-tightening list (newest first; applied oldest
+       first so a re-branched variable keeps the tighter range) plus the
+       parent basis snapshot. *)
+    let stack = ref [ ([], None) ] in
+    let exhausted = ref false in
+    while not (!exhausted || !out_of_time) do
+      match !stack with
+      | [] -> exhausted := true
+      | (fixings, start) :: rest ->
+          stack := rest;
+          incr nodes;
+          if Operon_util.Timer.expired opts.o_budget then out_of_time := true
+          else begin
+            let lower = Array.copy base_lo and upper = Array.copy base_up in
+            List.iter
+              (fun (v, l, u) ->
+                lower.(v) <- l;
+                upper.(v) <- u)
+              (List.rev fixings);
+            match solve_lp ~lower ~upper start with
+            | Lp_infeasible, _ -> ()
+            | Lp_unbounded, _ -> if fixings = [] then root_unbounded := true
+            | Lp_aborted, _ -> degraded := true
+            | Lp_optimal x, basis ->
+                let objective = Problem.eval_objective problem x in
+                let beaten =
+                  match !best with
+                  | Some b -> objective >= b.objective -. 1e-9
+                  | None -> false
+                in
+                if not beaten then begin
+                  let branch_var = most_fractional ints x in
+                  if branch_var = -1 then begin
+                    (* Integral: snap, validate against the true problem,
+                       adopt. *)
+                    let snapped = snap_integers ints x in
+                    if Problem.feasible ~eps:1e-5 problem snapped then
+                      best :=
+                        Some
+                          { objective = Problem.eval_objective problem snapped;
+                            values = snapped }
+                  end
+                  else begin
+                    let v = branch_var in
+                    let frac = x.(v) in
+                    let down = (v, lower.(v), Float.floor frac) in
+                    let up = (v, Float.ceil frac, upper.(v)) in
+                    let near, far =
+                      if frac -. Float.floor frac >= 0.5 then (up, down)
+                      else (down, up)
+                    in
+                    (* The diving child (nearest the LP fraction) is
+                       pushed last so it is explored first; both inherit
+                       this node's final basis. *)
+                    stack :=
+                      (near :: fixings, basis)
+                      :: (far :: fixings, basis)
+                      :: !stack
+                  end
+                end
+          end
+    done;
+    match (!best, !out_of_time || !degraded) with
+    | Some b, false -> finish (Optimal b)
+    | Some b, true -> finish (Feasible b)
+    | None, false -> finish (if !root_unbounded then Unbounded else Infeasible)
+    | None, true -> finish Unknown
+  end

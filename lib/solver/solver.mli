@@ -1,0 +1,70 @@
+(** The single entry point of [operon_solver].
+
+    One immutable {!Problem.t} (sparse columns, per-variable bounds,
+    integrality flags) goes in; one {!Result.t} (unified status plus
+    unified stats) comes out of {!solve}. Continuous problems run a
+    single LP; problems with integer variables run branch-and-bound with
+    most-fractional branching, incumbent pruning and bound-tightening
+    dives.
+
+    Two interchangeable LP cores sit underneath:
+
+    - [Sparse] (the default): revised simplex on sparse columns — basis
+      kept as an LU factorization with an eta file and periodic
+      refactorization, bounds handled implicitly, and each B&B dive
+      warm-started from its parent's basis.
+    - [Dense]: the pre-redesign dense-tableau two-phase simplex, kept
+      for parity testing. Bounds become synthetic rows internally;
+      it requires finite non-negative lower bounds and never warm
+      starts.
+
+    Both cores honour the [max_pivots] budget per LP solve — the
+    fault-tolerance contract callers like the selection fallback chain
+    rely on — and share Bland's least-index anti-cycling fallback. *)
+
+module Problem = Problem
+
+type core = Sparse | Dense
+
+val core_name : core -> string
+val core_of_name : string -> core option
+
+type solution = { objective : float; values : float array }
+
+type status =
+  | Optimal of solution  (** proven optimal (B&B: search exhausted) *)
+  | Feasible of solution
+      (** best incumbent, optimality not certified: the wall-clock
+          budget expired or a node LP hit [max_pivots] *)
+  | Infeasible  (** proven infeasible *)
+  | Unbounded  (** LP relaxation unbounded (continuous or at the root) *)
+  | Unknown  (** budget or pivot cap hit with no incumbent found *)
+
+type stats = {
+  nodes : int;  (** branch-and-bound nodes (0 for pure LPs) *)
+  lp_solves : int;
+  pivots : int;  (** simplex pivots incl. bound flips, all LPs summed *)
+  refactorizations : int;  (** sparse-core basis rebuilds (eta-file resets) *)
+  elapsed : float;  (** seconds *)
+}
+
+module Result : sig
+  type t = { status : status; stats : stats }
+end
+
+type opts
+
+val opts :
+  ?core:core ->
+  ?budget:Operon_util.Timer.budget ->
+  ?max_pivots:int ->
+  ?incumbent:solution ->
+  unit ->
+  opts
+(** Defaults: [core Sparse], infinite budget, unlimited pivots, no
+    incumbent. [budget] bounds the whole solve (checked per B&B node);
+    [max_pivots] bounds each individual LP solve, and hitting it
+    downgrades the result to [Feasible]/[Unknown] exactly as a budget
+    expiry does. [incumbent] seeds the B&B bound (ECO warm starts). *)
+
+val solve : ?opts:opts -> Problem.t -> Result.t

@@ -173,6 +173,39 @@ let test_star_engines_consistent () =
   Alcotest.(check bool) "ilp <= lr + eps" true
     (ilp.Ilp_select.power <= lr.Lr_select.power +. 1e-6)
 
+(* Golden core parity: the dense tableau and the sparse revised simplex
+   must produce bit-identical selections end-to-end, at any worker
+   count — the invariant the ILP redesign is required to preserve. *)
+let test_core_parity () =
+  let designs =
+    [ ("tiny", Operon_benchgen.Cases.tiny ());
+      ("small", Operon_benchgen.Cases.small ()) ]
+  in
+  List.iter
+    (fun (name, design) ->
+      let run core jobs =
+        Flow.synthesize
+          (Flow.Config.make ~mode:Flow.Ilp ~ilp_budget:60.0 ~jobs
+             ~solver_core:core params)
+          design
+      in
+      let reference = run Operon_solver.Solver.Sparse 1 in
+      List.iter
+        (fun (core, jobs) ->
+          let r = run core jobs in
+          let label =
+            Printf.sprintf "%s: %s core, %d jobs" name
+              (Operon_solver.Solver.core_name core) jobs
+          in
+          Alcotest.(check (array int)) (label ^ ": choice") reference.Flow.choice
+            r.Flow.choice;
+          Alcotest.(check (float 0.0)) (label ^ ": power") reference.Flow.power
+            r.Flow.power)
+        [ (Operon_solver.Solver.Sparse, 4);
+          (Operon_solver.Solver.Dense, 1);
+          (Operon_solver.Solver.Dense, 4) ])
+    designs
+
 let prop_engines_feasible_random =
   QCheck.Test.make ~name:"both engines feasible on random scenes" ~count:15
     QCheck.(int_range 0 1000)
@@ -213,4 +246,5 @@ let () =
           Alcotest.test_case "max iterations" `Quick test_lr_respects_max_iterations ] );
       ( "engines",
         [ Alcotest.test_case "star consistent" `Quick test_star_engines_consistent;
+          Alcotest.test_case "core parity" `Quick test_core_parity;
           QCheck_alcotest.to_alcotest prop_engines_feasible_random ] ) ]

@@ -1,183 +1,310 @@
-(* Tests for the LP/ILP solver substrate: simplex on textbook programs,
-   infeasible/unbounded detection, and branch-and-bound against exhaustive
-   enumeration on random 0/1 programs. *)
+(* Tests for the unified solver: the Problem model, both LP cores
+   (sparse revised simplex and the dense tableau parity reference) on
+   textbook programs, bounded variables without synthetic rows,
+   branch-and-bound against exhaustive enumeration on random 0/1
+   programs, and dense-vs-sparse parity on random LPs and ILPs. *)
 
 open Operon_solver
 
 let check_float = Alcotest.(check (float 1e-6))
 
-(* --- lp model --- *)
+let lp ?obj ?lower ?upper ?integer ~nvars rows =
+  Solver.Problem.of_rows ~nvars ?obj ?lower ?upper ?integer rows
 
-let test_lp_model () =
-  let m = Lp.create ~nvars:3 in
-  Lp.set_objective m 0 2.0;
-  Alcotest.(check (float 0.0)) "objective coeff" 2.0 (Lp.objective_coeff m 0);
-  Lp.add_constraint m [ (0, 1.0); (1, 1.0) ] Lp.Le 4.0;
-  Alcotest.(check int) "rows" 1 (Lp.constraint_count m);
-  check_float "eval" 2.0 (Lp.eval_objective m [| 1.0; 0.0; 0.0 |]);
-  Alcotest.(check bool) "feasible" true (Lp.feasible m [| 1.0; 3.0; 0.0 |]);
-  Alcotest.(check bool) "infeasible" false (Lp.feasible m [| 3.0; 3.0; 0.0 |]);
-  Alcotest.(check bool) "negative var" false (Lp.feasible m [| -1.0; 0.0; 0.0 |])
+let solve ?(core = Solver.Sparse) ?budget ?max_pivots ?incumbent p =
+  Solver.solve ~opts:(Solver.opts ~core ?budget ?max_pivots ?incumbent ()) p
 
-let test_lp_invalid_var () =
-  let m = Lp.create ~nvars:2 in
-  Alcotest.check_raises "out of range" (Invalid_argument "Lp: variable out of range")
-    (fun () -> Lp.add_constraint m [ (5, 1.0) ] Lp.Le 1.0)
+let both name f =
+  [ Alcotest.test_case (name ^ " (sparse)") `Quick (fun () -> f Solver.Sparse);
+    Alcotest.test_case (name ^ " (dense)") `Quick (fun () -> f Solver.Dense) ]
 
-(* --- simplex --- *)
+let objective_of name r =
+  match r.Solver.Result.status with
+  | Solver.Optimal s -> s.Solver.objective
+  | _ -> Alcotest.fail (name ^ ": expected optimal")
+
+let values_of name r =
+  match r.Solver.Result.status with
+  | Solver.Optimal s -> s.Solver.values
+  | _ -> Alcotest.fail (name ^ ": expected optimal")
+
+(* --- problem model --- *)
+
+let test_problem_model () =
+  let p =
+    lp ~nvars:3 ~obj:[ (0, 2.0) ]
+      [ ([ (0, 1.0); (1, 1.0) ], Solver.Problem.Le, 4.0) ]
+  in
+  Alcotest.(check int) "nvars" 3 (Solver.Problem.nvars p);
+  Alcotest.(check int) "nrows" 1 (Solver.Problem.nrows p);
+  check_float "objective coeff" 2.0 (Solver.Problem.objective_coeff p 0);
+  check_float "default lower" 0.0 (Solver.Problem.lower_bound p 1);
+  Alcotest.(check bool) "default upper" true
+    (Solver.Problem.upper_bound p 1 = infinity);
+  check_float "eval" 2.0 (Solver.Problem.eval_objective p [| 1.0; 0.0; 0.0 |]);
+  Alcotest.(check bool) "feasible" true
+    (Solver.Problem.feasible p [| 1.0; 3.0; 0.0 |]);
+  Alcotest.(check bool) "row violated" false
+    (Solver.Problem.feasible p [| 3.0; 3.0; 0.0 |]);
+  Alcotest.(check bool) "below lower bound" false
+    (Solver.Problem.feasible p [| -1.0; 0.0; 0.0 |])
+
+let test_problem_invalid () =
+  Alcotest.check_raises "var out of range"
+    (Invalid_argument "Problem.of_rows: variable out of range") (fun () ->
+      ignore (lp ~nvars:2 [ ([ (5, 1.0) ], Solver.Problem.Le, 1.0) ]));
+  Alcotest.check_raises "lower > upper"
+    (Invalid_argument "Problem.column: lower > upper") (fun () ->
+      ignore (lp ~nvars:1 ~lower:[ (0, 2.0) ] ~upper:[ (0, 1.0) ] []));
+  Alcotest.check_raises "integer needs finite bounds"
+    (Invalid_argument "Problem.column: integer variable needs finite bounds")
+    (fun () -> ignore (lp ~nvars:1 ~integer:[ 0 ] []))
+
+let test_problem_merges_duplicate_entries () =
+  (* x + x <= 4 must behave as 2x <= 4. *)
+  let p =
+    lp ~nvars:1 ~obj:[ (0, -1.0) ] ~upper:[ (0, 10.0) ]
+      [ ([ (0, 1.0); (0, 1.0) ], Solver.Problem.Le, 4.0) ]
+  in
+  check_float "merged coeff" (-2.0) (objective_of "merged" (solve p))
+
+(* --- lp cores --- *)
 
 (* max 3x + 5y st x<=4, 2y<=12, 3x+2y<=18  => minimize -(3x+5y), optimum
    x=2,y=6, objective -36. The classic Dantzig example. *)
-let test_simplex_classic () =
-  let m = Lp.create ~nvars:2 in
-  Lp.set_objective m 0 (-3.0);
-  Lp.set_objective m 1 (-5.0);
-  Lp.add_constraint m [ (0, 1.0) ] Lp.Le 4.0;
-  Lp.add_constraint m [ (1, 2.0) ] Lp.Le 12.0;
-  Lp.add_constraint m [ (0, 3.0); (1, 2.0) ] Lp.Le 18.0;
-  match Simplex.solve m with
-  | Simplex.Optimal { objective; solution } ->
-      check_float "objective" (-36.0) objective;
-      check_float "x" 2.0 solution.(0);
-      check_float "y" 6.0 solution.(1)
-  | _ -> Alcotest.fail "expected optimal"
+let test_classic core =
+  let p =
+    lp ~nvars:2 ~obj:[ (0, -3.0); (1, -5.0) ]
+      [ ([ (0, 1.0) ], Solver.Problem.Le, 4.0);
+        ([ (1, 2.0) ], Solver.Problem.Le, 12.0);
+        ([ (0, 3.0); (1, 2.0) ], Solver.Problem.Le, 18.0) ]
+  in
+  let r = solve ~core p in
+  check_float "objective" (-36.0) (objective_of "classic" r);
+  let x = values_of "classic" r in
+  check_float "x" 2.0 x.(0);
+  check_float "y" 6.0 x.(1)
 
-let test_simplex_equality () =
+let test_equality core =
   (* min x + 2y st x + y = 3, x <= 1 => x=1, y=2, obj 5 *)
-  let m = Lp.create ~nvars:2 in
-  Lp.set_objective m 0 1.0;
-  Lp.set_objective m 1 2.0;
-  Lp.add_constraint m [ (0, 1.0); (1, 1.0) ] Lp.Eq 3.0;
-  Lp.add_constraint m [ (0, 1.0) ] Lp.Le 1.0;
-  match Simplex.solve m with
-  | Simplex.Optimal { objective; _ } -> check_float "objective" 5.0 objective
-  | _ -> Alcotest.fail "expected optimal"
+  let p =
+    lp ~nvars:2 ~obj:[ (0, 1.0); (1, 2.0) ]
+      [ ([ (0, 1.0); (1, 1.0) ], Solver.Problem.Eq, 3.0);
+        ([ (0, 1.0) ], Solver.Problem.Le, 1.0) ]
+  in
+  check_float "objective" 5.0 (objective_of "equality" (solve ~core p))
 
-let test_simplex_ge () =
+let test_ge_rows core =
   (* min 2x + 3y st x + y >= 4, x <= 3 => y >= 1; optimum x=3,y=1 obj 9 *)
-  let m = Lp.create ~nvars:2 in
-  Lp.set_objective m 0 2.0;
-  Lp.set_objective m 1 3.0;
-  Lp.add_constraint m [ (0, 1.0); (1, 1.0) ] Lp.Ge 4.0;
-  Lp.add_constraint m [ (0, 1.0) ] Lp.Le 3.0;
-  match Simplex.solve m with
-  | Simplex.Optimal { objective; _ } -> check_float "objective" 9.0 objective
-  | _ -> Alcotest.fail "expected optimal"
+  let p =
+    lp ~nvars:2 ~obj:[ (0, 2.0); (1, 3.0) ]
+      [ ([ (0, 1.0); (1, 1.0) ], Solver.Problem.Ge, 4.0);
+        ([ (0, 1.0) ], Solver.Problem.Le, 3.0) ]
+  in
+  check_float "objective" 9.0 (objective_of "ge" (solve ~core p))
 
-let test_simplex_infeasible () =
-  let m = Lp.create ~nvars:1 in
-  Lp.add_constraint m [ (0, 1.0) ] Lp.Ge 5.0;
-  Lp.add_constraint m [ (0, 1.0) ] Lp.Le 2.0;
-  Alcotest.(check bool) "infeasible" true (Simplex.solve m = Simplex.Infeasible)
+let test_infeasible core =
+  let p =
+    lp ~nvars:1
+      [ ([ (0, 1.0) ], Solver.Problem.Ge, 5.0);
+        ([ (0, 1.0) ], Solver.Problem.Le, 2.0) ]
+  in
+  Alcotest.(check bool) "infeasible" true
+    ((solve ~core p).Solver.Result.status = Solver.Infeasible)
 
-let test_simplex_unbounded () =
-  let m = Lp.create ~nvars:1 in
-  Lp.set_objective m 0 (-1.0);
-  Lp.add_constraint m [ (0, 1.0) ] Lp.Ge 0.0;
-  Alcotest.(check bool) "unbounded" true (Simplex.solve m = Simplex.Unbounded)
+let test_unbounded core =
+  let p =
+    lp ~nvars:1 ~obj:[ (0, -1.0) ] [ ([ (0, 1.0) ], Solver.Problem.Ge, 0.0) ]
+  in
+  Alcotest.(check bool) "unbounded" true
+    ((solve ~core p).Solver.Result.status = Solver.Unbounded)
 
-let test_simplex_no_constraints () =
-  let m = Lp.create ~nvars:2 in
-  Lp.set_objective m 0 1.0;
-  (match Simplex.solve m with
-   | Simplex.Optimal { objective; _ } -> check_float "zero" 0.0 objective
-   | _ -> Alcotest.fail "expected optimal");
-  Lp.set_objective m 1 (-1.0);
-  Alcotest.(check bool) "unbounded down" true (Simplex.solve m = Simplex.Unbounded)
+let test_no_rows core =
+  let p = lp ~nvars:2 ~obj:[ (0, 1.0) ] [] in
+  check_float "zero" 0.0 (objective_of "no rows" (solve ~core p));
+  let q = lp ~nvars:2 ~obj:[ (0, 1.0); (1, -1.0) ] [] in
+  Alcotest.(check bool) "unbounded down" true
+    ((solve ~core q).Solver.Result.status = Solver.Unbounded)
 
-let test_simplex_negative_rhs () =
+let test_negative_rhs core =
   (* min x st -x <= -2  (i.e. x >= 2) *)
-  let m = Lp.create ~nvars:1 in
-  Lp.set_objective m 0 1.0;
-  Lp.add_constraint m [ (0, -1.0) ] Lp.Le (-2.0);
-  match Simplex.solve m with
-  | Simplex.Optimal { objective; _ } -> check_float "x=2" 2.0 objective
-  | _ -> Alcotest.fail "expected optimal"
+  let p =
+    lp ~nvars:1 ~obj:[ (0, 1.0) ] [ ([ (0, -1.0) ], Solver.Problem.Le, -2.0) ]
+  in
+  check_float "x=2" 2.0 (objective_of "negative rhs" (solve ~core p))
 
-let test_simplex_degenerate () =
+let test_degenerate core =
   (* Degenerate vertex should still terminate (anti-cycling). *)
-  let m = Lp.create ~nvars:2 in
-  Lp.set_objective m 0 (-1.0);
-  Lp.set_objective m 1 (-1.0);
-  Lp.add_constraint m [ (0, 1.0); (1, 1.0) ] Lp.Le 1.0;
-  Lp.add_constraint m [ (0, 1.0) ] Lp.Le 1.0;
-  Lp.add_constraint m [ (1, 1.0) ] Lp.Le 1.0;
-  Lp.add_constraint m [ (0, 1.0); (1, -1.0) ] Lp.Le 0.0;
-  match Simplex.solve m with
-  | Simplex.Optimal { objective; _ } -> check_float "objective" (-1.0) objective
-  | _ -> Alcotest.fail "expected optimal"
+  let p =
+    lp ~nvars:2 ~obj:[ (0, -1.0); (1, -1.0) ]
+      [ ([ (0, 1.0); (1, 1.0) ], Solver.Problem.Le, 1.0);
+        ([ (0, 1.0) ], Solver.Problem.Le, 1.0);
+        ([ (1, 1.0) ], Solver.Problem.Le, 1.0);
+        ([ (0, 1.0); (1, -1.0) ], Solver.Problem.Le, 0.0) ]
+  in
+  check_float "objective" (-1.0) (objective_of "degenerate" (solve ~core p))
 
-(* --- ilp --- *)
+let test_variable_bounds core =
+  (* Bounds live on the variables, not on rows: min -x - y with
+     x in [0, 2.5], y in [1, 3], one coupling row x + y <= 5. *)
+  let p =
+    lp ~nvars:2 ~obj:[ (0, -1.0); (1, -1.0) ]
+      ~lower:[ (1, 1.0) ]
+      ~upper:[ (0, 2.5); (1, 3.0) ]
+      [ ([ (0, 1.0); (1, 1.0) ], Solver.Problem.Le, 5.0) ]
+  in
+  let r = solve ~core p in
+  check_float "objective" (-5.0) (objective_of "bounds" r);
+  Alcotest.(check bool) "respects bounds" true
+    (Solver.Problem.feasible p (values_of "bounds" r))
+
+let test_fixed_variable core =
+  (* lo = up pins the variable. *)
+  let p =
+    lp ~nvars:2 ~obj:[ (0, 1.0); (1, 1.0) ]
+      ~lower:[ (0, 2.0) ] ~upper:[ (0, 2.0) ]
+      [ ([ (0, 1.0); (1, 1.0) ], Solver.Problem.Ge, 3.0) ]
+  in
+  let r = solve ~core p in
+  check_float "objective" 3.0 (objective_of "fixed" r);
+  check_float "pinned" 2.0 (values_of "fixed" r).(0)
+
+(* Sparse-only: the dense parity core rejects negative lower bounds. *)
+let test_negative_lower_bound () =
+  let p =
+    lp ~nvars:1 ~obj:[ (0, 1.0) ] ~lower:[ (0, -4.0) ] ~upper:[ (0, 4.0) ] []
+  in
+  check_float "objective" (-4.0) (objective_of "neg lower" (solve p));
+  Alcotest.check_raises "dense rejects"
+    (Invalid_argument "Dense_core: requires finite non-negative lower bounds")
+    (fun () -> ignore (solve ~core:Solver.Dense p))
+
+let test_refactorization_counter () =
+  (* Enough pivots in one LP solve to overflow the eta file (64) and
+     force at least one basis refactorization. *)
+  let n = 100 in
+  let p =
+    lp ~nvars:n
+      ~obj:(List.init n (fun v -> (v, 1.0)))
+      (List.init n (fun v -> ([ (v, 1.0) ], Solver.Problem.Ge, 1.0)))
+  in
+  let r = solve p in
+  check_float "objective" (float_of_int n) (objective_of "refactor" r);
+  Alcotest.(check bool) "pivoted enough" true
+    (r.Solver.Result.stats.Solver.pivots >= n);
+  Alcotest.(check bool) "refactorized" true
+    (r.Solver.Result.stats.Solver.refactorizations >= 1)
+
+let test_max_pivots_aborts () =
+  (* A pure LP that needs pivots but may spend none returns Unknown. *)
+  let p =
+    lp ~nvars:2 ~obj:[ (0, -3.0); (1, -5.0) ]
+      [ ([ (0, 1.0); (1, 1.0) ], Solver.Problem.Le, 4.0) ]
+  in
+  Alcotest.(check bool) "aborted" true
+    ((solve ~max_pivots:0 p).Solver.Result.status = Solver.Unknown)
+
+(* --- branch and bound --- *)
 
 (* Knapsack-flavoured: min -(5a + 4b + 3c) st 2a + 3b + c <= 4, binary.
    Optimum a=1,c=1 -> -8 (b would exceed the budget). *)
-let test_ilp_knapsack () =
-  let m = Lp.create ~nvars:3 in
-  Lp.set_objective m 0 (-5.0);
-  Lp.set_objective m 1 (-4.0);
-  Lp.set_objective m 2 (-3.0);
-  Lp.add_constraint m [ (0, 2.0); (1, 3.0); (2, 1.0) ] Lp.Le 4.0;
-  match Ilp.solve m ~binary:[ 0; 1; 2 ] with
-  | Ilp.Proven { objective; values }, _ ->
-      check_float "objective" (-8.0) objective;
-      check_float "a" 1.0 values.(0);
-      check_float "b" 0.0 values.(1);
-      check_float "c" 1.0 values.(2)
-  | _ -> Alcotest.fail "expected proven optimum"
+let binaries n = (List.init n (fun v -> (v, 1.0)), List.init n Fun.id)
 
-let test_ilp_integrality_gap () =
-  (* LP relaxation would take fractional x=y=0.5; ILP must pick one. *)
-  let m = Lp.create ~nvars:2 in
-  Lp.set_objective m 0 (-1.0);
-  Lp.set_objective m 1 (-1.0);
-  Lp.add_constraint m [ (0, 2.0); (1, 2.0) ] Lp.Le 2.1;
-  match Ilp.solve m ~binary:[ 0; 1 ] with
-  | Ilp.Proven { objective; _ }, _ -> check_float "one selected" (-1.0) objective
-  | _ -> Alcotest.fail "expected proven"
+let test_knapsack core =
+  let upper, integer = binaries 3 in
+  let p =
+    lp ~nvars:3 ~obj:[ (0, -5.0); (1, -4.0); (2, -3.0) ] ~upper ~integer
+      [ ([ (0, 2.0); (1, 3.0); (2, 1.0) ], Solver.Problem.Le, 4.0) ]
+  in
+  let r = solve ~core p in
+  check_float "objective" (-8.0) (objective_of "knapsack" r);
+  let x = values_of "knapsack" r in
+  check_float "a" 1.0 x.(0);
+  check_float "b" 0.0 x.(1);
+  check_float "c" 1.0 x.(2)
 
-let test_ilp_infeasible () =
-  let m = Lp.create ~nvars:2 in
-  Lp.add_constraint m [ (0, 1.0); (1, 1.0) ] Lp.Ge 3.0;
-  (* binaries sum to at most 2 *)
-  match Ilp.solve m ~binary:[ 0; 1 ] with
-  | Ilp.No_solution, _ -> ()
-  | _ -> Alcotest.fail "expected no solution"
+let test_integrality_gap core =
+  (* LP relaxation would take fractional x=y=0.525; ILP must pick one. *)
+  let upper, integer = binaries 2 in
+  let p =
+    lp ~nvars:2 ~obj:[ (0, -1.0); (1, -1.0) ] ~upper ~integer
+      [ ([ (0, 2.0); (1, 2.0) ], Solver.Problem.Le, 2.1) ]
+  in
+  check_float "one selected" (-1.0) (objective_of "gap" (solve ~core p))
 
-let test_ilp_incumbent_respected () =
-  let m = Lp.create ~nvars:1 in
-  Lp.set_objective m 0 1.0;
-  let incumbent = { Ilp.objective = 0.0; values = [| 0.0 |] } in
-  match Ilp.solve ~incumbent m ~binary:[ 0 ] with
-  | Ilp.Proven { objective; _ }, _ -> check_float "keeps 0" 0.0 objective
-  | _ -> Alcotest.fail "expected proven"
+let test_ilp_infeasible core =
+  let upper, integer = binaries 2 in
+  let p =
+    lp ~nvars:2 ~upper ~integer
+      [ ([ (0, 1.0); (1, 1.0) ], Solver.Problem.Ge, 3.0) ]
+  in
+  Alcotest.(check bool) "no solution" true
+    ((solve ~core p).Solver.Result.status = Solver.Infeasible)
 
-let test_ilp_budget_expiry () =
-  (* An already-expired budget returns the incumbent as Best. *)
-  let m = Lp.create ~nvars:2 in
-  Lp.set_objective m 0 (-1.0);
-  Lp.set_objective m 1 (-1.0);
-  Lp.add_constraint m [ (0, 1.0); (1, 1.0) ] Lp.Le 1.0;
+let test_general_integer core =
+  (* Non-binary integer range: min -x st 3x <= 10, x in [0,5] integer. *)
+  let p =
+    lp ~nvars:1 ~obj:[ (0, -1.0) ] ~upper:[ (0, 5.0) ] ~integer:[ 0 ]
+      [ ([ (0, 3.0) ], Solver.Problem.Le, 10.0) ]
+  in
+  check_float "x=3" (-3.0) (objective_of "general integer" (solve ~core p))
+
+let test_incumbent_respected core =
+  let upper, integer = binaries 1 in
+  let p = lp ~nvars:1 ~obj:[ (0, 1.0) ] ~upper ~integer [] in
+  let incumbent = { Solver.objective = 0.0; values = [| 0.0 |] } in
+  check_float "keeps 0" 0.0
+    (objective_of "incumbent" (solve ~core ~incumbent p))
+
+let test_budget_expiry core =
+  (* An already-expired budget returns the incumbent, unproven. *)
+  let upper, integer = binaries 2 in
+  let p =
+    lp ~nvars:2 ~obj:[ (0, -1.0); (1, -1.0) ] ~upper ~integer
+      [ ([ (0, 1.0); (1, 1.0) ], Solver.Problem.Le, 1.0) ]
+  in
   let budget = Operon_util.Timer.budget 1e-9 in
   Unix.sleepf 0.01;
-  let incumbent = { Ilp.objective = 0.0; values = [| 0.0; 0.0 |] } in
-  match Ilp.solve ~budget ~incumbent m ~binary:[ 0; 1 ] with
-  | Ilp.Best { objective; _ }, _ -> check_float "incumbent" 0.0 objective
-  | Ilp.Proven _, _ -> Alcotest.fail "should not have had time to prove"
-  | _ -> Alcotest.fail "expected Best"
+  let incumbent = { Solver.objective = 0.0; values = [| 0.0; 0.0 |] } in
+  match (solve ~core ~budget ~incumbent p).Solver.Result.status with
+  | Solver.Feasible { objective; _ } -> check_float "incumbent" 0.0 objective
+  | Solver.Optimal _ -> Alcotest.fail "should not have had time to prove"
+  | _ -> Alcotest.fail "expected Feasible"
 
-(* Exhaustive cross-check on random small 0/1 programs. *)
+let test_stats_accumulate () =
+  let upper, integer = binaries 3 in
+  let p =
+    lp ~nvars:3 ~obj:[ (0, -5.0); (1, -4.0); (2, -3.0) ] ~upper ~integer
+      [ ([ (0, 2.0); (1, 3.0); (2, 1.0) ], Solver.Problem.Le, 4.0) ]
+  in
+  let r = solve p in
+  let s = r.Solver.Result.stats in
+  Alcotest.(check bool) "nodes > 0" true (s.Solver.nodes > 0);
+  Alcotest.(check bool) "one lp per node" true (s.Solver.lp_solves = s.Solver.nodes);
+  Alcotest.(check bool) "pivots > 0" true (s.Solver.pivots > 0);
+  Alcotest.(check bool) "elapsed >= 0" true (s.Solver.elapsed >= 0.0)
+
+(* --- randomized cross-checks --- *)
+
+(* Exhaustive enumeration on random small 0/1 programs. *)
 let brute_force nvars objective rows =
   let best = ref None in
   for mask = 0 to (1 lsl nvars) - 1 do
-    let x = Array.init nvars (fun v -> if mask land (1 lsl v) <> 0 then 1.0 else 0.0) in
+    let x =
+      Array.init nvars (fun v -> if mask land (1 lsl v) <> 0 then 1.0 else 0.0)
+    in
     let ok =
       List.for_all
         (fun (coeffs, rhs) ->
-          List.fold_left (fun acc (v, c) -> acc +. (c *. x.(v))) 0.0 coeffs <= rhs +. 1e-9)
+          List.fold_left (fun acc (v, c) -> acc +. (c *. x.(v))) 0.0 coeffs
+          <= rhs +. 1e-9)
         rows
     in
     if ok then begin
-      let obj = Array.fold_left ( +. ) 0.0 (Array.mapi (fun v xv -> objective.(v) *. xv) x) in
+      let obj =
+        Array.fold_left ( +. ) 0.0
+          (Array.mapi (fun v xv -> objective.(v) *. xv) x)
+      in
       match !best with
       | Some b when b <= obj -> ()
       | _ -> best := Some obj
@@ -185,89 +312,184 @@ let brute_force nvars objective rows =
   done;
   !best
 
-let prop_ilp_matches_brute_force =
-  let gen =
-    QCheck.Gen.(
-      int_range 2 6 >>= fun nvars ->
-      array_size (return nvars) (float_range (-5.0) 5.0) >>= fun objective ->
-      list_size (int_range 0 4)
-        (pair
-           (list_size (int_range 1 nvars)
-              (pair (int_range 0 (nvars - 1)) (float_range (-3.0) 3.0)))
-           (float_range 0.0 5.0))
-      >|= fun rows -> (nvars, objective, rows))
-  in
-  QCheck.Test.make ~name:"ilp matches brute force" ~count:150
-    (QCheck.make ~print:(fun (n, _, rows) -> Printf.sprintf "n=%d rows=%d" n (List.length rows)) gen)
-    (fun (nvars, objective, rows) ->
-      let m = Lp.create ~nvars in
-      Array.iteri (fun v c -> Lp.set_objective m v c) objective;
-      List.iter (fun (coeffs, rhs) -> Lp.add_constraint m coeffs Lp.Le rhs) rows;
+let random_binary_gen =
+  QCheck.Gen.(
+    int_range 2 6 >>= fun nvars ->
+    array_size (return nvars) (float_range (-5.0) 5.0) >>= fun objective ->
+    list_size (int_range 0 4)
+      (pair
+         (list_size (int_range 1 nvars)
+            (pair (int_range 0 (nvars - 1)) (float_range (-3.0) 3.0)))
+         (float_range 0.0 5.0))
+    >|= fun rows -> (nvars, objective, rows))
+
+let binary_problem (nvars, objective, rows) =
+  let upper, integer = binaries nvars in
+  lp ~nvars
+    ~obj:(Array.to_list (Array.mapi (fun v c -> (v, c)) objective))
+    ~upper ~integer
+    (List.map (fun (coeffs, rhs) -> (coeffs, Solver.Problem.Le, rhs)) rows)
+
+let prop_ilp_matches_brute_force core =
+  QCheck.Test.make
+    ~name:
+      (Printf.sprintf "ilp matches brute force (%s)" (Solver.core_name core))
+    ~count:150
+    (QCheck.make
+       ~print:(fun (n, _, rows) ->
+         Printf.sprintf "n=%d rows=%d" n (List.length rows))
+       random_binary_gen)
+    (fun ((nvars, objective, rows) as case) ->
       let expected = brute_force nvars objective rows in
-      match (Ilp.solve m ~binary:(List.init nvars Fun.id), expected) with
-      | (Ilp.Proven { objective = got; _ }, _), Some want -> Float.abs (got -. want) < 1e-5
-      | (Ilp.No_solution, _), None -> true
+      match ((solve ~core (binary_problem case)).Solver.Result.status, expected)
+      with
+      | Solver.Optimal { objective = got; _ }, Some want ->
+          Float.abs (got -. want) < 1e-5
+      | Solver.Infeasible, None -> true
       | _ -> false)
 
-(* Rebuild a model with explicit x <= 1 rows so the plain simplex solves
-   the same relaxation B&B uses internally. *)
-let with_bounds m nvars =
-  let relax = Lp.create ~nvars in
-  for v = 0 to nvars - 1 do
-    Lp.set_objective relax v (Lp.objective_coeff m v);
-    Lp.add_constraint relax [ (v, 1.0) ] Lp.Le 1.0
-  done;
-  List.iter (fun r -> Lp.add_constraint relax r.Lp.coeffs r.Lp.rel r.Lp.rhs) (Lp.constraints m);
-  relax
-
-let prop_simplex_below_ilp =
-  (* LP relaxation is a valid lower bound for the 0/1 program. *)
-  let gen =
-    QCheck.Gen.(
-      int_range 2 5 >>= fun nvars ->
-      array_size (return nvars) (float_range 0.0 5.0) >>= fun objective ->
-      list_size (int_range 1 3)
-        (pair
-           (list_size (int_range 1 nvars)
-              (pair (int_range 0 (nvars - 1)) (float_range 0.5 3.0)))
-           (float_range 1.0 5.0))
-      >|= fun rows -> (nvars, objective, rows))
-  in
+let prop_relaxation_bounds_ilp =
+  (* The continuous relaxation (same bounds, integrality dropped) is a
+     valid lower bound for the 0/1 program. *)
   QCheck.Test.make ~name:"lp relaxation bounds ilp" ~count:100
-    (QCheck.make ~print:(fun (n, _, _) -> string_of_int n) gen)
+    (QCheck.make ~print:(fun (n, _, _) -> string_of_int n) random_binary_gen)
     (fun (nvars, objective, rows) ->
-      let m = Lp.create ~nvars in
-      Array.iteri (fun v c -> Lp.set_objective m v c) objective;
-      (* force at least one selection so the problem is not trivially 0 *)
-      Lp.add_constraint m (List.init nvars (fun v -> (v, 1.0))) Lp.Ge 1.0;
-      List.iter (fun (coeffs, rhs) -> Lp.add_constraint m coeffs Lp.Le rhs) rows;
-      let relax = with_bounds m nvars in
-      match (Simplex.solve relax, Ilp.solve m ~binary:(List.init nvars Fun.id)) with
-      | Simplex.Optimal { objective = lp; _ }, (Ilp.Proven { objective = ip; _ }, _) ->
-          lp <= ip +. 1e-6
-      | Simplex.Infeasible, (Ilp.No_solution, _) -> true
-      | _, (Ilp.No_solution, _) -> true
+      let obj = Array.to_list (Array.mapi (fun v c -> (v, c)) objective) in
+      let upper, integer = binaries nvars in
+      let rows =
+        (List.init nvars (fun v -> (v, 1.0)), Solver.Problem.Ge, 1.0)
+        :: List.map (fun (coeffs, rhs) -> (coeffs, Solver.Problem.Le, rhs)) rows
+      in
+      let relaxed = lp ~nvars ~obj ~upper rows in
+      let integral = lp ~nvars ~obj ~upper ~integer rows in
+      match
+        ( (solve relaxed).Solver.Result.status,
+          (solve integral).Solver.Result.status )
+      with
+      | Solver.Optimal { objective = cont; _ },
+        Solver.Optimal { objective = ilp; _ } ->
+          cont <= ilp +. 1e-6
+      | _, Solver.Infeasible -> true
       | _ -> false)
+
+(* Dense-vs-sparse parity: identical status and (where optimal) matching
+   objective on random LPs and ILPs. The generators stay inside the
+   dense core's domain (finite non-negative lower bounds). *)
+let status_tag = function
+  | Solver.Optimal _ -> "optimal"
+  | Solver.Feasible _ -> "feasible"
+  | Solver.Infeasible -> "infeasible"
+  | Solver.Unbounded -> "unbounded"
+  | Solver.Unknown -> "unknown"
+
+let random_lp_gen =
+  QCheck.Gen.(
+    int_range 2 7 >>= fun nvars ->
+    array_size (return nvars) (float_range (-4.0) 4.0) >>= fun objective ->
+    array_size (return nvars)
+      (oneof [ return infinity; float_range 0.5 6.0 ])
+    >>= fun uppers ->
+    list_size (int_range 1 5)
+      (triple
+         (list_size (int_range 1 nvars)
+            (pair (int_range 0 (nvars - 1)) (float_range (-3.0) 3.0)))
+         (oneofl [ `Le; `Ge; `Eq ])
+         (float_range 0.0 5.0))
+    >|= fun rows -> (nvars, objective, uppers, rows))
+
+let parity_problem ?integer (nvars, objective, uppers, rows) =
+  let upper =
+    Array.to_list uppers
+    |> List.mapi (fun v u -> (v, u))
+    |> List.filter (fun (_, u) -> Float.is_finite u)
+  in
+  (* Integer variables need finite ranges: clamp them to [0, 3]. *)
+  let upper, integer =
+    match integer with
+    | None -> (upper, [])
+    | Some () ->
+        let ints = List.init nvars Fun.id in
+        ( List.map
+            (fun (v, u) -> (v, Float.min 3.0 (Float.round u))) upper
+          @ (List.filter
+               (fun v -> not (Float.is_finite uppers.(v)))
+               ints
+            |> List.map (fun v -> (v, 3.0))),
+          ints )
+  in
+  lp ~nvars
+    ~obj:(Array.to_list (Array.mapi (fun v c -> (v, c)) objective))
+    ~upper ~integer
+    (List.map
+       (fun (coeffs, rel, rhs) ->
+         let rel =
+           match rel with
+           | `Le -> Solver.Problem.Le
+           | `Ge -> Solver.Problem.Ge
+           | `Eq -> Solver.Problem.Eq
+         in
+         (coeffs, rel, rhs))
+       rows)
+
+let parity_prop ?integer name =
+  QCheck.Test.make ~name ~count:200
+    (QCheck.make
+       ~print:(fun (n, _, _, rows) ->
+         Printf.sprintf "n=%d rows=%d" n (List.length rows))
+       random_lp_gen)
+    (fun case ->
+      let p = parity_problem ?integer case in
+      let s = (solve ~core:Solver.Sparse p).Solver.Result.status in
+      let d = (solve ~core:Solver.Dense p).Solver.Result.status in
+      String.equal (status_tag s) (status_tag d)
+      &&
+      match (s, d) with
+      | Solver.Optimal a, Solver.Optimal b ->
+          Float.abs (a.Solver.objective -. b.Solver.objective) < 1e-6
+      | _ -> true)
+
+let prop_parity_lp = parity_prop "dense/sparse parity on random LPs"
+
+let prop_parity_ilp =
+  parity_prop ~integer:() "dense/sparse parity on random ILPs"
 
 let () =
   Alcotest.run "solver"
-    [ ( "lp",
-        [ Alcotest.test_case "model" `Quick test_lp_model;
-          Alcotest.test_case "invalid var" `Quick test_lp_invalid_var ] );
-      ( "simplex",
-        [ Alcotest.test_case "classic" `Quick test_simplex_classic;
-          Alcotest.test_case "equality" `Quick test_simplex_equality;
-          Alcotest.test_case "ge rows" `Quick test_simplex_ge;
-          Alcotest.test_case "infeasible" `Quick test_simplex_infeasible;
-          Alcotest.test_case "unbounded" `Quick test_simplex_unbounded;
-          Alcotest.test_case "no constraints" `Quick test_simplex_no_constraints;
-          Alcotest.test_case "negative rhs" `Quick test_simplex_negative_rhs;
-          Alcotest.test_case "degenerate" `Quick test_simplex_degenerate ] );
-      ( "ilp",
-        [ Alcotest.test_case "knapsack" `Quick test_ilp_knapsack;
-          Alcotest.test_case "integrality gap" `Quick test_ilp_integrality_gap;
-          Alcotest.test_case "infeasible" `Quick test_ilp_infeasible;
-          Alcotest.test_case "incumbent" `Quick test_ilp_incumbent_respected;
-          Alcotest.test_case "budget expiry" `Quick test_ilp_budget_expiry;
-          QCheck_alcotest.to_alcotest prop_ilp_matches_brute_force;
-          QCheck_alcotest.to_alcotest prop_simplex_below_ilp ] ) ]
+    ([ ( "problem",
+         [ Alcotest.test_case "model" `Quick test_problem_model;
+           Alcotest.test_case "invalid" `Quick test_problem_invalid;
+           Alcotest.test_case "duplicate entries" `Quick
+             test_problem_merges_duplicate_entries ] ) ]
+    @ [ ( "lp",
+          both "classic" test_classic
+          @ both "equality" test_equality
+          @ both "ge rows" test_ge_rows
+          @ both "infeasible" test_infeasible
+          @ both "unbounded" test_unbounded
+          @ both "no rows" test_no_rows
+          @ both "negative rhs" test_negative_rhs
+          @ both "degenerate" test_degenerate
+          @ both "variable bounds" test_variable_bounds
+          @ both "fixed variable" test_fixed_variable
+          @ [ Alcotest.test_case "negative lower bound" `Quick
+                test_negative_lower_bound;
+              Alcotest.test_case "refactorization counter" `Quick
+                test_refactorization_counter;
+              Alcotest.test_case "max pivots aborts" `Quick
+                test_max_pivots_aborts ] ) ]
+    @ [ ( "ilp",
+          both "knapsack" test_knapsack
+          @ both "integrality gap" test_integrality_gap
+          @ both "infeasible" test_ilp_infeasible
+          @ both "general integer" test_general_integer
+          @ both "incumbent" test_incumbent_respected
+          @ both "budget expiry" test_budget_expiry
+          @ [ Alcotest.test_case "stats accumulate" `Quick
+                test_stats_accumulate;
+              QCheck_alcotest.to_alcotest
+                (prop_ilp_matches_brute_force Solver.Sparse);
+              QCheck_alcotest.to_alcotest
+                (prop_ilp_matches_brute_force Solver.Dense);
+              QCheck_alcotest.to_alcotest prop_relaxation_bounds_ilp;
+              QCheck_alcotest.to_alcotest prop_parity_lp;
+              QCheck_alcotest.to_alcotest prop_parity_ilp ] ) ])
