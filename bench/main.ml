@@ -12,6 +12,7 @@
      dune exec bench/main.exe eco        # incremental ECO vs cold re-synthesis
      dune exec bench/main.exe solver     # dense tableau vs sparse revised simplex
      dune exec bench/main.exe scale      # 10k-100k-net scale tiers vs wall-clock targets
+     dune exec bench/main.exe thermal    # thermal Pareto sweep: power vs worst-case margin
      dune exec bench/main.exe micro      # Bechamel kernel micro-benchmarks
 
    The ILP wall-clock budget per case defaults to 120 s (the paper used
@@ -219,6 +220,26 @@ type scale_row = {
   g_met : bool;  (** total wall-clock within the tier target *)
 }
 
+(* Rows of the thermal Pareto-sweep benchmark (the "thermal" target):
+   power/margin trade-off of the weight ladder on a synthetic hotspot
+   map, per Table 1 case. *)
+type thermal_row = {
+  t_name : string;
+  t_nets : int;
+  t_map : string;  (** Thermal_map.summary of the synthetic field *)
+  t_swept : int;
+  t_front : int;
+  t_dropped : int;
+  t_sweep_s : float;
+  t_base_power : float;  (** temperature-blind selection's power *)
+  t_base_margin : float;  (** its worst-case thermal margin, dB *)
+  t_best_power : float;  (** power of the front's best-margin point *)
+  t_best_margin : float;
+  t_identical : bool;
+      (** an inert (weight-0-only) thermal run reproduces the plain
+          selection bit-for-bit *)
+}
+
 (* One results file serves every target: whichever ran last rewrites
    latest.json with every section accumulated so far this process. *)
 let table1_results : table1_row list ref = ref []
@@ -228,6 +249,7 @@ let sustained_results : sustained_row list ref = ref []
 let eco_results : eco_row list ref = ref []
 let solver_results : solver_row list ref = ref []
 let scale_results : scale_row list ref = ref []
+let thermal_results : thermal_row list ref = ref []
 
 let write_results () =
   let jf = Printf.sprintf "%.6f" in
@@ -309,9 +331,20 @@ let write_results () =
       (jf (r.g_gen_s +. r.g_prep_s +. r.g_select_s))
       r.g_met
   in
+  let thermal_json r =
+    Printf.sprintf
+      {|    {"name":"%s","nets":%d,"map":"%s",
+     "swept":%d,"front":%d,"dropped":%d,"sweep_seconds":%s,
+     "baseline":{"power":%s,"margin_db":%s},
+     "best_margin":{"power":%s,"margin_db":%s},
+     "inert_identical":%b}|}
+      r.t_name r.t_nets r.t_map r.t_swept r.t_front r.t_dropped
+      (jf r.t_sweep_s) (jf r.t_base_power) (jf r.t_base_margin)
+      (jf r.t_best_power) (jf r.t_best_margin) r.t_identical
+  in
   let json =
     Printf.sprintf
-      "{\n  \"ilp_budget\": %s,\n  \"cases\": [\n%s\n  ],\n  \"cache_bench\": [\n%s\n  ],\n  \"serve\": [\n%s\n  ],\n  \"eco\": [\n%s\n  ],\n  \"solver\": [\n%s\n  ],\n  \"scale_tiers\": [\n%s\n  ]\n}\n"
+      "{\n  \"ilp_budget\": %s,\n  \"cases\": [\n%s\n  ],\n  \"cache_bench\": [\n%s\n  ],\n  \"serve\": [\n%s\n  ],\n  \"eco\": [\n%s\n  ],\n  \"solver\": [\n%s\n  ],\n  \"scale_tiers\": [\n%s\n  ],\n  \"thermal\": [\n%s\n  ]\n}\n"
       (jf ilp_budget)
       (String.concat ",\n" (List.map case_json !table1_results))
       (String.concat ",\n" (List.map cache_json !cache_results))
@@ -321,6 +354,7 @@ let write_results () =
       (String.concat ",\n" (List.map eco_json !eco_results))
       (String.concat ",\n" (List.map solver_json !solver_results))
       (String.concat ",\n" (List.map scale_json !scale_results))
+      (String.concat ",\n" (List.map thermal_json !thermal_results))
   in
   ensure_dir results_dir;
   let path = Filename.concat results_dir "latest.json" in
@@ -1423,6 +1457,96 @@ let ablate () =
   print_endline ""
 
 (* ------------------------------------------------------------------ *)
+(* Thermal Pareto sweep: power vs worst-case thermal margin           *)
+(* ------------------------------------------------------------------ *)
+
+let thermal_bench () =
+  print_endline
+    "=== thermal: power vs worst-case thermal margin (synthetic hotspot maps) ===";
+  let rows =
+    List.map
+      (fun spec ->
+        let design = Gen.generate spec in
+        let map =
+          Operon_thermal.Thermal_map.synthetic ~hotspots:6 ~amplitude:25.0
+            ~decay:0.15 ~die:design.Signal.die (Prng.create 1)
+        in
+        let hnets, ctx = Flow.prepare_with (Flow.Config.default params) design in
+        let plain =
+          Flow.select_with (Flow.Config.default params) design hnets ctx
+        in
+        (* The inert spec (no positive weight) must reproduce the plain
+           selection exactly — the bit-identity contract of the mode. *)
+        let inert =
+          Flow.select_with
+            (Flow.Config.with_thermal ~weights:[| 0.0 |] map
+               (Flow.Config.default params))
+            design hnets ctx
+        in
+        let swept =
+          Flow.select_with
+            (Flow.Config.with_thermal map (Flow.Config.default params))
+            design hnets ctx
+        in
+        let tr = Option.get swept.Flow.thermal in
+        let eval_ctx =
+          Selection.with_thermal ctx (Selection.thermal_profile ctx map)
+            ~weight:0.0
+        in
+        let base_margin = Selection.thermal_margin eval_ctx plain.Flow.choice in
+        let best =
+          List.fold_left
+            (fun acc (p : Flow.thermal_point) ->
+              match acc with
+              | Some (b : Flow.thermal_point) when b.Flow.tp_margin >= p.Flow.tp_margin ->
+                  acc
+              | _ -> Some p)
+            None tr.Flow.tr_front
+        in
+        let best_power, best_margin =
+          match best with
+          | Some p -> (p.Flow.tp_power, p.Flow.tp_margin)
+          | None -> (plain.Flow.power, base_margin)
+        in
+        let nets, _, _ = Processing.stats hnets in
+        { t_name = spec.Gen.name;
+          t_nets = nets;
+          t_map = Operon_thermal.Thermal_map.summary map;
+          t_swept = tr.Flow.tr_swept;
+          t_front = List.length tr.Flow.tr_front;
+          t_dropped = tr.Flow.tr_dropped;
+          t_sweep_s = tr.Flow.tr_seconds;
+          t_base_power = plain.Flow.power;
+          t_base_margin = base_margin;
+          t_best_power = best_power;
+          t_best_margin = best_margin;
+          t_identical = inert.Flow.choice = plain.Flow.choice })
+      [ Cases.i1; Cases.i2 ]
+  in
+  let render r =
+    [ r.t_name; string_of_int r.t_nets;
+      Printf.sprintf "%d/%d" r.t_front r.t_swept;
+      Report.float_cell ~decimals:3 r.t_base_power;
+      Report.float_cell ~decimals:3 r.t_base_margin;
+      Report.float_cell ~decimals:3 r.t_best_power;
+      Report.float_cell ~decimals:3 r.t_best_margin;
+      Report.float_cell ~decimals:1 r.t_sweep_s;
+      string_of_bool r.t_identical ]
+  in
+  print_endline
+    (Report.table
+       ~headers:
+         [ "Bench"; "#Net"; "front"; "P(w=0)"; "margin(w=0)"; "P(best)";
+           "margin(best)"; "sweep(s)"; "inert=plain" ]
+       ~align:
+         [ Report.Left; Report.Right; Report.Right; Report.Right; Report.Right;
+           Report.Right; Report.Right; Report.Right; Report.Right ]
+       (List.map render rows));
+  print_endline "";
+  thermal_results := rows;
+  write_results ()
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let targets =
@@ -1430,7 +1554,7 @@ let () =
     | _ :: (_ :: _ as rest) -> rest
     | _ ->
         [ "fig3b"; "fig5"; "table1"; "cache"; "serve"; "sustained"; "eco";
-          "solver"; "scale"; "fig8"; "fig9"; "ablate"; "micro" ]
+          "solver"; "scale"; "thermal"; "fig8"; "fig9"; "ablate"; "micro" ]
   in
   List.iter
     (fun t ->
@@ -1442,6 +1566,7 @@ let () =
       | "eco" -> eco_bench ()
       | "solver" -> solver_bench ()
       | "scale" -> scale_bench ()
+      | "thermal" -> thermal_bench ()
       | "fig3b" -> fig3b ()
       | "fig5" -> fig5 ()
       | "fig8" -> fig8 ()
@@ -1450,7 +1575,7 @@ let () =
       | "micro" -> micro ()
       | other ->
           Printf.eprintf
-            "unknown target %S (table1 cache serve sustained eco solver scale fig3b fig5 fig8 fig9 ablate micro)\n"
+            "unknown target %S (table1 cache serve sustained eco solver scale thermal fig3b fig5 fig8 fig9 ablate micro)\n"
             other;
           exit 2)
     targets

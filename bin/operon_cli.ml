@@ -104,6 +104,25 @@ let eco_from_arg =
   Arg.(value & opt (some string) None
        & info [ "eco-from" ] ~docv:"EXPORT.json" ~doc)
 
+let thermal_map_arg =
+  let doc =
+    "Thermal-reliability scenario: load a die temperature map (the \
+     $(b,operon thermal-map) text format) and sweep selection over the \
+     $(b,--thermal-weights) ladder, exporting the power/margin Pareto \
+     front. Weight 0 reproduces the plain flow bit for bit."
+  in
+  Arg.(value & opt (some string) None
+       & info [ "thermal-map" ] ~docv:"MAP.txt" ~doc)
+
+let thermal_weights_arg =
+  let doc =
+    "Comma-separated thermal objective-weight ladder (default \
+     0,0.5,1,2,4,8). Requires $(b,--thermal-map); weights must be \
+     finite and non-negative."
+  in
+  Arg.(value & opt (some string) None
+       & info [ "thermal-weights" ] ~docv:"W1,W2,.." ~doc)
+
 (* --- validation: one-line diagnostic on stderr, exit code 2 --- *)
 
 let fail_usage fmt =
@@ -154,13 +173,47 @@ let validate_injections specs =
   | Ok injections -> from_env @ injections
   | Error msg -> fail_usage "bad --inject-fault spec: %s" msg
 
-let make_config ?(no_cache = false) ?(solver_core = "sparse") params mode budget
-    jobs strict inject_specs =
+(* Thermal scenario of a run: both flags validate to one-line exit-2
+   diagnostics naming the offending value, per the CLI's usage-error
+   convention. *)
+let validate_thermal thermal_map thermal_weights =
+  let weights =
+    match thermal_weights with
+    | None -> Flow.Config.default_thermal_weights
+    | Some s ->
+        if thermal_map = None then
+          fail_usage "--thermal-weights requires --thermal-map";
+        let toks =
+          String.split_on_char ',' s |> List.map String.trim
+          |> List.filter (fun t -> t <> "")
+        in
+        if toks = [] then fail_usage "--thermal-weights %S lists no weights" s;
+        toks
+        |> List.map (fun tok ->
+               match float_of_string_opt tok with
+               | Some w when Float.is_finite w && w >= 0.0 -> w
+               | Some w ->
+                   fail_usage
+                     "--thermal-weights value %g out of range (must be finite \
+                      and >= 0)"
+                     w
+               | None -> fail_usage "--thermal-weights has bad value %S" tok)
+        |> Array.of_list
+  in
+  match thermal_map with
+  | None -> None
+  | Some path -> (
+      match Operon_thermal.Thermal_map.load path with
+      | Ok map -> Some { Flow.Config.map; weights }
+      | Error msg -> fail_usage "--thermal-map %s: %s" path msg)
+
+let make_config ?(no_cache = false) ?(solver_core = "sparse") ?thermal params
+    mode budget jobs strict inject_specs =
   let jobs = validate_jobs jobs in
   let jobs = if jobs = 0 then Operon_util.Executor.default_jobs () else jobs in
   Flow.Config.make ~mode:(validate_mode mode) ~ilp_budget:budget ~jobs ~strict
     ~injections:(validate_injections inject_specs) ~cache:(not no_cache)
-    ~solver_core:(validate_solver_core solver_core) params
+    ~solver_core:(validate_solver_core solver_core) ?thermal params
 
 let make_runctx ?no_cache params mode budget jobs strict inject_specs =
   let cfg = make_config ?no_cache params mode budget jobs strict inject_specs in
@@ -183,12 +236,7 @@ let apply_mutate mutate mutate_seed design =
    [design]; the ECO path only reports what it saved, on stderr. *)
 let synthesize_cli ?eco_from config design =
   match eco_from with
-  | None ->
-      let rc =
-        Operon_engine.Runctx.create ~seed:config.Flow.Config.seed
-          (Flow.Config.to_runctx_config config)
-      in
-      Flow.run_ctx rc design
+  | None -> Flow.synthesize config design
   | Some path -> (
       match Operon_service.Design_io.load_export path with
       | Error msg -> fail_usage "--eco-from: %s" msg
@@ -238,14 +286,15 @@ let with_design name seed f =
 
 let run_cmd =
   let run case seed mode budget jobs trace strict inject no_cache solver_core
-      mutate mutate_seed eco_from =
+      mutate mutate_seed eco_from thermal_map thermal_weights =
     let seed = validate_seed seed in
+    let thermal = validate_thermal thermal_map thermal_weights in
     with_design case seed (fun design ->
         let design = apply_mutate mutate mutate_seed design in
         let params = Operon_optical.Params.default in
         let config =
-          make_config ~no_cache ~solver_core params mode budget jobs strict
-            inject
+          make_config ~no_cache ~solver_core ?thermal params mode budget jobs
+            strict inject
         in
         let result = synthesize_cli ?eco_from config design in
         let nets, hnets, hpins = Processing.stats result.Flow.hnets in
@@ -290,6 +339,9 @@ let run_cmd =
            %d waveguide crossings\n"
           s.Signoff.paths_checked s.Signoff.worst_loss_db s.Signoff.violations
           s.Signoff.mean_detour_ratio s.Signoff.waveguide_crossings;
+        (match Report.thermal_table result with
+         | Some table -> print_endline table
+         | None -> ());
         print_degradation result;
         if trace then print_trace result)
   in
@@ -297,7 +349,8 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(const run $ case_arg $ seed_arg $ mode_arg $ budget_arg $ jobs_arg
           $ trace_arg $ strict_arg $ inject_arg $ no_cache_arg
-          $ solver_core_arg $ mutate_arg $ mutate_seed_arg $ eco_from_arg)
+          $ solver_core_arg $ mutate_arg $ mutate_seed_arg $ eco_from_arg
+          $ thermal_map_arg $ thermal_weights_arg)
 
 let stats_cmd =
   let run case seed =
@@ -368,14 +421,15 @@ let export_cmd =
     Arg.(value & flag & info [ "no-timings" ] ~doc)
   in
   let run case seed mode budget jobs strict inject no_cache solver_core
-      no_timings out mutate mutate_seed eco_from =
+      no_timings out mutate mutate_seed eco_from thermal_map thermal_weights =
     let seed = validate_seed seed in
+    let thermal = validate_thermal thermal_map thermal_weights in
     with_design case seed (fun design ->
         let design = apply_mutate mutate mutate_seed design in
         let params = Operon_optical.Params.default in
         let config =
-          make_config ~no_cache ~solver_core params mode budget jobs strict
-            inject
+          make_config ~no_cache ~solver_core ?thermal params mode budget jobs
+            strict inject
         in
         let result = synthesize_cli ?eco_from config design in
         let conns = result.Flow.placement.Wdm_place.conns in
@@ -400,7 +454,75 @@ let export_cmd =
     Term.(const run $ case_arg $ seed_arg $ mode_arg $ budget_arg $ jobs_arg
           $ strict_arg $ inject_arg $ no_cache_arg $ solver_core_arg
           $ no_timings_arg $ out_arg $ mutate_arg $ mutate_seed_arg
-          $ eco_from_arg)
+          $ eco_from_arg $ thermal_map_arg $ thermal_weights_arg)
+
+let thermal_map_cmd =
+  let hotspots_arg =
+    Arg.(value & opt int 6
+         & info [ "hotspots" ] ~docv:"N" ~doc:"Gaussian hotspot count.")
+  in
+  let amplitude_arg =
+    Arg.(value & opt float 25.0
+         & info [ "amplitude" ] ~docv:"DEGC"
+             ~doc:"Peak hotspot temperature rise above ambient, degC.")
+  in
+  let decay_arg =
+    Arg.(value & opt float 0.15
+         & info [ "decay" ] ~docv:"FRACTION"
+             ~doc:"Hotspot spread as a fraction of the shorter die edge.")
+  in
+  let grid_arg =
+    Arg.(value & opt int 24
+         & info [ "grid" ] ~docv:"N" ~doc:"Grid resolution (N x N cells).")
+  in
+  let ambient_arg =
+    Arg.(value & opt float 45.0
+         & info [ "ambient" ] ~docv:"DEGC" ~doc:"Ambient temperature, degC.")
+  in
+  let map_seed_arg =
+    Arg.(value & opt int 1
+         & info [ "map-seed" ] ~docv:"SEED"
+             ~doc:"PRNG seed of the hotspot placement.")
+  in
+  let out_arg =
+    let doc = "Output file (default: stdout)." in
+    Arg.(value & opt (some string) None
+         & info [ "output"; "o" ] ~docv:"FILE" ~doc)
+  in
+  let run case seed hotspots amplitude decay grid ambient map_seed out =
+    let seed = validate_seed seed in
+    if hotspots < 0 then fail_usage "--hotspots must be >= 0 (got %d)" hotspots;
+    if amplitude < 0.0 then
+      fail_usage "--amplitude must be >= 0 (got %g)" amplitude;
+    if decay <= 0.0 then fail_usage "--decay must be positive (got %g)" decay;
+    if grid <= 0 then fail_usage "--grid must be positive (got %d)" grid;
+    if not (Float.is_finite ambient) then
+      fail_usage "--ambient must be finite (got %g)" ambient;
+    if map_seed <= 0 then
+      fail_usage "--map-seed must be positive (got %d)" map_seed;
+    with_design case seed (fun design ->
+        let rng = Operon_util.Prng.create map_seed in
+        let map =
+          Operon_thermal.Thermal_map.synthetic ~nx:grid ~ny:grid ~ambient
+            ~hotspots ~amplitude ~decay ~die:design.Signal.die rng
+        in
+        let text = Operon_thermal.Thermal_map.to_string map in
+        match out with
+        | None -> print_string text
+        | Some path ->
+            Export.write_file path text;
+            Printf.printf "wrote %s (%s)\n" path
+              (Operon_thermal.Thermal_map.summary map))
+  in
+  let doc =
+    "Generate a synthetic die temperature map for a case (seeded Gaussian \
+     hotspots), in the text format $(b,--thermal-map) loads. The same \
+     seed always produces the same map, and the %.17g text round-trip is \
+     exact, so scenario runs are reproducible across machines."
+  in
+  Cmd.v (Cmd.info "thermal-map" ~doc)
+    Term.(const run $ case_arg $ seed_arg $ hotspots_arg $ amplitude_arg
+          $ decay_arg $ grid_arg $ ambient_arg $ map_seed_arg $ out_arg)
 
 let timing_cmd =
   let run case seed mode budget jobs =
@@ -585,5 +707,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ run_cmd; stats_cmd; splitter_cmd; wdm_cmd; export_cmd; timing_cmd;
-            serve_cmd ]))
+          [ run_cmd; stats_cmd; splitter_cmd; wdm_cmd; export_cmd;
+            thermal_map_cmd; timing_cmd; serve_cmd ]))

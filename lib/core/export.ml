@@ -108,8 +108,12 @@ let degradation_to_json (r : Flow.t) =
    4 = the "design" block carries the full pin coordinates (exact %.17g
    round-trip), so an export is a self-contained ECO baseline,
    5 = ILP runs emit a "solver" block (nodes/lp_solves/pivots/
-   refactorizations) alongside the trace. *)
-let schema_version = 5
+   refactorizations) alongside the trace,
+   6 = thermal Pareto sweeps emit a "thermal" block (map summary plus
+   the (power, margin, hash, choice) front); absent on plain runs, so
+   weight-0 / map-free exports stay byte-comparable to historical
+   ones. *)
+let schema_version = 6
 
 (* Exact float round-trip: 17 significant decimal digits reconstruct any
    binary64 bit pattern, so a re-imported design fingerprints (and
@@ -229,6 +233,35 @@ let flow_to_json ?channels ?(timings = true) (r : Flow.t) =
                      string_of_int ilp.Ilp_select.refactorizations );
                    ("seconds", jfloat ilp.Ilp_select.elapsed) ] ) ]
        | _ -> [])
+    (* Seconds are timings-gated like the trace; everything else in the
+       thermal block is deterministic, so no-timings thermal exports
+       byte-compare across job counts. *)
+    @ (match r.Flow.thermal with
+       | Some th ->
+           let jpoint_t (p : Flow.thermal_point) =
+             jobj
+               ([ ("weight", jfloat p.Flow.tp_weight);
+                  ("power", jfloat p.Flow.tp_power);
+                  ("margin_db", jfloat p.Flow.tp_margin);
+                  ("hash", jstr p.Flow.tp_hash);
+                  ( "choice",
+                    jlist
+                      (Array.to_list p.Flow.tp_choice |> List.map string_of_int)
+                  ) ]
+               @
+               if timings then [ ("seconds", jfloat p.Flow.tp_seconds) ]
+               else [])
+           in
+           [ ( "thermal",
+               jobj
+                 ([ ("map", jstr th.Flow.tr_map);
+                    ("swept", string_of_int th.Flow.tr_swept);
+                    ("dropped", string_of_int th.Flow.tr_dropped);
+                    ("front", jlist (List.map jpoint_t th.Flow.tr_front)) ]
+                 @
+                 if timings then [ ("seconds", jfloat th.Flow.tr_seconds) ]
+                 else []) ) ]
+       | None -> [])
     @ [ ("degradation", degradation_to_json r);
         ("cache", cache_to_json ~timings r.Flow.cache) ]
   in

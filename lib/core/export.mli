@@ -14,15 +14,20 @@ val schema_version : int
     exact ([%.17g]) round-trip, making an export a self-contained ECO
     baseline ([--eco-from]), 5 = ILP runs emit a [solver] block
     ([proven], [components], [timed_out], [nodes], [lp_solves],
-    [pivots], [refactorizations], [seconds]) alongside the trace. Bump
+    [pivots], [refactorizations], [seconds]) alongside the trace,
+    6 = thermal Pareto sweeps emit a [thermal] block ([map], [swept],
+    [dropped], [front] with one (weight, power, margin_db, hash, choice)
+    object per non-dominated point); absent on plain runs. Bump
     on any breaking change; see README for the full schema. *)
 
 val flow_to_json : ?channels:Channels.plan -> ?timings:bool -> Flow.t -> string
 (** The full result as a JSON object with fields [schema_version],
     [design], [hypernets], [routes], [wdm], [trace], [solver] (ILP runs
-    only), [degradation], [cache] and optionally [channels]. With
+    only), [thermal] (Pareto-swept runs only), [degradation], [cache]
+    and optionally [channels]. With
     [~timings:false] the wall-clock-dependent parts are omitted — no
-    [trace] or [solver] fields (pivot counts are core-specific), and the
+    [trace] or [solver] fields (pivot counts are core-specific), no
+    [seconds] inside the [thermal] block, and the
     [cache] block carries only [enabled]/[pairs]/[entries] — so the
     document is a pure function of (design, configuration): two runs of
     the same job, whether single-shot or served from the batch service,

@@ -5,6 +5,17 @@ open Operon_engine
 type mode = Runctx.mode = Ilp | Lr
 
 module Config = struct
+  (* Thermal-reliability scenario: a static temperature map of the die
+     plus the objective-weight ladder the Pareto sweep runs selection
+     over. The spec deliberately lives outside the preparation slice
+     (candidate generation never reads it), so prepared artifacts and
+     registry entries are shared between thermal and plain jobs. *)
+  type thermal = {
+    map : Operon_thermal.Thermal_map.t;
+    weights : float array;  (* sweep ladder; first entry drives the
+                               returned flow's selection *)
+  }
+
   type t = {
     params : Operon_optical.Params.t;
     processing : Processing.config option;
@@ -17,7 +28,10 @@ module Config = struct
     cache : bool;
     seed : int;
     solver_core : Operon_solver.Solver.core;
+    thermal : thermal option;
   }
+
+  let default_thermal_weights = [| 0.0; 0.5; 1.0; 2.0; 4.0; 8.0 |]
 
   let default params =
     { params;
@@ -30,14 +44,15 @@ module Config = struct
       injections = [];
       cache = true;
       seed = 42;
-      solver_core = Operon_solver.Solver.Sparse }
+      solver_core = Operon_solver.Solver.Sparse;
+      thermal = None }
 
   let make ?processing ?(mode = Lr) ?(ilp_budget = 3000.0)
       ?(max_cands_per_net = 10) ?(jobs = 1) ?(strict = false)
       ?(injections = []) ?(cache = true) ?(seed = 42)
-      ?(solver_core = Operon_solver.Solver.Sparse) params =
+      ?(solver_core = Operon_solver.Solver.Sparse) ?thermal params =
     { params; processing; mode; ilp_budget; max_cands_per_net; jobs; strict;
-      injections; cache; seed; solver_core }
+      injections; cache; seed; solver_core; thermal }
 
   let with_mode mode t = { t with mode }
   let with_jobs jobs t = { t with jobs }
@@ -45,6 +60,19 @@ module Config = struct
   let with_processing processing t = { t with processing = Some processing }
   let with_seed seed t = { t with seed }
   let with_solver_core solver_core t = { t with solver_core }
+
+  let with_thermal ?(weights = default_thermal_weights) map t =
+    if Array.length weights = 0 then
+      invalid_arg "Config.with_thermal: empty weight ladder";
+    Array.iter
+      (fun w ->
+        if not (Float.is_finite w) || w < 0.0 then
+          invalid_arg
+            (Printf.sprintf
+               "Config.with_thermal: weight %g must be finite and non-negative"
+               w))
+      weights;
+    { t with thermal = Some { map; weights = Array.copy weights } }
 
   let to_runctx_config t =
     { Runctx.params = t.params;
@@ -57,6 +85,29 @@ module Config = struct
       cache = t.cache;
       solver_core = t.solver_core }
 end
+
+(* One evaluated point of the thermal Pareto sweep: the selection found
+   at one objective weight, with its physical power and its worst-case
+   thermal margin (both recomputable from [tp_choice] alone). *)
+type thermal_point = {
+  tp_weight : float;
+  tp_power : float;  (* physical power of the selection, pJ/bit *)
+  tp_margin : float;
+      (* l_max minus the worst temperature-aware path loss, dB *)
+  tp_hash : string;  (* FNV-1a 64 of the choice vector, 16 hex digits *)
+  tp_choice : int array;
+  tp_seconds : float;  (* selection wall-clock of this weight *)
+}
+
+type thermal_result = {
+  tr_front : thermal_point list;
+      (* Pareto-optimal points, power strictly ascending and margin
+         strictly ascending *)
+  tr_swept : int;  (* weights evaluated *)
+  tr_dropped : int;  (* points removed as duplicate or dominated *)
+  tr_map : string;  (* Thermal_map.summary of the scenario map *)
+  tr_seconds : float;  (* whole-sweep wall-clock *)
+}
 
 type t = {
   design : Signal.design;
@@ -75,6 +126,7 @@ type t = {
   quarantined_nets : int array;
   solver_path : string;
   cache : Xmatrix.stats;
+  thermal : thermal_result option;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -362,7 +414,8 @@ let stage_assign =
         faults = Runctx.faults rc;
         quarantined_nets = Runctx.quarantined rc;
         solver_path = sel.s_solver_path;
-        cache = Xmatrix.stats sel.s_ctx.Selection.xmat })
+        cache = Xmatrix.stats sel.s_ctx.Selection.xmat;
+        thermal = None })
 
 let prepare_pipeline processing =
   Pipeline.(
@@ -370,6 +423,115 @@ let prepare_pipeline processing =
     >>> stage_ctx)
 
 let select_pipeline = Pipeline.(stage_select >>> stage_wdm >>> stage_assign)
+
+(* ------------------------------------------------------------------ *)
+(* Thermal Pareto sweep.                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* FNV-1a over the choice vector: a stable, printable identity for "the
+   same selection" across weights, job counts and processes. *)
+let choice_hash choice =
+  let h =
+    Array.fold_left
+      (fun h j ->
+        Int64.mul (Int64.logxor h (Int64.of_int j)) 0x100000001b3L)
+      0xcbf29ce484222325L choice
+  in
+  Printf.sprintf "%016Lx" h
+
+(* Duplicate selections collapse to their first (lowest-weight)
+   occurrence; the survivors keep only the non-dominated points. Sorted
+   by power ascending (ties broken margin-descending), a point survives
+   iff its margin strictly exceeds the best margin so far — so the front
+   is strictly ascending in both power and margin. *)
+let pareto_front points =
+  let seen = Hashtbl.create 16 in
+  let uniq =
+    List.filter
+      (fun p ->
+        if Hashtbl.mem seen p.tp_hash then false
+        else begin
+          Hashtbl.add seen p.tp_hash ();
+          true
+        end)
+      points
+  in
+  let sorted =
+    List.stable_sort
+      (fun a b ->
+        match Float.compare a.tp_power b.tp_power with
+        | 0 -> Float.compare b.tp_margin a.tp_margin
+        | c -> c)
+      uniq
+  in
+  List.rev
+    (List.fold_left
+       (fun acc p ->
+         match acc with
+         | q :: _ when p.tp_margin <= q.tp_margin -> acc
+         | _ -> p :: acc)
+       [] sorted)
+
+(* A thermal scenario with no positive weight is inert by contract
+   (weight 0 must reproduce the plain flow bit for bit), so only specs
+   with a positive weight switch the entry points onto the sweep path. *)
+let active_thermal (config : Config.t) =
+  match config.Config.thermal with
+  | Some spec when Array.exists (fun w -> w > 0.0) spec.Config.weights ->
+      Some spec
+  | _ -> None
+
+(* Run selection once per ladder weight over one shared context (the
+   detuning profile is choice-independent, so candidates, neighbourhoods
+   and the crossing cache are computed once). Weight 0 deliberately uses
+   the plain context — same expression trees, bit-identical selection to
+   a thermal-free run. Margins of every point are evaluated under the
+   weight-0 thermal context: penalties applied, objective untouched, so
+   each exported point is recomputable from its choice vector alone. The
+   first weight's selection carries on through the WDM stages as the
+   flow's primary result. *)
+let thermal_run rc ?initial (spec : Config.thermal) (design, hnets, ctx) =
+  let sink = rc.Runctx.sink in
+  let t0 = Timer.now () in
+  let profile =
+    Instrument.timed sink Instrument.Pareto (fun () ->
+        Selection.thermal_profile ctx spec.Config.map)
+  in
+  let eval_ctx = Selection.with_thermal ctx profile ~weight:0.0 in
+  let sels =
+    Array.map
+      (fun w ->
+        let ctx_w =
+          if w = 0.0 then ctx else Selection.with_thermal ctx profile ~weight:w
+        in
+        let sel = Pipeline.run rc stage_select (design, hnets, ctx_w, initial) in
+        let pt =
+          { tp_weight = w;
+            tp_power = Selection.power ctx sel.s_choice;
+            tp_margin = Selection.thermal_margin eval_ctx sel.s_choice;
+            tp_hash = choice_hash sel.s_choice;
+            tp_choice = Array.copy sel.s_choice;
+            tp_seconds = sel.s_seconds }
+        in
+        (pt, sel))
+      spec.Config.weights
+  in
+  let points = Array.to_list (Array.map fst sels) in
+  let front = pareto_front points in
+  let swept = List.length points in
+  Instrument.incr sink Instrument.Pareto "weights" swept;
+  Instrument.incr sink Instrument.Pareto "front" (List.length front);
+  Instrument.incr sink Instrument.Pareto "dropped" (swept - List.length front);
+  let _, first_sel = sels.(0) in
+  let flow = Pipeline.run rc Pipeline.(stage_wdm >>> stage_assign) first_sel in
+  { flow with
+    thermal =
+      Some
+        { tr_front = front;
+          tr_swept = swept;
+          tr_dropped = swept - List.length front;
+          tr_map = Operon_thermal.Thermal_map.summary spec.Config.map;
+          tr_seconds = Timer.now () -. t0 } }
 
 (* ------------------------------------------------------------------ *)
 (* Prepared artifacts and the ECO re-preparation path.                *)
@@ -416,7 +578,13 @@ let runctx_of ?sink (cfg : Config.t) =
 
 let synthesize ?sink config design =
   let rc = runctx_of ?sink config in
-  run_ctx ?processing:config.Config.processing rc design
+  match active_thermal config with
+  | None -> run_ctx ?processing:config.Config.processing rc design
+  | Some spec ->
+      let design, _params, hnets, _cands, _xcounts, ctx =
+        Pipeline.run rc (prepare_pipeline config.Config.processing) design
+      in
+      thermal_run rc spec (design, hnets, ctx)
 
 let prepare ?sink config design =
   let rc = runctx_of ?sink config in
@@ -440,7 +608,9 @@ let select_with ?sink ?initial config design hnets ctx =
   (* Selection and the WDM stages draw no randomness; the seed only
      matters to the (already finished) processing stage. *)
   let rc = runctx_of ?sink config in
-  Pipeline.run rc select_pipeline (design, hnets, ctx, initial)
+  match active_thermal config with
+  | None -> Pipeline.run rc select_pipeline (design, hnets, ctx, initial)
+  | Some spec -> thermal_run rc ?initial spec (design, hnets, ctx)
 
 let select_prepared ?sink ?initial config p =
   select_with ?sink ?initial config p.p_design p.p_hnets p.p_ctx

@@ -36,6 +36,19 @@ type mode = Runctx.mode = Ilp | Lr
 
 (** Everything a flow run is parameterized by, in one value. *)
 module Config : sig
+  (** Thermal-reliability scenario: a static die temperature map plus
+      the objective-weight ladder the Pareto sweep runs selection over.
+      The spec lives outside the preparation slice — candidate
+      generation never reads it — so prepared artifacts (and registry
+      entries in the service) are shared between thermal and plain
+      jobs. *)
+  type thermal = {
+    map : Operon_thermal.Thermal_map.t;
+    weights : float array;
+        (** sweep ladder; the first entry's selection is the flow's
+            primary result *)
+  }
+
   type t = {
     params : Params.t;  (** optical device/loss parameters *)
     processing : Processing.config option;
@@ -55,7 +68,14 @@ module Config : sig
         (** LP engine behind ILP selection (default [Sparse]; [Dense]
             is the pre-redesign tableau core kept for parity runs —
             selections are identical either way) *)
+    thermal : thermal option;
+        (** thermal scenario ([None] = the historical, temperature-blind
+            flow). A spec whose ladder holds no positive weight is inert:
+            the run is bit-identical to a thermal-free one. *)
   }
+
+  val default_thermal_weights : float array
+  (** The default sweep ladder, [0; 0.5; 1; 2; 4; 8]. *)
 
   val default : Params.t -> t
   (** LR mode, 3000 s budget (the paper's cap), 10 candidates per net,
@@ -73,6 +93,7 @@ module Config : sig
     ?cache:bool ->
     ?seed:int ->
     ?solver_core:Operon_solver.Solver.core ->
+    ?thermal:thermal ->
     Params.t ->
     t
   (** Labelled constructor over the same defaults as {!default}. *)
@@ -84,10 +105,43 @@ module Config : sig
   val with_seed : int -> t -> t
   val with_solver_core : Operon_solver.Solver.core -> t -> t
 
+  val with_thermal :
+    ?weights:float array -> Operon_thermal.Thermal_map.t -> t -> t
+  (** Attach a thermal scenario ([weights] defaults to
+      {!default_thermal_weights}). Raises [Invalid_argument] on an empty
+      ladder or a negative / non-finite weight. *)
+
   val to_runctx_config : t -> Runctx.config
   (** The engine-level view of this configuration (drops [processing]
       and [seed], which live above the run-context). *)
 end
+
+(** One evaluated point of the thermal Pareto sweep: the selection found
+    at one objective weight. Power and margin are both recomputable from
+    [tp_choice] alone ({!Selection.power} on the plain context,
+    {!Selection.thermal_margin} on the weight-0 thermal context). *)
+type thermal_point = {
+  tp_weight : float;
+  tp_power : float;  (** physical power of the selection, pJ/bit *)
+  tp_margin : float;
+      (** [l_max] minus the worst temperature-aware path loss, dB *)
+  tp_hash : string;
+      (** FNV-1a 64 of the choice vector, 16 hex digits — a stable
+          identity for "the same selection" across weights, job counts
+          and processes *)
+  tp_choice : int array;
+  tp_seconds : float;  (** selection wall-clock of this weight *)
+}
+
+(** Outcome of a whole sweep: the Pareto front over the evaluated
+    points, power strictly ascending and margin strictly ascending. *)
+type thermal_result = {
+  tr_front : thermal_point list;
+  tr_swept : int;  (** weights evaluated *)
+  tr_dropped : int;  (** points removed as duplicate or dominated *)
+  tr_map : string;  (** {!Operon_thermal.Thermal_map.summary} of the map *)
+  tr_seconds : float;  (** whole-sweep wall-clock *)
+}
 
 type t = {
   design : Signal.design;
@@ -110,6 +164,10 @@ type t = {
   cache : Xmatrix.stats;
       (** crossing-matrix statistics at the end of selection: build
           size/time plus hit/miss counters *)
+  thermal : thermal_result option;
+      (** [Some] iff a thermal Pareto sweep ran (the config carried a
+          scenario with a positive weight); the flow's own selection is
+          then the ladder's first weight's *)
 }
 
 val synthesize : ?sink:Instrument.sink -> Config.t -> Signal.design -> t

@@ -34,6 +34,7 @@ let solve_block ?(max_cands_per_net = max_int) ?(max_pivots = max_int)
      model dense-simplex-sized, only the cheapest few candidates per net
      enter the block program (the rest are dominated in practice). *)
   let xmat = ctx.Selection.xmat in
+  let thermal = ctx.Selection.thermal in
   let frozen_intrinsic i j =
     let c = ctx.Selection.cands.(i).(j) in
     Array.mapi
@@ -46,7 +47,11 @@ let solve_block ?(max_cands_per_net = max_int) ?(max_pivots = max_int)
                 acc +. Xmatrix.loss_on_path xmat params ~i ~j ~p ~m ~n:current.(m))
             0.0 ctx.Selection.neighbors.(i)
         in
-        path.Candidate.intrinsic_loss +. frozen)
+        match thermal with
+        | None -> path.Candidate.intrinsic_loss +. frozen
+        | Some t ->
+            path.Candidate.intrinsic_loss +. frozen
+            +. t.Selection.penalty.(i).(j).(p))
       c.Candidate.paths
   in
   let admissible =
@@ -64,8 +69,8 @@ let solve_block ?(max_cands_per_net = max_int) ?(max_pivots = max_int)
         let keep =
           List.sort
             (fun (a, _) (b, _) ->
-              Float.compare ctx.Selection.cands.(i).(a).Candidate.power
-                ctx.Selection.cands.(i).(b).Candidate.power)
+              Float.compare (Selection.objective ctx i a)
+                (Selection.objective ctx i b))
             all
           |> List.filteri (fun rank _ -> rank < max_cands_per_net)
         in
@@ -147,6 +152,13 @@ let solve_block ?(max_cands_per_net = max_int) ?(max_pivots = max_int)
               (fun q (path : Candidate.path) ->
                 (* Constant: intrinsic + crossings from all non-block
                    neighbours of m (also frozen). *)
+                let base =
+                  match thermal with
+                  | None -> path.Candidate.intrinsic_loss
+                  | Some t ->
+                      path.Candidate.intrinsic_loss
+                      +. t.Selection.penalty.(m).(current.(m)).(q)
+                in
                 let const =
                   Array.fold_left
                     (fun acc k ->
@@ -155,7 +167,7 @@ let solve_block ?(max_cands_per_net = max_int) ?(max_pivots = max_int)
                         acc
                         +. Xmatrix.loss_on_path xmat params ~i:m ~j:current.(m) ~p:q
                              ~m:k ~n:current.(k))
-                    path.Candidate.intrinsic_loss
+                    base
                     ctx.Selection.neighbors.(m)
                 in
                 let terms = ref [] in
@@ -190,8 +202,7 @@ let solve_block ?(max_cands_per_net = max_int) ?(max_pivots = max_int)
     Array.to_list admissible
     |> List.concat_map (fun (i, js) ->
            List.map
-             (fun (j, _) ->
-               (xv (i, j), ctx.Selection.cands.(i).(j).Candidate.power))
+             (fun (j, _) -> (xv (i, j), Selection.objective ctx i j))
              js)
   in
   let pick_rows =
@@ -352,8 +363,8 @@ let select ?(budget_seconds = 3000.0) ?(max_pivots = max_int)
         let i = comp.(0) in
         let best = ref 0 in
         Array.iteri
-          (fun j (c : Candidate.t) ->
-            if c.Candidate.power < ctx.Selection.cands.(i).(!best).Candidate.power
+          (fun j _ ->
+            if Selection.objective ctx i j < Selection.objective ctx i !best
             then best := j)
           ctx.Selection.cands.(i);
         current.(i) <- !best

@@ -19,6 +19,7 @@ let select ?(max_iterations = 10) ?(budget_seconds = 0.0)
   let l_max = params.Params.l_max in
   let n = Array.length ctx.Selection.cands in
   let xmat = ctx.Selection.xmat in
+  let thermal = ctx.Selection.thermal in
   (* One multiplier per (net, candidate, path) — the paths P(Hsol) of
      Formula (4). Initialised proportional to each net's electrical
      power, as Algorithm 1 line 1 prescribes. *)
@@ -51,10 +52,10 @@ let select ?(max_iterations = 10) ?(budget_seconds = 0.0)
   let best_feasible = ref None in
   let consider candidate =
     if Selection.feasible ctx candidate then begin
-      let power = Selection.power ctx candidate in
+      let obj = Selection.total_objective ctx candidate in
       match !best_feasible with
-      | Some (best_power, _) when best_power <= power -> ()
-      | _ -> best_feasible := Some (power, Array.copy candidate)
+      | Some (best_obj, _) when best_obj <= obj -> ()
+      | _ -> best_feasible := Some (obj, Array.copy candidate)
     end
   in
   let iterations = ref 0 in
@@ -80,7 +81,14 @@ let select ?(max_iterations = 10) ?(budget_seconds = 0.0)
                     acc +. Xmatrix.loss_on_path xmat params ~i ~j ~p ~m ~n:prev.(m))
                   0.0 ctx.Selection.neighbors.(i)
               in
-              own := !own +. (lambda.(i).(j).(p) *. (path.Candidate.intrinsic_loss +. crossing)))
+              let path_loss =
+                match thermal with
+                | None -> path.Candidate.intrinsic_loss +. crossing
+                | Some t ->
+                    path.Candidate.intrinsic_loss +. crossing
+                    +. t.Selection.penalty.(i).(j).(p)
+              in
+              own := !own +. (lambda.(i).(j).(p) *. path_loss))
             c.Candidate.paths;
           (* Foreign paths: picking (i,j) adds crossings onto neighbours'
              previously selected paths (the a_mn * a'_ij half). *)
@@ -95,7 +103,7 @@ let select ?(max_iterations = 10) ?(budget_seconds = 0.0)
                     !foreign +. (lambda.(m).(nsel).(p) *. Loss.crossing_bundled params cnt))
                 counts)
             ctx.Selection.neighbors.(i);
-          let w = c.Candidate.power +. !own +. !foreign in
+          let w = Selection.objective ctx i j +. !own +. !foreign in
           if w < !best_w then begin
             best_w := w;
             best := j
@@ -129,7 +137,7 @@ let select ?(max_iterations = 10) ?(budget_seconds = 0.0)
        repaired away (repair is a no-op on feasible iterates). *)
     if !total_violation <= 0.0 then consider next
     else consider (Selection.polish ~rounds:0 ctx next);
-    let power = Selection.power ctx next in
+    let power = Selection.total_objective ctx next in
     let power_stable =
       Float.abs (power -. !prev_power) <= converge_ratio *. Float.max power 1e-9
     in
@@ -154,7 +162,8 @@ let select ?(max_iterations = 10) ?(budget_seconds = 0.0)
      feasible iterate seen during the subgradient loop. *)
   let repaired =
     match !best_feasible with
-    | Some (best_power, best) when best_power < Selection.power ctx repaired -> best
+    | Some (best_obj, best)
+      when best_obj < Selection.total_objective ctx repaired -> best
     | _ -> repaired
   in
   { choice = repaired;

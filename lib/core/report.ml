@@ -105,3 +105,27 @@ let stage_table ?title sink =
     ~headers:[ "stage"; "seconds"; "counters" ]
     ~align:[ Left; Right; Left ]
     (rows @ [ total ])
+
+let thermal_table (r : Flow.t) =
+  match r.Flow.thermal with
+  | None -> None
+  | Some th ->
+      let rows =
+        List.map
+          (fun (p : Flow.thermal_point) ->
+            [ float_cell ~decimals:2 p.Flow.tp_weight;
+              float_cell ~decimals:3 p.Flow.tp_power;
+              float_cell ~decimals:3 p.Flow.tp_margin;
+              p.Flow.tp_hash ])
+          th.Flow.tr_front
+      in
+      let title =
+        Printf.sprintf "%s | front %d/%d (%d dropped)" th.Flow.tr_map
+          (List.length th.Flow.tr_front)
+          th.Flow.tr_swept th.Flow.tr_dropped
+      in
+      Some
+        (table ~title
+           ~headers:[ "weight"; "power"; "margin_db"; "choice" ]
+           ~align:[ Right; Right; Right; Left ]
+           rows)

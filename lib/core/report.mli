@@ -27,3 +27,9 @@ val degradation_summary : Flow.t -> string option
     nets, solver fallback path, then one line per fault. [None] when
     the run completed without any fault, so callers can print nothing
     on the happy path. *)
+
+val thermal_table : Flow.t -> string option
+(** Render the thermal Pareto front — one row per non-dominated point,
+    weight / physical power / worst-case margin / choice hash — with the
+    map summary as the title. [None] when the run swept no thermal
+    scenario. *)

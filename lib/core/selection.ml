@@ -1,6 +1,21 @@
 open Operon_geom
 open Operon_optical
+open Operon_thermal
 open Operon_util
+
+(* Thermal scenario state of a context: per-(net, candidate, path)
+   detuning penalties precomputed against a static thermal map, the
+   per-candidate worst-path penalty [tcost], and the objective weight
+   trading power against thermal cost. The map is fixed per run and the
+   penalty of a path never depends on the neighbours' choices, so one
+   profile serves a whole Pareto weight ladder (and the crossing cache
+   stays valid across it). *)
+type thermal = {
+  penalty : float array array array;
+      (* [i][j][p]: detuning dB added to path p of candidate j of net i *)
+  tcost : float array array;  (* [i][j] = max over p of penalty *)
+  weight : float;  (* objective weight on tcost; >= 0 *)
+}
 
 type ctx = {
   params : Params.t;
@@ -9,6 +24,7 @@ type ctx = {
   neighbors : int array array;
   elec_idx : int array;
   xmat : Xmatrix.t;
+  thermal : thermal option;
 }
 
 let optical_bbox (cands : Candidate.t array) =
@@ -126,9 +142,40 @@ let make_ctx ?(exec = Executor.sequential) ?(cache = true) ?reuse params
       Xmatrix.build ~exec ?reuse:xreuse cands neighbors
     else Xmatrix.direct cands
   in
-  { params; cands; bboxes; neighbors; elec_idx; xmat }
+  { params; cands; bboxes; neighbors; elec_idx; xmat; thermal = None }
 
 let uncached ctx = { ctx with xmat = Xmatrix.direct ctx.cands }
+
+let thermal_profile ctx map =
+  let t_ref = ctx.params.Params.t_ref in
+  let penalty =
+    Array.map
+      (fun arr ->
+        Array.map
+          (fun (c : Candidate.t) ->
+            Array.map
+              (fun (path : Candidate.path) ->
+                let dts =
+                  Array.map
+                    (fun seg -> Thermal_map.segment_detuning map ~t_ref seg)
+                    path.Candidate.segments
+                in
+                Loss.path_thermal ctx.params ~base:0.0 ~dts)
+              c.Candidate.paths)
+          arr)
+      ctx.cands
+  in
+  let tcost =
+    Array.map (Array.map (Array.fold_left Float.max 0.0)) penalty
+  in
+  { penalty; tcost; weight = 0.0 }
+
+let with_thermal ctx profile ~weight =
+  if not (Float.is_finite weight) || weight < 0.0 then
+    invalid_arg "Selection.with_thermal: weight must be finite and non-negative";
+  if Array.length profile.penalty <> Array.length ctx.cands then
+    invalid_arg "Selection.with_thermal: profile shape mismatch";
+  { ctx with thermal = Some { profile with weight } }
 
 let selected ctx choice i = ctx.cands.(i).(choice.(i))
 
@@ -137,12 +184,31 @@ let power ctx choice =
   Array.iteri (fun i j -> acc := !acc +. ctx.cands.(i).(j).Candidate.power) choice;
   !acc
 
+(* Selection objective of one candidate: physical power, plus the
+   weighted worst-path thermal cost when the context carries a thermal
+   scenario. The [None] arm is today's exact expression, so a context
+   without thermal state optimizes bit-identically to the pre-thermal
+   code. *)
+let objective ctx i j =
+  let c = ctx.cands.(i).(j) in
+  match ctx.thermal with
+  | None -> c.Candidate.power
+  | Some t -> c.Candidate.power +. (t.weight *. t.tcost.(i).(j))
+
+let total_objective ctx choice =
+  let acc = ref 0.0 in
+  Array.iteri (fun i j -> acc := !acc +. objective ctx i j) choice;
+  !acc
+
 (* Canonical per-net loss evaluation; everything else (full recompute,
    incremental Eval, signoff) derives its numbers from this one function
    so they are bit-identical by construction. Summation runs over the
    neighbours in array order; a neighbour without optical geometry
    contributes a bundled zero (exactly 0.0), matching the pre-cache
-   skip. *)
+   skip. With a thermal scenario, each path additionally pays its
+   precomputed detuning penalty — feasibility and margins then speak the
+   temperature-aware loss; without one, the expression tree is exactly
+   the historical one. *)
 let net_path_losses ctx choice i =
   let j = choice.(i) in
   let c = ctx.cands.(i).(j) in
@@ -154,7 +220,10 @@ let net_path_losses ctx choice i =
             acc +. Xmatrix.loss_on_path ctx.xmat ctx.params ~i ~j ~p ~m ~n:choice.(m))
           0.0 ctx.neighbors.(i)
       in
-      path.Candidate.intrinsic_loss +. crossing)
+      match ctx.thermal with
+      | None -> path.Candidate.intrinsic_loss +. crossing
+      | Some t ->
+          path.Candidate.intrinsic_loss +. crossing +. t.penalty.(i).(j).(p))
     c.Candidate.paths
 
 let worst_violation ctx choice =
@@ -170,15 +239,31 @@ let worst_violation ctx choice =
 
 let feasible ctx choice = worst_violation ctx choice <= 1e-9
 
+(* Worst path loss of a selection under this context's loss model
+   (thermal-aware when the context carries a scenario); 0.0 for a
+   selection with no optical paths at all. *)
+let worst_path_loss ctx choice =
+  let worst = ref 0.0 in
+  Array.iteri
+    (fun i _ ->
+      Array.iter
+        (fun loss -> if loss > !worst then worst := loss)
+        (net_path_losses ctx choice i))
+    ctx.cands;
+  !worst
+
+let thermal_margin ctx choice =
+  ctx.params.Params.l_max -. worst_path_loss ctx choice
+
 let all_electrical ctx = Array.copy ctx.elec_idx
 
 let greedy ctx =
-  Array.map
-    (fun arr ->
+  Array.mapi
+    (fun i arr ->
       let best = ref 0 in
       Array.iteri
-        (fun j (c : Candidate.t) ->
-          if c.Candidate.power < arr.(!best).Candidate.power then best := j)
+        (fun j _ ->
+          if objective ctx i j < objective ctx i !best then best := j)
         arr;
       !best)
     ctx.cands
@@ -308,15 +393,15 @@ let polish ?(rounds = 3) ctx choice0 =
   for _ = 1 to rounds do
     for i = 0 to n - 1 do
       let old = Eval.get ev i in
-      let current_power = ctx.cands.(i).(old).Candidate.power in
-      let best = ref old and best_power = ref current_power in
+      let best = ref old and best_obj = ref (objective ctx i old) in
       Array.iteri
-        (fun j (c : Candidate.t) ->
-          if j <> old && c.Candidate.power < !best_power then begin
+        (fun j _ ->
+          let obj = objective ctx i j in
+          if j <> old && obj < !best_obj then begin
             Eval.set ev i j;
             if Eval.net_ok ev i then begin
               best := j;
-              best_power := c.Candidate.power
+              best_obj := obj
             end
           end)
         ctx.cands.(i);

@@ -18,6 +18,22 @@
 open Operon_geom
 open Operon_optical
 
+(** Thermal scenario state: per-(net, candidate, path) detuning
+    penalties precomputed against a static {!Operon_thermal.Thermal_map},
+    the per-candidate worst-path penalty, and the objective weight
+    trading power against thermal cost. Path penalties never depend on
+    the neighbours' choices (the map is fixed per run), so one profile
+    serves a whole Pareto weight ladder and the crossing cache stays
+    valid across it. *)
+type thermal = {
+  penalty : float array array array;
+      (** [(i)(j)(p)]: detuning dB added to path [p] of candidate [j] of
+          net [i] *)
+  tcost : float array array;
+      (** [(i)(j)]: worst path penalty of the candidate *)
+  weight : float;  (** objective weight on [tcost]; non-negative *)
+}
+
 type ctx = {
   params : Params.t;
   cands : Candidate.t array array;  (** candidates per hyper net *)
@@ -31,6 +47,9 @@ type ctx = {
   xmat : Xmatrix.t;
       (** shared crossing-count matrix over the neighbour pairs; a direct
           (uncached) oracle when the context was built with [~cache:false] *)
+  thermal : thermal option;
+      (** thermal scenario of this context ([None] = the historical,
+          temperature-blind model — bit-identical to pre-thermal runs) *)
 }
 
 val make_ctx :
@@ -60,11 +79,36 @@ val uncached : ctx -> ctx
     (recompute-per-query) oracle with fresh counters — identical numbers,
     none of the speed. Used by parity tests and the cache benchmark. *)
 
+val thermal_profile : ctx -> Operon_thermal.Thermal_map.t -> thermal
+(** Precompute the detuning penalties of every candidate path against a
+    thermal map: per path, one {!Operon_optical.Loss.detuning} term per
+    segment, with the worst deviation from [params.t_ref] sampled along
+    the segment. The returned profile carries weight 0; attach it with
+    {!with_thermal}. Pure-electrical candidates have no optical paths
+    and cost 0. *)
+
+val with_thermal : ctx -> thermal -> weight:float -> ctx
+(** The same context with the thermal scenario attached at the given
+    objective weight. Candidate arrays, neighbourhoods and the crossing
+    cache are shared (the penalties are choice-independent). Raises
+    [Invalid_argument] on a negative or non-finite weight, or a profile
+    built for a different candidate set. *)
+
 val selected : ctx -> int array -> int -> Candidate.t
 (** Candidate currently chosen for a net. *)
 
 val power : ctx -> int array -> float
 (** Total power of a selection (sum over nets of candidate power). *)
+
+val objective : ctx -> int -> int -> float
+(** Selection objective of candidate [j] of net [i]: physical power,
+    plus [weight * tcost] when the context carries a thermal scenario.
+    Without one this is exactly the candidate's power, so thermal-free
+    optimization is bit-identical to the historical behaviour. *)
+
+val total_objective : ctx -> int array -> float
+(** Sum of {!objective} over a selection (equals {!power} on a context
+    without thermal state). *)
 
 val net_path_losses : ctx -> int array -> int -> float array
 (** Actual loss per optical path of a net's chosen candidate: intrinsic
@@ -75,6 +119,16 @@ val worst_violation : ctx -> int array -> float
     selection meets the detection constraints. *)
 
 val feasible : ctx -> int array -> bool
+
+val worst_path_loss : ctx -> int array -> float
+(** Worst single-path loss of a selection under this context's loss
+    model (thermal-aware when a scenario is attached); 0.0 when the
+    selection has no optical paths. *)
+
+val thermal_margin : ctx -> int array -> float
+(** [l_max - worst_path_loss]: how much detection budget the worst path
+    leaves unspent. On a thermal context this is the worst-case thermal
+    margin the Pareto sweep trades power against. *)
 
 val all_electrical : ctx -> int array
 (** The always-feasible selection that picks every net's fallback. *)

@@ -1,4 +1,13 @@
-type stage = Processing | Baselines | Codesign | Select | Wdm | Assign | Serve | Eco
+type stage =
+  | Processing
+  | Baselines
+  | Codesign
+  | Select
+  | Wdm
+  | Assign
+  | Serve
+  | Eco
+  | Pareto
 
 let all_stages = [ Processing; Baselines; Codesign; Select; Wdm; Assign ]
 
@@ -11,10 +20,11 @@ let stage_name = function
   | Assign -> "assign"
   | Serve -> "serve"
   | Eco -> "eco"
+  | Pareto -> "pareto"
 
 let stage_of_string s =
   let s = String.lowercase_ascii s in
-  List.find_opt (fun stage -> stage_name stage = s) (all_stages @ [ Serve; Eco ])
+  List.find_opt (fun stage -> stage_name stage = s) (all_stages @ [ Serve; Eco; Pareto ])
 
 type record = {
   stage : stage;

@@ -10,20 +10,31 @@
     coordinator after the fan-out completes (the executor merges results
     in input order first), so recording stays deterministic. *)
 
-type stage = Processing | Baselines | Codesign | Select | Wdm | Assign | Serve | Eco
+type stage =
+  | Processing
+  | Baselines
+  | Codesign
+  | Select
+  | Wdm
+  | Assign
+  | Serve
+  | Eco
+  | Pareto
 (** The six pipeline stages of the OPERON flow (paper Figure 2) — signal
     processing, BI1S baseline generation, co-design DP candidates,
     candidate selection, WDM sweep placement, network-flow assignment —
     plus [Serve], the batch-synthesis service layer that schedules whole
-    flows as jobs (per-job and queue counters live under it), and [Eco],
+    flows as jobs (per-job and queue counters live under it), [Eco],
     the incremental re-preparation layer (design-diff seconds and
     nets_reused / nets_recomputed / xrows_reused counters live under
-    it). *)
+    it), and [Pareto], the thermal-scenario weight sweep (profile
+    seconds plus weights / front / dropped counters). *)
 
 val all_stages : stage list
-(** The pipeline stages in pipeline order. [Serve] and [Eco] are not
-    pipeline stages and are deliberately excluded (a single cold flow run
-    never touches them); {!stage_of_string} still parses ["serve"] and
+(** The pipeline stages in pipeline order. [Serve], [Eco] and [Pareto]
+    are not pipeline stages and are deliberately excluded (a single cold
+    flow run never touches them); {!stage_of_string} still parses
+    ["serve"], ["pareto"] and
     ["eco"]. *)
 
 val stage_name : stage -> string

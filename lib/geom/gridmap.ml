@@ -20,6 +20,11 @@ let get g i j =
     invalid_arg "Gridmap.get: out of bounds";
   g.cells.((j * g.nx) + i)
 
+let set g i j v =
+  if i < 0 || i >= g.nx || j < 0 || j >= g.ny then
+    invalid_arg "Gridmap.set: out of bounds";
+  g.cells.((j * g.nx) + i) <- v
+
 let total g = Array.fold_left ( +. ) 0.0 g.cells
 
 let clamp v lo hi = if v < lo then lo else if v > hi then hi else v

@@ -18,6 +18,13 @@ val bounds : t -> Rect.t
 val get : t -> int -> int -> float
 (** [get g i j] reads cell (column [i], row [j]). *)
 
+val set : t -> int -> int -> float -> unit
+(** [set g i j v] overwrites cell (column [i], row [j]). *)
+
+val cell_of : t -> Point.t -> int * int
+(** Covering cell (column, row) of a point; points outside the bounds are
+    clamped to the border cell. *)
+
 val total : t -> float
 (** Sum of all cells. *)
 

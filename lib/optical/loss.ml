@@ -25,6 +25,19 @@ let path p ~wirelength ~crossings ~split_arms =
 
 let detectable (p : Params.t) loss = loss <= p.Params.l_max
 
+(* Thermal detuning (GLOW's linearized model): a ring device whose local
+   temperature deviates from the calibration point t_ref drifts off its
+   resonance, and the added insertion loss grows with |deltaT|. The
+   per-segment sensitivity folds ring count per unit length into one
+   dB/degC coefficient. *)
+let detuning (p : Params.t) ~dt = p.Params.thermal_sens *. Float.abs dt
+
+(* Temperature-aware path loss: the nominal loss plus one detuning
+   penalty per waveguide segment, [dts.(k)] being the worst temperature
+   deviation sampled along segment [k]. *)
+let path_thermal (p : Params.t) ~base ~dts =
+  Array.fold_left (fun acc dt -> acc +. detuning p ~dt) base dts
+
 let db_to_fraction db = Float.pow 10.0 (-.db /. 10.0)
 
 let fraction_to_db f =

@@ -31,6 +31,16 @@ val path :
     length, crossings met on the way, and one [splitting_arm] term per
     splitter traversed (the paper's [10 * sum log(ns)]). *)
 
+val detuning : Params.t -> dt:float -> float
+(** Thermal detuning penalty of one waveguide segment whose worst local
+    temperature deviates by [dt] degC from the ring calibration point:
+    [thermal_sens * |dt|] dB (GLOW's linearized model). *)
+
+val path_thermal : Params.t -> base:float -> dts:float array -> float
+(** Temperature-aware path loss: [base] (the nominal {!path} loss) plus
+    one {!detuning} term per segment, [dts.(k)] being the worst
+    temperature deviation sampled along segment [k]. *)
+
 val detectable : Params.t -> float -> bool
 (** Is a path loss within the detection budget [l_max]? *)
 

@@ -13,6 +13,8 @@ type t = {
   freq : float;
   vdd : float;
   cap_per_cm : float;
+  t_ref : float;         (* ring calibration temperature, degC *)
+  thermal_sens : float;  (* added loss per waveguide segment, dB/degC of detuning *)
 }
 
 let default =
@@ -29,7 +31,9 @@ let default =
     gamma = 0.3;
     freq = 1e9;
     vdd = 1.0;
-    cap_per_cm = 3.0 }
+    cap_per_cm = 3.0;
+    t_ref = 45.0;
+    thermal_sens = 0.05 }
 
 let auto_bundle p ~mean_bits =
   if mean_bits <= 0.0 then invalid_arg "Params.auto_bundle: non-positive mean_bits";
@@ -53,7 +57,9 @@ let validate p =
       (p.gamma > 0.0 && p.gamma <= 1.0, "gamma must be in (0, 1]");
       (p.freq > 0.0, "freq must be positive");
       (p.vdd > 0.0, "vdd must be positive");
-      (p.cap_per_cm > 0.0, "cap_per_cm must be positive") ]
+      (p.cap_per_cm > 0.0, "cap_per_cm must be positive");
+      (Float.is_finite p.t_ref, "t_ref must be finite");
+      (p.thermal_sens >= 0.0, "thermal_sens must be non-negative") ]
   in
   match List.find_opt (fun (ok, _) -> not ok) checks with
   | Some (_, msg) -> Error msg

@@ -29,13 +29,18 @@ type t = {
   freq : float;  (** system frequency, Hz (for Watt conversions only) *)
   vdd : float;  (** supply voltage, V *)
   cap_per_cm : float;  (** wire capacitance, pF/cm *)
+  t_ref : float;
+      (** ring calibration temperature, degC — detuning is measured as
+          deviation from this point (GLOW's thermal model) *)
+  thermal_sens : float;
+      (** added loss per waveguide segment per degC of detuning, dB/degC *)
 }
 
 val default : t
 (** alpha=1.5, beta=0.52, bundle_factor=2.0, splitter_excess=0.1, p_mod=0.511, p_det=0.374,
     l_max=22.0, wdm_capacity=32, dis_l=5e-4, dis_u=0.10, gamma=0.3,
     freq=1e9, vdd=1.0, cap_per_cm=3.0 (the last two calibrated as per
-    DESIGN.md Section 6). *)
+    DESIGN.md Section 6), t_ref=45.0, thermal_sens=0.05. *)
 
 val auto_bundle : t -> mean_bits:float -> t
 (** Derive the waveguide bundling factor from the design's mean hyper-net

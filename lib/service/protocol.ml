@@ -1,4 +1,4 @@
-let schema_version = 3
+let schema_version = 4
 
 (* ------------------------------------------------------------------ *)
 (* Minimal JSON reader (the Export writer's missing half)             *)
@@ -278,6 +278,16 @@ let jobj fields =
 
 type mutate_spec = { mut_ratio : float; mut_seed : int }
 
+type thermal_spec = {
+  th_hotspots : int;
+  th_amplitude : float;
+  th_decay : float;
+  th_grid : int;
+  th_ambient : float;
+  th_seed : int;
+  th_weights : float list;
+}
+
 type submit = {
   sub_job : string option;
   sub_case : string;
@@ -288,6 +298,7 @@ type submit = {
   sub_deadline : float option;
   sub_cache : bool;
   sub_mutate : mutate_spec option;
+  sub_thermal : thermal_spec option;
 }
 
 type resubmit = {
@@ -411,6 +422,75 @@ let parse_mutate json =
       Some { mut_ratio; mut_seed }
   | Some _ -> invalid "field \"mutate\" must be an object"
 
+(* The thermal scenario ships as generator parameters, not as the map
+   itself: the server re-synthesizes the field from the design's die and
+   the spec's seed, so a few scalars over the wire reproduce the exact
+   map a CLI-side [operon thermal-map] run with the same knobs writes. *)
+let parse_thermal json =
+  match Json.member "thermal" json with
+  | None | Some Json.Null -> None
+  | Some (Json.Obj _ as th) ->
+      let pos_int ~default key =
+        match opt_int_field th key with
+        | Some v when v <= 0 ->
+            invalid "field \"thermal.%s\" must be positive (got %d)" key v
+        | Some v -> v
+        | None -> default
+      in
+      let th_hotspots =
+        match opt_int_field th "hotspots" with
+        | Some v when v < 0 ->
+            invalid "field \"thermal.hotspots\" must be >= 0 (got %d)" v
+        | Some v -> v
+        | None -> 6
+      in
+      let pos_float ~default key =
+        match opt_num_field th key with
+        | Some v when v <= 0.0 || not (Float.is_finite v) ->
+            invalid "field \"thermal.%s\" must be positive and finite" key
+        | Some v -> v
+        | None -> default
+      in
+      let th_amplitude =
+        match opt_num_field th "amplitude" with
+        | Some v when v < 0.0 || not (Float.is_finite v) ->
+            invalid "field \"thermal.amplitude\" must be >= 0 and finite"
+        | Some v -> v
+        | None -> 25.0
+      in
+      let th_decay = pos_float ~default:0.15 "decay" in
+      let th_grid = pos_int ~default:24 "grid" in
+      let th_ambient =
+        match opt_num_field th "ambient" with
+        | Some v when not (Float.is_finite v) ->
+            invalid "field \"thermal.ambient\" must be finite"
+        | Some v -> v
+        | None -> 45.0
+      in
+      let th_seed = pos_int ~default:1 "map_seed" in
+      let th_weights =
+        match Json.member "weights" th with
+        | None | Some Json.Null -> []
+        | Some (Json.Arr items) ->
+            if items = [] then
+              invalid "field \"thermal.weights\" must not be empty"
+            else
+              List.map
+                (function
+                  | Json.Num w when Float.is_finite w && w >= 0.0 -> w
+                  | Json.Num _ ->
+                      invalid
+                        "field \"thermal.weights\" entries must be finite and \
+                         >= 0"
+                  | _ -> invalid "field \"thermal.weights\" must hold numbers")
+                items
+        | Some _ -> invalid "field \"thermal.weights\" must be an array"
+      in
+      Some
+        { th_hotspots; th_amplitude; th_decay; th_grid; th_ambient; th_seed;
+          th_weights }
+  | Some _ -> invalid "field \"thermal\" must be an object"
+
 let parse_submit json =
   let sub_case = str_field json "case" in
   let sub_job, sub_seed, sub_mode, sub_budget, sub_priority, sub_deadline,
@@ -418,9 +498,10 @@ let parse_submit json =
     parse_job_fields json
   in
   let sub_mutate = parse_mutate json in
+  let sub_thermal = parse_thermal json in
   Submit
     { sub_job; sub_case; sub_seed; sub_mode; sub_budget; sub_priority;
-      sub_deadline; sub_cache; sub_mutate }
+      sub_deadline; sub_cache; sub_mutate; sub_thermal }
 
 let parse_resubmit json =
   let re_parent =
@@ -518,6 +599,22 @@ let mutate_fields m =
       jobj [ ("ratio", jfloat m.mut_ratio); ("seed", jint m.mut_seed) ])
     m
 
+let thermal_fields th =
+  opt_field "thermal"
+    (fun (th : thermal_spec) ->
+      jobj
+        ([ ("hotspots", jint th.th_hotspots);
+           ("amplitude", jfloat th.th_amplitude);
+           ("decay", jfloat th.th_decay);
+           ("grid", jint th.th_grid);
+           ("ambient", jfloat th.th_ambient);
+           ("map_seed", jint th.th_seed) ]
+        @
+        match th.th_weights with
+        | [] -> []
+        | ws -> [ ("weights", "[" ^ String.concat "," (List.map jfloat ws) ^ "]") ]))
+    th
+
 let submit_to_json ~job (s : submit) =
   jobj
     ([ ("op", jstr "submit"); ("job", jstr job); ("case", jstr s.sub_case) ]
@@ -527,7 +624,8 @@ let submit_to_json ~job (s : submit) =
         ("priority", jint s.sub_priority) ]
     @ opt_field "deadline" jfloat s.sub_deadline
     @ [ ("cache", jbool s.sub_cache) ]
-    @ mutate_fields s.sub_mutate)
+    @ mutate_fields s.sub_mutate
+    @ thermal_fields s.sub_thermal)
 
 let resubmit_to_json ~job (r : resubmit) =
   jobj

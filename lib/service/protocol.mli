@@ -30,7 +30,11 @@ val schema_version : int
     registry eviction/capacity stats;
     3 = socket/multi-shard serving: ["parse_error"] kind (with byte
     [offset]) replaces ["parse"], new ["shed"] and ["shard_crash"]
-    error kinds, per-shard restart/retry/shed counters in [stats]. *)
+    error kinds, per-shard restart/retry/shed counters in [stats];
+    4 = [thermal] scenario spec on submit — the server synthesizes the
+    temperature map from the design's die and runs the Pareto sweep,
+    so the job's [result] carries the schema-6 export [thermal]
+    block. *)
 
 (** {2 Minimal JSON values} *)
 
@@ -63,6 +67,24 @@ type mutate_spec = {
     revised design from a registered case without shipping coordinates
     over the protocol. *)
 
+type thermal_spec = {
+  th_hotspots : int;  (** Gaussian hotspot count (default 6) *)
+  th_amplitude : float;  (** peak rise scale, degC (default 25) *)
+  th_decay : float;
+      (** hotspot sigma as a fraction of the shorter die side
+          (default 0.15) *)
+  th_grid : int;  (** map resolution per axis (default 24) *)
+  th_ambient : float;  (** ambient temperature, degC (default 45) *)
+  th_seed : int;  (** PRNG seed of the map generator (default 1) *)
+  th_weights : float list;
+      (** sweep ladder; [[]] = {!Operon.Flow.Config.default_thermal_weights} *)
+}
+(** A thermal-reliability scenario, shipped as generator parameters: the
+    server re-synthesizes the temperature field from the design's die
+    ({!Operon_thermal.Thermal_map.synthetic}), so a few scalars reproduce
+    the exact map a CLI-side [operon thermal-map] run with the same knobs
+    writes, and the sweep result is byte-comparable between the two. *)
+
 type submit = {
   sub_job : string option;  (** client-chosen job id ([None] = server picks) *)
   sub_case : string;  (** design case name (registry key source) *)
@@ -74,6 +96,8 @@ type submit = {
       (** seconds from submission the job must finish within *)
   sub_cache : bool;  (** build the crossing-matrix cache *)
   sub_mutate : mutate_spec option;  (** perturb the design before synthesis *)
+  sub_thermal : thermal_spec option;
+      (** run a thermal Pareto sweep instead of a plain selection *)
 }
 
 type resubmit = {

@@ -22,12 +22,35 @@ let shutdown t = Scheduler.shutdown t.scheduler
 (* Request handlers                                                   *)
 (* ------------------------------------------------------------------ *)
 
-let config_of_submit t (s : Protocol.submit) =
+let config_of_submit t ~design (s : Protocol.submit) =
   (* Mirrors the single-shot CLI defaults ([make_runctx]): seed 42 for
      the flow PRNG (the submit seed reshapes the generated case, exactly
      like [--seed]), sequential execution inside the job. *)
-  Flow.Config.make ~mode:s.Protocol.sub_mode ~ilp_budget:s.Protocol.sub_budget
-    ~cache:s.Protocol.sub_cache t.params
+  let config =
+    Flow.Config.make ~mode:s.Protocol.sub_mode
+      ~ilp_budget:s.Protocol.sub_budget ~cache:s.Protocol.sub_cache t.params
+  in
+  match s.Protocol.sub_thermal with
+  | None -> config
+  | Some th ->
+      (* The map is synthesized from the (possibly mutated) design's die,
+         the same way [operon thermal-map] does CLI-side. Thermal lives
+         outside the preparation slice, so the registry still shares
+         prepared artifacts with plain jobs on the same case. *)
+      let rng = Operon_util.Prng.create th.Protocol.th_seed in
+      let map =
+        Operon_thermal.Thermal_map.synthetic ~nx:th.Protocol.th_grid
+          ~ny:th.Protocol.th_grid ~ambient:th.Protocol.th_ambient
+          ~hotspots:th.Protocol.th_hotspots
+          ~amplitude:th.Protocol.th_amplitude ~decay:th.Protocol.th_decay
+          ~die:design.Signal.die rng
+      in
+      let weights =
+        match th.Protocol.th_weights with
+        | [] -> Flow.Config.default_thermal_weights
+        | ws -> Array.of_list ws
+      in
+      Flow.Config.with_thermal ~weights map config
 
 let apply_mutate design = function
   | None -> design
@@ -59,7 +82,7 @@ let handle_submit t (s : Protocol.submit) =
         ()
   | Some design ->
       let design = apply_mutate design s.Protocol.sub_mutate in
-      let config = config_of_submit t s in
+      let config = config_of_submit t ~design s in
       enqueue t ~op:"submit" ?job:s.Protocol.sub_job
         ~priority:s.Protocol.sub_priority ?deadline:s.Protocol.sub_deadline
         ~config design

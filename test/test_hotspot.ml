@@ -1,0 +1,98 @@
+(* Tests for the power-hotspot maps (paper Figure 9): grid deposits must
+   conserve the deposited mass, so the map totals are checkable against
+   independent sums over the selection, and the summary line (pasted into
+   EXPERIMENTS.md) is pinned byte for byte. *)
+
+open Operon_geom
+open Operon_optical
+open Operon
+open Operon_benchgen
+
+let params = Params.default
+
+(* One tiny prepared selection shared by the map tests. *)
+let prepared =
+  lazy
+    (let design = Cases.tiny ~seed:3 () in
+     let hnets, ctx = Flow.prepare_with (Flow.Config.default params) design in
+     let flow = Flow.select_with (Flow.Config.default params) design hnets ctx in
+     (design, ctx, flow))
+
+let close name expected got =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s (expected %.9f, got %.9f)" name expected got)
+    true
+    (Float.abs (expected -. got) <= 1e-6 *. Float.max 1.0 (Float.abs expected))
+
+let test_of_selection_totals () =
+  let design, ctx, flow = Lazy.force prepared in
+  let maps =
+    Hotspot.of_selection ~die:design.Signal.die ctx flow.Flow.choice
+  in
+  let p = ctx.Selection.params in
+  let unit_e = Params.electrical_unit_energy p in
+  (* Every modulator deposits p_mod, every detector p_det; electrical
+     mass is bits * unit energy * rectilinear length per drawn wire. *)
+  let optical = ref 0.0 and electrical = ref 0.0 in
+  Array.iteri
+    (fun i j ->
+      let c = ctx.Selection.cands.(i).(j) in
+      let bits = float_of_int c.Candidate.hnet.Hypernet.bits in
+      optical :=
+        !optical
+        +. (float_of_int (Array.length c.Candidate.mod_nodes) *. p.Params.p_mod)
+        +. (float_of_int (Array.length c.Candidate.det_nodes) *. p.Params.p_det);
+      Array.iter
+        (fun seg ->
+          electrical := !electrical +. (bits *. unit_e *. Segment.length_l1 seg))
+        c.Candidate.elec_segments)
+    flow.Flow.choice;
+  close "optical total" !optical (Gridmap.total maps.Hotspot.optical);
+  close "electrical total" !electrical (Gridmap.total maps.Hotspot.electrical);
+  Alcotest.(check bool)
+    "optical peak positive" true
+    (Gridmap.peak maps.Hotspot.optical > 0.0)
+
+let test_electrical_of_design_total () =
+  let design, _, _ = Lazy.force prepared in
+  let grid = Hotspot.electrical_of_design params design in
+  let unit_e = Params.electrical_unit_energy params in
+  (* Same RSMT trees the map smears, summed without any grid in the
+     way. *)
+  let expected = ref 0.0 in
+  Array.iter
+    (fun (g : Signal.group) ->
+      Array.iter
+        (fun b ->
+          let pins = Signal.bit_pins b in
+          if Array.length pins > 1 then
+            Array.iter
+              (fun seg -> expected := !expected +. (unit_e *. Segment.length_l1 seg))
+              (Operon_steiner.Topology.segments
+                 (Operon_steiner.Rsmt.tree pins ~root:0)))
+        g.Signal.bits)
+    design.Signal.groups;
+  close "design electrical total" !expected (Gridmap.total grid);
+  Alcotest.(check bool) "non-trivial design" true (!expected > 0.0)
+
+let test_summary_golden () =
+  (* A hand-built pair of 2x2 grids pins the summary line exactly. *)
+  let die = Rect.make ~xmin:0.0 ~ymin:0.0 ~xmax:1.0 ~ymax:1.0 in
+  let optical = Gridmap.create die ~nx:2 ~ny:2 in
+  Gridmap.set optical 0 0 2.0;
+  Gridmap.set optical 1 1 1.0;
+  let electrical = Gridmap.create die ~nx:2 ~ny:2 in
+  Gridmap.set electrical 1 0 4.0;
+  Alcotest.(check string)
+    "summary line"
+    "optical: peak=2.000 total=3.000 | electrical: peak=4.000 total=4.000"
+    (Hotspot.summary { Hotspot.optical; electrical })
+
+let () =
+  Alcotest.run "hotspot"
+    [ ( "maps",
+        [ Alcotest.test_case "of_selection totals" `Quick
+            test_of_selection_totals;
+          Alcotest.test_case "electrical_of_design total" `Quick
+            test_electrical_of_design_total;
+          Alcotest.test_case "summary golden" `Quick test_summary_golden ] ) ]

@@ -198,6 +198,20 @@ let prop_db_fraction_inverse =
     QCheck.(float_range 0.0 40.0)
     (fun db -> Float.abs (Loss.fraction_to_db (Loss.db_to_fraction db) -. db) < 1e-6)
 
+let prop_fraction_db_inverse =
+  QCheck.Test.make ~name:"fraction/db inverse on (0,1]" ~count:200
+    QCheck.(float_range 1e-6 1.0)
+    (fun f ->
+      Float.abs (Loss.db_to_fraction (Loss.fraction_to_db f) -. f) < 1e-9)
+
+let prop_fraction_to_db_rejects =
+  QCheck.Test.make ~name:"fraction_to_db rejects non-positive" ~count:100
+    QCheck.(float_range (-40.0) 0.0)
+    (fun f ->
+      match Loss.fraction_to_db f with
+      | _ -> false
+      | exception Invalid_argument _ -> true)
+
 let prop_path_loss_additive =
   QCheck.Test.make ~name:"eq2 additive in wirelength" ~count:200
     QCheck.(pair (float_range 0.0 5.0) (float_range 0.0 5.0))
@@ -221,6 +235,8 @@ let () =
           Alcotest.test_case "db roundtrip" `Quick test_db_fraction_roundtrip;
           QCheck_alcotest.to_alcotest prop_splitting_monotone;
           QCheck_alcotest.to_alcotest prop_db_fraction_inverse;
+          QCheck_alcotest.to_alcotest prop_fraction_db_inverse;
+          QCheck_alcotest.to_alcotest prop_fraction_to_db_rejects;
           QCheck_alcotest.to_alcotest prop_path_loss_additive ] );
       ( "power",
         [ Alcotest.test_case "eq1" `Quick test_optical_power_eq1;

@@ -1,0 +1,235 @@
+(* Tests for the thermal-reliability scenario mode: the map file format's
+   exact round trip, the deterministic synthetic generator, temperature-
+   aware selection context, the inert-spec bit-identity contract, and the
+   Pareto front's monotonicity. *)
+
+open Operon_geom
+open Operon_util
+open Operon_optical
+open Operon
+open Operon_benchgen
+open Operon_thermal
+
+let params = Params.default
+
+let die = Rect.make ~xmin:0.0 ~ymin:0.0 ~xmax:3.0 ~ymax:3.0
+
+let synth ?(seed = 1) () =
+  Thermal_map.synthetic ~nx:8 ~ny:8 ~hotspots:3 ~amplitude:30.0 ~decay:0.2
+    ~die (Prng.create seed)
+
+(* ------------------------------------------------------------------ *)
+(* File format                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_roundtrip () =
+  let m = synth () in
+  let text = Thermal_map.to_string m in
+  match Thermal_map.of_string text with
+  | Error msg -> Alcotest.fail msg
+  | Ok m' ->
+      (* %.17g cell values reconstruct the exact binary64s, so the
+         re-serialization is byte-identical. *)
+      Alcotest.(check string) "exact round trip" text (Thermal_map.to_string m');
+      Alcotest.(check string)
+        "same summary" (Thermal_map.summary m) (Thermal_map.summary m')
+
+let test_save_load () =
+  let m = synth () in
+  let path = Filename.temp_file "operon-thermal" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Thermal_map.save path m;
+      match Thermal_map.load path with
+      | Error msg -> Alcotest.fail msg
+      | Ok m' ->
+          Alcotest.(check string)
+            "file round trip" (Thermal_map.to_string m) (Thermal_map.to_string m'))
+
+let test_synthetic_deterministic () =
+  Alcotest.(check string)
+    "same seed, same field"
+    (Thermal_map.to_string (synth ()))
+    (Thermal_map.to_string (synth ()));
+  Alcotest.(check bool)
+    "different seed, different field" false
+    (Thermal_map.to_string (synth ()) = Thermal_map.to_string (synth ~seed:2 ()))
+
+let expect_error name text fragment =
+  match Thermal_map.of_string text with
+  | Ok _ -> Alcotest.failf "%s: malformed map accepted" name
+  | Error msg ->
+      let contains hay needle =
+        let nh = String.length hay and nn = String.length needle in
+        let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: %S mentions %S" name msg fragment)
+        true (contains msg fragment)
+
+let test_of_string_errors () =
+  let good = Thermal_map.to_string (synth ()) in
+  expect_error "bad header" ("nonsense\n" ^ good) "line 1";
+  expect_error "truncated" "operon-thermal-map 1\ndie 0 0 1 1\n" "truncated";
+  expect_error "bad die"
+    "operon-thermal-map 1\ndie 0 0 zero 1\ngrid 2 2\nambient 40\n1 2\n3 4\n"
+    "die xmax";
+  expect_error "empty die"
+    "operon-thermal-map 1\ndie 1 0 1 1\ngrid 2 2\nambient 40\n1 2\n3 4\n"
+    "empty die";
+  expect_error "bad grid"
+    "operon-thermal-map 1\ndie 0 0 1 1\ngrid 0 2\nambient 40\n1 2\n3 4\n"
+    "grid";
+  expect_error "bad ambient"
+    "operon-thermal-map 1\ndie 0 0 1 1\ngrid 2 2\nambient hot\n1 2\n3 4\n"
+    "ambient";
+  expect_error "missing row"
+    "operon-thermal-map 1\ndie 0 0 1 1\ngrid 2 2\nambient 40\n1 2\n"
+    "missing row";
+  expect_error "extra row"
+    "operon-thermal-map 1\ndie 0 0 1 1\ngrid 2 2\nambient 40\n1 2\n3 4\n5 6\n"
+    "extra row";
+  expect_error "short row"
+    "operon-thermal-map 1\ndie 0 0 1 1\ngrid 2 2\nambient 40\n1\n3 4\n"
+    "has 1 cells";
+  expect_error "bad cell"
+    "operon-thermal-map 1\ndie 0 0 1 1\ngrid 2 2\nambient 40\n1 x\n3 4\n"
+    "bad cell value"
+
+let test_sampling () =
+  let m = synth () in
+  (* temp_at is ambient plus the local rise; detuning along a segment is
+     the worst |T - t_ref| over its samples, so it can never undershoot
+     either endpoint's deviation. *)
+  let a = Point.make 0.2 0.2 and b = Point.make 2.8 2.8 in
+  let t_ref = params.Params.t_ref in
+  let dev p = Float.abs (Thermal_map.temp_at m p -. t_ref) in
+  let seg = Segment.make a b in
+  let d = Thermal_map.segment_detuning m ~t_ref seg in
+  Alcotest.(check bool) "detuning >= endpoint a" true (d >= dev a -. 1e-12);
+  Alcotest.(check bool) "detuning >= endpoint b" true (d >= dev b -. 1e-12);
+  Alcotest.(check bool)
+    "ambient floor" true
+    (Thermal_map.temp_at m (Point.make 0.01 0.01) >= Thermal_map.ambient m)
+
+(* ------------------------------------------------------------------ *)
+(* Temperature-aware selection                                         *)
+(* ------------------------------------------------------------------ *)
+
+let prepared =
+  lazy
+    (let design = Cases.tiny ~seed:3 () in
+     let hnets, ctx = Flow.prepare_with (Flow.Config.default params) design in
+     (design, hnets, ctx))
+
+let test_with_thermal () =
+  let _, _, ctx = Lazy.force prepared in
+  let map = synth () in
+  let profile = Selection.thermal_profile ctx map in
+  let tctx = Selection.with_thermal ctx profile ~weight:2.0 in
+  let plain = Selection.greedy ctx in
+  (* Penalties are non-negative, so thermal path losses can only grow
+     and the margin can only shrink relative to the raw loss check. *)
+  Array.iteri
+    (fun i _ ->
+      Array.iteri
+        (fun p loss ->
+          let tloss = (Selection.net_path_losses tctx plain i).(p) in
+          Alcotest.(check bool) "penalty >= 0" true (tloss >= loss -. 1e-12))
+        (Selection.net_path_losses ctx plain i))
+    plain;
+  let obj_plain = Selection.objective ctx 0 plain.(0) in
+  let obj_thermal = Selection.objective tctx 0 plain.(0) in
+  Alcotest.(check bool) "objective grows" true (obj_thermal >= obj_plain -. 1e-12);
+  Alcotest.(check bool)
+    "margin consistent" true
+    (Selection.thermal_margin tctx plain
+    <= ctx.Selection.params.Params.l_max +. 1e-12);
+  Alcotest.check_raises "negative weight"
+    (Invalid_argument
+       "Selection.with_thermal: weight must be finite and non-negative")
+    (fun () -> ignore (Selection.with_thermal ctx profile ~weight:(-1.0)))
+
+let test_inert_bit_identity () =
+  let design, hnets, ctx = Lazy.force prepared in
+  let map = synth () in
+  let plain =
+    Flow.select_with (Flow.Config.default params) design hnets ctx
+  in
+  let inert =
+    Flow.select_with
+      (Flow.Config.with_thermal ~weights:[| 0.0 |] map
+         (Flow.Config.default params))
+      design hnets ctx
+  in
+  Alcotest.(check bool) "same choice" true (inert.Flow.choice = plain.Flow.choice);
+  Alcotest.(check bool) "no thermal block" true (inert.Flow.thermal = None);
+  Alcotest.(check string)
+    "byte-identical export"
+    (Export.flow_to_json ~timings:false plain)
+    (Export.flow_to_json ~timings:false inert)
+
+let test_pareto_front () =
+  let design, hnets, ctx = Lazy.force prepared in
+  let map = synth () in
+  let swept =
+    Flow.select_with
+      (Flow.Config.with_thermal map (Flow.Config.default params))
+      design hnets ctx
+  in
+  match swept.Flow.thermal with
+  | None -> Alcotest.fail "thermal sweep produced no result"
+  | Some tr ->
+      Alcotest.(check int)
+        "swept the default ladder"
+        (Array.length Flow.Config.default_thermal_weights)
+        tr.Flow.tr_swept;
+      Alcotest.(check bool) "front non-empty" true (tr.Flow.tr_front <> []);
+      Alcotest.(check int)
+        "front + dropped = swept" tr.Flow.tr_swept
+        (List.length tr.Flow.tr_front + tr.Flow.tr_dropped);
+      (* Strict monotonicity in both coordinates is the front's defining
+         contract: every kept point trades real power for real margin. *)
+      let rec monotone = function
+        | a :: (b :: _ as rest) ->
+            a.Flow.tp_power < b.Flow.tp_power
+            && a.Flow.tp_margin < b.Flow.tp_margin
+            && monotone rest
+        | _ -> true
+      in
+      Alcotest.(check bool) "monotone front" true (monotone tr.Flow.tr_front);
+      (* Each point's power is recomputable from its choice alone. *)
+      List.iter
+        (fun (p : Flow.thermal_point) ->
+          Alcotest.(check (float 1e-9))
+            "power recomputes" p.Flow.tp_power
+            (Selection.power ctx p.Flow.tp_choice))
+        tr.Flow.tr_front
+
+let test_jobs_invariance () =
+  let map = synth () in
+  let design = Cases.tiny ~seed:3 () in
+  let run jobs =
+    let config =
+      Flow.Config.with_thermal map
+        (Flow.Config.make ~jobs params)
+    in
+    Export.flow_to_json ~timings:false (Flow.synthesize config design)
+  in
+  Alcotest.(check string) "jobs 1 = jobs 4" (run 1) (run 4)
+
+let () =
+  Alcotest.run "thermal"
+    [ ( "format",
+        [ Alcotest.test_case "round trip" `Quick test_roundtrip;
+          Alcotest.test_case "save/load" `Quick test_save_load;
+          Alcotest.test_case "deterministic" `Quick test_synthetic_deterministic;
+          Alcotest.test_case "of_string errors" `Quick test_of_string_errors;
+          Alcotest.test_case "sampling" `Quick test_sampling ] );
+      ( "selection",
+        [ Alcotest.test_case "with_thermal" `Quick test_with_thermal;
+          Alcotest.test_case "inert bit-identity" `Quick test_inert_bit_identity;
+          Alcotest.test_case "pareto front" `Quick test_pareto_front;
+          Alcotest.test_case "jobs invariance" `Quick test_jobs_invariance ] ) ]
