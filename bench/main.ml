@@ -218,6 +218,13 @@ type scale_row = {
   g_select_s : float;
   g_power : float;
   g_met : bool;  (** total wall-clock within the tier target *)
+  g_part_regions : int;  (** regions the partitioned run formed *)
+  g_part_prep_s : float;  (** partitioned-mode preparation wall-clock *)
+  g_part_select_s : float;  (** partitioned selection incl. stitch *)
+  g_part_power : float;
+  g_part_speedup : float;  (** flat / partitioned (prepare + select) *)
+  g_part_power_delta_pct : float;
+      (** partitioned power vs flat, percent (positive = worse) *)
 }
 
 (* Rows of the thermal Pareto-sweep benchmark (the "thermal" target):
@@ -325,11 +332,15 @@ let write_results () =
       {|    {"name":"%s","target_nets":%d,"target_seconds":%s,
      "nets":%d,"hnets":%d,"power":%s,
      "generate_seconds":%s,"prepare_seconds":%s,"select_seconds":%s,
-     "total_seconds":%s,"target_met":%b}|}
+     "total_seconds":%s,"target_met":%b,
+     "partitioned":{"regions":%d,"prepare_seconds":%s,"select_seconds":%s,
+       "power":%s,"speedup":%s,"power_delta_pct":%s}}|}
       r.g_name r.g_target_nets (jf r.g_target_s) r.g_nets r.g_hnets
       (jf r.g_power) (jf r.g_gen_s) (jf r.g_prep_s) (jf r.g_select_s)
       (jf (r.g_gen_s +. r.g_prep_s +. r.g_select_s))
-      r.g_met
+      r.g_met r.g_part_regions (jf r.g_part_prep_s) (jf r.g_part_select_s)
+      (jf r.g_part_power) (jf r.g_part_speedup)
+      (jf r.g_part_power_delta_pct)
   in
   let thermal_json r =
     Printf.sprintf
@@ -698,8 +709,18 @@ let scale_tiers_of_env () =
 
 let scale_bench () =
   print_endline
-    "=== scale tiers: end-to-end LR synthesis wall-clock vs tier targets ===";
+    "=== scale tiers: end-to-end LR synthesis wall-clock vs tier targets, \
+     flat vs partitioned ===";
   let config = Flow.Config.make ~mode:Flow.Lr params in
+  (* Partitioned contender: same flow, Auto region count, the worker
+     pool sized to the machine. Preparation is re-run under the
+     partitioned config because the two modes prepare differently (the
+     flat design-wide crossing cache is skipped when per-region caches
+     will be built instead). *)
+  let part_config =
+    Flow.Config.make ~mode:Flow.Lr ~jobs:(Executor.default_jobs ())
+      ~partition:Flow.Config.Auto params
+  in
   let rows =
     List.map
       (fun (t : Cases.tier) ->
@@ -714,6 +735,17 @@ let scale_bench () =
         let r = Flow.select_with config design hnets ctx in
         let select_s = Timer.now () -. t2 in
         let total = gen_s +. prep_s +. select_s in
+        let t3 = Timer.now () in
+        let p_hnets, p_ctx = Flow.prepare_with part_config design in
+        let part_prep_s = Timer.now () -. t3 in
+        let t4 = Timer.now () in
+        let pr = Flow.select_with part_config design p_hnets p_ctx in
+        let part_select_s = Timer.now () -. t4 in
+        let part_regions =
+          match pr.Flow.partition with
+          | Some p -> p.Flow.pt_regions
+          | None -> 1
+        in
         { g_name = t.Cases.t_name;
           g_target_nets = t.Cases.t_target_nets;
           g_target_s = t.Cases.t_target_seconds;
@@ -723,7 +755,19 @@ let scale_bench () =
           g_prep_s = prep_s;
           g_select_s = select_s;
           g_power = r.Flow.power;
-          g_met = total <= t.Cases.t_target_seconds })
+          g_met = total <= t.Cases.t_target_seconds;
+          g_part_regions = part_regions;
+          g_part_prep_s = part_prep_s;
+          g_part_select_s = part_select_s;
+          g_part_power = pr.Flow.power;
+          g_part_speedup =
+            (prep_s +. select_s)
+            /. Float.max 1e-9 (part_prep_s +. part_select_s);
+          g_part_power_delta_pct =
+            (if r.Flow.power = 0.0 then 0.0
+             else
+               100.0 *. (pr.Flow.power -. r.Flow.power)
+               /. r.Flow.power) })
       (scale_tiers_of_env ())
   in
   let render r =
@@ -735,15 +779,21 @@ let scale_bench () =
       Printf.sprintf "%.2f" r.g_select_s;
       Printf.sprintf "%.2f" (r.g_gen_s +. r.g_prep_s +. r.g_select_s);
       Printf.sprintf "%.0f" r.g_target_s;
-      (if r.g_met then "yes" else "NO") ]
+      (if r.g_met then "yes" else "NO");
+      string_of_int r.g_part_regions;
+      Printf.sprintf "%.2f" (r.g_part_prep_s +. r.g_part_select_s);
+      Printf.sprintf "%.2fx" r.g_part_speedup;
+      Printf.sprintf "%+.2f%%" r.g_part_power_delta_pct ]
   in
   print_endline
     (Report.table
        ~headers:
          [ "tier"; "#Net"; "#HNet"; "gen(s)"; "prepare(s)"; "select(s)";
-           "total(s)"; "target(s)"; "met" ]
+           "total(s)"; "target(s)"; "met"; "regions"; "part(s)"; "speedup";
+           "dPower" ]
        ~align:
          [ Report.Left; Report.Right; Report.Right; Report.Right; Report.Right;
+           Report.Right; Report.Right; Report.Right; Report.Right;
            Report.Right; Report.Right; Report.Right; Report.Right ]
        (List.map render rows));
   print_endline "";
@@ -1194,7 +1244,10 @@ let micro () =
   let open Toolkit in
   (* Fixed small workloads exercising each experiment's kernel. *)
   let design = Cases.small ~seed:7 () in
-  let _, ctx = Flow.prepare_with (Flow.Config.default params) design in
+  let micro_hnets, ctx = Flow.prepare_with (Flow.Config.default params) design in
+  let micro_bboxes =
+    Array.map (fun h -> Hypernet.bbox h) micro_hnets
+  in
   let centers =
     [| Operon_geom.Point.make 0.0 2.0; Operon_geom.Point.make (-1.2) 0.0;
        Operon_geom.Point.make 1.2 0.0; Operon_geom.Point.make 2.0 2.5 |]
@@ -1233,7 +1286,9 @@ let micro () =
         Test.make ~name:"fig9/hotspot-maps" (Staged.stage (fun () ->
             ignore
               (Hotspot.of_selection ~die:design.Signal.die ctx
-                 (Selection.all_electrical ctx)))) ]
+                 (Selection.all_electrical ctx))));
+        Test.make ~name:"partition/interacting-pairs" (Staged.stage (fun () ->
+            ignore (Crossing.interacting_pairs micro_bboxes))) ]
   in
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
   let raw = Benchmark.all cfg [ Instance.monotonic_clock ] tests in

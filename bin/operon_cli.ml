@@ -18,10 +18,20 @@ let design_of_case name seed =
       match String.lowercase_ascii name with
       | "small" -> Some (Cases.small ?seed ())
       | "tiny" -> Some (Cases.tiny ?seed ())
-      | _ -> None)
+      | "split" -> Some (Cases.split ?seed ())
+      | _ -> (
+          match Cases.tier_by_name name with
+          | Some tier ->
+              let spec = tier.Cases.t_spec in
+              Some
+                (Gen.generate
+                   { spec with
+                     Gen.seed = (match seed with Some s -> s | None -> spec.Gen.seed)
+                   })
+          | None -> None))
 
 let case_arg =
-  let doc = "Benchmark case: I1..I5, small, or tiny." in
+  let doc = "Benchmark case: I1..I5, small, tiny, split, or a scale tier (t10k, t30k, t100k)." in
   Arg.(value & opt string "small" & info [ "case"; "c" ] ~docv:"CASE" ~doc)
 
 let seed_arg =
@@ -123,6 +133,18 @@ let thermal_weights_arg =
   Arg.(value & opt (some string) None
        & info [ "thermal-weights" ] ~docv:"W1,W2,.." ~doc)
 
+let partition_arg =
+  let doc =
+    "Hierarchical partition-and-route: off (default, the flat flow), \
+     auto (pick a region count from the design size, ~1024 nets per \
+     region), or an explicit region count N. Regions are selected \
+     independently on the worker pool and the severed corridor is \
+     stitched by a bounded fix-up pass; when the cut severs no \
+     interacting pairs an ILP-mode partitioned run is bit-identical to \
+     the flat one at any $(b,--jobs)."
+  in
+  Arg.(value & opt string "off" & info [ "partition" ] ~docv:"off|auto|N" ~doc)
+
 (* --- validation: one-line diagnostic on stderr, exit code 2 --- *)
 
 let fail_usage fmt =
@@ -207,13 +229,26 @@ let validate_thermal thermal_map thermal_weights =
       | Ok map -> Some { Flow.Config.map; weights }
       | Error msg -> fail_usage "--thermal-map %s: %s" path msg)
 
-let make_config ?(no_cache = false) ?(solver_core = "sparse") ?thermal params
-    mode budget jobs strict inject_specs =
+(* "off" and "auto" by keyword; anything else must be a whole region
+   count >= 1 (1 is legal and means the flat flow — the activation
+   threshold lives in [Flow.resolve_partition]). *)
+let validate_partition s =
+  match String.lowercase_ascii (String.trim s) with
+  | "off" -> Flow.Config.Off
+  | "auto" -> Flow.Config.Auto
+  | t -> (
+      match int_of_string_opt t with
+      | Some r when r >= 1 -> Flow.Config.Regions r
+      | Some r -> fail_usage "--partition region count must be >= 1 (got %d)" r
+      | None -> fail_usage "bad --partition %S (expected off, auto or N)" s)
+
+let make_config ?(no_cache = false) ?(solver_core = "sparse") ?thermal
+    ?partition params mode budget jobs strict inject_specs =
   let jobs = validate_jobs jobs in
   let jobs = if jobs = 0 then Operon_util.Executor.default_jobs () else jobs in
   Flow.Config.make ~mode:(validate_mode mode) ~ilp_budget:budget ~jobs ~strict
     ~injections:(validate_injections inject_specs) ~cache:(not no_cache)
-    ~solver_core:(validate_solver_core solver_core) ?thermal params
+    ~solver_core:(validate_solver_core solver_core) ?thermal ?partition params
 
 let make_runctx ?no_cache params mode budget jobs strict inject_specs =
   let cfg = make_config ?no_cache params mode budget jobs strict inject_specs in
@@ -271,7 +306,7 @@ let print_degradation result =
 let with_design name seed f =
   match design_of_case name seed with
   | None ->
-      Printf.eprintf "unknown case %S (try I1..I5, small, tiny)\n" name;
+      Printf.eprintf "unknown case %S (try I1..I5, small, tiny, split, t10k..t100k)\n" name;
       exit 2
   | Some design -> (
       (* Under --strict a pipeline fault aborts the run; report it as a
@@ -286,15 +321,16 @@ let with_design name seed f =
 
 let run_cmd =
   let run case seed mode budget jobs trace strict inject no_cache solver_core
-      mutate mutate_seed eco_from thermal_map thermal_weights =
+      mutate mutate_seed eco_from thermal_map thermal_weights partition =
     let seed = validate_seed seed in
     let thermal = validate_thermal thermal_map thermal_weights in
+    let partition = validate_partition partition in
     with_design case seed (fun design ->
         let design = apply_mutate mutate mutate_seed design in
         let params = Operon_optical.Params.default in
         let config =
-          make_config ~no_cache ~solver_core ?thermal params mode budget jobs
-            strict inject
+          make_config ~no_cache ~solver_core ?thermal ~partition params mode
+            budget jobs strict inject
         in
         let result = synthesize_cli ?eco_from config design in
         let nets, hnets, hpins = Processing.stats result.Flow.hnets in
@@ -339,6 +375,18 @@ let run_cmd =
            %d waveguide crossings\n"
           s.Signoff.paths_checked s.Signoff.worst_loss_db s.Signoff.violations
           s.Signoff.mean_detour_ratio s.Signoff.waveguide_crossings;
+        (match result.Flow.partition with
+         | Some p ->
+             Printf.printf
+               "partition: %d regions (largest %d), corridor %d nets, cut \
+                %d/%d pairs (%d components), stitch revised %d \
+                (plan %.3fs, stitch %.3fs)\n"
+               p.Flow.pt_regions p.Flow.pt_largest_region
+               p.Flow.pt_corridor_nets p.Flow.pt_cut_pairs
+               p.Flow.pt_total_pairs p.Flow.pt_boundary_components
+               p.Flow.pt_stitch_changed p.Flow.pt_plan_seconds
+               p.Flow.pt_stitch_seconds
+         | None -> ());
         (match Report.thermal_table result with
          | Some table -> print_endline table
          | None -> ());
@@ -350,7 +398,7 @@ let run_cmd =
     Term.(const run $ case_arg $ seed_arg $ mode_arg $ budget_arg $ jobs_arg
           $ trace_arg $ strict_arg $ inject_arg $ no_cache_arg
           $ solver_core_arg $ mutate_arg $ mutate_seed_arg $ eco_from_arg
-          $ thermal_map_arg $ thermal_weights_arg)
+          $ thermal_map_arg $ thermal_weights_arg $ partition_arg)
 
 let stats_cmd =
   let run case seed =
@@ -421,15 +469,17 @@ let export_cmd =
     Arg.(value & flag & info [ "no-timings" ] ~doc)
   in
   let run case seed mode budget jobs strict inject no_cache solver_core
-      no_timings out mutate mutate_seed eco_from thermal_map thermal_weights =
+      no_timings out mutate mutate_seed eco_from thermal_map thermal_weights
+      partition =
     let seed = validate_seed seed in
     let thermal = validate_thermal thermal_map thermal_weights in
+    let partition = validate_partition partition in
     with_design case seed (fun design ->
         let design = apply_mutate mutate mutate_seed design in
         let params = Operon_optical.Params.default in
         let config =
-          make_config ~no_cache ~solver_core ?thermal params mode budget jobs
-            strict inject
+          make_config ~no_cache ~solver_core ?thermal ~partition params mode
+            budget jobs strict inject
         in
         let result = synthesize_cli ?eco_from config design in
         let conns = result.Flow.placement.Wdm_place.conns in
@@ -454,7 +504,8 @@ let export_cmd =
     Term.(const run $ case_arg $ seed_arg $ mode_arg $ budget_arg $ jobs_arg
           $ strict_arg $ inject_arg $ no_cache_arg $ solver_core_arg
           $ no_timings_arg $ out_arg $ mutate_arg $ mutate_seed_arg
-          $ eco_from_arg $ thermal_map_arg $ thermal_weights_arg)
+          $ eco_from_arg $ thermal_map_arg $ thermal_weights_arg
+          $ partition_arg)
 
 let thermal_map_cmd =
   let hotspots_arg =

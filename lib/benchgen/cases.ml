@@ -165,6 +165,38 @@ let small ?(seed = 7) () =
       pitch = 0.002;
       local_fraction = 0.5 }
 
+(* Two copies of a small-ish cluster spec, generated on sub-dies far
+   apart on a wide die and merged into one design. Every pin — and so
+   every candidate topology, which stays inside its net's pin bbox —
+   lives in its own cluster, so the interaction graph has no edge
+   between the halves: a 2-region partition severs zero pairs, which is
+   the case the partition-smoke CI job byte-diffs partitioned-vs-flat
+   exports on. *)
+let split ?(seed = 5) () =
+  let cluster name seed xmin =
+    Gen.generate
+      { Gen.name;
+        seed;
+        die = Rect.make ~xmin ~ymin:0.0 ~xmax:(xmin +. 2.0) ~ymax:2.0;
+        n_blocks = 9;
+        partners_near = 3;
+        far_partner_prob = 0.5;
+        block_size = 0.2;
+        n_groups = 16;
+        bits_min = 2;
+        bits_max = 6;
+        sink_blocks_min = 1;
+        sink_blocks_max = 2;
+        pitch = 0.002;
+        local_fraction = 0.5 }
+  in
+  let left = cluster "splitL" seed 0.0 in
+  let right = cluster "splitR" (seed + 1) 8.0 in
+  Operon.Signal.design
+    ~die:(Rect.make ~xmin:0.0 ~ymin:0.0 ~xmax:10.0 ~ymax:2.0)
+    ~groups:
+      (Array.append left.Operon.Signal.groups right.Operon.Signal.groups)
+
 let tiny ?(seed = 11) () =
   Gen.generate
     { Gen.name = "tiny";

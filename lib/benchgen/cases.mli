@@ -59,3 +59,9 @@ val small : ?seed:int -> unit -> Operon.Signal.design
 val tiny : ?seed:int -> unit -> Operon.Signal.design
 (** An even smaller design (a handful of groups) whose ILP is solvable
     exactly within milliseconds. *)
+
+val split : ?seed:int -> unit -> Operon.Signal.design
+(** Two small clusters at opposite ends of a wide die with no
+    interacting pair between them — a 2-region partition severs zero
+    pairs, so a partitioned ILP run is byte-identical to the flat flow
+    (the partition-smoke CI case). *)

@@ -1,5 +1,6 @@
 open Operon_geom
 open Operon_graph
+open Operon_util
 
 type entry = { net : int; seg : Segment.t }
 
@@ -114,11 +115,16 @@ let estimator idx ~net seg = count_crossings idx ~exclude_net:net seg
 let interaction_components bboxes =
   let n = Array.length bboxes in
   let dsu = Dsu.create n in
-  for i = 0 to n - 1 do
-    for j = i + 1 to n - 1 do
-      if Rect.overlaps bboxes.(i) bboxes.(j) then ignore (Dsu.union dsu i j)
-    done
-  done;
+  (* Union via the spatial index instead of the O(n²) sweep. Duplicate
+     groups are cliques, so chaining their members and adding one edge
+     per overlapping distinct-rect pair yields exactly the connectivity
+     of the all-pairs sweep. *)
+  let idx = Overlap.build bboxes in
+  Overlap.iter_groups idx (fun g ->
+      for k = 1 to Array.length g - 1 do
+        ignore (Dsu.union dsu g.(0) g.(k))
+      done);
+  Overlap.iter_group_pairs idx (fun ga gb -> ignore (Dsu.union dsu ga.(0) gb.(0)));
   let groups = Hashtbl.create 16 in
   for i = n - 1 downto 0 do
     let r = Dsu.find dsu i in
@@ -131,10 +137,17 @@ let interaction_components bboxes =
 
 let interacting_pairs bboxes =
   let n = Array.length bboxes in
-  let acc = ref [] in
-  for i = n - 1 downto 0 do
-    for j = n - 1 downto i + 1 do
-      if Rect.overlaps bboxes.(i) bboxes.(j) then acc := (i, j) :: !acc
-    done
-  done;
-  !acc
+  if n = 0 then []
+  else begin
+    (* Enumerate via the spatial index into a preallocated growable
+       buffer of (i * n + j) encodings, then sort — the index reports
+       pairs in grid order, and the historical contract is ascending
+       lexicographic. *)
+    let idx = Overlap.build bboxes in
+    let buf = Growbuf.create ~capacity:(4 * n) () in
+    Overlap.iter_pairs idx (fun i j -> Growbuf.push buf ((i * n) + j));
+    Growbuf.sort buf;
+    List.init (Growbuf.length buf) (fun k ->
+        let v = Growbuf.get buf k in
+        (v / n, v mod n))
+  end

@@ -87,14 +87,19 @@ let diff ?neighbors (old_hnets : Hypernet.t array) (new_hnets : Hypernet.t array
        done);
   (* Part 2: bbox overlap against any changed region (old or new),
      covering nets whose baseline-crossing estimates could shift even
-     without a previously cached crossing pair. *)
-  Array.iteri
-    (fun i s ->
-      if s = Clean && not interaction.(i) then
-        let bi = Hypernet.bbox new_hnets.(i) in
-        if List.exists (fun b -> Rect.overlaps bi b) !changed_boxes then
-          interaction.(i) <- true)
-    status;
+     without a previously cached crossing pair. The changed regions go
+     into a spatial index queried once per clean net, replacing the
+     clean-nets × changed-boxes linear product. *)
+  (match !changed_boxes with
+   | [] -> ()
+   | boxes ->
+       let cidx = Overlap.build (Array.of_list boxes) in
+       Array.iteri
+         (fun i s ->
+           if s = Clean && not interaction.(i) then
+             let bi = Hypernet.bbox new_hnets.(i) in
+             if Overlap.overlaps_any cidx bi then interaction.(i) <- true)
+         status);
   let closure =
     Array.mapi (fun i s -> s <> Clean || interaction.(i)) status
   in

@@ -112,8 +112,13 @@ let degradation_to_json (r : Flow.t) =
    6 = thermal Pareto sweeps emit a "thermal" block (map summary plus
    the (power, margin, hash, choice) front); absent on plain runs, so
    weight-0 / map-free exports stay byte-comparable to historical
-   ones. *)
-let schema_version = 6
+   ones,
+   7 = partitioned runs emit a "partition" block (region/corridor/cut
+   shape plus plan and stitch seconds). The block rides with the
+   timings: a no-timings partitioned export stays byte-comparable to
+   the flat flow's, which is exactly the parity the partition-smoke CI
+   job diffs. *)
+let schema_version = 7
 
 (* Exact float round-trip: 17 significant decimal digits reconstruct any
    binary64 bit pattern, so a re-imported design fingerprints (and
@@ -262,6 +267,32 @@ let flow_to_json ?channels ?(timings = true) (r : Flow.t) =
                  if timings then [ ("seconds", jfloat th.Flow.tr_seconds) ]
                  else []) ) ]
        | None -> [])
+    (* Timings-gated like the trace: region counts are deterministic,
+       but the block as a whole exists to explain where the wall-clock
+       went, and dropping it keeps no-timings partitioned exports
+       byte-identical to flat ones. *)
+    @ (match r.Flow.partition with
+       | Some p when timings ->
+           let cut_fraction =
+             if p.Flow.pt_total_pairs = 0 then 0.0
+             else
+               float_of_int p.Flow.pt_cut_pairs
+               /. float_of_int p.Flow.pt_total_pairs
+           in
+           [ ( "partition",
+               jobj
+                 [ ("regions", string_of_int p.Flow.pt_regions);
+                   ("largest_region", string_of_int p.Flow.pt_largest_region);
+                   ("corridor_nets", string_of_int p.Flow.pt_corridor_nets);
+                   ("cut_pairs", string_of_int p.Flow.pt_cut_pairs);
+                   ("total_pairs", string_of_int p.Flow.pt_total_pairs);
+                   ( "boundary_components",
+                     string_of_int p.Flow.pt_boundary_components );
+                   ("cut_fraction", jfloat cut_fraction);
+                   ("stitch_changed", string_of_int p.Flow.pt_stitch_changed);
+                   ("plan_seconds", jfloat p.Flow.pt_plan_seconds);
+                   ("stitch_seconds", jfloat p.Flow.pt_stitch_seconds) ] ) ]
+       | _ -> [])
     @ [ ("degradation", degradation_to_json r);
         ("cache", cache_to_json ~timings r.Flow.cache) ]
   in

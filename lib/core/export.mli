@@ -17,17 +17,24 @@ val schema_version : int
     [pivots], [refactorizations], [seconds]) alongside the trace,
     6 = thermal Pareto sweeps emit a [thermal] block ([map], [swept],
     [dropped], [front] with one (weight, power, margin_db, hash, choice)
-    object per non-dominated point); absent on plain runs. Bump
+    object per non-dominated point); absent on plain runs,
+    7 = partitioned runs emit a timings-gated [partition] block
+    ([regions], [largest_region], [corridor_nets], [cut_pairs],
+    [total_pairs], [boundary_components], [cut_fraction],
+    [stitch_changed], [plan_seconds], [stitch_seconds]); absent on flat
+    runs and on [~timings:false] exports. Bump
     on any breaking change; see README for the full schema. *)
 
 val flow_to_json : ?channels:Channels.plan -> ?timings:bool -> Flow.t -> string
 (** The full result as a JSON object with fields [schema_version],
     [design], [hypernets], [routes], [wdm], [trace], [solver] (ILP runs
-    only), [thermal] (Pareto-swept runs only), [degradation], [cache]
+    only), [thermal] (Pareto-swept runs only), [partition] (partitioned
+    runs with timings only), [degradation], [cache]
     and optionally [channels]. With
     [~timings:false] the wall-clock-dependent parts are omitted — no
-    [trace] or [solver] fields (pivot counts are core-specific), no
-    [seconds] inside the [thermal] block, and the
+    [trace], [solver] or [partition] fields (pivot counts are
+    core-specific; partitioned no-timings exports byte-compare to flat
+    ones), no [seconds] inside the [thermal] block, and the
     [cache] block carries only [enabled]/[pairs]/[entries] — so the
     document is a pure function of (design, configuration): two runs of
     the same job, whether single-shot or served from the batch service,

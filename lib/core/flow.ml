@@ -16,6 +16,13 @@ module Config = struct
                                returned flow's selection *)
   }
 
+  (* Hierarchical partition-and-route: [Off] is the flat flow (the
+     default and the parity oracle), [Regions n] decomposes selection
+     into [n] spatial regions solved independently on the Domain pool
+     with a corridor-stitch fix-up, [Auto] picks a region count from the
+     design size (and stays flat below the profitable scale). *)
+  type partition = Off | Auto | Regions of int
+
   type t = {
     params : Operon_optical.Params.t;
     processing : Processing.config option;
@@ -29,6 +36,7 @@ module Config = struct
     seed : int;
     solver_core : Operon_solver.Solver.core;
     thermal : thermal option;
+    partition : partition;
   }
 
   let default_thermal_weights = [| 0.0; 0.5; 1.0; 2.0; 4.0; 8.0 |]
@@ -45,14 +53,16 @@ module Config = struct
       cache = true;
       seed = 42;
       solver_core = Operon_solver.Solver.Sparse;
-      thermal = None }
+      thermal = None;
+      partition = Off }
 
   let make ?processing ?(mode = Lr) ?(ilp_budget = 3000.0)
       ?(max_cands_per_net = 10) ?(jobs = 1) ?(strict = false)
       ?(injections = []) ?(cache = true) ?(seed = 42)
-      ?(solver_core = Operon_solver.Solver.Sparse) ?thermal params =
+      ?(solver_core = Operon_solver.Solver.Sparse) ?thermal
+      ?(partition = Off) params =
     { params; processing; mode; ilp_budget; max_cands_per_net; jobs; strict;
-      injections; cache; seed; solver_core; thermal }
+      injections; cache; seed; solver_core; thermal; partition }
 
   let with_mode mode t = { t with mode }
   let with_jobs jobs t = { t with jobs }
@@ -60,6 +70,7 @@ module Config = struct
   let with_processing processing t = { t with processing = Some processing }
   let with_seed seed t = { t with seed }
   let with_solver_core solver_core t = { t with solver_core }
+  let with_partition partition t = { t with partition }
 
   let with_thermal ?(weights = default_thermal_weights) map t =
     if Array.length weights = 0 then
@@ -109,6 +120,20 @@ type thermal_result = {
   tr_seconds : float;  (* whole-sweep wall-clock *)
 }
 
+(* Shape of one partitioned selection, surfaced through the export's
+   [partition] block and the Partition instrument counters. *)
+type partition_stats = {
+  pt_regions : int;
+  pt_corridor_nets : int;  (* nets with a neighbor across the cut *)
+  pt_cut_pairs : int;  (* interacting pairs the cut severed *)
+  pt_total_pairs : int;
+  pt_boundary_components : int;
+  pt_largest_region : int;
+  pt_stitch_changed : int;  (* nets the corridor fix-up re-decided *)
+  pt_plan_seconds : float;
+  pt_stitch_seconds : float;
+}
+
 type t = {
   design : Signal.design;
   hnets : Hypernet.t array;
@@ -127,7 +152,25 @@ type t = {
   solver_path : string;
   cache : Xmatrix.stats;
   thermal : thermal_result option;
+  partition : partition_stats option;
 }
+
+(* Region-count policy. [Auto] aims for [auto_region_nets] nets per
+   region and stays flat (returns [None]) below two regions' worth —
+   partitioning a small design buys nothing and costs a stitch. An
+   explicit [Regions n] is honored whenever at least two non-trivial
+   regions are possible. *)
+let auto_region_nets = 1024
+
+let resolve_partition (p : Config.partition) ~nets =
+  match p with
+  | Config.Off -> None
+  | Config.Regions r ->
+      let r = Stdlib.min r nets in
+      if r >= 2 then Some r else None
+  | Config.Auto ->
+      let r = Stdlib.min 64 (nets / auto_region_nets) in
+      if r >= 2 then Some r else None
 
 (* ------------------------------------------------------------------ *)
 (* Fault handling at stage boundaries.                                *)
@@ -280,12 +323,20 @@ let record_xmatrix sink ctx =
       (int_of_float (Float.round (xs.Xmatrix.build_seconds *. 1000.0)))
   end
 
-let stage_ctx =
+let stage_ctx partition =
   Pipeline.stage Instrument.Codesign
     (fun rc (design, params, hnets, cand_lists, xcounts) ->
+      (* A partitioned run builds per-region crossing caches during
+         selection; precomputing the design-wide matrix here would be
+         thrown-away work, so the full context stays direct (the
+         partitioned path reports the aggregated per-region cache
+         stats instead). *)
+      let cache =
+        rc.Runctx.config.Runctx.cache
+        && resolve_partition partition ~nets:(Array.length cand_lists) = None
+      in
       let ctx =
-        Selection.make_ctx ~exec:rc.Runctx.exec
-          ~cache:rc.Runctx.config.Runctx.cache params cand_lists
+        Selection.make_ctx ~exec:rc.Runctx.exec ~cache params cand_lists
       in
       record_xmatrix rc.Runctx.sink ctx;
       (design, params, hnets, cand_lists, xcounts, ctx))
@@ -299,14 +350,48 @@ type selected = {
   s_ilp : Ilp_select.result option;
   s_lr : Lr_select.result option;
   s_solver_path : string;
+  s_partition : partition_stats option;
+  s_cache : Xmatrix.stats option;
+      (* overrides the final context's own cache stats when selection ran
+         partitioned: the aggregate over the per-region matrices, which
+         is what a flat run's single matrix would have reported when the
+         cut severs no interactions *)
+  s_plan : Partition.t option;
+      (* the region plan when selection ran partitioned — carried forward
+         so the WDM realization stages can decompose along the same
+         regions *)
+}
+
+(* Outcome of one region's selection, computed inside a Domain task.
+   Pure data: faults are constructed in the task but recorded on the
+   coordinator in region order, so the fault log, the counters and the
+   merged choice are identical at any --jobs. *)
+type region_out = {
+  ro_choice : int array;
+  ro_depth : int;  (* fallback hops consumed; 0 = the primary engine *)
+  ro_ilp : Ilp_select.result option;
+  ro_lr : Lr_select.result option;
+  ro_faults : Fault.t list;  (* in occurrence order *)
+  ro_cache : Xmatrix.stats;
 }
 
 (* Selection runs a fallback chain with explicit budgets: the configured
    engine first (ILP under its wall-clock/pivot budget, LR under its
    iteration/wall-clock budget), then the cheaper engines in order, down
    to the solver-free greedy feasibility repair. Every hop is recorded as
-   a Select-stage fault; strict mode stops at the first one. *)
-let stage_select =
+   a Select-stage fault; strict mode stops at the first one.
+
+   With an active partition spec, selection instead plans a region
+   decomposition, solves every region independently on the Domain pool
+   through the same engine chain (full budget each — regions run
+   concurrently, so the wall-clock budget is per region by
+   construction), merges in region order and repairs the corridor nets
+   with a restricted polish pass. When the cut severs no interactions
+   the merged ILP/greedy result is bit-identical to the flat run's; LR
+   couples nets globally through its convergence tests, so partitioned
+   LR is only power-bounded, not bit-equal (DESIGN.md §16). A partition
+   failure of any kind degrades to the flat chain. *)
+let stage_select partition =
   Pipeline.stage Instrument.Select (fun rc (design, hnets, ctx, initial) ->
       let cfg = rc.Runctx.config in
       let sink = rc.Runctx.sink in
@@ -369,34 +454,445 @@ let stage_select =
         | (name, f) :: rest -> (
             match attempt name f with Some r -> r | None -> first rest)
       in
-      let before = Xmatrix.stats ctx.Selection.xmat in
-      let choice, seconds, ilp, lr = first chain in
-      let after = Xmatrix.stats ctx.Selection.xmat in
-      Instrument.incr sink Instrument.Select "cache_hits"
-        (after.Xmatrix.hits - before.Xmatrix.hits);
-      Instrument.incr sink Instrument.Select "cache_misses"
-        (after.Xmatrix.misses - before.Xmatrix.misses);
-      { s_design = design; s_hnets = hnets; s_ctx = ctx; s_choice = choice;
-        s_seconds = seconds; s_ilp = ilp; s_lr = lr;
-        s_solver_path = String.concat "->" (List.rev !path) })
+      let flat_select () =
+        let before = Xmatrix.stats ctx.Selection.xmat in
+        let choice, seconds, ilp, lr = first chain in
+        let after = Xmatrix.stats ctx.Selection.xmat in
+        Instrument.incr sink Instrument.Select "cache_hits"
+          (after.Xmatrix.hits - before.Xmatrix.hits);
+        Instrument.incr sink Instrument.Select "cache_misses"
+          (after.Xmatrix.misses - before.Xmatrix.misses);
+        { s_design = design; s_hnets = hnets; s_ctx = ctx; s_choice = choice;
+          s_seconds = seconds; s_ilp = ilp; s_lr = lr;
+          s_solver_path = String.concat "->" (List.rev !path);
+          s_partition = None; s_cache = None; s_plan = None }
+      in
+      let chain_names =
+        match cfg.Runctx.mode with
+        | Ilp -> [ "ilp"; "lr"; "greedy" ]
+        | Lr -> [ "lr"; "greedy" ]
+      in
+      (* The deepest fallback any region reached names the whole run's
+         solver path — a prefix chain of the same engine names the flat
+         run would print, so a clean partitioned ILP run reports "ilp"
+         exactly like a clean flat one. *)
+      let path_of_depth d =
+        let names = chain_names @ [ "electrical" ] in
+        let rec take k = function
+          | x :: rest when k > 0 -> x :: take (k - 1) rest
+          | _ -> []
+        in
+        String.concat "->" (take (d + 1) names)
+      in
+      (* One region's selection, on a context sliced to its member nets.
+         Runs inside a Domain task: no sink, no run-context, no shared
+         mutation — everything observable is returned and merged by the
+         coordinator. Each region gets the full selection budget
+         (regions run concurrently). *)
+      let region_select ids =
+        let sub_lists =
+          Array.map (fun i -> Array.to_list ctx.Selection.cands.(i)) ids
+        in
+        let sub_ctx =
+          Selection.make_ctx ~cache:cfg.Runctx.cache ctx.Selection.params
+            sub_lists
+        in
+        let sub_ctx =
+          match ctx.Selection.thermal with
+          | None -> sub_ctx
+          | Some th ->
+              (* The penalty tensor is per-net and choice-independent, so
+                 a slice of it is exactly the profile a regional
+                 [thermal_profile] would compute. *)
+              let profile =
+                { Selection.penalty =
+                    Array.map (fun i -> th.Selection.penalty.(i)) ids;
+                  tcost = Array.map (fun i -> th.Selection.tcost.(i)) ids;
+                  weight = 0.0 }
+              in
+              Selection.with_thermal sub_ctx profile ~weight:th.Selection.weight
+        in
+        let sub_initial =
+          match initial with
+          | Some init when Array.length init = Array.length ctx.Selection.cands
+            ->
+              (* Per-net candidate indices translate directly; the region
+                 engines sanitize out-of-range entries themselves, as the
+                 flat engines would. *)
+              Some (Array.map (fun i -> init.(i)) ids)
+          | _ -> None
+        in
+        let faults = ref [] in
+        let caught f =
+          match f () with
+          | r -> Some r
+          | exception e ->
+              let bt = Printexc.get_raw_backtrace () in
+              faults := Fault.of_exn ~stage:Instrument.Select e bt :: !faults;
+              None
+        in
+        let engines =
+          let ilp () =
+            let r =
+              Ilp_select.select ~budget_seconds:cfg.Runctx.ilp_budget
+                ~core:cfg.Runctx.solver_core ?initial:sub_initial sub_ctx
+            in
+            (r.Ilp_select.choice, Some r, None)
+          in
+          let lr () =
+            let r =
+              Lr_select.select ~budget_seconds:cfg.Runctx.ilp_budget
+                ?initial:sub_initial sub_ctx
+            in
+            (r.Lr_select.choice, None, Some r)
+          in
+          let greedy () =
+            (Selection.polish sub_ctx (Selection.greedy sub_ctx), None, None)
+          in
+          match cfg.Runctx.mode with
+          | Ilp -> [ ilp; lr; greedy ]
+          | Lr -> [ lr; greedy ]
+        in
+        let rec go depth = function
+          | [] -> (Selection.all_electrical sub_ctx, depth, None, None)
+          | f :: rest -> (
+              match caught f with
+              | Some (choice, ilp, lr) -> (choice, depth, ilp, lr)
+              | None -> go (depth + 1) rest)
+        in
+        let choice, depth, ilp, lr = go 0 engines in
+        { ro_choice = choice;
+          ro_depth = depth;
+          ro_ilp = ilp;
+          ro_lr = lr;
+          ro_faults = List.rev !faults;
+          ro_cache = Xmatrix.stats sub_ctx.Selection.xmat }
+      in
+      let run_partitioned regions =
+        Runctx.check_inject rc ~stage:Instrument.Select ();
+        let t0 = Timer.now () in
+        let plan, plan_dt =
+          Instrument.timed sink Instrument.Partition (fun () ->
+              Timer.time (fun () ->
+                  Partition.make ~regions ctx.Selection.bboxes
+                    ~neighbors:ctx.Selection.neighbors))
+        in
+        let n = Array.length ctx.Selection.cands in
+        let nregions = Array.length plan.Partition.regions in
+        let largest =
+          Array.fold_left
+            (fun acc ids -> Stdlib.max acc (Array.length ids))
+            0 plan.Partition.regions
+        in
+        Instrument.incr sink Instrument.Partition "regions" nregions;
+        Instrument.incr sink Instrument.Partition "corridor_nets"
+          (Array.length plan.Partition.corridor);
+        Instrument.incr sink Instrument.Partition "cut_pairs"
+          plan.Partition.cut_pairs;
+        Instrument.incr sink Instrument.Partition "total_pairs"
+          plan.Partition.total_pairs;
+        Instrument.incr sink Instrument.Partition "boundary_components"
+          (Array.length plan.Partition.boundary);
+        Instrument.incr sink Instrument.Partition "cut_permille"
+          (int_of_float (Float.round (1000.0 *. Partition.cut_fraction plan)));
+        let results =
+          Executor.try_parallel_mapi rc.Runctx.exec
+            (fun _ ids -> region_select ids)
+            plan.Partition.regions
+        in
+        (* Merge on the coordinator, in region order. *)
+        let merged = Array.make n 0 in
+        let depth = ref 0 in
+        let chain_len = List.length chain_names in
+        let agg =
+          ref
+            { Xmatrix.enabled = cfg.Runctx.cache;
+              pairs = 0;
+              entries = 0;
+              build_seconds = 0.0;
+              hits = 0;
+              misses = 0 }
+        in
+        Array.iteri
+          (fun r ids ->
+            match results.(r) with
+            | Ok out ->
+                Array.iteri (fun k i -> merged.(i) <- out.ro_choice.(k)) ids;
+                if out.ro_depth > !depth then depth := out.ro_depth;
+                List.iter
+                  (fun f ->
+                    if cfg.Runctx.strict then raise (Fault.Error f);
+                    Runctx.record_fault rc f;
+                    Instrument.incr sink Instrument.Select "fallbacks" 1)
+                  out.ro_faults;
+                (match out.ro_ilp with
+                 | Some res ->
+                     Instrument.incr sink Instrument.Select "components"
+                       res.Ilp_select.components;
+                     Instrument.incr sink Instrument.Select "timed_out"
+                       res.Ilp_select.timed_out;
+                     Instrument.incr sink Instrument.Select "nodes"
+                       res.Ilp_select.nodes;
+                     Instrument.incr sink Instrument.Select "lp_solves"
+                       res.Ilp_select.lp_solves;
+                     Instrument.incr sink Instrument.Select "pivots"
+                       res.Ilp_select.pivots;
+                     Instrument.incr sink Instrument.Select "refactorizations"
+                       res.Ilp_select.refactorizations
+                 | None -> ());
+                (match out.ro_lr with
+                 | Some res ->
+                     Instrument.incr sink Instrument.Select "iterations"
+                       res.Lr_select.iterations;
+                     Instrument.incr sink Instrument.Select "demoted"
+                       res.Lr_select.demoted
+                 | None -> ());
+                let c = out.ro_cache in
+                agg :=
+                  { !agg with
+                    Xmatrix.pairs = !agg.Xmatrix.pairs + c.Xmatrix.pairs;
+                    entries = !agg.Xmatrix.entries + c.Xmatrix.entries;
+                    build_seconds =
+                      !agg.Xmatrix.build_seconds +. c.Xmatrix.build_seconds;
+                    hits = !agg.Xmatrix.hits + c.Xmatrix.hits;
+                    misses = !agg.Xmatrix.misses + c.Xmatrix.misses }
+            | Error (e, bt) ->
+                (* The whole region task died outside the engine chain
+                   (context construction, slicing): its nets fall back to
+                   their electrical candidates — the same floor the chain
+                   bottoms out on. *)
+                degrade_or_raise rc ~stage:Instrument.Select e bt;
+                Instrument.incr sink Instrument.Select "fallbacks" 1;
+                depth := chain_len;
+                Array.iter (fun i -> merged.(i) <- ctx.Selection.elec_idx.(i)) ids)
+          plan.Partition.regions;
+        (* Corridor stitch: regional solutions are feasible within their
+           regions, so repairing (and then improving) just the corridor
+           nets restores global feasibility. A cut severing no
+           interactions needs no stitch — the merge is already the flat
+           answer for the component-local engines. *)
+        let stitched, stitch_dt =
+          if plan.Partition.cut_pairs = 0 then (merged, 0.0)
+          else
+            Instrument.timed sink Instrument.Partition (fun () ->
+                Timer.time (fun () ->
+                    Selection.polish ~only:plan.Partition.corridor ctx merged))
+        in
+        let changed = ref 0 in
+        Array.iteri (fun i j -> if merged.(i) <> j then incr changed) stitched;
+        Instrument.incr sink Instrument.Partition "stitch_changed" !changed;
+        { s_design = design;
+          s_hnets = hnets;
+          s_ctx = ctx;
+          s_choice = stitched;
+          s_seconds = Timer.now () -. t0;
+          s_ilp = None;
+          s_lr = None;
+          s_solver_path = path_of_depth !depth;
+          s_partition =
+            Some
+              { pt_regions = nregions;
+                pt_corridor_nets = Array.length plan.Partition.corridor;
+                pt_cut_pairs = plan.Partition.cut_pairs;
+                pt_total_pairs = plan.Partition.total_pairs;
+                pt_boundary_components = Array.length plan.Partition.boundary;
+                pt_largest_region = largest;
+                pt_stitch_changed = !changed;
+                pt_plan_seconds = plan_dt;
+                pt_stitch_seconds = stitch_dt };
+          s_cache = Some !agg;
+          s_plan = Some plan }
+      in
+      match
+        resolve_partition partition ~nets:(Array.length ctx.Selection.cands)
+      with
+      | Some regions -> (
+          match attempt "partition" (fun () -> run_partitioned regions) with
+          | Some sel -> sel
+          | None -> flat_select ())
+      | None -> flat_select ())
+
+(* Per-region WDM realization, produced by [stage_wdm] when selection
+   ran partitioned and consumed by [stage_assign]: each region's
+   connections were placed on that region's own tracks (with local
+   dense connection ids), so the superlinear retirement/min-cost-flow
+   solves decompose along the same cut as selection did.
+   [rw_globals.(r).(k)] is the global connection id of region [r]'s
+   local connection [k]. *)
+type region_wdm = {
+  rw_placements : Wdm_place.placement array;
+  rw_globals : int array array;
+}
 
 let stage_wdm =
   Pipeline.stage Instrument.Wdm (fun rc sel ->
       let params = sel.s_ctx.Selection.params in
-      let conns = Wdm_place.connections_of_selection sel.s_ctx sel.s_choice in
-      let placement = Wdm_place.place params conns in
-      ignore (Wdm_place.legalize params placement.Wdm_place.tracks);
       let sink = rc.Runctx.sink in
+      let conns = Wdm_place.connections_of_selection sel.s_ctx sel.s_choice in
+      let monolithic () =
+        let placement = Wdm_place.place params conns in
+        ignore (Wdm_place.legalize params placement.Wdm_place.tracks);
+        (placement, None)
+      in
+      (* Place each region's connections on its own tracks (pool tasks
+         are pure; the merge below is in region order, so the result is
+         identical at any --jobs), then legalize the merged array once:
+         track spacing is a global constraint, and running the pass at
+         the same point as the flat flow means the per-region assignment
+         sees exactly the coordinates a flat assignment would. *)
+      let per_region (plan : Partition.t) =
+        let nregions = Array.length plan.Partition.regions in
+        let buckets = Array.make nregions [] in
+        for i = Array.length conns - 1 downto 0 do
+          let r = plan.Partition.region_of.(conns.(i).Operon_optical.Wdm.net) in
+          buckets.(r) <- i :: buckets.(r)
+        done;
+        let globals = Array.map Array.of_list buckets in
+        let results =
+          Executor.try_parallel_mapi rc.Runctx.exec
+            (fun _ ids ->
+              let local =
+                Array.mapi (fun k gi -> { conns.(gi) with Operon_optical.Wdm.id = k }) ids
+              in
+              Wdm_place.place params local)
+            globals
+        in
+        if
+          Array.exists
+            (function Error _ -> true | Ok _ -> false)
+            results
+        then begin
+          Array.iter
+            (function
+              | Error (e, bt) ->
+                  degrade_or_raise rc ~stage:Instrument.Wdm e bt;
+                  Instrument.incr sink Instrument.Wdm "fallbacks" 1
+              | Ok _ -> ())
+            results;
+          monolithic ()
+        end
+        else begin
+          let placements =
+            Array.map (function Ok p -> p | Error _ -> assert false) results
+          in
+          let offsets = Array.make nregions 0 in
+          let total = ref 0 in
+          Array.iteri
+            (fun r p ->
+              offsets.(r) <- !total;
+              total := !total + Array.length p.Wdm_place.tracks)
+            placements;
+          let tracks =
+            Array.concat
+              (Array.to_list
+                 (Array.map (fun p -> p.Wdm_place.tracks) placements))
+          in
+          let assignment = Array.make (Array.length conns) (-1) in
+          Array.iteri
+            (fun r p ->
+              Array.iteri
+                (fun k t ->
+                  if t >= 0 then
+                    assignment.(globals.(r).(k)) <- offsets.(r) + t)
+                p.Wdm_place.assignment)
+            placements;
+          ignore (Wdm_place.legalize params tracks);
+          Instrument.incr sink Instrument.Wdm "regions" nregions;
+          ( { Wdm_place.conns; tracks; assignment },
+            Some { rw_placements = placements; rw_globals = globals } )
+        end
+      in
+      let placement, regional =
+        match sel.s_plan with
+        | Some plan when Array.length plan.Partition.regions > 1 ->
+            per_region plan
+        | _ -> monolithic ()
+      in
       Instrument.incr sink Instrument.Wdm "connections" (Array.length conns);
       Instrument.incr sink Instrument.Wdm "tracks"
         (Array.length placement.Wdm_place.tracks);
-      (sel, placement))
+      (sel, placement, regional))
 
 let stage_assign =
-  Pipeline.stage Instrument.Assign (fun rc (sel, placement) ->
+  Pipeline.stage Instrument.Assign (fun rc (sel, placement, regional) ->
       let params = sel.s_ctx.Selection.params in
-      let assignment = Assign.run params placement in
       let sink = rc.Runctx.sink in
+      let monolithic () = Assign.run params placement in
+      (* Retirement and min-cost re-assignment per region: a region's
+         connections are only eligible for its own tracks, so the region
+         solves are exact sub-problems and the merge (tracks in region
+         order, flow track-indices rebased) is deterministic at any
+         --jobs. Cross-region track sharing is forfeited; the bench and
+         the partition-smoke CI job bound the resulting track-count
+         delta. *)
+      let assignment =
+        match regional with
+        | None -> monolithic ()
+        | Some rw -> (
+            let results =
+              Executor.try_parallel_mapi rc.Runctx.exec
+                (fun _ p -> Assign.run params p)
+                rw.rw_placements
+            in
+            if
+              Array.exists
+                (function Error _ -> true | Ok _ -> false)
+                results
+            then begin
+              Array.iter
+                (function
+                  | Error (e, bt) ->
+                      degrade_or_raise rc ~stage:Instrument.Assign e bt;
+                      Instrument.incr sink Instrument.Assign "fallbacks" 1
+                  | Ok _ -> ())
+                results;
+              monolithic ()
+            end
+            else
+              let rs =
+                Array.map
+                  (function Ok r -> r | Error _ -> assert false)
+                  results
+              in
+              let offsets = Array.make (Array.length rs) 0 in
+              let total = ref 0 in
+              Array.iteri
+                (fun r (a : Assign.result) ->
+                  offsets.(r) <- !total;
+                  total := !total + a.Assign.final_count)
+                rs;
+              let tracks =
+                Array.concat
+                  (Array.to_list
+                     (Array.map (fun (a : Assign.result) -> a.Assign.tracks) rs))
+              in
+              let flows =
+                Array.make (Array.length placement.Wdm_place.conns) []
+              in
+              Array.iteri
+                (fun r (a : Assign.result) ->
+                  Array.iteri
+                    (fun k fl ->
+                      flows.(rw.rw_globals.(r).(k)) <-
+                        List.map (fun (wi, f) -> (offsets.(r) + wi, f)) fl)
+                    a.Assign.flows)
+                rs;
+              Instrument.incr sink Instrument.Assign "regions"
+                (Array.length rs);
+              { Assign.tracks;
+                flows;
+                initial_count =
+                  Array.fold_left
+                    (fun acc (a : Assign.result) ->
+                      acc + a.Assign.initial_count)
+                    0 rs;
+                final_count = Array.length tracks;
+                displacement_cost =
+                  Array.fold_left
+                    (fun acc (a : Assign.result) ->
+                      acc +. a.Assign.displacement_cost)
+                    0.0 rs })
+      in
       Instrument.incr sink Instrument.Assign "initial" assignment.Assign.initial_count;
       Instrument.incr sink Instrument.Assign "final" assignment.Assign.final_count;
       { design = sel.s_design;
@@ -414,15 +910,20 @@ let stage_assign =
         faults = Runctx.faults rc;
         quarantined_nets = Runctx.quarantined rc;
         solver_path = sel.s_solver_path;
-        cache = Xmatrix.stats sel.s_ctx.Selection.xmat;
-        thermal = None })
+        cache =
+          (match sel.s_cache with
+           | Some stats -> stats
+           | None -> Xmatrix.stats sel.s_ctx.Selection.xmat);
+        thermal = None;
+        partition = sel.s_partition })
 
-let prepare_pipeline processing =
+let prepare_pipeline processing partition =
   Pipeline.(
     stage_processing processing >>> stage_baselines >>> stage_codesign
-    >>> stage_ctx)
+    >>> stage_ctx partition)
 
-let select_pipeline = Pipeline.(stage_select >>> stage_wdm >>> stage_assign)
+let select_pipeline partition =
+  Pipeline.(stage_select partition >>> stage_wdm >>> stage_assign)
 
 (* ------------------------------------------------------------------ *)
 (* Thermal Pareto sweep.                                              *)
@@ -490,7 +991,8 @@ let active_thermal (config : Config.t) =
    each exported point is recomputable from its choice vector alone. The
    first weight's selection carries on through the WDM stages as the
    flow's primary result. *)
-let thermal_run rc ?initial (spec : Config.thermal) (design, hnets, ctx) =
+let thermal_run rc ?initial ?(partition = Config.Off) (spec : Config.thermal)
+    (design, hnets, ctx) =
   let sink = rc.Runctx.sink in
   let t0 = Timer.now () in
   let profile =
@@ -504,7 +1006,10 @@ let thermal_run rc ?initial (spec : Config.thermal) (design, hnets, ctx) =
         let ctx_w =
           if w = 0.0 then ctx else Selection.with_thermal ctx profile ~weight:w
         in
-        let sel = Pipeline.run rc stage_select (design, hnets, ctx_w, initial) in
+        let sel =
+          Pipeline.run rc (stage_select partition)
+            (design, hnets, ctx_w, initial)
+        in
         let pt =
           { tp_weight = w;
             tp_power = Selection.power ctx sel.s_choice;
@@ -564,11 +1069,11 @@ type prepared = {
 (* Entry points.                                                      *)
 (* ------------------------------------------------------------------ *)
 
-let run_ctx ?processing rc design =
+let run_ctx ?processing ?(partition = Config.Off) rc design =
   let design, _params, hnets, _cands, _xcounts, ctx =
-    Pipeline.run rc (prepare_pipeline processing) design
+    Pipeline.run rc (prepare_pipeline processing partition) design
   in
-  Pipeline.run rc select_pipeline (design, hnets, ctx, None)
+  Pipeline.run rc (select_pipeline partition) (design, hnets, ctx, None)
 
 (* A fresh run-context for one Config-driven entry point; callers seed
    via [Config.seed]. *)
@@ -579,17 +1084,24 @@ let runctx_of ?sink (cfg : Config.t) =
 let synthesize ?sink config design =
   let rc = runctx_of ?sink config in
   match active_thermal config with
-  | None -> run_ctx ?processing:config.Config.processing rc design
+  | None ->
+      run_ctx ?processing:config.Config.processing
+        ~partition:config.Config.partition rc design
   | Some spec ->
       let design, _params, hnets, _cands, _xcounts, ctx =
-        Pipeline.run rc (prepare_pipeline config.Config.processing) design
+        Pipeline.run rc
+          (prepare_pipeline config.Config.processing config.Config.partition)
+          design
       in
-      thermal_run rc spec (design, hnets, ctx)
+      thermal_run rc ~partition:config.Config.partition spec
+        (design, hnets, ctx)
 
 let prepare ?sink config design =
   let rc = runctx_of ?sink config in
   let design, _params, hnets, cand_lists, xcounts, ctx =
-    Pipeline.run rc (prepare_pipeline config.Config.processing) design
+    Pipeline.run rc
+      (prepare_pipeline config.Config.processing config.Config.partition)
+      design
   in
   { p_design = design;
     p_config = config;
@@ -609,8 +1121,13 @@ let select_with ?sink ?initial config design hnets ctx =
      matters to the (already finished) processing stage. *)
   let rc = runctx_of ?sink config in
   match active_thermal config with
-  | None -> Pipeline.run rc select_pipeline (design, hnets, ctx, initial)
-  | Some spec -> thermal_run rc ?initial spec (design, hnets, ctx)
+  | None ->
+      Pipeline.run rc
+        (select_pipeline config.Config.partition)
+        (design, hnets, ctx, initial)
+  | Some spec ->
+      thermal_run rc ?initial ~partition:config.Config.partition spec
+        (design, hnets, ctx)
 
 let select_prepared ?sink ?initial config p =
   select_with ?sink ?initial config p.p_design p.p_hnets p.p_ctx

@@ -49,6 +49,16 @@ module Config : sig
             primary result *)
   }
 
+  (** Hierarchical partition-and-route control. [Off] (the default) is
+      the historical flat flow and stays the parity oracle. [Regions r]
+      bisects the net set into at most [r] spatial regions, runs one
+      independent selection per region on the executor, and stitches
+      the corridor nets whose interactions the cut severed with a
+      bounded fix-up pass. [Auto] picks a region count from the design
+      size (one region per ~1024 nets, capped at 64) and degrades to
+      the flat flow below the activation threshold. *)
+  type partition = Off | Auto | Regions of int
+
   type t = {
     params : Params.t;  (** optical device/loss parameters *)
     processing : Processing.config option;
@@ -72,6 +82,11 @@ module Config : sig
         (** thermal scenario ([None] = the historical, temperature-blind
             flow). A spec whose ladder holds no positive weight is inert:
             the run is bit-identical to a thermal-free one. *)
+    partition : partition;
+        (** hierarchical partition-and-route ([Off] = the flat flow).
+            When the cut severs no interacting pairs, a partitioned
+            ILP-mode run is bit-identical to the flat one at any
+            [jobs]. *)
   }
 
   val default_thermal_weights : float array
@@ -94,6 +109,7 @@ module Config : sig
     ?seed:int ->
     ?solver_core:Operon_solver.Solver.core ->
     ?thermal:thermal ->
+    ?partition:partition ->
     Params.t ->
     t
   (** Labelled constructor over the same defaults as {!default}. *)
@@ -104,6 +120,7 @@ module Config : sig
   val with_processing : Processing.config -> t -> t
   val with_seed : int -> t -> t
   val with_solver_core : Operon_solver.Solver.core -> t -> t
+  val with_partition : partition -> t -> t
 
   val with_thermal :
     ?weights:float array -> Operon_thermal.Thermal_map.t -> t -> t
@@ -143,6 +160,25 @@ type thermal_result = {
   tr_seconds : float;  (** whole-sweep wall-clock *)
 }
 
+(** Statistics of one partitioned selection — the decomposition shape,
+    the cut quality, and what the stitch pass did. Mirrored into the
+    run trace as [partition] counters and, under schema 7, into the
+    export's [partition] block. *)
+type partition_stats = {
+  pt_regions : int;  (** regions actually formed (>= 2 when active) *)
+  pt_corridor_nets : int;
+      (** nets with an interacting partner in another region *)
+  pt_cut_pairs : int;  (** interacting pairs the cut severed *)
+  pt_total_pairs : int;  (** all interacting pairs of the design *)
+  pt_boundary_components : int;
+      (** connected components of the corridor interaction graph *)
+  pt_largest_region : int;  (** nets in the biggest region *)
+  pt_stitch_changed : int;
+      (** corridor nets whose choice the stitch pass revised *)
+  pt_plan_seconds : float;  (** decomposition wall-clock *)
+  pt_stitch_seconds : float;  (** corridor fix-up wall-clock *)
+}
+
 type t = {
   design : Signal.design;
   hnets : Hypernet.t array;
@@ -168,6 +204,9 @@ type t = {
       (** [Some] iff a thermal Pareto sweep ran (the config carried a
           scenario with a positive weight); the flow's own selection is
           then the ladder's first weight's *)
+  partition : partition_stats option;
+      (** [Some] iff the partitioned flow actually ran (config asked for
+          it and the design cleared the activation threshold) *)
 }
 
 val synthesize : ?sink:Instrument.sink -> Config.t -> Signal.design -> t
@@ -272,7 +311,12 @@ val select_prepared :
   ?sink:Instrument.sink -> ?initial:int array -> Config.t -> prepared -> t
 (** [select_with] over a {!prepared} value's own design and artifacts. *)
 
-val run_ctx : ?processing:Processing.config -> Runctx.t -> Signal.design -> t
+val run_ctx :
+  ?processing:Processing.config ->
+  ?partition:Config.partition ->
+  Runctx.t ->
+  Signal.design ->
+  t
 (** The whole pipeline under an explicit run-context — the low-level
     escape hatch when the caller owns the {!Runctx.t} (custom executor,
     shared fault log). Most callers want {!synthesize}. *)

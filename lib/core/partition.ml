@@ -1,0 +1,141 @@
+open Operon_geom
+open Operon_graph
+
+(* Region decomposition of the selection problem: recursive bisection of
+   the net set by optical-bbox centers, plus the corridor — the nets
+   whose interactions the cut severs — and its boundary components, the
+   units the stitching pass repairs.
+
+   Everything here is a pure function of (bboxes, neighbors, regions):
+   no PRNG, no parallelism, ties broken by net id. The partitioned flow
+   runs one selection per region on the Domain pool and merges in region
+   order, so determinism of the plan is what makes `--jobs 1` and
+   `--jobs 4` byte-identical. *)
+
+type t = {
+  regions : int array array;  (* member ids, ascending; regions in
+                                 spatial (bisection) order *)
+  region_of : int array;      (* net id -> index into [regions] *)
+  corridor : int array;       (* nets with a neighbor in another region,
+                                 ascending *)
+  boundary : int array array; (* connected components of the interaction
+                                 graph restricted to corridor nets; same
+                                 ordering conventions as
+                                 [Crossing.interaction_components] *)
+  cut_pairs : int;            (* interacting pairs split across regions *)
+  total_pairs : int;          (* all interacting pairs *)
+}
+
+let center_of bboxes i =
+  (* A net without optical geometry has no bbox and no neighbors; where
+     it lands is irrelevant to the cut, so the origin is as good a
+     placeholder as any. *)
+  match bboxes.(i) with Some r -> Rect.center r | None -> Point.origin
+
+(* Split [ids] into [r] regions: sort by center coordinate along the
+   wider axis of the current extent (ties by id), cut at the proportional
+   index, recurse with the region budget split evenly. Uneven budgets
+   land arbitrary region counts, not just powers of two. *)
+let bisect centers ids r =
+  let rec go ids r acc =
+    let len = Array.length ids in
+    if r <= 1 || len <= 1 then ids :: acc
+    else begin
+      let xmin = ref infinity and xmax = ref neg_infinity in
+      let ymin = ref infinity and ymax = ref neg_infinity in
+      Array.iter
+        (fun i ->
+          let c : Point.t = centers.(i) in
+          if c.Point.x < !xmin then xmin := c.Point.x;
+          if c.Point.x > !xmax then xmax := c.Point.x;
+          if c.Point.y < !ymin then ymin := c.Point.y;
+          if c.Point.y > !ymax then ymax := c.Point.y)
+        ids;
+      let along_x = !xmax -. !xmin >= !ymax -. !ymin in
+      let key i =
+        let c : Point.t = centers.(i) in
+        if along_x then c.Point.x else c.Point.y
+      in
+      let sorted = Array.copy ids in
+      Array.sort
+        (fun a b ->
+          let c = compare (key a) (key b) in
+          if c <> 0 then c else compare a b)
+        sorted;
+      let rl = r / 2 in
+      let cut = Stdlib.max 1 (Stdlib.min (len - 1) (len * rl / r)) in
+      let left = Array.sub sorted 0 cut in
+      let right = Array.sub sorted cut (len - cut) in
+      go left rl (go right (r - rl) acc)
+    end
+  in
+  go ids r []
+
+let make ~regions bboxes ~neighbors =
+  let n = Array.length bboxes in
+  let centers = Array.init n (center_of bboxes) in
+  let parts =
+    bisect centers (Array.init n (fun i -> i)) (Stdlib.max 1 regions)
+    |> List.filter (fun ids -> Array.length ids > 0)
+    |> Array.of_list
+  in
+  Array.iter (fun ids -> Array.sort compare ids) parts;
+  let region_of = Array.make n 0 in
+  Array.iteri
+    (fun r ids -> Array.iter (fun i -> region_of.(i) <- r) ids)
+    parts;
+  let in_corridor = Array.make n false in
+  let cut_pairs = ref 0 and total_pairs = ref 0 in
+  Array.iteri
+    (fun i row ->
+      Array.iter
+        (fun j ->
+          if j > i then begin
+            incr total_pairs;
+            if region_of.(i) <> region_of.(j) then begin
+              incr cut_pairs;
+              in_corridor.(i) <- true;
+              in_corridor.(j) <- true
+            end
+          end)
+        row)
+    neighbors;
+  let corridor = ref [] in
+  for i = n - 1 downto 0 do
+    if in_corridor.(i) then corridor := i :: !corridor
+  done;
+  let corridor = Array.of_list !corridor in
+  (* Boundary components: the interaction graph restricted to corridor
+     nets, grouped exactly like [Crossing.interaction_components] so the
+     stitch pass sees familiar units. *)
+  let dsu = Dsu.create n in
+  Array.iter
+    (fun i ->
+      Array.iter
+        (fun j -> if j > i && in_corridor.(j) then ignore (Dsu.union dsu i j))
+        neighbors.(i))
+    corridor;
+  let groups = Hashtbl.create 16 in
+  for k = Array.length corridor - 1 downto 0 do
+    let i = corridor.(k) in
+    let r = Dsu.find dsu i in
+    let existing = try Hashtbl.find groups r with Not_found -> [] in
+    Hashtbl.replace groups r (i :: existing)
+  done;
+  let boundary =
+    Hashtbl.fold (fun _ members acc -> Array.of_list members :: acc) groups []
+    |> List.sort (fun a b -> compare a.(0) b.(0))
+    |> Array.of_list
+  in
+  {
+    regions = parts;
+    region_of;
+    corridor;
+    boundary;
+    cut_pairs = !cut_pairs;
+    total_pairs = !total_pairs;
+  }
+
+let cut_fraction t =
+  if t.total_pairs = 0 then 0.0
+  else float_of_int t.cut_pairs /. float_of_int t.total_pairs

@@ -1,0 +1,39 @@
+(** Region decomposition for hierarchical partition-and-route.
+
+    Recursive bisection of the net set by optical-bbox centers into a
+    requested number of regions, plus the {e corridor}: the nets whose
+    interaction-graph edges the cut severs, grouped into boundary
+    components for the stitching pass.
+
+    The plan is a pure function of its inputs — no PRNG, no
+    parallelism, ties broken by net id — which is what lets the
+    partitioned flow stay byte-identical at any [--jobs]. *)
+
+open Operon_geom
+
+type t = {
+  regions : int array array;
+      (** member net ids, ascending; regions in bisection (spatial)
+          order. Never more than requested, fewer when the design is
+          small. Every net is in exactly one region. *)
+  region_of : int array;  (** net id -> index into [regions] *)
+  corridor : int array;
+      (** nets with at least one neighbor in another region, ascending *)
+  boundary : int array array;
+      (** connected components of the interaction graph restricted to
+          corridor nets — members ascending, components sorted by first
+          member, like {!Crossing.interaction_components} *)
+  cut_pairs : int;  (** interacting pairs split across regions *)
+  total_pairs : int;  (** all interacting pairs *)
+}
+
+val make : regions:int -> Rect.t option array -> neighbors:int array array -> t
+(** [make ~regions bboxes ~neighbors] plans a decomposition into at most
+    [regions] regions (at least 1). [bboxes] and [neighbors] are the
+    selection context's per-net optical boxes and interaction rows; a
+    net without a bbox has no interactions and lands where the bisection
+    puts its origin placeholder. *)
+
+val cut_fraction : t -> float
+(** [cut_pairs / total_pairs], 0 when there are no interacting pairs —
+    the cut-quality number surfaced by the instrument counters. *)

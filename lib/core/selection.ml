@@ -116,21 +116,52 @@ let make_ctx ?(exec = Executor.sequential) ?(cache = true) ?reuse params
           if ok.(i) && ok.(j) then mem_sorted prev.neighbors.(i) j
           else crossing_pair i j
   in
-  let lists = Array.make n [] in
-  for i = 0 to n - 1 do
-    if bboxes.(i) <> None then
-      for j = i + 1 to n - 1 do
-        if bboxes.(j) <> None && linked i j then begin
-          lists.(i) <- j :: lists.(i);
-          lists.(j) <- i :: lists.(j)
-        end
-      done
-  done;
-  (* Each row collects smaller partners first (prepended while [i] was the
-     inner index) and larger partners on top; the reversal therefore
-     leaves every row sorted ascending — the property [mem_sorted] and the
-     ECO diff rely on. *)
-  let neighbors = Array.map (fun l -> Array.of_list (List.rev l)) lists in
+  (* Enumerate candidate pairs through the spatial index over the
+     optical subset instead of the O(n²) sweep. Only bbox-overlapping
+     pairs can be linked: [crossing_pair] requires overlap outright, and
+     a reused adjacency row only ever contains pairs whose (identical,
+     certified by [ok]) geometry overlapped when the row was built — so
+     restricting [linked] to the index's pairs loses nothing. *)
+  let compact =
+    let buf = Growbuf.create ~capacity:n () in
+    for i = 0 to n - 1 do
+      if bboxes.(i) <> None then Growbuf.push buf i
+    done;
+    Growbuf.to_array buf
+  in
+  let rects =
+    Array.map
+      (fun i ->
+        match bboxes.(i) with Some r -> r | None -> assert false)
+      compact
+  in
+  let pairs = Growbuf.create ~capacity:(4 * (n + 1)) () in
+  let idx = Overlap.build rects in
+  Overlap.iter_pairs idx (fun a b ->
+      (* [compact] is ascending, so a < b implies i < j. *)
+      let i = compact.(a) and j = compact.(b) in
+      if linked i j then Growbuf.push pairs ((i * n) + j));
+  (* Sorting the encoded pairs ascending makes the fill below emit every
+     row ascending — smaller partners (from pairs where the row is the
+     second coordinate, which sort first) before larger ones — the
+     property [mem_sorted] and the ECO diff rely on. *)
+  Growbuf.sort pairs;
+  let deg = Array.make n 0 in
+  Growbuf.iter
+    (fun v ->
+      deg.(v / n) <- deg.(v / n) + 1;
+      deg.(v mod n) <- deg.(v mod n) + 1)
+    pairs;
+  let neighbors = Array.init n (fun i -> Array.make deg.(i) 0) in
+  let fill = Array.make n 0 in
+  Growbuf.iter
+    (fun v ->
+      let i = v / n and j = v mod n in
+      neighbors.(i).(fill.(i)) <- j;
+      fill.(i) <- fill.(i) + 1;
+      neighbors.(j).(fill.(j)) <- i;
+      fill.(j) <- fill.(j) + 1)
+    pairs;
   let xmat =
     if cache then
       let xreuse =
@@ -148,6 +179,20 @@ let uncached ctx = { ctx with xmat = Xmatrix.direct ctx.cands }
 
 let thermal_profile ctx map =
   let t_ref = ctx.params.Params.t_ref in
+  (* Zero-penalty trim: outside the map's thermal support every sample
+     detunes by exactly 0.0 ([Thermal_map.support] extends boundary
+     support cells to infinity, covering the out-of-die clamp), so nets
+     far from the heated region skip sampling entirely and the sweep
+     cost scales with the hotspot footprint, not the design. *)
+  let support = Thermal_map.support ~t_ref map in
+  let segment_dt seg =
+    match support with
+    | None -> 0.0
+    | Some s ->
+        if Rect.overlaps s (Segment.bbox seg) then
+          Thermal_map.segment_detuning map ~t_ref seg
+        else 0.0
+  in
   let penalty =
     Array.map
       (fun arr ->
@@ -155,11 +200,7 @@ let thermal_profile ctx map =
           (fun (c : Candidate.t) ->
             Array.map
               (fun (path : Candidate.path) ->
-                let dts =
-                  Array.map
-                    (fun seg -> Thermal_map.segment_detuning map ~t_ref seg)
-                    path.Candidate.segments
-                in
+                let dts = Array.map segment_dt path.Candidate.segments in
                 Loss.path_thermal ctx.params ~base:0.0 ~dts)
               c.Candidate.paths)
           arr)
@@ -358,8 +399,16 @@ module Eval = struct
   let recomputes t = t.recomputes
 end
 
-let polish ?(rounds = 3) ctx choice0 =
+let polish ?(rounds = 3) ?only ctx choice0 =
   let n = Array.length ctx.cands in
+  (* [only] restricts both the repair scan and the improve loops to the
+     given nets (the corridor-stitch fix-up pass); nets outside it are
+     never flipped, though their losses still participate in the local
+     feasibility checks. Absent, the scan is every net in order —
+     exactly the historical behavior. *)
+  let scan =
+    match only with None -> Array.init n (fun i -> i) | Some ids -> ids
+  in
   let ev = Eval.create ctx choice0 in
   (* Repair: demote offending nets to their electrical fallback until the
      selection is feasible. Electrical candidates have no optical paths
@@ -368,44 +417,47 @@ let polish ?(rounds = 3) ctx choice0 =
   while (not (Eval.feasible ev)) && !guard <= n do
     incr guard;
     let fixed = ref false in
-    for i = 0 to n - 1 do
-      if (not !fixed) && Eval.get ev i <> ctx.elec_idx.(i) && not (Eval.net_ok ev i)
-      then begin
-        Eval.set ev i ctx.elec_idx.(i);
-        fixed := true
-      end
-    done;
+    Array.iter
+      (fun i ->
+        if (not !fixed) && Eval.get ev i <> ctx.elec_idx.(i) && not (Eval.net_ok ev i)
+        then begin
+          Eval.set ev i ctx.elec_idx.(i);
+          fixed := true
+        end)
+      scan;
     if not !fixed then
       (* Violations exist but no single demotable net found: demote the
          first non-electrical net outright. *)
       (try
-         for i = 0 to n - 1 do
-           if Eval.get ev i <> ctx.elec_idx.(i) then begin
-             Eval.set ev i ctx.elec_idx.(i);
-             raise Exit
-           end
-         done
+         Array.iter
+           (fun i ->
+             if Eval.get ev i <> ctx.elec_idx.(i) then begin
+               Eval.set ev i ctx.elec_idx.(i);
+               raise Exit
+             end)
+           scan
        with Exit -> ())
   done;
   (* Improve: per net, adopt the cheapest candidate that keeps the local
      neighbourhood (and hence the whole selection) feasible. Only the
      flipped net and its neighbours are re-evaluated per trial. *)
   for _ = 1 to rounds do
-    for i = 0 to n - 1 do
-      let old = Eval.get ev i in
-      let best = ref old and best_obj = ref (objective ctx i old) in
-      Array.iteri
-        (fun j _ ->
-          let obj = objective ctx i j in
-          if j <> old && obj < !best_obj then begin
-            Eval.set ev i j;
-            if Eval.net_ok ev i then begin
-              best := j;
-              best_obj := obj
-            end
-          end)
-        ctx.cands.(i);
-      Eval.set ev i !best
-    done
+    Array.iter
+      (fun i ->
+        let old = Eval.get ev i in
+        let best = ref old and best_obj = ref (objective ctx i old) in
+        Array.iteri
+          (fun j _ ->
+            let obj = objective ctx i j in
+            if j <> old && obj < !best_obj then begin
+              Eval.set ev i j;
+              if Eval.net_ok ev i then begin
+                best := j;
+                best_obj := obj
+              end
+            end)
+          ctx.cands.(i);
+        Eval.set ev i !best)
+      scan
   done;
   Eval.choice ev

@@ -189,9 +189,16 @@ module Eval : sig
       work metric (a full recompute costs one per net). *)
 end
 
-val polish : ?rounds:int -> ctx -> int array -> int array
+val polish : ?rounds:int -> ?only:int array -> ctx -> int array -> int array
 (** Local improvement: first repair (nets on violated paths revert to
     their electrical fallback until feasible), then greedily retry
     cheaper candidates per net while global feasibility holds. Runs on an
     incremental {!Eval}, so each trial flip re-evaluates only the flipped
-    net's neighbourhood. The result is always feasible. *)
+    net's neighbourhood. The result is always feasible.
+
+    [only] restricts both passes to the given nets, in the given order —
+    no other net is ever flipped, though every net's losses participate
+    in the feasibility checks. This is the corridor-stitch fix-up of the
+    partitioned flow: regional solutions are feasible within their
+    regions, so repairing the corridor nets alone restores global
+    feasibility. *)

@@ -8,6 +8,7 @@ type stage =
   | Serve
   | Eco
   | Pareto
+  | Partition
 
 let all_stages = [ Processing; Baselines; Codesign; Select; Wdm; Assign ]
 
@@ -21,10 +22,13 @@ let stage_name = function
   | Serve -> "serve"
   | Eco -> "eco"
   | Pareto -> "pareto"
+  | Partition -> "partition"
 
 let stage_of_string s =
   let s = String.lowercase_ascii s in
-  List.find_opt (fun stage -> stage_name stage = s) (all_stages @ [ Serve; Eco; Pareto ])
+  List.find_opt
+    (fun stage -> stage_name stage = s)
+    (all_stages @ [ Serve; Eco; Pareto; Partition ])
 
 type record = {
   stage : stage;

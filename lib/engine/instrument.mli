@@ -20,6 +20,7 @@ type stage =
   | Serve
   | Eco
   | Pareto
+  | Partition
 (** The six pipeline stages of the OPERON flow (paper Figure 2) — signal
     processing, BI1S baseline generation, co-design DP candidates,
     candidate selection, WDM sweep placement, network-flow assignment —
@@ -27,15 +28,17 @@ type stage =
     flows as jobs (per-job and queue counters live under it), [Eco],
     the incremental re-preparation layer (design-diff seconds and
     nets_reused / nets_recomputed / xrows_reused counters live under
-    it), and [Pareto], the thermal-scenario weight sweep (profile
-    seconds plus weights / front / dropped counters). *)
+    it), [Pareto], the thermal-scenario weight sweep (profile
+    seconds plus weights / front / dropped counters), and [Partition],
+    the hierarchical region decomposition of the partitioned flow (plan
+    and stitch seconds plus regions / corridor_nets / cut_pairs /
+    boundary_components / cut-quality counters). *)
 
 val all_stages : stage list
-(** The pipeline stages in pipeline order. [Serve], [Eco] and [Pareto]
-    are not pipeline stages and are deliberately excluded (a single cold
-    flow run never touches them); {!stage_of_string} still parses
-    ["serve"], ["pareto"] and
-    ["eco"]. *)
+(** The pipeline stages in pipeline order. [Serve], [Eco], [Pareto] and
+    [Partition] are not pipeline stages and are deliberately excluded (a
+    single cold flat flow run never touches them); {!stage_of_string}
+    still parses ["serve"], ["eco"], ["pareto"] and ["partition"]. *)
 
 val stage_name : stage -> string
 

@@ -85,6 +85,58 @@ let synthetic ?(nx = 24) ?(ny = 24) ?(ambient = 45.0) ~hotspots ~amplitude
   t
 
 (* ------------------------------------------------------------------ *)
+(* Thermal support                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Bounding box of the cells that detune at all: every cell whose
+   absolute temperature differs from [t_ref] (by the exact expression
+   [segment_detuning] evaluates). [None] when the whole map sits at
+   t_ref. Outside this box every sample detunes by exactly 0.0, so
+   callers may skip sampling entirely — two details make the skip exact
+   rather than approximate:
+
+   - [Gridmap.cell_of] clamps out-of-die points into the edge cells, so
+     a support cell on the die boundary is extended to infinity on its
+     outward sides;
+   - finite sides are padded by one cell pitch, absorbing any ulp-level
+     disagreement between the cell-boundary arithmetic here and the
+     truncating division in [cell_of]. *)
+let support ~t_ref t =
+  let b = bounds t in
+  let gnx = nx t and gny = ny t in
+  let w = Rect.width b /. float_of_int gnx in
+  let h = Rect.height b /. float_of_int gny in
+  let found = ref false in
+  let xmin = ref infinity and xmax = ref neg_infinity in
+  let ymin = ref infinity and ymax = ref neg_infinity in
+  for j = 0 to gny - 1 do
+    for i = 0 to gnx - 1 do
+      if Float.abs (t.ambient +. Gridmap.get t.grid i j -. t_ref) <> 0.0 then begin
+        found := true;
+        let x0 =
+          if i = 0 then neg_infinity
+          else b.Rect.xmin +. (float_of_int i *. w) -. w
+        and x1 =
+          if i = gnx - 1 then infinity
+          else b.Rect.xmin +. (float_of_int (i + 1) *. w) +. w
+        and y0 =
+          if j = 0 then neg_infinity
+          else b.Rect.ymin +. (float_of_int j *. h) -. h
+        and y1 =
+          if j = gny - 1 then infinity
+          else b.Rect.ymin +. (float_of_int (j + 1) *. h) +. h
+        in
+        if x0 < !xmin then xmin := x0;
+        if x1 > !xmax then xmax := x1;
+        if y0 < !ymin then ymin := y0;
+        if y1 > !ymax then ymax := y1
+      end
+    done
+  done;
+  if not !found then None
+  else Some (Rect.make ~xmin:!xmin ~ymin:!ymin ~xmax:!xmax ~ymax:!ymax)
+
+(* ------------------------------------------------------------------ *)
 (* Path sampling                                                      *)
 (* ------------------------------------------------------------------ *)
 

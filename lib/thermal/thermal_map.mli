@@ -54,6 +54,15 @@ val synthetic :
     non-positive grid size or decay, or a negative hotspot count or
     amplitude. *)
 
+val support : t_ref:float -> t -> Rect.t option
+(** Bounding box of the cells whose absolute temperature differs from
+    [t_ref] at all — outside it every {!segment_detuning} sample is
+    exactly 0.0, so callers may skip sampling without changing a bit.
+    Boundary support cells are extended to infinity on their outward
+    sides (out-of-die points clamp into them), and finite sides carry
+    one cell pitch of slack against rounding. [None] when the whole map
+    sits at [t_ref]. *)
+
 val segment_detuning : t -> t_ref:float -> Segment.t -> float
 (** Worst [|T -. t_ref|] along the segment, sampled at a third of the
     cell pitch — the stride {!Operon_geom.Gridmap.deposit_segment}

@@ -1,0 +1,41 @@
+(* Preallocated growable int buffer: the accumulation half of the
+   spatial-index pair sweeps. Amortized O(1) push with doubling growth,
+   no per-element boxing (plain int array), and an in-place sort so the
+   callers that need a deterministic order pay one O(k log k) pass
+   instead of building and reversing lists. *)
+
+type t = { mutable data : int array; mutable len : int }
+
+let create ?(capacity = 64) () =
+  { data = Array.make (Stdlib.max 1 capacity) 0; len = 0 }
+
+let length t = t.len
+
+let clear t = t.len <- 0
+
+let push t v =
+  if t.len = Array.length t.data then begin
+    let bigger = Array.make (2 * Array.length t.data) 0 in
+    Array.blit t.data 0 bigger 0 t.len;
+    t.data <- bigger
+  end;
+  t.data.(t.len) <- v;
+  t.len <- t.len + 1
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Growbuf.get: out of bounds";
+  t.data.(i)
+
+let sort t =
+  (* Sort only the live prefix; the spare capacity holds zeros that must
+     not participate. *)
+  let live = Array.sub t.data 0 t.len in
+  Array.sort compare live;
+  Array.blit live 0 t.data 0 t.len
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f t.data.(i)
+  done
+
+let to_array t = Array.sub t.data 0 t.len

@@ -1,0 +1,30 @@
+(** Preallocated growable int buffer.
+
+    A plain [int array] that doubles in place — the accumulator used by
+    the spatial-index pair sweeps, where list cells and per-pair tuples
+    would dominate the profile. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Fresh buffer; [capacity] (default 64) preallocates the backing
+    array. *)
+
+val length : t -> int
+
+val clear : t -> unit
+(** Reset to empty without releasing the backing array. *)
+
+val push : t -> int -> unit
+(** Append one value, growing the backing array by doubling when full. *)
+
+val get : t -> int -> int
+(** Random access; raises [Invalid_argument] out of bounds. *)
+
+val sort : t -> unit
+(** Sort the live contents ascending, in place. *)
+
+val iter : (int -> unit) -> t -> unit
+
+val to_array : t -> int array
+(** Copy of the live contents. *)
